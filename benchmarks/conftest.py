@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and scale knobs.
+
+The benchmarks regenerate every table and figure at a moderate scale
+(thousands of records — large enough for the paper's effects to be
+unmistakable, small enough to run in minutes).  Set
+``REPRO_BENCH_SCALE`` to scale record counts up or down, e.g.
+``REPRO_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only`` for a run
+closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import build_amazon_setup
+
+#: Multiplier applied to every benchmark's record counts.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(n: int, minimum: int = 200) -> int:
+    return max(int(n * SCALE), minimum)
+
+
+@pytest.fixture(scope="session")
+def amazon_setup():
+    """One Amazon fixture shared by Figures 5/6 and size estimation."""
+    return build_amazon_setup(n_movies=scaled(6000), seed=4)
+
+
+def emit(result_text: str) -> None:
+    """Print a rendered experiment table into the benchmark log."""
+    print()
+    print(result_text)

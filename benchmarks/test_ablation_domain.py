@@ -1,0 +1,30 @@
+"""Ablation: the DM selector's smoothing and size estimation.
+
+DESIGN.md §5: the Eq. 4.3 ΔDM smoothing exists because the target
+database contains values the domain sample has never seen (store
+exclusives); with smoothing off those values keep probability zero and
+their harvest rates stay unusable.  Also checks the free by-product of
+Eq. 4.2 — the implied database-size estimate.
+"""
+
+from conftest import amazon_setup, emit
+
+from repro.experiments.ablations import run_smoothing_ablation
+
+
+def test_ablation_domain_smoothing(benchmark, amazon_setup):
+    result = benchmark.pedantic(
+        lambda: run_smoothing_ablation(amazon_setup), rounds=1, iterations=1
+    )
+    emit(result.render())
+
+    coverage_on = result.coverage("smoothing on")
+    coverage_off = result.coverage("smoothing off")
+    estimate_on = result.size_estimate("smoothing on")
+    # Smoothing never hurts materially and the estimator lands in the
+    # truth's neighbourhood.
+    assert coverage_on >= coverage_off - 0.03
+    assert 0.5 * result.true_size <= estimate_on <= 1.5 * result.true_size
+    benchmark.extra_info["coverage_on"] = round(coverage_on, 3)
+    benchmark.extra_info["coverage_off"] = round(coverage_off, 3)
+    benchmark.extra_info["size_estimate"] = round(estimate_on)

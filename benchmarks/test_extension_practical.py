@@ -1,0 +1,70 @@
+"""Extension benchmark: the paper-conclusion "practical" bundle.
+
+The conclusion recommends combining domain-knowledge selection with
+fine-tuned heuristics.  This bench runs, on the Amazon store under its
+native limit and budget:
+
+- plain GL,
+- the DM selector alone,
+- the practical bundle (DM + §3.4 abortion heuristics),
+
+and asserts the bundle is at least as good as its parts on coverage per
+budget.
+"""
+
+from conftest import amazon_setup, emit
+
+from repro.crawler import CrawlerEngine
+from repro.experiments import render_table
+from repro.policies import (
+    DomainKnowledgeSelector,
+    GreedyLinkSelector,
+    build_practical_crawler,
+)
+
+
+def run_variants(setup):
+    budget = setup.request_budget
+    [seeds] = setup.sample_seeds(1, rng_seed=2)
+    results = {}
+
+    server = setup.make_server()
+    engine = CrawlerEngine(server, GreedyLinkSelector(), seed=2)
+    results["greedy-link"] = engine.crawl(seeds, max_rounds=budget)
+
+    server = setup.make_server()
+    engine = CrawlerEngine(server, DomainKnowledgeSelector(setup.dm1), seed=2)
+    results["dm"] = engine.crawl(seeds, max_rounds=budget)
+
+    server = setup.make_server()
+    engine = build_practical_crawler(server, setup.dm1, seed=2)
+    results["practical (dm + abortion)"] = engine.crawl(seeds, max_rounds=budget)
+    return results
+
+
+def test_extension_practical_bundle(benchmark, amazon_setup):
+    results = benchmark.pedantic(
+        lambda: run_variants(amazon_setup), rounds=1, iterations=1
+    )
+    emit(
+        render_table(
+            ["configuration", "coverage @ budget", "queries", "aborted"],
+            [
+                [name, f"{r.coverage:.1%}", r.queries_issued, r.aborted_queries]
+                for name, r in results.items()
+            ],
+            title=(
+                "Extension — practical crawler bundle on the Amazon store "
+                f"(|DB| = {len(amazon_setup.store):,}, "
+                f"budget = {amazon_setup.request_budget:,})"
+            ),
+        )
+    )
+
+    assert results["dm"].coverage > results["greedy-link"].coverage
+    # The heuristics must not cost coverage, and should reinvest aborted
+    # pages into extra queries.
+    practical = results["practical (dm + abortion)"]
+    assert practical.coverage >= results["dm"].coverage - 0.02
+    benchmark.extra_info["practical_coverage"] = round(practical.coverage, 3)
+    benchmark.extra_info["aborted_queries"] = practical.aborted_queries

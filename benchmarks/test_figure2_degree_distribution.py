@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 2 (AVG degree distributions, power law)."""
+
+from conftest import emit, scaled
+
+from repro.experiments import run_figure2
+
+
+def test_figure2_degree_distribution(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure2(n_records=scaled(4000), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+
+    # Shape: every database's log-log degree scatter is close to a line
+    # with negative slope — the paper's "very close to power-law", which
+    # motivates hub-riding GL.
+    for panel in result.panels:
+        assert panel.fit.slope < -0.8, panel.dataset
+        assert panel.fit.r_squared > 0.6, panel.dataset
+        # "A few attribute values are extremely popular": the top 1% of
+        # vertices own a disproportionate share of edge endpoints.
+        assert panel.hub_share_top1pct > 0.1, panel.dataset
+        benchmark.extra_info[f"{panel.dataset}_slope"] = round(panel.fit.slope, 3)
+        benchmark.extra_info[f"{panel.dataset}_r2"] = round(panel.fit.r_squared, 3)

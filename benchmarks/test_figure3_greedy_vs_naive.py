@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 3 (GL vs naive selection, four databases)."""
+
+from conftest import emit, scaled
+
+from repro.experiments import run_figure3
+
+
+def test_figure3_greedy_vs_naive(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure3(
+            n_records=scaled(5000), n_seeds=3, seed=1, max_level=0.9
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+
+    for panel in result.panels:
+        greedy = panel.cost("greedy-link", 0.9)
+        assert greedy is not None, panel.dataset
+        # Shape 1: GL reaches 90% cheaper than DFS and Random on every
+        # database, and no naive method beats it meaningfully.
+        for policy in ("bfs", "dfs", "random"):
+            other = panel.cost(policy, 0.9)
+            if other is None:
+                continue  # a naive run that never got there loses by default
+            if policy in ("dfs", "random"):
+                assert greedy < other, (panel.dataset, policy)
+            else:
+                assert greedy <= other * 1.10, (panel.dataset, policy)
+            benchmark.extra_info[f"{panel.dataset}_{policy}_over_gl"] = round(
+                other / greedy, 2
+            )
+        # Shape 2: the "low marginal benefit" knee — cost climbs much
+        # faster from 70%->90% than from 10%->30%.
+        series = panel.series["greedy-link"]
+        assert series[4] - series[3] > series[1] - series[0], panel.dataset

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 4 (MMMI ordering for marginal content)."""
+
+from conftest import emit, scaled
+
+from repro.experiments import run_figure4
+
+
+def test_figure4_mmmi(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure4(
+            n_records=scaled(6000),
+            n_seeds=3,
+            seed=0,
+            switch_coverage=0.85,
+            target_coverage=0.97,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+
+    # Shape: switching to MMMI at 85% reaches the same final coverage
+    # with fewer communication rounds than plain GL (the paper reports
+    # ~1,200 rounds saved at its 20k-record scale; the sign is the
+    # reproducible claim, the magnitude scales with the database).
+    assert result.rounds_saved > 0
+    assert result.hybrid.mean_final_coverage >= result.target_coverage - 0.01
+    benchmark.extra_info["rounds_saved"] = round(result.rounds_saved)
+    benchmark.extra_info["saving_fraction"] = round(
+        result.rounds_saved / result.greedy_rounds, 4
+    )

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 5 (domain knowledge vs GL on the store)."""
+
+from conftest import amazon_setup, emit
+
+from repro.experiments import run_figure5
+
+
+def test_figure5_domain_knowledge(benchmark, amazon_setup):
+    result = benchmark.pedantic(
+        lambda: run_figure5(amazon_setup, n_seeds=2, rng_seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+
+    final_gl = result.final("greedy-link")
+    final_dm1 = result.final("dm1")
+    final_dm2 = result.final("dm2")
+    # Shape 1: both DM crawlers end above GL; the richer domain table
+    # DM(I) ends at or above DM(II) (paper: 95% vs ~90% vs <70%).
+    assert final_dm1 > final_gl
+    assert final_dm2 > final_gl
+    assert final_dm1 >= final_dm2 - 0.02
+    # Shape 2: GL plateaus in the second half of the budget while DM(I)
+    # keeps climbing (data islands + dependency vs domain-table values).
+    half = len(result.checkpoints) // 2
+    gl_late = result.series["greedy-link"][-1] - result.series["greedy-link"][half]
+    dm_late = result.series["dm1"][-1] - result.series["dm1"][half]
+    assert dm_late > gl_late
+    benchmark.extra_info["final_gl"] = round(final_gl, 3)
+    benchmark.extra_info["final_dm1"] = round(final_dm1, 3)
+    benchmark.extra_info["final_dm2"] = round(final_dm2, 3)

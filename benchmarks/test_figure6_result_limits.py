@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 6 (crawling under result-size limits)."""
+
+from conftest import amazon_setup, emit
+
+from repro.experiments import run_figure6
+
+
+def test_figure6_result_limits(benchmark, amazon_setup):
+    result = benchmark.pedantic(
+        lambda: run_figure6(amazon_setup, limits=(10, 50), n_seeds=2, rng_seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+
+    native = max(result.limits)
+    for method in ("greedy-link", "dm1"):
+        # Shape 1: tighter limits degrade coverage monotonically
+        # (paper: ~50% drop at limit 10, ~20% at limit 50).
+        assert result.coverage[(method, 10)] < result.coverage[(method, native)]
+        assert (
+            result.coverage[(method, 10)]
+            <= result.coverage[(method, 50)] + 0.01
+        )
+        # Shape 2: limit 10 hurts at least as much as limit 50.
+        assert result.degradation(method, 10) >= result.degradation(method, 50)
+        benchmark.extra_info[f"{method}_drop_at_10"] = round(
+            result.degradation(method, 10), 3
+        )
+        benchmark.extra_info[f"{method}_drop_at_50"] = round(
+            result.degradation(method, 50), 3
+        )
+    # Shape 3: DM stays at or above GL under every limit.
+    for limit in result.limits:
+        assert (
+            result.coverage[("dm1", limit)]
+            >= result.coverage[("greedy-link", limit)] - 0.02
+        )

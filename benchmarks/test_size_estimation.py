@@ -1,0 +1,27 @@
+"""Benchmark: regenerate the Section 5 size-estimation experiment."""
+
+from conftest import amazon_setup, emit
+
+from repro.experiments import run_size_estimation
+
+
+def test_size_estimation(benchmark, amazon_setup):
+    result = benchmark.pedantic(
+        lambda: run_size_estimation(amazon_setup, n_crawls=6, rng_seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+
+    # Shape: 6 crawls -> C(6,2) = 15 pairwise estimates, exactly as in
+    # the paper, and the estimate lands in the truth's neighbourhood
+    # (mildly low — crawl samples over-represent the crawlable bulk,
+    # a bias the paper's live experiment shares but could not see).
+    assert len(result.estimates) == 15
+    assert 0.5 * result.true_size <= result.interval.mean <= 1.3 * result.true_size
+    assert result.upper_bound >= result.interval.mean
+    assert result.union_size <= result.true_size
+    benchmark.extra_info["true_size"] = result.true_size
+    benchmark.extra_info["mean_estimate"] = round(result.interval.mean)
+    benchmark.extra_info["upper_bound_90"] = round(result.upper_bound)
+    benchmark.extra_info["relative_error"] = round(result.relative_error, 4)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 1 (the 480-source interface case study)."""
+
+from conftest import emit
+
+from repro.experiments import run_table1
+
+
+def test_table1_case_study(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table1(sources_per_domain=44, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+
+    # Shape: the regenerated survey matches the paper's percentages
+    # up to rounding at 44 sources/domain.
+    assert len(result.rows) == 11
+    assert result.max_absolute_error() <= 0.05
+    # Spot-check the paper's extremes.
+    assert result.row("computer").keyword_fraction == 1.0
+    assert result.row("car").keyword_fraction < 0.2
+    assert result.row("book").sqm_fraction == 1.0
+    benchmark.extra_info["max_abs_error"] = result.max_absolute_error()

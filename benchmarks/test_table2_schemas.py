@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 2 (interface schemas + distinct values)."""
+
+from conftest import emit, scaled
+
+from repro.experiments import run_table2
+
+
+def test_table2_schemas(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table2(n_records=scaled(4000), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+
+    assert {row.dataset for row in result.rows} == {"ebay", "imdb", "dblp", "acm"}
+    # Shape: IMDB has the widest interface and the highest
+    # values-per-record ratio, as in the paper's Table 2.
+    ratios = {row.dataset: row.values_per_record for row in result.rows}
+    assert max(ratios, key=ratios.get) == "imdb"
+    widths = {row.dataset: len(row.queriable_attributes) for row in result.rows}
+    assert widths == {"ebay": 4, "acm": 5, "dblp": 5, "imdb": 12}
+    for row in result.rows:
+        benchmark.extra_info[f"{row.dataset}_values_per_record"] = round(
+            row.values_per_record, 3
+        )

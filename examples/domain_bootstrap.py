@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Bootstrapping a product-database crawl with domain knowledge.
+
+The paper's flagship scenario (Section 4 / Figure 5): you already hold
+a same-domain sample database (IMDB) and want to crawl a retailer's
+DVD catalogue whose interface only lets you search by title and people.
+A domain statistics table built from the sample both widens the
+candidate query pool (values the crawl has never seen) and sharpens
+harvest-rate estimates.
+
+Run:  python examples/domain_bootstrap.py
+"""
+
+from repro.crawler import CrawlerEngine
+from repro.datasets import (
+    IMDB_DT_ATTRIBUTES,
+    MovieUniverse,
+    generate_amazon_dvd,
+    imdb_table_from_movies,
+)
+from repro.domain import build_domain_table
+from repro.policies import DomainKnowledgeSelector, GreedyLinkSelector
+from repro.server import ResultLimitPolicy, SimulatedWebDatabase
+
+
+def main() -> None:
+    # One movie universe feeds both databases: the IMDB sample we own and
+    # the store we want to crawl (overlapping but not identical content).
+    universe = MovieUniverse(n_movies=5000, seed=11, obscure_fraction=0.2)
+    store = generate_amazon_dvd(universe, seed=3)
+    print(f"target store: {len(store):,} DVDs, queriable attributes: "
+          f"{', '.join(store.schema.queriable)}")
+
+    # The domain statistics table: value -> probability + posting list,
+    # from the movies released since 1960 (the paper's DM(I) subset).
+    sample = imdb_table_from_movies(universe.since(1960), name="imdb-sample")
+    domain_table = build_domain_table(sample, attributes=IMDB_DT_ATTRIBUTES)
+    print(f"domain table: {len(domain_table):,} values "
+          f"from a {domain_table.size:,}-movie IMDB sample")
+
+    # The store caps every query's accessible results (like Amazon's
+    # 3,200-record limit) and ranks matches, so hubs cannot be drained.
+    limit = max(len(store) * 3200 // 37000, 20)
+    budget = len(store) * 10000 // 37000 * 2
+    seed_value = next(
+        value for value in store.distinct_values("actor")
+        if store.frequency(value) >= 3
+    )
+    print(f"result limit {limit}, request budget {budget:,}, seed {seed_value}\n")
+
+    for label, selector in (
+        ("greedy-link (no domain knowledge)", GreedyLinkSelector()),
+        ("domain-knowledge DM(I)", DomainKnowledgeSelector(domain_table)),
+    ):
+        server = SimulatedWebDatabase(
+            store,
+            page_size=10,
+            limit_policy=ResultLimitPolicy(limit=limit, ordering="ranked"),
+        )
+        engine = CrawlerEngine(server, selector, seed=1)
+        result = engine.crawl([seed_value], max_rounds=budget)
+        checkpoints = [budget // 4, budget // 2, 3 * budget // 4, budget]
+        curve = " -> ".join(
+            f"{result.history.coverage_at_rounds(c, len(store)):.0%}"
+            for c in checkpoints
+        )
+        print(f"{label}:")
+        print(f"  coverage at 25/50/75/100% of budget: {curve}")
+        print(f"  final: {result.coverage:.1%} with {result.queries_issued:,} queries\n")
+
+    print("The relational crawler plateaus: part of the catalogue is 'data")
+    print("islands' sharing no queriable value with anything it has seen.")
+    print("The DM crawler keeps climbing by issuing domain-table values the")
+    print("store never showed it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Crawling a source that only accepts multi-attribute queries.
+
+Table 1 of the paper found domains (cars, airfare, hotels) whose forms
+are "highly structured and restrictive in the sense that only
+multi-attribute queries are accepted" and left crawling them as future
+work.  This example runs that extension: a used-car database whose
+interface demands at least two predicates per query (make AND model,
+say), crawled by the greedy clique selector — GL lifted from vertices
+to edges of the attribute-value graph.
+
+Run:  python examples/multi_attribute_sources.py
+"""
+
+from repro.core import Query, UnsupportedQueryError
+from repro.crawler import CrawlerEngine
+from repro.datasets import car_interface, generate_cars
+from repro.policies import (
+    GreedyCliqueSelector,
+    RandomCliqueSelector,
+    record_combinations,
+)
+from repro.server import SimulatedWebDatabase
+
+
+def main() -> None:
+    table = generate_cars(n_records=4000, seed=11)
+    interface = car_interface(min_predicates=2)
+    print(f"car listings: {len(table):,} records, interface demands "
+          f">= {interface.min_predicates} predicates per query")
+
+    # Single-attribute queries bounce off the form.
+    probe_server = SimulatedWebDatabase(table, interface=interface)
+    try:
+        probe_server.submit(Query.equality("make", "toyota"))
+    except UnsupportedQueryError as error:
+        print(f"single-predicate probe rejected: {error}\n")
+
+    # Seed: the attribute-value combinations of one known listing.
+    first_record = table.get(table.record_ids()[0])
+    seed_combos = record_combinations(first_record, table.schema.queriable, 2)
+    print(f"seeding with {len(seed_combos)} combinations from one listing, "
+          f"e.g. {seed_combos[0][0]} AND {seed_combos[0][1]}\n")
+
+    for make_selector in (GreedyCliqueSelector, RandomCliqueSelector):
+        server = SimulatedWebDatabase(table, page_size=10, interface=interface)
+        selector = make_selector()
+        engine = CrawlerEngine(server, selector, seed=5)
+        selector.seed_combinations(seed_combos)
+        result = engine.crawl(
+            [], allow_empty_seeds=True, target_coverage=0.9, max_rounds=30_000
+        )
+        print(
+            f"  {result.policy:14s} -> {result.coverage:6.1%} coverage in "
+            f"{result.communication_rounds:6,} rounds "
+            f"({result.queries_issued:,} conjunctive queries)"
+        )
+
+    print("\nEvery issued query is a conjunction visiting an *edge* of the")
+    print("attribute-value graph; the greedy variant rides popular")
+    print("make/model pairings the same way GL rides hub values.")
+
+
+if __name__ == "__main__":
+    main()

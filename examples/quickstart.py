@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: crawl a hidden-web database through its query interface.
+
+Builds a synthetic eBay-style auction database, hides it behind a
+simulated web query interface (paginated results, one communication
+round per page), and crawls it with the paper's greedy link-based
+query selector, comparing against breadth-first selection.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.crawler import CrawlerEngine
+from repro.datasets import generate_ebay
+from repro.policies import BreadthFirstSelector, GreedyLinkSelector
+from repro.server import SimulatedWebDatabase
+
+
+def main() -> None:
+    # 1. A structured web source: 3,000 auctions behind a query form that
+    #    accepts equality predicates on categories/seller/location/price.
+    table = generate_ebay(n_records=3000, seed=7)
+    print(f"hidden database: {len(table):,} records, "
+          f"{table.num_distinct_values():,} distinct attribute values")
+
+    # 2. Pick one seed attribute value the crawler starts from — in a real
+    #    deployment this comes from domain vocabulary or a previous crawl.
+    seed_value = next(
+        value for value in table.distinct_values("seller")
+        if table.frequency(value) >= 3
+    )
+    print(f"seed value: {seed_value}")
+
+    # 3. Crawl to 90% coverage with two query-selection policies.
+    for selector in (GreedyLinkSelector(), BreadthFirstSelector()):
+        server = SimulatedWebDatabase(table, page_size=10)
+        engine = CrawlerEngine(server, selector, seed=7)
+        result = engine.crawl([seed_value], target_coverage=0.9)
+        print(
+            f"  {result.policy:12s} -> {result.coverage:6.1%} coverage in "
+            f"{result.communication_rounds:5,} rounds "
+            f"({result.queries_issued:,} queries)"
+        )
+
+    print("\nThe greedy link-based selector rides 'hub' attribute values and")
+    print("reaches the same coverage with fewer communication rounds.")
+
+
+if __name__ == "__main__":
+    main()

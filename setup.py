@@ -1,0 +1,10 @@
+"""Shim so legacy (non-PEP-517) editable installs work offline.
+
+The environment has no network and no ``wheel`` package, so
+``pip install -e . --no-use-pep517`` via this file is the supported
+install path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

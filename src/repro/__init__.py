@@ -1,0 +1,39 @@
+"""Reproduction of *Query Selection Techniques for Efficient Crawling of
+Structured Web Sources* (Wu, Wen, Liu, Ma — ICDE 2006).
+
+The package provides every layer the paper's evaluation needs:
+
+- :mod:`repro.core` — an in-memory relational substrate (records, universal
+  tables, single-equality and keyword queries, inverted indexes).
+- :mod:`repro.graph` — the attribute-value graph (AVG) model, degree/power-law
+  analysis, and weighted minimum dominating set algorithms.
+- :mod:`repro.server` — a simulated structured web source: query interfaces,
+  result pagination, result-size limits, and communication accounting.
+- :mod:`repro.crawler` — the "query–harvest–decompose" crawler engine with
+  pluggable query-selection policies.
+- :mod:`repro.policies` — BFS/DFS/Random, greedy link-based (GL), MMMI,
+  domain-knowledge (DM) and oracle selectors.
+- :mod:`repro.domain` — domain statistics tables built from sample databases.
+- :mod:`repro.datasets` — synthetic eBay / ACM / DBLP / IMDB / Amazon-DVD
+  generators plus the Table-1 interface corpus.
+- :mod:`repro.estimation` — overlap-analysis database size estimation.
+- :mod:`repro.experiments` — drivers that regenerate every table and figure.
+
+Quickstart::
+
+    from repro.datasets import generate_ebay
+    from repro.server import SimulatedWebDatabase
+    from repro.crawler import CrawlerEngine
+    from repro.policies import GreedyLinkSelector
+
+    table = generate_ebay(n_records=2000, seed=7)
+    server = SimulatedWebDatabase(table, page_size=10)
+    crawler = CrawlerEngine(server, GreedyLinkSelector(), seed=7)
+    seed_value = table.distinct_values("seller")[0]
+    result = crawler.crawl([seed_value], target_coverage=0.9)
+    print(result.coverage, result.communication_rounds)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Post-crawl analysis: terminal charts and productivity reports."""
+
+from repro.analysis.charts import ascii_chart, coverage_chart
+from repro.analysis.reports import (
+    AttributeCoverage,
+    AttributeProductivity,
+    attribute_productivity,
+    productivity_decay,
+    render_attribute_productivity,
+    render_value_coverage,
+    value_coverage,
+)
+
+__all__ = [
+    "AttributeCoverage",
+    "AttributeProductivity",
+    "ascii_chart",
+    "attribute_productivity",
+    "coverage_chart",
+    "productivity_decay",
+    "render_attribute_productivity",
+    "render_value_coverage",
+    "value_coverage",
+]

@@ -1,0 +1,130 @@
+"""Terminal charts for crawl curves.
+
+The figure drivers render numeric tables; for eyeballing shapes in a
+terminal (and in EXPERIMENTS.md) an ASCII line chart is often clearer.
+Pure-stdlib: no plotting dependency enters the project.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Plot glyphs per series, cycled.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_values: Optional[Sequence[float]] = None,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render named series as a monospace line chart.
+
+    All series share the x axis (indexes, or ``x_values`` when given)
+    and the y axis is scaled to the global min/max.  Returns a string;
+    does not print.
+
+    >>> print(ascii_chart({"a": [0, 1, 2]}, width=8, height=3))  # doctest: +SKIP
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (n_points,) = lengths
+    if n_points == 0:
+        raise ValueError("series are empty")
+    if x_values is not None and len(x_values) != n_points:
+        raise ValueError("x_values length must match the series")
+
+    flat = [value for values in series.values() for value in values]
+    y_min, y_max = min(flat), max(flat)
+    span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(index: int, value: float):
+        x = 0 if n_points == 1 else round(index * (width - 1) / (n_points - 1))
+        y = round((value - y_min) / span * (height - 1))
+        return height - 1 - y, x
+
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        previous = None
+        for index, value in enumerate(values):
+            row, column = cell(index, value)
+            # Draw a crude connecting segment (vertical fill) to the
+            # previous point so trends read as lines, not dust.
+            if previous is not None:
+                prev_row, prev_col = previous
+                if prev_col == column:
+                    lo, hi = sorted((prev_row, row))
+                    for r in range(lo, hi + 1):
+                        if grid[r][column] == " ":
+                            grid[r][column] = "."
+                else:
+                    for c in range(prev_col, column + 1):
+                        t = (c - prev_col) / (column - prev_col)
+                        interp_row = round(prev_row + (row - prev_row) * t)
+                        if grid[interp_row][c] == " ":
+                            grid[interp_row][c] = "."
+            grid[row][column] = marker
+            previous = (row, column)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    if x_values is not None:
+        left = f"{x_values[0]:g}"
+        right = f"{x_values[-1]:g}"
+        padding = width - len(left) - len(right)
+        lines.append(f"{' ' * label_width}  {left}{' ' * max(padding, 1)}{right}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def coverage_chart(
+    histories: Dict[str, "object"],
+    database_size: int,
+    checkpoints: Sequence[int],
+    title: Optional[str] = None,
+) -> str:
+    """Chart several crawls' coverage-versus-rounds curves together.
+
+    ``histories`` maps a label to a
+    :class:`~repro.crawler.metrics.CrawlHistory`.
+    """
+    series = {
+        label: [
+            history.coverage_at_rounds(checkpoint, database_size)
+            for checkpoint in checkpoints
+        ]
+        for label, history in histories.items()
+    }
+    return ascii_chart(
+        series,
+        x_values=list(checkpoints),
+        title=title,
+        y_label="cov",
+    )

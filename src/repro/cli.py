@@ -1,0 +1,259 @@
+"""Command-line interface: generate, crawl, and reproduce from a shell.
+
+Usage (also via ``python -m repro``)::
+
+    repro datasets                          # list generators
+    repro generate dblp --records 5000 --out dblp.json.gz
+    repro crawl --dataset ebay --policy greedy-link --target 0.9
+    repro crawl --table dblp.json.gz --policy bfs --max-rounds 2000
+    repro experiment figure3 --records 2000
+    repro experiment table1
+
+Every subcommand prints a plain-text report to stdout; ``crawl`` can
+additionally write the coverage history as CSV (``--history out.csv``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro import io
+from repro.crawler.engine import CrawlerEngine
+from repro.datasets.registry import dataset_info, dataset_names, load_dataset
+from repro.experiments import (
+    run_abortion_ablation,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_greedy_signal_ablation,
+    run_keyword_interface,
+    run_mmmi_ablation,
+    run_size_estimation,
+    run_smoothing_ablation,
+    run_stability,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.harness import sample_seed_values
+from repro.policies import (
+    AdaptiveAttributeSelector,
+    BreadthFirstSelector,
+    DepthFirstSelector,
+    GreedyFrequencySelector,
+    GreedyLinkSelector,
+    GreedyMmmiSelector,
+    RandomSelector,
+    build_practical_crawler,
+)
+from repro.server.limits import ResultLimitPolicy
+from repro.server.webdb import SimulatedWebDatabase
+
+#: Policies constructible without extra inputs (DM needs a domain table).
+POLICIES: Dict[str, Callable] = {
+    "bfs": BreadthFirstSelector,
+    "dfs": DepthFirstSelector,
+    "random": RandomSelector,
+    "greedy-link": GreedyLinkSelector,
+    "greedy-frequency": GreedyFrequencySelector,
+    "greedy-mmmi": lambda: GreedyMmmiSelector(switch_coverage=None),
+    "adaptive": AdaptiveAttributeSelector,
+    "practical": None,  # resolved specially (engine-level bundle)
+}
+
+EXPERIMENTS = {
+    "table1": lambda args: run_table1(seed=args.seed),
+    "table2": lambda args: run_table2(n_records=args.records, seed=args.seed),
+    "figure2": lambda args: run_figure2(
+        n_records=args.records or 4000, seed=args.seed
+    ),
+    "figure3": lambda args: run_figure3(
+        n_records=args.records or 3000, n_seeds=2, seed=args.seed
+    ),
+    "figure4": lambda args: run_figure4(
+        n_records=args.records or 4000, n_seeds=2, seed=args.seed
+    ),
+    "figure5": lambda args: run_figure5(rng_seed=args.seed),
+    "figure6": lambda args: run_figure6(rng_seed=args.seed),
+    "size": lambda args: run_size_estimation(rng_seed=args.seed),
+    "ablation-greedy-signal": lambda args: run_greedy_signal_ablation(
+        n_records=args.records or 3000, seed=args.seed
+    ),
+    "ablation-mmmi": lambda args: run_mmmi_ablation(
+        n_records=args.records or 4000, seed=args.seed
+    ),
+    "ablation-smoothing": lambda args: run_smoothing_ablation(rng_seed=args.seed),
+    "ablation-abortion": lambda args: run_abortion_ablation(
+        n_records=args.records or 4000, seed=args.seed
+    ),
+    "keyword-interface": lambda args: run_keyword_interface(rng_seed=args.seed),
+    "stability": lambda args: run_stability(
+        n_records=args.records or 2000, seed=args.seed
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deep-web query-selection crawling (ICDE 2006 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the built-in dataset generators")
+
+    generate = commands.add_parser("generate", help="generate a dataset to JSON")
+    generate.add_argument("dataset", choices=dataset_names())
+    generate.add_argument("--records", type=int, default=0,
+                          help="record count (0 = registry default)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True,
+                          help="output path (.json or .json.gz)")
+
+    crawl = commands.add_parser("crawl", help="crawl a source and report")
+    source = crawl.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=dataset_names(),
+                        help="generate-and-crawl a built-in dataset")
+    source.add_argument("--table", help="crawl a saved table (JSON)")
+    crawl.add_argument("--records", type=int, default=0)
+    crawl.add_argument("--policy", choices=sorted(POLICIES), default="greedy-link")
+    crawl.add_argument("--page-size", type=int, default=10)
+    crawl.add_argument("--result-limit", type=int, default=None)
+    crawl.add_argument("--target", type=float, default=None,
+                       help="stop at this true coverage (0..1)")
+    crawl.add_argument("--max-rounds", type=int, default=None)
+    crawl.add_argument("--seed", type=int, default=0)
+    crawl.add_argument("--history", default=None,
+                       help="write the coverage history CSV here")
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--records", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    profile = commands.add_parser(
+        "profile", help="probe a source and summarize what it knows"
+    )
+    profile_source_group = profile.add_mutually_exclusive_group(required=True)
+    profile_source_group.add_argument("--dataset", choices=dataset_names())
+    profile_source_group.add_argument("--table", help="a saved table (JSON)")
+    profile.add_argument("--records", type=int, default=0)
+    profile.add_argument("--probes", type=int, default=25)
+    profile.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_datasets(_args, out) -> int:
+    for name in dataset_names():
+        info = dataset_info(name)
+        out.write(
+            f"{name:6s} paper: {info.paper_records:>9,} records / "
+            f"{info.paper_distinct_values:>11,} values   "
+            f"default scale: {info.default_records:,}\n"
+        )
+    return 0
+
+
+def _command_generate(args, out) -> int:
+    table = load_dataset(args.dataset, args.records, seed=args.seed)
+    io.save_table(table, args.out)
+    out.write(
+        f"wrote {args.out}: {len(table):,} records, "
+        f"{table.num_distinct_values():,} distinct values\n"
+    )
+    return 0
+
+
+def _command_crawl(args, out) -> int:
+    import random
+
+    if args.dataset:
+        table = load_dataset(args.dataset, args.records, seed=args.seed)
+    else:
+        table = io.load_table(args.table)
+    limit_policy = (
+        ResultLimitPolicy(limit=args.result_limit, ordering="ranked")
+        if args.result_limit
+        else None
+    )
+    server = SimulatedWebDatabase(
+        table, page_size=args.page_size, limit_policy=limit_policy
+    )
+    if args.policy == "practical":
+        engine = build_practical_crawler(server, seed=args.seed)
+    else:
+        engine = CrawlerEngine(server, POLICIES[args.policy](), seed=args.seed)
+    seeds = sample_seed_values(
+        table, 1, random.Random(args.seed), min_frequency=2
+    )
+    result = engine.crawl(
+        seeds, target_coverage=args.target, max_rounds=args.max_rounds
+    )
+    out.write(f"source: {table.name} ({len(table):,} records)\n")
+    out.write(f"seed value: {seeds[0]}\n")
+    out.write(
+        f"{result.policy}: {result.records_harvested:,} records "
+        f"({result.coverage:.1%}) in {result.communication_rounds:,} rounds, "
+        f"{result.queries_issued:,} queries, stopped by {result.stopped_by}\n"
+    )
+    if result.aborted_queries:
+        out.write(f"aborted queries: {result.aborted_queries}\n")
+    if args.history:
+        io.history_to_csv(result.history, args.history)
+        out.write(f"history written to {args.history}\n")
+    return 0
+
+
+def _command_experiment(args, out) -> int:
+    result = EXPERIMENTS[args.name](args)
+    out.write(result.render())
+    out.write("\n")
+    return 0
+
+
+def _command_profile(args, out) -> int:
+    import random
+
+    from repro.estimation.profiler import profile_source
+
+    if args.dataset:
+        table = load_dataset(args.dataset, args.records, seed=args.seed)
+    else:
+        table = io.load_table(args.table)
+    server = SimulatedWebDatabase(table)
+    rng = random.Random(args.seed)
+    queriable = set(table.schema.queriable)
+    probe_values = [
+        value for value in table.distinct_values() if value.attribute in queriable
+    ]
+    rng.shuffle(probe_values)
+    report = profile_source(
+        server, probe_values[: args.probes * 4], max_probes=args.probes, rng=rng
+    )
+    out.write(f"source: {table.name} ({len(table):,} records)\n")
+    out.write(report.render())
+    out.write("\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {
+        "datasets": _command_datasets,
+        "generate": _command_generate,
+        "crawl": _command_crawl,
+        "experiment": _command_experiment,
+        "profile": _command_profile,
+    }[args.command]
+    return handler(args, out)
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

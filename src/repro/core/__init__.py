@@ -1,0 +1,37 @@
+"""Relational substrate: records, schemas, universal tables, queries."""
+
+from repro.core.errors import (
+    CrawlError,
+    DatasetError,
+    EstimationError,
+    PaginationError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    UnsupportedQueryError,
+)
+from repro.core.query import AnyQuery, ConjunctiveQuery, Query
+from repro.core.records import Record
+from repro.core.schema import Attribute, Schema
+from repro.core.table import RelationalTable
+from repro.core.values import AttributeValue, normalize
+
+__all__ = [
+    "AnyQuery",
+    "Attribute",
+    "AttributeValue",
+    "ConjunctiveQuery",
+    "CrawlError",
+    "DatasetError",
+    "EstimationError",
+    "PaginationError",
+    "Query",
+    "QueryError",
+    "Record",
+    "RelationalTable",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "UnsupportedQueryError",
+    "normalize",
+]

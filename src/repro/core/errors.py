@@ -1,0 +1,43 @@
+"""Exception hierarchy shared across the package.
+
+Every error raised on purpose by :mod:`repro` derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary without swallowing genuine programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A record or query references an attribute the schema does not define."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or not answerable by the target interface."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The query is well-formed but the interface refuses it.
+
+    Raised, for example, when a structured-only interface receives a
+    keyword query, or when a non-queriable attribute is used in a
+    predicate.
+    """
+
+
+class PaginationError(ReproError):
+    """A page outside the valid range of a result set was requested."""
+
+
+class CrawlError(ReproError):
+    """The crawler engine reached an unrecoverable state."""
+
+
+class EstimationError(ReproError):
+    """A size estimator received insufficient or degenerate input."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""

@@ -1,0 +1,127 @@
+"""Relational schemas for simulated structured web databases.
+
+The paper (Definition 2.2) distinguishes the *interface schema* — the
+set of queriable attributes ``Aq`` — from the *result schema* — the
+attributes ``Ar`` displayed on result pages.  A :class:`Schema` holds
+the full set of attributes of the universal table together with those
+two flags per attribute, plus whether an attribute is multi-valued
+(e.g. ``Authors``), which the paper handles by concatenating all values
+into one full-text-searchable column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """Definition of one column of the universal table.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, stored lower-case.
+    queriable:
+        Whether the web interface accepts equality predicates on it
+        (membership in ``Aq``).
+    displayed:
+        Whether result pages include it (membership in ``Ar``).  A
+        value that is never displayed can never be harvested and so
+        never becomes a future query.
+    multivalued:
+        Whether a record may carry several values (authors, actors).
+    """
+
+    name: str
+    queriable: bool = True
+    displayed: bool = True
+    multivalued: bool = False
+
+    def __post_init__(self) -> None:
+        name = self.name.strip().lower()
+        if not name:
+            raise SchemaError("attribute name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Attribute` definitions."""
+
+    attributes: tuple[Attribute, ...]
+    _by_name: Mapping[str, Attribute] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        by_name = {}
+        for attr in self.attributes:
+            if attr.name in by_name:
+                raise SchemaError(f"duplicate attribute {attr.name!r}")
+            by_name[attr.name] = attr
+        if not by_name:
+            raise SchemaError("schema must define at least one attribute")
+        object.__setattr__(self, "_by_name", by_name)
+
+    @classmethod
+    def of(cls, *names: str, **flagged: dict) -> "Schema":
+        """Build a schema from plain attribute names.
+
+        ``Schema.of("title", "author")`` makes every attribute queriable,
+        displayed, and single-valued.  Keyword arguments override flags
+        per attribute: ``Schema.of("title", author={"multivalued": True})``.
+        """
+        attrs = [Attribute(name) for name in names]
+        attrs.extend(Attribute(name, **flags) for name, flags in flagged.items())
+        return cls(tuple(attrs))
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._by_name
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute definition by (case-insensitive) name."""
+        key = name.strip().lower()
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All attribute names, in declaration order."""
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def queriable(self) -> tuple[str, ...]:
+        """The interface schema ``Aq`` — names accepting predicates."""
+        return tuple(a.name for a in self.attributes if a.queriable)
+
+    @property
+    def displayed(self) -> tuple[str, ...]:
+        """The result schema ``Ar`` — names shown on result pages."""
+        return tuple(a.name for a in self.attributes if a.displayed)
+
+    def restrict_queriable(self, names: Iterable[str]) -> "Schema":
+        """Return a copy where only ``names`` remain queriable.
+
+        Used by experiments that crawl the same table through narrower
+        interfaces (e.g. the Figure 6 result-limit study reuses one
+        dataset under several interface configurations).
+        """
+        keep = {n.strip().lower() for n in names}
+        unknown = keep - set(self.names)
+        if unknown:
+            raise SchemaError(f"unknown attributes {sorted(unknown)!r}")
+        attrs = tuple(
+            Attribute(a.name, a.name in keep, a.displayed, a.multivalued)
+            for a in self.attributes
+        )
+        return Schema(attrs)

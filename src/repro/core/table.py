@@ -1,0 +1,191 @@
+"""The universal relational table backing a simulated web source.
+
+The paper joins each source's data "into one single universal table" and
+makes multi-valued columns full-text searchable (Section 5).  A
+:class:`RelationalTable` stores :class:`~repro.core.records.Record` rows
+and maintains two inverted indexes so that both structured equality
+queries and keyword queries run in time proportional to their result
+size:
+
+- ``(attribute, value) → record ids`` for equality predicates, and
+- ``value → record ids`` for keyword queries.
+
+Record ids returned by matching methods are always sorted ascending so
+results are deterministic and pagination is stable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.errors import SchemaError
+from repro.core.query import AnyQuery, ConjunctiveQuery
+from repro.core.records import Record
+from repro.core.schema import Schema
+from repro.core.values import AttributeValue, normalize
+
+
+class RelationalTable:
+    """An indexed, append-only universal table.
+
+    Parameters
+    ----------
+    schema:
+        Column definitions including queriable / displayed flags.
+    name:
+        Human-readable source name used in reports ("ebay", "imdb", ...).
+    """
+
+    def __init__(self, schema: Schema, name: str = "db") -> None:
+        self.schema = schema
+        self.name = name
+        self._records: Dict[int, Record] = {}
+        self._equality_index: Dict[AttributeValue, List[int]] = defaultdict(list)
+        self._keyword_index: Dict[str, List[int]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def insert(self, record: Record) -> None:
+        """Insert one record, updating both inverted indexes.
+
+        Raises
+        ------
+        SchemaError
+            If the record id already exists or the record references an
+            attribute the schema does not define.
+        """
+        if record.record_id in self._records:
+            raise SchemaError(f"duplicate record id {record.record_id}")
+        for attribute in record.fields:
+            if attribute not in self.schema:
+                raise SchemaError(
+                    f"record {record.record_id} uses unknown attribute "
+                    f"{attribute!r}"
+                )
+        self._records[record.record_id] = record
+        seen_keywords: set[str] = set()
+        for pair in record.attribute_values():
+            self._equality_index[pair].append(record.record_id)
+            if pair.value not in seen_keywords:
+                self._keyword_index[pair.value].append(record.record_id)
+                seen_keywords.add(pair.value)
+
+    def insert_rows(self, rows: Iterable[dict], start_id: int = 0) -> None:
+        """Bulk-insert raw ``attribute → value(s)`` dictionaries."""
+        next_id = start_id
+        while next_id in self._records:
+            next_id += 1
+        for row in rows:
+            self.insert(Record.build(next_id, self.schema, **row))
+            next_id += 1
+            while next_id in self._records:
+                next_id += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records.values())
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._records
+
+    def get(self, record_id: int) -> Record:
+        return self._records[record_id]
+
+    def record_ids(self) -> List[int]:
+        """All record ids, ascending."""
+        return sorted(self._records)
+
+    def distinct_values(self, attribute: Optional[str] = None) -> List[AttributeValue]:
+        """The distinct attribute-value set (DAV), optionally per attribute.
+
+        This is the vertex set of the table's attribute-value graph.
+        """
+        if attribute is None:
+            return sorted(self._equality_index)
+        key = attribute.strip().lower()
+        return sorted(p for p in self._equality_index if p.attribute == key)
+
+    def num_distinct_values(self) -> int:
+        """``|DAV|`` — the AVG's vertex count (Table 2's right column)."""
+        return len(self._equality_index)
+
+    def frequency(self, pair: AttributeValue) -> int:
+        """Number of records containing ``pair``."""
+        return len(self._equality_index.get(pair, ()))
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match_equality(self, attribute: str, value: str) -> List[int]:
+        """Record ids matching ``attribute = value``, sorted ascending."""
+        pair = AttributeValue(attribute, value)
+        return sorted(self._equality_index.get(pair, ()))
+
+    def match_keyword(self, value: str) -> List[int]:
+        """Record ids holding ``value`` under *any* attribute, sorted."""
+        return sorted(self._keyword_index.get(normalize(value), ()))
+
+    def match_conjunctive(self, predicates: Sequence[AttributeValue]) -> List[int]:
+        """Record ids satisfying *all* predicates, sorted ascending.
+
+        Evaluated by intersecting posting lists smallest-first, so the
+        cost is proportional to the most selective predicate.
+        """
+        postings = [self._equality_index.get(pair, []) for pair in predicates]
+        if not postings or any(not p for p in postings):
+            return []
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result.intersection_update(posting)
+            if not result:
+                break
+        return sorted(result)
+
+    def match(self, query: AnyQuery) -> List[int]:
+        """Dispatch any query kind to the right index path."""
+        if isinstance(query, ConjunctiveQuery):
+            return self.match_conjunctive(query.predicates)
+        if query.is_keyword:
+            return self.match_keyword(query.value)
+        assert query.attribute is not None
+        return self.match_equality(query.attribute, query.value)
+
+    def count(self, query: AnyQuery) -> int:
+        """``num(q, DB)`` from the paper's cost model (Definition 2.3)."""
+        if isinstance(query, ConjunctiveQuery):
+            return len(self.match_conjunctive(query.predicates))
+        if query.is_keyword:
+            return len(self._keyword_index.get(normalize(query.value), ()))
+        return len(self._equality_index.get(query.as_attribute_value(), ()))
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def project(self, record_ids: Sequence[int]) -> List[Record]:
+        """Project records onto the result schema ``Ar``.
+
+        Attributes flagged ``displayed=False`` are stripped, modelling a
+        source that accepts queries on a column it never shows.
+        """
+        displayed = set(self.schema.displayed)
+        projected = []
+        for record_id in record_ids:
+            record = self._records[record_id]
+            if len(displayed) == len(self.schema):
+                projected.append(record)
+                continue
+            fields = {
+                attribute: values
+                for attribute, values in record.fields.items()
+                if attribute in displayed
+            }
+            projected.append(Record(record.record_id, fields))
+        return projected

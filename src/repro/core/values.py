@@ -1,0 +1,62 @@
+"""Attribute values — the vertices of the attribute-value graph.
+
+The paper (Definition 2.1) models a structured web database as a set of
+*distinct attribute values*: each pair ``(attribute, value)`` such as
+``("Actors", "Hanks, Tom")`` is one node of the AVG and one candidate
+query.  This module defines that pair as a small immutable value type
+plus the normalization applied to raw strings before comparison, so that
+``"Tom  Hanks "`` and ``"tom hanks"`` collapse onto the same vertex the
+way a case-insensitive SQL collation (as used in the paper's SQL Server
+setup) would.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize(raw: str) -> str:
+    """Normalize a raw attribute value for matching.
+
+    Lower-cases, strips, and collapses internal whitespace.  The empty
+    string stays empty; callers decide whether to reject it (records do,
+    see :class:`repro.core.records.Record`).
+
+    >>> normalize("  Hanks,   Tom ")
+    'hanks, tom'
+    """
+    return _WHITESPACE.sub(" ", raw.strip().lower())
+
+
+@dataclass(frozen=True, order=True)
+class AttributeValue:
+    """One ``(attribute, value)`` pair — a vertex of the AVG.
+
+    ``value`` is stored normalized; the constructor applies
+    :func:`normalize` so equal-after-normalization inputs compare equal.
+
+    >>> AttributeValue("actor", "Hanks,  Tom") == AttributeValue("actor", "hanks, tom")
+    True
+    """
+
+    attribute: str
+    value: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attribute", self.attribute.strip().lower())
+        object.__setattr__(self, "value", normalize(self.value))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attribute}={self.value!r}"
+
+
+def distinct_values(pairs: Iterable[AttributeValue]) -> set[AttributeValue]:
+    """Return the distinct attribute-value set (DAV) of an iterable.
+
+    Purely a readability helper: ``set(pairs)`` with a domain name.
+    """
+    return set(pairs)

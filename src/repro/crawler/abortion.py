@@ -1,0 +1,144 @@
+"""Heuristic query abortion (Section 3.4).
+
+Fetching every page of a query whose remaining matches are mostly
+already harvested wastes communication rounds.  The paper sketches two
+heuristics:
+
+1. when the source reports the total match count on the first page, the
+   crawler can compute exactly how many *new* records the remaining
+   pages can possibly contain and abort when the expected harvest rate
+   drops below a threshold; and
+2. when no total is reported, abort after observing several pages whose
+   records are predominantly duplicates.
+
+Both are implemented here as small policy objects consulted by the
+prober between page fetches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.server.pagination import ResultPage
+
+
+@dataclass
+class PageProgress:
+    """Running tallies the prober maintains while paging through a query."""
+
+    pages_fetched: int = 0
+    records_seen: int = 0
+    new_records: int = 0
+
+    def update(self, page_records: int, new_records: int) -> None:
+        self.pages_fetched += 1
+        self.records_seen += page_records
+        self.new_records += new_records
+
+    @property
+    def duplicate_fraction(self) -> float:
+        if self.records_seen == 0:
+            return 0.0
+        return 1.0 - self.new_records / self.records_seen
+
+
+class AbortionPolicy(ABC):
+    """Decides whether to keep fetching a query's remaining pages."""
+
+    @abstractmethod
+    def should_abort(
+        self, page: ResultPage, progress: PageProgress, known_matches: int
+    ) -> bool:
+        """Return True to stop fetching further pages of this query.
+
+        Parameters
+        ----------
+        page:
+            The page just fetched (carries total counts if reported).
+        progress:
+            Tally over the pages of this query fetched so far.
+        known_matches:
+            ``num(q, DB_local)`` — local records matching the query,
+            i.e. records guaranteed to be duplicates if returned again.
+        """
+
+
+class NeverAbort(AbortionPolicy):
+    """Fetch every accessible page (the default, used by Figures 3-6)."""
+
+    def should_abort(
+        self, page: ResultPage, progress: PageProgress, known_matches: int
+    ) -> bool:
+        return False
+
+
+@dataclass
+class TotalCountAbort(AbortionPolicy):
+    """Heuristic 1 — exact upper bound from the reported total.
+
+    After each page, at most ``accessible - records_seen`` records
+    remain, of which at least ``known_matches - duplicates_seen`` are
+    already in ``DB_local`` (every local match will eventually reappear
+    in this query's full result).  Abort when the optimistic harvest
+    rate of the *remaining* pages falls below ``min_harvest_rate``
+    records-per-page.
+    """
+
+    min_harvest_rate: float = 1.0
+
+    def should_abort(
+        self, page: ResultPage, progress: PageProgress, known_matches: int
+    ) -> bool:
+        if page.total_matches is None:
+            return False  # heuristic 2's territory
+        remaining_records = page.accessible_matches - progress.records_seen
+        if remaining_records <= 0:
+            return False  # pagination ends naturally
+        page_size = max(len(page.records), 1)
+        remaining_pages = -(-remaining_records // page_size)
+        duplicates_seen = progress.records_seen - progress.new_records
+        guaranteed_duplicates = max(known_matches - duplicates_seen, 0)
+        max_new = max(remaining_records - guaranteed_duplicates, 0)
+        return max_new / remaining_pages < self.min_harvest_rate
+
+
+@dataclass
+class DuplicateFractionAbort(AbortionPolicy):
+    """Heuristic 2 — abort on duplicate-heavy early pages.
+
+    Looks at the first ``probe_pages`` pages; once at least that many
+    pages have been fetched, aborts whenever the observed duplicate
+    fraction exceeds ``max_duplicate_fraction``.
+    """
+
+    max_duplicate_fraction: float = 0.9
+    probe_pages: int = 2
+
+    def should_abort(
+        self, page: ResultPage, progress: PageProgress, known_matches: int
+    ) -> bool:
+        if progress.pages_fetched < self.probe_pages:
+            return False
+        return progress.duplicate_fraction > self.max_duplicate_fraction
+
+
+@dataclass
+class CombinedAbort(AbortionPolicy):
+    """Use heuristic 1 when totals are reported, else heuristic 2."""
+
+    total_count: TotalCountAbort = None  # type: ignore[assignment]
+    duplicate_fraction: DuplicateFractionAbort = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.total_count is None:
+            self.total_count = TotalCountAbort()
+        if self.duplicate_fraction is None:
+            self.duplicate_fraction = DuplicateFractionAbort()
+
+    def should_abort(
+        self, page: ResultPage, progress: PageProgress, known_matches: int
+    ) -> bool:
+        if page.total_matches is not None:
+            return self.total_count.should_abort(page, progress, known_matches)
+        return self.duplicate_fraction.should_abort(page, progress, known_matches)

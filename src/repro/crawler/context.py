@@ -1,0 +1,59 @@
+"""The view of crawler state a query-selection policy may consult.
+
+Section 2.5 notes the crawler "lacks the big picture of the whole graph
+and can only make a decision ... based on its partial knowledge about
+the target database".  :class:`CrawlerContext` is exactly that partial
+knowledge: ``DB_local`` with its statistics, the query history
+``L_queried``, the interface capabilities, and the cost-model constant
+``k``.  Policies receive it once via ``bind`` and must not reach around
+it to the server.
+
+``coverage_oracle`` is the one deliberate exception: the controlled
+experiments (like the paper's) trigger the MMMI switch at a true
+coverage of 85%, which only the experiment harness can measure.  It is
+None in oracle-free runs, and policies must degrade gracefully without
+it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.core.query import Query
+from repro.core.values import AttributeValue
+from repro.crawler.localdb import LocalDatabase
+from repro.server.interface import QueryInterface
+
+
+@dataclass
+class CrawlerContext:
+    """Shared crawler state handed to policies at bind time."""
+
+    local_db: LocalDatabase
+    interface: QueryInterface
+    page_size: int
+    rng: random.Random
+    lqueried: List[Query] = field(default_factory=list)
+    queried_values: Set[AttributeValue] = field(default_factory=set)
+    coverage_oracle: Optional[Callable[[], float]] = None
+
+    def value_to_query(self, value: AttributeValue) -> Optional[Query]:
+        """Formulate the query that visits ``value`` on this interface.
+
+        Prefers the structured form; falls back to a keyword query when
+        the attribute is not queriable but a search box exists.  Returns
+        None when the interface can express neither.
+        """
+        if value.attribute in self.interface.queriable_attributes:
+            return Query.equality(value.attribute, value.value)
+        if self.interface.supports_keyword:
+            return Query.keyword(value.value)
+        return None
+
+    def estimated_coverage(self) -> Optional[float]:
+        """True coverage if an oracle is installed, else None."""
+        if self.coverage_oracle is None:
+            return None
+        return self.coverage_oracle()

@@ -1,0 +1,281 @@
+"""The crawler engine — the "query–harvest–decompose" loop.
+
+:class:`CrawlerEngine` wires together the components of Section 2.5:
+the Query Selector (any :class:`~repro.policies.base.QuerySelector`),
+the Database Prober, the Result Extractor, and ``DB_local``.  One call
+to :meth:`CrawlerEngine.crawl` runs the loop from seed values until a
+stopping criterion fires and returns a :class:`CrawlResult` carrying the
+full coverage-versus-cost history the experiments plot.
+
+Stopping criteria (any combination; first to fire wins):
+
+- the frontier is exhausted (always on),
+- ``max_rounds`` — a communication budget (Figure 5 uses 10,000),
+- ``max_queries`` — a query budget,
+- ``target_coverage`` — measured against the source's true size; this
+  mirrors the paper's controlled experiments, which report the cost of
+  reaching 10%…90% coverage and therefore observe true coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import CrawlError
+from repro.core.query import AnyQuery, ConjunctiveQuery, Query
+from repro.core.values import AttributeValue
+from repro.crawler.abortion import AbortionPolicy
+from repro.crawler.context import CrawlerContext
+from repro.crawler.extractor import ResultExtractor
+from repro.crawler.localdb import LocalDatabase
+from repro.crawler.metrics import CrawlHistory
+from repro.crawler.prober import DatabaseProber, QueryOutcome
+from repro.policies.base import QuerySelector
+from repro.server.webdb import SimulatedWebDatabase
+
+Seed = Union[AttributeValue, Tuple[str, str], str]
+
+
+@dataclass
+class CrawlResult:
+    """Outcome of one crawl."""
+
+    policy: str
+    communication_rounds: int
+    queries_issued: int
+    records_harvested: int
+    coverage: float
+    history: CrawlHistory
+    aborted_queries: int = 0
+    rejected_queries: int = 0
+    failed_queries: int = 0
+    stopped_by: str = "frontier-exhausted"
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrawlResult({self.policy}: {self.records_harvested} records, "
+            f"{self.coverage:.1%} coverage, {self.communication_rounds} rounds, "
+            f"{self.queries_issued} queries, stopped by {self.stopped_by})"
+        )
+
+
+def normalize_seed(seed: Seed) -> AttributeValue:
+    """Accept ``AttributeValue``, ``(attribute, value)`` or bare string seeds.
+
+    Bare strings become keyword-style seeds under the pseudo-attribute
+    ``"*"``; the engine will only be able to issue them on interfaces
+    with a search box.
+    """
+    if isinstance(seed, AttributeValue):
+        return seed
+    if isinstance(seed, tuple):
+        attribute, value = seed
+        return AttributeValue(attribute, value)
+    return AttributeValue("*", seed)
+
+
+class CrawlerEngine:
+    """Drives one policy against one simulated web source.
+
+    Parameters
+    ----------
+    server:
+        The target source.
+    selector:
+        The query-selection policy (consumed: do not reuse a selector
+        across crawls; build a fresh one per run).
+    seed:
+        RNG seed for the policy's random choices.
+    abortion:
+        Optional page-fetch abortion policy (Section 3.4).
+    use_xml:
+        Exercise the XML wire format end to end.
+    keep_outcomes:
+        Retain per-query outcomes on the result (memory-heavy; off by
+        default).
+    """
+
+    def __init__(
+        self,
+        server: SimulatedWebDatabase,
+        selector: QuerySelector,
+        seed: Optional[int] = None,
+        abortion: Optional[AbortionPolicy] = None,
+        use_xml: bool = False,
+        keep_outcomes: bool = False,
+        max_retries: int = 0,
+    ) -> None:
+        self.server = server
+        self.selector = selector
+        self.rng = random.Random(seed)
+        self.local_db = LocalDatabase(
+            track_cooccurrence=selector.requires_cooccurrence
+        )
+        self.extractor = ResultExtractor(server.interface)
+        self.prober = DatabaseProber(
+            server,
+            self.extractor,
+            self.local_db,
+            abortion,
+            use_xml,
+            max_retries=max_retries,
+        )
+        self.keep_outcomes = keep_outcomes
+        self.context = CrawlerContext(
+            local_db=self.local_db,
+            interface=server.interface,
+            page_size=server.page_size,
+            rng=self.rng,
+            coverage_oracle=self._true_coverage,
+        )
+        selector.bind(self.context)
+        self._issued: set[AnyQuery] = set()
+        self._started = False
+        self._exhausted = False
+        self._history = CrawlHistory()
+        self._aborted = 0
+        self._rejected = 0
+        self._failed = 0
+        self._outcomes: List[QueryOutcome] = []
+
+    # ------------------------------------------------------------------
+    # Incremental API — prepare / step / result
+    # ------------------------------------------------------------------
+    def prepare(self, seeds: Iterable[Seed], allow_empty_seeds: bool = False) -> None:
+        """Install the seed values and arm the engine (idempotent guard).
+
+        ``allow_empty_seeds`` permits starting with no seed values for
+        selectors that can formulate queries on their own — the DM
+        selector's domain table, or a clique selector pre-seeded with
+        combinations.
+        """
+        if self._started:
+            raise CrawlError("engines are single-use; build a new one per crawl")
+        self._started = True
+        seed_values = [normalize_seed(s) for s in seeds]
+        if not seed_values and not allow_empty_seeds:
+            raise CrawlError("at least one seed value is required")
+        for value in seed_values:
+            self.selector.add_candidate(value)
+        self._history.append(0, 0)
+
+    def step(self) -> Optional[QueryOutcome]:
+        """Execute the next query end to end; None when the frontier is dry.
+
+        One step = one query–harvest–decompose iteration: ask the
+        selector, formulate/validate the wire query, page through the
+        results (with abortion/retries as configured), feed discoveries
+        back.  Schedulers interleave steps across several engines to
+        share a budget between sources.
+        """
+        if not self._started:
+            raise CrawlError("call prepare() (or crawl()) before step()")
+        while True:
+            proposal = self.selector.next_query()
+            if proposal is None:
+                self._exhausted = True
+                return None
+            if isinstance(proposal, (Query, ConjunctiveQuery)):
+                # Policies for richer interfaces (e.g. multi-attribute
+                # sources) formulate whole queries themselves.
+                value = None
+                query: Optional[AnyQuery] = proposal
+            else:
+                value = proposal
+                query = self.context.value_to_query(value)
+            if query is None or query in self._issued:
+                # Inexpressible on this interface, or the same wire query
+                # was already sent for an equal-valued candidate.
+                continue
+
+            outcome = self.prober.execute(query)
+            if outcome.rejected:
+                self._rejected += 1
+                continue
+
+            self._issued.add(query)
+            self.context.lqueried.append(query)
+            if value is not None:
+                self.context.queried_values.add(value)
+            if outcome.aborted:
+                self._aborted += 1
+            if outcome.failed:
+                self._failed += 1
+            for candidate in outcome.candidate_values:
+                if candidate not in self.context.queried_values:
+                    self.selector.add_candidate(candidate)
+            self.selector.observe_outcome(outcome)
+            if self.keep_outcomes:
+                self._outcomes.append(outcome)
+            self._history.append(self.server.rounds, len(self.local_db))
+            return outcome
+
+    def result(self, stopped_by: Optional[str] = None) -> CrawlResult:
+        """Snapshot the crawl's current totals as a :class:`CrawlResult`."""
+        if stopped_by is None:
+            stopped_by = "frontier-exhausted" if self._exhausted else "in-progress"
+        return CrawlResult(
+            policy=self.selector.name,
+            communication_rounds=self.server.rounds,
+            queries_issued=len(self.context.lqueried),
+            records_harvested=len(self.local_db),
+            coverage=self._true_coverage(),
+            history=self._history,
+            aborted_queries=self._aborted,
+            rejected_queries=self._rejected,
+            failed_queries=self._failed,
+            stopped_by=stopped_by,
+            outcomes=self._outcomes,
+        )
+
+    # ------------------------------------------------------------------
+    # The closed loop
+    # ------------------------------------------------------------------
+    def crawl(
+        self,
+        seeds: Iterable[Seed],
+        max_rounds: Optional[int] = None,
+        max_queries: Optional[int] = None,
+        target_coverage: Optional[float] = None,
+        allow_empty_seeds: bool = False,
+    ) -> CrawlResult:
+        """Run the query–harvest–decompose loop to a stopping criterion."""
+        self.prepare(seeds, allow_empty_seeds=allow_empty_seeds)
+        stopped_by = "frontier-exhausted"
+        while True:
+            if max_rounds is not None and self.server.rounds >= max_rounds:
+                stopped_by = "max-rounds"
+                break
+            if max_queries is not None and len(self.context.lqueried) >= max_queries:
+                stopped_by = "max-queries"
+                break
+            if (
+                target_coverage is not None
+                and self._true_coverage() >= target_coverage
+            ):
+                stopped_by = "target-coverage"
+                break
+            if self.step() is None:
+                break
+        return self.result(stopped_by)
+
+    # ------------------------------------------------------------------
+    def _true_coverage(self) -> float:
+        size = self.server.truth_size()
+        if size == 0:
+            return 1.0
+        return len(self.local_db) / size
+
+
+def run_crawl(
+    server: SimulatedWebDatabase,
+    selector: QuerySelector,
+    seeds: Sequence[Seed],
+    seed: Optional[int] = None,
+    **crawl_kwargs,
+) -> CrawlResult:
+    """One-shot convenience: build an engine and crawl."""
+    return CrawlerEngine(server, selector, seed=seed).crawl(seeds, **crawl_kwargs)

@@ -1,0 +1,78 @@
+"""Result extraction — turning wire responses into records and values.
+
+The paper's crawler architecture (Section 2.5) has a Result Extractor
+that pulls data records out of result pages and "decomposes" them into
+attribute values stored for future query formulation.  Our simulated
+sources can return either parsed :class:`ResultPage` objects or the XML
+wire format; the extractor handles both and performs the decomposition
+step, filtering the harvested values down to those the target interface
+can actually query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Union
+
+from repro.core.records import Record
+from repro.core.values import AttributeValue
+from repro.server.interface import QueryInterface
+from repro.server.pagination import ResultPage
+from repro.server.service import parse_page
+
+
+@dataclass(frozen=True)
+class Extraction:
+    """What one page yielded: its records and their queriable values."""
+
+    records: tuple[Record, ...]
+    candidate_values: tuple[AttributeValue, ...]
+
+
+class ResultExtractor:
+    """Decomposes result pages into records and candidate query values.
+
+    Parameters
+    ----------
+    interface:
+        The target's query interface; only values the interface can
+        query (directly, or as keywords when a search box exists)
+        survive decomposition into the candidate pool.
+    """
+
+    def __init__(self, interface: QueryInterface) -> None:
+        self.interface = interface
+
+    def extract(self, page: Union[ResultPage, str]) -> Extraction:
+        """Extract one page — an object, an XML document, or HTML.
+
+        Strings are sniffed: XML web-service responses start with the
+        ``<QueryResponse`` envelope; anything else is handed to the HTML
+        wrapper (:func:`repro.server.html.parse_html_page`).
+        """
+        if isinstance(page, str):
+            stripped = page.lstrip()
+            if stripped.startswith("<QueryResponse"):
+                page = parse_page(page)
+            else:
+                from repro.server.html import parse_html_page
+
+                page = parse_html_page(page)
+        records = page.records
+        candidates = self.decompose(records)
+        return Extraction(records=records, candidate_values=tuple(candidates))
+
+    def decompose(self, records: Iterable[Record]) -> List[AttributeValue]:
+        """The "decompose" step of the query-harvest-decompose loop.
+
+        Returns the distinct queriable attribute values appearing in the
+        records, in first-seen order (order matters for BFS/DFS).
+        """
+        queriable = self.interface.queriable_attributes
+        keyword_ok = self.interface.supports_keyword
+        seen: dict[AttributeValue, None] = {}
+        for record in records:
+            for pair in record.attribute_values():
+                if pair.attribute in queriable or keyword_ok:
+                    seen.setdefault(pair, None)
+        return list(seen)

@@ -1,0 +1,170 @@
+"""Frontier data structures — the paper's ``L_to-query``.
+
+Each naive policy of Section 3.1 is literally a choice of container for
+the to-query list: a queue (breadth-first), a stack (depth-first), or a
+bag sampled uniformly (random).  The greedy policies instead need a
+priority structure re-scored as the local graph grows.  This module
+provides all of them behind one small protocol: ``push`` candidates,
+``pop`` the next, never yield the same value twice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable, Iterable, Optional
+
+from repro.core.values import AttributeValue
+
+ScoreFn = Callable[[AttributeValue], float]
+
+
+class Frontier(ABC):
+    """A set-like container of candidate attribute values.
+
+    Implementations guarantee that each pushed value is popped at most
+    once and that re-pushing a value already seen (pending or popped) is
+    a no-op — a crawler must never issue the same query twice.
+    """
+
+    def __init__(self) -> None:
+        self._seen: set[AttributeValue] = set()
+        self._pending = 0
+
+    def push(self, value: AttributeValue) -> bool:
+        """Add a candidate; returns False if it was already known."""
+        if value in self._seen:
+            return False
+        self._seen.add(value)
+        self._pending += 1
+        self._insert(value)
+        return True
+
+    def push_all(self, values: Iterable[AttributeValue]) -> int:
+        return sum(1 for value in values if self.push(value))
+
+    def pop(self) -> Optional[AttributeValue]:
+        """Remove and return the next candidate, or None when empty."""
+        if self._pending == 0:
+            return None
+        value = self._remove()
+        self._pending -= 1
+        return value
+
+    def __len__(self) -> int:
+        return self._pending
+
+    def __bool__(self) -> bool:
+        return self._pending > 0
+
+    def __contains__(self, value: AttributeValue) -> bool:
+        return value in self._seen
+
+    @abstractmethod
+    def _insert(self, value: AttributeValue) -> None:
+        """Store a value known to be new."""
+
+    @abstractmethod
+    def _remove(self) -> AttributeValue:
+        """Remove the container's next value (container is non-empty)."""
+
+
+class FifoFrontier(Frontier):
+    """Queue frontier — breadth-first selection."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: deque[AttributeValue] = deque()
+
+    def _insert(self, value: AttributeValue) -> None:
+        self._queue.append(value)
+
+    def _remove(self) -> AttributeValue:
+        return self._queue.popleft()
+
+
+class LifoFrontier(Frontier):
+    """Stack frontier — depth-first selection."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stack: list[AttributeValue] = []
+
+    def _insert(self, value: AttributeValue) -> None:
+        self._stack.append(value)
+
+    def _remove(self) -> AttributeValue:
+        return self._stack.pop()
+
+
+class RandomFrontier(Frontier):
+    """Uniform-random frontier (swap-with-last removal, O(1) amortized)."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        super().__init__()
+        self._items: list[AttributeValue] = []
+        self._rng = rng or random.Random()
+
+    def _insert(self, value: AttributeValue) -> None:
+        self._items.append(value)
+
+    def _remove(self) -> AttributeValue:
+        index = self._rng.randrange(len(self._items))
+        self._items[index], self._items[-1] = self._items[-1], self._items[index]
+        return self._items.pop()
+
+
+class PriorityFrontier(Frontier):
+    """Max-priority frontier over externally changing scores.
+
+    Scores (e.g. local-graph degrees) grow while a value waits in the
+    frontier, and a max-heap's lazy pop-time re-scoring cannot catch
+    that: a stale entry *underestimates* its value and hides below the
+    top.  Callers therefore :meth:`refresh` values whose scores changed
+    (the greedy policies do so for every value touched by a query's
+    results); refreshing pushes a duplicate entry with the new score and
+    pops discard out-of-date duplicates.  Ties break FIFO among entries
+    pushed at the same score for determinism.
+    """
+
+    def __init__(self, score_fn: ScoreFn) -> None:
+        super().__init__()
+        self._score_fn = score_fn
+        self._heap: list[tuple[float, int, AttributeValue]] = []
+        self._counter = itertools.count()
+        self._pending_set: set[AttributeValue] = set()
+
+    def refresh(self, value: AttributeValue) -> None:
+        """Record that ``value``'s score may have changed.
+
+        No-op for values not pending (unknown or already popped).
+        """
+        if value in self._pending_set:
+            score = self._score_fn(value)
+            heapq.heappush(self._heap, (-score, next(self._counter), value))
+
+    def refresh_all(self, values: Iterable[AttributeValue]) -> None:
+        for value in values:
+            self.refresh(value)
+
+    def _insert(self, value: AttributeValue) -> None:
+        self._pending_set.add(value)
+        score = self._score_fn(value)
+        heapq.heappush(self._heap, (-score, next(self._counter), value))
+
+    def _remove(self) -> AttributeValue:
+        while True:
+            neg_score, _tie, value = heapq.heappop(self._heap)
+            if value not in self._pending_set:
+                continue  # out-of-date duplicate of an already-popped value
+            fresh = self._score_fn(value)
+            if fresh > -neg_score:
+                # Grew since this entry was pushed and nobody refreshed it;
+                # reinsert at the correct rank rather than returning early.
+                heapq.heappush(self._heap, (-fresh, next(self._counter), value))
+                continue
+            self._pending_set.discard(value)
+            return value

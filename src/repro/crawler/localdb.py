@@ -1,0 +1,198 @@
+"""The crawler's local database ``DB_local`` and local graph ``G_local``.
+
+Everything a query-selection policy may legitimately know lives here:
+the records harvested so far, per-value frequencies (``num(q, DB_local)``),
+the local attribute-value graph's degrees (the greedy link signal), and
+pairwise co-occurrence counts (the MMMI mutual-information signal).
+
+All statistics are maintained incrementally as records arrive, so policy
+lookups are O(1) and adding a record costs O(c²) where ``c`` is the
+record's clique size — the same asymptotics as inserting the record's
+clique into ``G_local``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set
+
+from repro.core.records import Record
+from repro.core.values import AttributeValue
+
+
+class LocalDatabase:
+    """Deduplicated store of harvested records with incremental statistics.
+
+    Parameters
+    ----------
+    track_cooccurrence:
+        Maintain pairwise co-occurrence counts (needed by MMMI).  Off by
+        default since the quadratic-in-clique bookkeeping is wasted on
+        policies that never consult it.
+    """
+
+    def __init__(self, track_cooccurrence: bool = False) -> None:
+        self._records: Dict[int, Record] = {}
+        self._frequency: Dict[AttributeValue, int] = defaultdict(int)
+        self._neighbors: Dict[AttributeValue, Set[AttributeValue]] = defaultdict(set)
+        self._postings: Dict[AttributeValue, Set[int]] = defaultdict(set)
+        self._keyword_postings: Dict[str, Set[int]] = defaultdict(set)
+        self.track_cooccurrence = track_cooccurrence
+        self._cooccurrence: Dict[frozenset, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add(self, record: Record) -> bool:
+        """Store a harvested record; returns False for duplicates.
+
+        Duplicate detection is by record id — the simulated sources give
+        every record a stable id, playing the role of the URL / ASIN a
+        real extractor would dedupe on.
+        """
+        if record.record_id in self._records:
+            return False
+        self._records[record.record_id] = record
+        clique = record.attribute_values()
+        for pair in clique:
+            self._frequency[pair] += 1
+            self._postings[pair].add(record.record_id)
+            self._keyword_postings[pair.value].add(record.record_id)
+        for i in range(len(clique)):
+            for j in range(i + 1, len(clique)):
+                u, v = clique[i], clique[j]
+                self._neighbors[u].add(v)
+                self._neighbors[v].add(u)
+                if self.track_cooccurrence:
+                    self._cooccurrence[frozenset((u, v))] += 1
+        return True
+
+    def add_all(self, records: Iterable[Record]) -> int:
+        """Add many records; returns how many were new."""
+        return sum(1 for record in records if self.add(record))
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._records
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records.values())
+
+    def record_ids(self) -> List[int]:
+        return sorted(self._records)
+
+    # ------------------------------------------------------------------
+    # Statistics — what policies are allowed to see
+    # ------------------------------------------------------------------
+    def frequency(self, value: AttributeValue) -> int:
+        """``num(value, DB_local)`` — matched records harvested so far."""
+        return self._frequency.get(value, 0)
+
+    def degree(self, value: AttributeValue) -> int:
+        """Degree of ``value`` in the local AVG ``G_local``."""
+        neighbors = self._neighbors.get(value)
+        return 0 if neighbors is None else len(neighbors)
+
+    def neighbors(self, value: AttributeValue) -> Set[AttributeValue]:
+        """The value's neighbours in ``G_local`` (a copy-safe view)."""
+        return self._neighbors.get(value, set())
+
+    def matching_ids(self, value: AttributeValue) -> Set[int]:
+        """Ids of local records containing ``value``."""
+        return self._postings.get(value, set())
+
+    def keyword_frequency(self, value: str) -> int:
+        """Local records holding ``value`` under *any* attribute."""
+        ids = self._keyword_postings.get(value)
+        return 0 if ids is None else len(ids)
+
+    def conjunctive_matching_ids(self, predicates) -> Set[int]:
+        """Local records satisfying every predicate (posting intersection)."""
+        postings = [self._postings.get(pair) for pair in predicates]
+        if not postings or any(not p for p in postings):
+            return set()
+        postings.sort(key=len)
+        result = set(postings[0])
+        for posting in postings[1:]:
+            result &= posting
+            if not result:
+                break
+        return result
+
+    def conjunctive_frequency(self, predicates) -> int:
+        """``num(q, DB_local)`` for a conjunctive query."""
+        return len(self.conjunctive_matching_ids(predicates))
+
+    def cooccurrence(self, u: AttributeValue, v: AttributeValue) -> int:
+        """Records of ``DB_local`` containing both values.
+
+        With ``track_cooccurrence`` enabled this is O(1); otherwise it
+        falls back to intersecting posting lists.  A value co-occurs
+        with itself in every record containing it.
+        """
+        if u == v:
+            return self._frequency.get(u, 0)
+        if self.track_cooccurrence:
+            return self._cooccurrence.get(frozenset((u, v)), 0)
+        a, b = self._postings.get(u), self._postings.get(v)
+        if not a or not b:
+            return 0
+        if len(a) > len(b):
+            a, b = b, a
+        return sum(1 for record_id in a if record_id in b)
+
+    def pmi(self, u: AttributeValue, v: AttributeValue) -> float:
+        """Pointwise mutual information ``ln P(u,v) / (P(u) P(v))``.
+
+        The Definition 3.1 dependency signal.  Returns ``-inf`` when the
+        values never co-occur locally, and ``-inf`` when either value is
+        unseen (no evidence of dependency).
+        """
+        n = len(self._records)
+        if n == 0:
+            return -math.inf
+        joint = self.cooccurrence(u, v)
+        if joint == 0:
+            return -math.inf
+        fu, fv = self._frequency.get(u, 0), self._frequency.get(v, 0)
+        return math.log(joint * n / (fu * fv))
+
+    def distinct_values(self) -> List[AttributeValue]:
+        """Every attribute value seen locally (vertices of ``G_local``)."""
+        return sorted(self._frequency)
+
+    def num_distinct_values(self) -> int:
+        return len(self._frequency)
+
+    def values_of_attribute(self, attribute: str) -> List[AttributeValue]:
+        key = attribute.strip().lower()
+        return sorted(v for v in self._frequency if v.attribute == key)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_table(self, schema, name: str = "harvest"):
+        """Materialize the harvest as a :class:`RelationalTable`.
+
+        The bridge between one crawl and the next: a previous harvest
+        becomes a queryable table — persistable via :mod:`repro.io`, or
+        fed to :func:`repro.domain.build_domain_table` so a *self*
+        domain table bootstraps the re-crawl (the paper's "crawler may
+        have already acquired access to structured content from some
+        databases in the same domain" includes its own last run).
+
+        Records whose attributes fall outside ``schema`` are rejected by
+        the table's own validation, surfacing schema drift loudly.
+        """
+        from repro.core.table import RelationalTable
+
+        table = RelationalTable(schema, name=name)
+        for record_id in self.record_ids():
+            table.insert(self._records[record_id])
+        return table

@@ -1,0 +1,109 @@
+"""Crawl progress metrics: coverage-versus-cost curves.
+
+Every figure in the paper's evaluation is a view over one underlying
+series — distinct records harvested as a function of communication
+rounds.  :class:`CrawlHistory` stores that series compactly (one point
+per executed query) and answers the two inverse lookups the figures
+need: *rounds to reach a coverage level* (Figure 3/4's axes) and
+*coverage after a round budget* (Figure 5/6's axes).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """Snapshot after one query completed."""
+
+    rounds: int
+    records: int  # distinct records in DB_local
+
+
+@dataclass
+class CrawlHistory:
+    """Monotone series of :class:`CoveragePoint` with interpolation helpers.
+
+    Points are appended in crawl order; both coordinates are
+    non-decreasing, which the ``append`` method enforces.
+    """
+
+    points: List[CoveragePoint] = field(default_factory=list)
+
+    def append(self, rounds: int, records: int) -> None:
+        if self.points:
+            last = self.points[-1]
+            if rounds < last.rounds or records < last.records:
+                raise ValueError(
+                    f"history must be monotone: ({rounds}, {records}) after "
+                    f"({last.rounds}, {last.records})"
+                )
+        self.points.append(CoveragePoint(rounds, records))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def final_rounds(self) -> int:
+        return self.points[-1].rounds if self.points else 0
+
+    @property
+    def final_records(self) -> int:
+        return self.points[-1].records if self.points else 0
+
+    # ------------------------------------------------------------------
+    # Figure 3 / 4 axis: cost to reach a coverage level
+    # ------------------------------------------------------------------
+    def rounds_to_records(self, target_records: int) -> Optional[int]:
+        """Rounds spent when the record count first reached the target.
+
+        Returns None if the crawl never got there.  Conservative: the
+        crawler is charged the full cost of the query that crossed the
+        threshold (coverage is only observable between queries).
+        """
+        if target_records <= 0:
+            return 0
+        counts = [p.records for p in self.points]
+        index = bisect.bisect_left(counts, target_records)
+        if index == len(self.points):
+            return None
+        return self.points[index].rounds
+
+    def rounds_to_coverage(self, coverage: float, database_size: int) -> Optional[int]:
+        """Rounds to first reach ``coverage`` of a ``database_size`` source."""
+        import math
+
+        return self.rounds_to_records(math.ceil(coverage * database_size))
+
+    # ------------------------------------------------------------------
+    # Figure 5 / 6 axis: coverage within a round budget
+    # ------------------------------------------------------------------
+    def records_at_rounds(self, budget: int) -> int:
+        """Distinct records held after at most ``budget`` rounds."""
+        if budget < 0:
+            return 0
+        rounds = [p.rounds for p in self.points]
+        index = bisect.bisect_right(rounds, budget)
+        if index == 0:
+            return 0
+        return self.points[index - 1].records
+
+    def coverage_at_rounds(self, budget: int, database_size: int) -> float:
+        if database_size <= 0:
+            return 0.0
+        return self.records_at_rounds(budget) / database_size
+
+    def coverage_series(
+        self, checkpoints: Sequence[int], database_size: int
+    ) -> List[float]:
+        """Coverage sampled at each round checkpoint (Figure 5's snapshots)."""
+        return [self.coverage_at_rounds(c, database_size) for c in checkpoints]
+
+    def cost_series(
+        self, coverage_levels: Sequence[float], database_size: int
+    ) -> List[Optional[int]]:
+        """Rounds needed for each coverage level (Figure 3's series)."""
+        return [self.rounds_to_coverage(c, database_size) for c in coverage_levels]

@@ -1,0 +1,156 @@
+"""The Database Prober — issues one query and pages through its results.
+
+Section 2.5's Database Prober module sits between the Query Selector
+and the web source: it submits the chosen query, requests result pages
+one communication round at a time, hands each page to the Result
+Extractor, and consults the abortion policy (Section 3.4) before paying
+for the next page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import UnsupportedQueryError
+from repro.core.query import AnyQuery, ConjunctiveQuery
+from repro.core.records import Record
+from repro.crawler.abortion import AbortionPolicy, NeverAbort, PageProgress
+from repro.crawler.extractor import ResultExtractor
+from repro.crawler.localdb import LocalDatabase
+from repro.core.values import AttributeValue
+from repro.server.flaky import PermanentServerFailure, submit_with_retries
+from repro.server.service import parse_page
+from repro.server.webdb import SimulatedWebDatabase
+
+
+@dataclass
+class QueryOutcome:
+    """Everything one executed query produced.
+
+    ``new_records`` are the records not previously in ``DB_local`` (in
+    arrival order); ``candidate_values`` the queriable values decomposed
+    from *all* returned records (new and duplicate alike — a duplicate
+    record can still carry a value discovered for the first time when
+    interfaces changed, so decomposition never filters by novelty).
+    """
+
+    query: AnyQuery
+    pages_fetched: int = 0
+    records_returned: int = 0
+    new_records: List[Record] = field(default_factory=list)
+    candidate_values: List[AttributeValue] = field(default_factory=list)
+    total_matches: Optional[int] = None
+    accessible_matches: int = 0
+    aborted: bool = False
+    rejected: bool = False
+    #: The query died on repeated transient failures (retries exhausted);
+    #: pages fetched before the failure were still harvested.
+    failed: bool = False
+
+    @property
+    def harvest_rate(self) -> float:
+        """Realized harvest rate: new records per page actually paid for."""
+        if self.pages_fetched == 0:
+            return 0.0
+        return len(self.new_records) / self.pages_fetched
+
+
+class DatabaseProber:
+    """Executes queries against one simulated source.
+
+    Parameters
+    ----------
+    server:
+        The target web database.
+    extractor:
+        Parses pages and decomposes records into candidate values.
+    local_db:
+        ``DB_local``; records are inserted as pages arrive so the
+        abortion policy sees up-to-date duplicate counts.
+    abortion:
+        Page-fetch abortion policy; defaults to fetching everything.
+    use_xml:
+        Exercise the XML wire format (render + parse per page) instead
+        of passing result objects directly; identical semantics, used by
+        integration tests and the Amazon-style experiments.
+    """
+
+    def __init__(
+        self,
+        server: SimulatedWebDatabase,
+        extractor: ResultExtractor,
+        local_db: LocalDatabase,
+        abortion: Optional[AbortionPolicy] = None,
+        use_xml: bool = False,
+        max_retries: int = 0,
+    ) -> None:
+        self.server = server
+        self.extractor = extractor
+        self.local_db = local_db
+        self.abortion = abortion or NeverAbort()
+        self.use_xml = use_xml
+        self.max_retries = max_retries
+
+    def execute(self, query: AnyQuery) -> QueryOutcome:
+        """Run ``query`` to completion (or abortion) and return the outcome.
+
+        A query the interface rejects costs nothing and is marked
+        ``rejected`` — the crawler simply skips the candidate, the way a
+        form that lacks the field cannot be submitted at all.
+        """
+        outcome = QueryOutcome(query=query)
+        known_matches = self._known_matches(query)
+        progress = PageProgress()
+        page_number = 1
+        while True:
+            try:
+                meta = self._fetch(query, page_number)
+            except UnsupportedQueryError:
+                outcome.rejected = True
+                return outcome
+            except PermanentServerFailure:
+                # Retries exhausted mid-query: keep what was harvested,
+                # flag the query, and let the crawl move on.
+                outcome.failed = True
+                return outcome
+            page = self.extractor.extract(meta)
+            outcome.pages_fetched += 1
+            outcome.records_returned += len(page.records)
+            outcome.total_matches = meta.total_matches
+            outcome.accessible_matches = meta.accessible_matches
+            new_here = [r for r in page.records if self.local_db.add(r)]
+            outcome.new_records.extend(new_here)
+            outcome.candidate_values.extend(page.candidate_values)
+            progress.update(len(page.records), len(new_here))
+            if not meta.has_next:
+                break
+            if self.abortion.should_abort(meta, progress, known_matches):
+                outcome.aborted = True
+                break
+            page_number += 1
+        return outcome
+
+    def _fetch(self, query: AnyQuery, page_number: int):
+        """One page request, with transient-failure retries when enabled."""
+        if self.max_retries > 0:
+            meta = submit_with_retries(
+                self.server, query, page_number, max_retries=self.max_retries
+            )
+            if self.use_xml:
+                # Exercise the wire format on the successful response.
+                from repro.server.service import render_page
+
+                return parse_page(render_page(meta))
+            return meta
+        if self.use_xml:
+            return parse_page(self.server.submit_xml(query, page_number))
+        return self.server.submit(query, page_number)
+
+    def _known_matches(self, query: AnyQuery) -> int:
+        """``num(q, DB_local)`` before the query runs."""
+        if isinstance(query, ConjunctiveQuery):
+            return self.local_db.conjunctive_frequency(query.predicates)
+        if query.is_keyword:
+            return self.local_db.keyword_frequency(query.value)
+        return self.local_db.frequency(query.as_attribute_value())

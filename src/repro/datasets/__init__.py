@@ -1,0 +1,66 @@
+"""Synthetic datasets: eBay, ACM, DBLP, IMDB, Amazon DVD, interface corpus."""
+
+from repro.datasets.cars import CAR_SCHEMA, car_interface, generate_cars
+from repro.datasets.ebay import EBAY_SCHEMA, generate_ebay
+from repro.datasets.interfaces import (
+    SourceProfile,
+    TABLE1_PROFILES,
+    TABLE1_REPOSITORY,
+    generate_interface_corpus,
+)
+from repro.datasets.movies import (
+    AMAZON_DVD_SCHEMA,
+    IMDB_DT_ATTRIBUTES,
+    IMDB_SCHEMA,
+    IMDB_TO_AMAZON,
+    Movie,
+    MovieUniverse,
+    generate_amazon_dvd,
+    generate_imdb,
+    imdb_table_from_movies,
+)
+from repro.datasets.registry import (
+    DatasetInfo,
+    dataset_info,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.scholarly import (
+    ACM_SCHEMA,
+    DBLP_SCHEMA,
+    generate_acm,
+    generate_dblp,
+)
+from repro.datasets.zipf import ZipfSampler, choose_zipf, pareto_int
+
+__all__ = [
+    "ACM_SCHEMA",
+    "AMAZON_DVD_SCHEMA",
+    "CAR_SCHEMA",
+    "DBLP_SCHEMA",
+    "DatasetInfo",
+    "EBAY_SCHEMA",
+    "IMDB_DT_ATTRIBUTES",
+    "IMDB_SCHEMA",
+    "IMDB_TO_AMAZON",
+    "Movie",
+    "MovieUniverse",
+    "SourceProfile",
+    "TABLE1_PROFILES",
+    "TABLE1_REPOSITORY",
+    "ZipfSampler",
+    "car_interface",
+    "choose_zipf",
+    "dataset_info",
+    "dataset_names",
+    "generate_acm",
+    "generate_amazon_dvd",
+    "generate_cars",
+    "generate_dblp",
+    "generate_ebay",
+    "generate_imdb",
+    "generate_interface_corpus",
+    "imdb_table_from_movies",
+    "load_dataset",
+    "pareto_int",
+]

@@ -1,0 +1,87 @@
+"""Synthetic used-car database with a restrictive multi-attribute form.
+
+Table 1's Car domain is the paper's example of sources where "most
+query forms are highly structured and restrictive in the sense that
+only multi-attribute queries are accepted" (K.W. 14%, S.Q.M. 58%) —
+and crawling them is left as future work, which :mod:`repro.policies.multi`
+implements.  This generator produces that workload: listings over
+``make / model / year / price / location`` where models nest under
+makes (a model string implies its make) and the interface demands at
+least two predicates per query, e.g. make *and* model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.errors import DatasetError
+from repro.core.schema import Schema
+from repro.core.table import RelationalTable
+from repro.datasets import names
+from repro.datasets.zipf import ZipfSampler
+from repro.server.interface import QueryInterface
+
+CAR_SCHEMA = Schema.of(
+    "make",
+    "model",
+    "year",
+    "price",
+    "location",
+    title={"queriable": False},
+)
+
+_MAKES = (
+    "toyota honda ford chevrolet nissan volkswagen hyundai bmw mercedes audi "
+    "kia mazda subaru volvo lexus jeep porsche fiat renault peugeot"
+).split()
+
+
+def car_interface(min_predicates: int = 2, name: str = "cars") -> QueryInterface:
+    """The restrictive form: equality on any attributes, ≥ 2 at a time."""
+    return QueryInterface(
+        frozenset(CAR_SCHEMA.queriable),
+        supports_keyword=False,
+        name=name,
+        min_predicates=min_predicates,
+    )
+
+
+def generate_cars(n_records: int = 4000, seed: int = 0) -> RelationalTable:
+    """Generate ``n_records`` used-car listings."""
+    if n_records < 1:
+        raise DatasetError(f"need at least one record, got {n_records}")
+    rng = random.Random(seed)
+
+    models_per_make = 12
+    model_names = names.titles(len(_MAKES) * models_per_make)
+    make_sampler = ZipfSampler(len(_MAKES), 1.0)
+    model_sampler = ZipfSampler(models_per_make, 0.9)
+    n_locations = min(max(n_records // 12, 10), 600)
+    locations = names.cities(n_locations)
+    location_sampler = ZipfSampler(n_locations, 0.9)
+    prices = names.price_buckets(12)
+    titles = names.titles(n_records)
+
+    rows: List[dict] = []
+    for i in range(n_records):
+        make_rank = make_sampler.sample(rng)
+        make = _MAKES[make_rank]
+        # Models nest under makes: model strings are globally unique so a
+        # (make, model) conjunction is exactly a model listing page.
+        model_rank = model_sampler.sample(rng)
+        model = model_names[make_rank * models_per_make + model_rank]
+        year = str(int(rng.triangular(1992, 2006, 2003)))
+        rows.append(
+            {
+                "make": make,
+                "model": model,
+                "year": year,
+                "price": prices[min(rng.randrange(len(prices)), len(prices) - 1)],
+                "location": locations[location_sampler.sample(rng)],
+                "title": titles[i],
+            }
+        )
+    table = RelationalTable(CAR_SCHEMA, name="cars")
+    table.insert_rows(rows)
+    return table

@@ -1,0 +1,391 @@
+"""The movie domain: a shared universe feeding IMDB and an Amazon DVD store.
+
+The paper's domain-knowledge experiments rely on two *different but
+same-domain* databases: the Internet Movie Database supplies the domain
+statistics table used to crawl the Amazon DVD catalogue.  For the
+substitution to preserve that experiment's structure, both synthetic
+databases must share a value universe with overlapping-but-unequal
+content and comparable value distributions.
+
+:class:`MovieUniverse` generates one population of movies (people,
+studios, languages, genres, years).  ``generate_imdb`` tabulates the
+whole universe under IMDB's interface schema (the paper's Table 2
+attributes).  ``generate_amazon_dvd`` draws a recency-biased catalogue
+subset — plus a slice of store-exclusive titles IMDB has never heard of
+— under a retailer schema with different attribute names, so the
+attribute-mapping path of the domain-table builder is exercised for
+real.
+
+Collaboration structure matters for MMMI: casts are drawn with a
+community bias (co-stars tend to come from the same community), which
+creates exactly the attribute-value dependency Section 3.3 targets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.errors import DatasetError
+from repro.core.schema import Schema
+from repro.core.table import RelationalTable
+from repro.datasets import names
+from repro.datasets.zipf import ZipfSampler, pareto_int
+
+
+@dataclass(frozen=True)
+class Movie:
+    """One movie of the universe (pre-tabular representation)."""
+
+    title: str
+    year: int
+    actors: tuple[str, ...]
+    actresses: tuple[str, ...]
+    director: str
+    editor: str
+    producer: str
+    costumer: str
+    composer: str
+    photographer: str
+    language: str
+    company: str
+    release_location: str
+    genres: tuple[str, ...]
+
+
+class _CommunityCast:
+    """Draws collaborator groups with Zipf popularity + community bias."""
+
+    def __init__(
+        self,
+        pool: Sequence[str],
+        exponent: float,
+        communities: int,
+        affinity: float = 0.7,
+    ) -> None:
+        if not pool:
+            raise DatasetError("empty person pool")
+        self.pool = list(pool)
+        self.sampler = ZipfSampler(len(pool), exponent)
+        self.communities = max(communities, 1)
+        self.affinity = affinity
+
+    def _community(self, index: int) -> int:
+        # Interleaved assignment: every community holds popular and
+        # obscure members alike.
+        return index % self.communities
+
+    def draw(self, rng: random.Random, count: int) -> tuple[str, ...]:
+        """Draw ``count`` distinct collaborators around a Zipf-picked lead."""
+        count = min(count, len(self.pool))
+        lead = self.sampler.sample(rng)
+        chosen = {lead}
+        community = self._community(lead)
+        attempts = 0
+        while len(chosen) < count and attempts < 50 * count:
+            attempts += 1
+            if rng.random() < self.affinity:
+                # Same-community pick: jump by community stride.
+                hop = self.sampler.sample(rng)
+                candidate = (hop - hop % self.communities) + community
+                if candidate >= len(self.pool):
+                    candidate = community
+            else:
+                candidate = self.sampler.sample(rng)
+            chosen.add(candidate)
+        return tuple(self.pool[i] for i in sorted(chosen))
+
+
+class MovieUniverse:
+    """A reproducible population of movies shared by IMDB and the store.
+
+    Parameters
+    ----------
+    n_movies:
+        Universe size (the paper's IMDB snapshot holds 400k movies).
+    seed:
+        Master randomness seed.
+    obscure_fraction:
+        Share of movies whose entire cast is one-off people appearing in
+        no other movie.  Those movies are still connected inside IMDB
+        (through company / language / location hubs, which IMDB's rich
+        interface can query) but form **data islands** under a
+        people-and-title-only retail interface — exactly the paper's
+        Limitation 2, and the structural reason a relational-link
+        crawler plateaus on the DVD store while the domain-knowledge
+        crawler keeps jumping islands through domain-table values.
+    """
+
+    def __init__(
+        self,
+        n_movies: int = 5000,
+        seed: int = 0,
+        obscure_fraction: float = 0.3,
+        actor_director_fraction: float = 0.15,
+    ) -> None:
+        if n_movies < 1:
+            raise DatasetError(f"need at least one movie, got {n_movies}")
+        if not 0.0 <= obscure_fraction < 1.0:
+            raise DatasetError("obscure_fraction must be in [0, 1)")
+        if not 0.0 <= actor_director_fraction <= 1.0:
+            raise DatasetError("actor_director_fraction must be in [0, 1]")
+        self.n_movies = n_movies
+        self.seed = seed
+        self.obscure_fraction = obscure_fraction
+        #: Share of (non-obscure) movies directed by someone from the
+        #: actor pool.  Actor-directors make the same *string* appear
+        #: under two attributes — the structure that gives keyword
+        #: ("fading schema") interfaces their extra reach.
+        self.actor_director_fraction = actor_director_fraction
+        self._obscure_cursor = 10_000_000  # index space far past the pools
+        rng = random.Random(seed)
+
+        n_actors = max(n_movies // 2, 30)
+        n_actresses = max(n_movies // 3, 20)
+        n_crew = max(n_movies // 8, 10)
+        actor_pool = names.person_names(n_actors + n_actresses + 5 * n_crew)
+        self._actors = _CommunityCast(
+            actor_pool[:n_actors], exponent=1.1, communities=max(n_actors // 40, 1)
+        )
+        self._actresses = _CommunityCast(
+            actor_pool[n_actors : n_actors + n_actresses],
+            exponent=1.1,
+            communities=max(n_actresses // 40, 1),
+        )
+        crew_pool = actor_pool[n_actors + n_actresses :]
+        self._crew = {
+            role: (
+                crew_pool[i * n_crew : (i + 1) * n_crew],
+                ZipfSampler(n_crew, 1.0),
+            )
+            for i, role in enumerate(
+                ("director", "editor", "producer", "composer", "photographer")
+            )
+        }
+        n_costumers = max(n_crew // 2, 5)
+        self._costumers = (
+            names.usernames(n_costumers),
+            ZipfSampler(n_costumers, 0.9),
+        )
+        self._titles = names.titles(n_movies)
+        self._languages = names.languages(20)
+        self._language_sampler = ZipfSampler(20, 1.4)
+        n_companies = max(n_movies // 50, 8)
+        self._companies = names.companies(n_companies)
+        self._company_sampler = ZipfSampler(n_companies, 1.2)
+        self._locations = names.cities(min(max(n_movies // 40, 10), 50))
+        self._location_sampler = ZipfSampler(len(self._locations), 1.1)
+        self._genres = names.genres(20)
+
+        self.movies: List[Movie] = [self._make_movie(rng, i) for i in range(n_movies)]
+
+    def _fresh_obscure_people(self, count: int) -> tuple[str, ...]:
+        """One-off people never reused across movies (island casts)."""
+        people = tuple(
+            names.person_name(self._obscure_cursor + offset) for offset in range(count)
+        )
+        self._obscure_cursor += count
+        return people
+
+    def _make_movie(self, rng: random.Random, index: int) -> Movie:
+        year = int(rng.triangular(1930, 2005, 1998))
+        crew = {}
+        for role, (pool, sampler) in self._crew.items():
+            crew[role] = pool[sampler.sample(rng)]
+        costumer_pool, costumer_sampler = self._costumers
+        genre_count = 1 + (rng.random() < 0.35)
+        genre_ranks = sorted(rng.sample(range(len(self._genres)), genre_count))
+        obscure = rng.random() < self.obscure_fraction
+        if obscure:
+            actors = self._fresh_obscure_people(1 + (rng.random() < 0.5))
+            actresses = self._fresh_obscure_people(1)
+            director = self._fresh_obscure_people(1)[0]
+        else:
+            actors = self._actors.draw(rng, pareto_int(rng, 2, 3.5))
+            actresses = self._actresses.draw(rng, pareto_int(rng, 1, 2.5))
+            if rng.random() < self.actor_director_fraction:
+                # An actor-director: the name also exists in the actor
+                # column of other movies (occasionally this one).
+                director = self._actors.draw(rng, 1)[0]
+            else:
+                director = crew["director"]
+        return Movie(
+            title=self._titles[index],
+            year=year,
+            actors=actors,
+            actresses=actresses,
+            director=director,
+            editor=crew["editor"],
+            producer=crew["producer"],
+            costumer=costumer_pool[costumer_sampler.sample(rng)],
+            composer=crew["composer"],
+            photographer=crew["photographer"],
+            language=self._languages[self._language_sampler.sample(rng)],
+            company=self._companies[self._company_sampler.sample(rng)],
+            release_location=self._locations[self._location_sampler.sample(rng)],
+            genres=tuple(self._genres[r] for r in genre_ranks),
+        )
+
+    def since(self, year: int) -> List[Movie]:
+        """Movies released in or after ``year`` (the DM(I)/DM(II) subsets)."""
+        return [m for m in self.movies if m.year >= year]
+
+
+#: IMDB interface schema — the paper's Table 2 queriable attributes.
+IMDB_SCHEMA = Schema.of(
+    "title",
+    actor={"multivalued": True},
+    actress={"multivalued": True},
+    director={},
+    editor={},
+    producer={},
+    costumer={},
+    composer={},
+    photographer={},
+    language={},
+    company={},
+    release_location={},
+    year={"queriable": False},
+)
+
+#: Amazon DVD store schema — retailer vocabulary.  Like the real DVD
+#: search, only titles and people are queriable; studio, language,
+#: genre and price appear on result pages but cannot be predicated on,
+#: so no cheap flat partition of the catalogue exists and the crawl
+#: must ride the people/title graph (which is why the paper's GL stalls
+#: below 70% there while DM keeps feeding it fresh people).
+AMAZON_DVD_SCHEMA = Schema.of(
+    "title",
+    actor={"multivalued": True},
+    actress={"multivalued": True},
+    director={},
+    studio={"queriable": False},
+    language={"queriable": False},
+    genre={"queriable": False, "multivalued": True},
+    price={"queriable": False},
+    year={"queriable": False},
+)
+
+#: Attribute mapping from IMDB vocabulary into the store's (schema
+#: matching, which the paper treats as solved prior work [24]).
+IMDB_TO_AMAZON = {"company": "studio"}
+
+#: IMDB attributes with a *queriable* Amazon counterpart (DT scope).
+IMDB_DT_ATTRIBUTES = ("title", "actor", "actress", "director")
+
+
+def _movie_rows_imdb(movies: Sequence[Movie]) -> List[dict]:
+    return [
+        {
+            "title": m.title,
+            "actor": m.actors,
+            "actress": m.actresses,
+            "director": m.director,
+            "editor": m.editor,
+            "producer": m.producer,
+            "costumer": m.costumer,
+            "composer": m.composer,
+            "photographer": m.photographer,
+            "language": m.language,
+            "company": m.company,
+            "release_location": m.release_location,
+            "year": str(m.year),
+        }
+        for m in movies
+    ]
+
+
+def imdb_table_from_movies(
+    movies: Sequence[Movie], name: str = "imdb"
+) -> RelationalTable:
+    """Tabulate a movie list under the IMDB schema (used for DT subsets)."""
+    table = RelationalTable(IMDB_SCHEMA, name=name)
+    table.insert_rows(_movie_rows_imdb(movies))
+    return table
+
+
+def generate_imdb(
+    n_records: int = 5000,
+    seed: int = 0,
+    universe: Optional[MovieUniverse] = None,
+) -> RelationalTable:
+    """The synthetic Internet Movie Database (whole universe)."""
+    universe = universe or MovieUniverse(n_records, seed)
+    return imdb_table_from_movies(universe.movies)
+
+
+def generate_amazon_dvd(
+    universe: MovieUniverse,
+    catalogue_fraction: float = 0.6,
+    exclusive_fraction: float = 0.05,
+    seed: int = 1,
+) -> RelationalTable:
+    """The synthetic Amazon DVD store.
+
+    Parameters
+    ----------
+    universe:
+        The shared movie universe (build it once, feed both stores).
+    catalogue_fraction:
+        Share of universe movies the store carries; the draw is
+        recency-biased (newer releases are likelier to be on DVD).
+    exclusive_fraction:
+        Store-only titles (relative to catalogue size) absent from the
+        universe — the reason Eq. 4.3's smoothing exists.
+    seed:
+        Store-level randomness, independent of the universe seed.
+    """
+    if not 0 < catalogue_fraction <= 1:
+        raise DatasetError("catalogue_fraction must be in (0, 1]")
+    if exclusive_fraction < 0:
+        raise DatasetError("exclusive_fraction must be >= 0")
+    rng = random.Random(seed ^ 0x5EED)
+    prices = names.price_buckets(10)
+    year_span = max(m.year for m in universe.movies) - 1929
+
+    rows: List[dict] = []
+    for movie in universe.movies:
+        recency = (movie.year - 1929) / year_span  # 0 (old) .. 1 (new)
+        keep_probability = catalogue_fraction * (0.4 + 1.2 * recency)
+        if rng.random() >= min(keep_probability, 1.0):
+            continue
+        rows.append(
+            {
+                "title": movie.title,
+                "actor": movie.actors,
+                "actress": movie.actresses,
+                "director": movie.director,
+                "studio": movie.company,
+                "language": movie.language,
+                "genre": movie.genres,
+                "price": prices[min(rng.randrange(len(prices)), len(prices) - 1)],
+                "year": str(movie.year),
+            }
+        )
+
+    n_exclusive = int(len(rows) * exclusive_fraction)
+    if n_exclusive:
+        exclusive_titles = names.titles(universe.n_movies + n_exclusive)[
+            universe.n_movies :
+        ]
+        pool = names.person_names(max(universe.n_movies // 2, 30))
+        for i in range(n_exclusive):
+            cast = rng.sample(pool, min(3, len(pool)))
+            rows.append(
+                {
+                    "title": exclusive_titles[i],
+                    "actor": tuple(cast[:2]),
+                    "actress": (cast[-1],),
+                    "director": rng.choice(pool),
+                    "studio": f"storebrand video {1 + i % 3}",
+                    "language": "english",
+                    "genre": (rng.choice(names.genres(20)),),
+                    "price": rng.choice(prices),
+                    "year": str(rng.randrange(1990, 2006)),
+                }
+            )
+
+    table = RelationalTable(AMAZON_DVD_SCHEMA, name="amazon-dvd")
+    table.insert_rows(rows)
+    return table

@@ -1,0 +1,234 @@
+"""Deterministic synthetic vocabularies.
+
+Every generator below produces an arbitrarily large list of distinct,
+human-looking strings from a fixed seed corpus: base word lists are
+combined, and once combinations run out a numeric disambiguator is
+appended.  The functions are pure — the same arguments always yield the
+same vocabulary — so datasets are reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.core.errors import DatasetError
+
+_FIRST_NAMES = (
+    "james john robert michael william david richard joseph thomas charles "
+    "mary patricia jennifer linda elizabeth barbara susan jessica sarah karen "
+    "daniel matthew anthony donald mark paul steven andrew kenneth george "
+    "nancy lisa betty margaret sandra ashley kimberly emily donna michelle "
+    "joshua kevin brian edward ronald timothy jason jeffrey ryan jacob "
+    "carol amanda melissa deborah stephanie rebecca laura sharon cynthia kathleen "
+    "gary nicholas eric jonathan stephen larry justin scott brandon benjamin "
+    "amy shirley anna angela helen brenda pamela nicole ruth katherine "
+    "samuel gregory alexander frank patrick raymond jack dennis jerry tyler "
+    "virginia catherine christine samantha debra rachel carolyn janet emma maria "
+    "hiroshi kenji yuki akira marco luca giulia pierre claire sofia "
+    "ivan dmitri olga chen wei li ravi priya ahmed fatima"
+).split()
+
+_LAST_NAMES = (
+    "smith johnson williams brown jones garcia miller davis rodriguez martinez "
+    "hernandez lopez gonzalez wilson anderson thomas taylor moore jackson martin "
+    "lee perez thompson white harris sanchez clark ramirez lewis robinson "
+    "walker young allen king wright scott torres nguyen hill flores "
+    "green adams nelson baker hall rivera campbell mitchell carter roberts "
+    "gomez phillips evans turner diaz parker cruz edwards collins reyes "
+    "stewart morris morales murphy cook rogers gutierrez ortiz morgan cooper "
+    "peterson bailey reed kelly howard ramos kim cox ward richardson "
+    "watson brooks chavez wood james bennett gray mendoza ruiz hughes "
+    "price alvarez castillo sanders patel myers long ross foster jimenez "
+    "tanaka suzuki yamamoto kobayashi rossi ferrari esposito dubois laurent "
+    "meyer wagner becker schulz keller ivanov petrov volkov zhang wang"
+).split()
+
+_NOUNS = (
+    "river mountain shadow garden empire circuit harbor winter summer echo "
+    "silence journey horizon mirror forest canyon island thunder whisper flame "
+    "crystal engine compass lantern voyage fortress meadow tempest beacon ember "
+    "orchard prairie glacier monsoon archive cipher paradox spectrum quantum vertex "
+    "sonata ballad anthem rhapsody prelude nocturne aurora eclipse zenith nadir "
+    "falcon raven sparrow heron osprey lynx panther otter badger marlin "
+    "saffron indigo crimson cobalt amber obsidian ivory onyx jade coral "
+    "harvest festival carnival odyssey saga chronicle legend fable parable myth"
+).split()
+
+_ADJECTIVES = (
+    "silent golden broken hidden distant burning frozen endless ancient gentle "
+    "crimson hollow savage tranquil luminous obscure radiant solemn vivid weary "
+    "restless daring humble noble fierce quiet rapid sober subtle wild "
+    "electric magnetic chromatic seismic lunar solar stellar coastal urban rural "
+    "eternal fleeting forgotten remembered invisible infinite narrow vast early late"
+).split()
+
+_CITIES = (
+    "springfield riverton fairview georgetown salem madison clinton arlington ashland dover "
+    "burlington manchester oxford bristol cambridge winchester newport richmond lancaster york "
+    "dayton auburn florence troy athens sparta verona geneva vienna lisbon "
+    "portland austin denver boston seattle chicago houston phoenix atlanta miami "
+    "toronto vancouver montreal dublin glasgow cardiff leeds perth osaka kyoto"
+).split()
+
+_COMPANY_ROOTS = (
+    "acme apex vertex nova polaris meridian zenith atlas orion titan "
+    "summit cascade pinnacle horizon frontier keystone landmark beacon anchor harbor "
+    "quantum stellar lunar solaris aurora nebula pulsar quasar cosmos vega "
+    "cedar oak maple willow aspen birch sequoia cypress juniper laurel"
+).split()
+
+_COMPANY_SUFFIXES = "studios pictures films media group works corp labs house partners".split()
+
+_GENRES = (
+    "drama comedy thriller horror documentary animation western musical romance crime "
+    "adventure fantasy scifi mystery war biography family sport noir history"
+).split()
+
+_LANGUAGES = (
+    "english french spanish german italian japanese mandarin cantonese hindi korean "
+    "portuguese russian arabic dutch swedish polish turkish greek hebrew danish"
+).split()
+
+_SUBJECTS = (
+    "databases networking algorithms compilers cryptography robotics graphics visualization "
+    "datamining machinelearning retrieval security architecture verification optimization "
+    "concurrency semantics logic complexity bioinformatics multimedia hci storage "
+    "scheduling caching indexing clustering ranking crawling extraction integration streams"
+).split()
+
+_VENUE_WORDS = (
+    "international symposium conference workshop transactions journal letters annals "
+    "bulletin proceedings review quarterly"
+).split()
+
+
+def _expand(base: Callable[[int], str], count: int) -> List[str]:
+    """Materialize ``count`` distinct strings from an indexed template."""
+    if count < 0:
+        raise DatasetError(f"count must be >= 0, got {count}")
+    return [base(i) for i in range(count)]
+
+
+def person_name(index: int) -> str:
+    """The ``index``-th distinct "last, first" person name.
+
+    Indexes are unbounded; past the first/last-name cross product a
+    numeric disambiguator is appended.
+    """
+    first = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+    last = _LAST_NAMES[(index // len(_FIRST_NAMES)) % len(_LAST_NAMES)]
+    serial = index // (len(_FIRST_NAMES) * len(_LAST_NAMES))
+    suffix = f" {serial + 1}" if serial else ""
+    return f"{last}, {first}{suffix}"
+
+
+def person_names(count: int) -> List[str]:
+    """Distinct "last, first" person names (IMDB-style ordering)."""
+    return _expand(person_name, count)
+
+
+def titles(count: int) -> List[str]:
+    """Distinct work titles ("the silent river", "broken compass iv", ...)."""
+
+    def make(i: int) -> str:
+        adjective = _ADJECTIVES[i % len(_ADJECTIVES)]
+        noun = _NOUNS[(i // len(_ADJECTIVES)) % len(_NOUNS)]
+        serial = i // (len(_ADJECTIVES) * len(_NOUNS))
+        suffix = f" {serial + 1}" if serial else ""
+        article = "the " if i % 3 == 0 else ""
+        return f"{article}{adjective} {noun}{suffix}"
+
+    return _expand(make, count)
+
+
+def venues(count: int) -> List[str]:
+    """Distinct publication venues ("symposium on databases", ...)."""
+
+    def make(i: int) -> str:
+        kind = _VENUE_WORDS[i % len(_VENUE_WORDS)]
+        subject = _SUBJECTS[(i // len(_VENUE_WORDS)) % len(_SUBJECTS)]
+        serial = i // (len(_VENUE_WORDS) * len(_SUBJECTS))
+        suffix = f" {serial + 1}" if serial else ""
+        return f"{kind} on {subject}{suffix}"
+
+    return _expand(make, count)
+
+
+def subjects(count: int) -> List[str]:
+    """Distinct subject keywords."""
+
+    def make(i: int) -> str:
+        subject = _SUBJECTS[i % len(_SUBJECTS)]
+        serial = i // len(_SUBJECTS)
+        return f"{subject} {serial + 1}" if serial else subject
+
+    return _expand(make, count)
+
+
+def cities(count: int) -> List[str]:
+    """Distinct location names ("springfield", "riverton 2", ...)."""
+
+    def make(i: int) -> str:
+        city = _CITIES[i % len(_CITIES)]
+        serial = i // len(_CITIES)
+        return f"{city} {serial + 1}" if serial else city
+
+    return _expand(make, count)
+
+
+def companies(count: int) -> List[str]:
+    """Distinct company names ("acme studios", ...)."""
+
+    def make(i: int) -> str:
+        root = _COMPANY_ROOTS[i % len(_COMPANY_ROOTS)]
+        suffix = _COMPANY_SUFFIXES[(i // len(_COMPANY_ROOTS)) % len(_COMPANY_SUFFIXES)]
+        serial = i // (len(_COMPANY_ROOTS) * len(_COMPANY_SUFFIXES))
+        tail = f" {serial + 1}" if serial else ""
+        return f"{root} {suffix}{tail}"
+
+    return _expand(make, count)
+
+
+def genres(count: int) -> List[str]:
+    """Distinct genre labels (at most a few dozen are realistic)."""
+
+    def make(i: int) -> str:
+        genre = _GENRES[i % len(_GENRES)]
+        serial = i // len(_GENRES)
+        return f"{genre} {serial + 1}" if serial else genre
+
+    return _expand(make, count)
+
+
+def languages(count: int) -> List[str]:
+    """Distinct language names."""
+
+    def make(i: int) -> str:
+        language = _LANGUAGES[i % len(_LANGUAGES)]
+        serial = i // len(_LANGUAGES)
+        return f"{language} {serial + 1}" if serial else language
+
+    return _expand(make, count)
+
+
+def usernames(count: int) -> List[str]:
+    """Distinct seller/user handles ("quietfalcon7", ...)."""
+
+    def make(i: int) -> str:
+        adjective = _ADJECTIVES[i % len(_ADJECTIVES)]
+        noun = _NOUNS[(i // len(_ADJECTIVES)) % len(_NOUNS)]
+        serial = i // (len(_ADJECTIVES) * len(_NOUNS))
+        return f"{adjective}{noun}{serial}" if serial else f"{adjective}{noun}"
+
+    return _expand(make, count)
+
+
+def price_buckets(count: int) -> List[str]:
+    """Price-range labels ("$0-$10", "$10-$25", ...), coarse to fine."""
+    edges = [0, 10, 25, 50, 75, 100, 150, 200, 300, 500, 750, 1000, 1500, 2500, 5000]
+    buckets = [f"${lo}-${hi}" for lo, hi in zip(edges, edges[1:])]
+    buckets.append(f"${edges[-1]}+")
+    if count <= len(buckets):
+        return buckets[:count]
+    extra = [f"${5000 * (i + 2)}+" for i in range(count - len(buckets))]
+    return buckets + extra

@@ -1,0 +1,15 @@
+"""Domain knowledge: statistics tables built from same-domain samples."""
+
+from repro.domain.table import (
+    DomainEntry,
+    DomainStatisticsTable,
+    SortedIdUnion,
+    build_domain_table,
+)
+
+__all__ = [
+    "DomainEntry",
+    "DomainStatisticsTable",
+    "SortedIdUnion",
+    "build_domain_table",
+]

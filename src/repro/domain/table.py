@@ -1,0 +1,191 @@
+"""Domain statistics tables (Definition 4.1).
+
+A domain statistics table ``DT`` distils a *sample database* of the
+target's domain (e.g. IMDB when crawling an Amazon DVD store) into the
+two things the DM query selector needs:
+
+- ``P(q, DM)`` — each candidate value's probability of occurring in a
+  record of the domain sample, and
+- posting lists ``S(q, DM)`` — which sample records each value matches,
+  needed to maintain ``P(L_queried, DM)`` incrementally (Section 4.4).
+
+Attribute names in the sample rarely match the target's interface
+exactly (IMDB says "director", a store might say "directed by"); the
+builder accepts an attribute mapping, standing in for the schema
+matching the paper cites as solved prior work.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.errors import DatasetError
+from repro.core.table import RelationalTable
+from repro.core.values import AttributeValue
+
+
+@dataclass(frozen=True)
+class DomainEntry:
+    """One ``<q_i, P(q_i, DM)>`` entry plus its posting list."""
+
+    value: AttributeValue
+    count: int
+    postings: Tuple[int, ...]  # sorted record ids within the sample
+
+
+class DomainStatisticsTable:
+    """Immutable collection of :class:`DomainEntry` over one domain sample."""
+
+    def __init__(self, entries: Dict[AttributeValue, DomainEntry], size: int) -> None:
+        if size < 1:
+            raise DatasetError("domain sample must contain at least one record")
+        self._entries = entries
+        self.size = size
+        self._attributes = frozenset(v.attribute for v in entries)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, value: AttributeValue) -> bool:
+        return value in self._entries
+
+    @property
+    def attributes(self) -> frozenset:
+        """Attributes (in target space) the table has statistics for."""
+        return self._attributes
+
+    def count(self, value: AttributeValue) -> int:
+        """``num(q, DM)`` — sample records matching the value."""
+        entry = self._entries.get(value)
+        return 0 if entry is None else entry.count
+
+    def probability(self, value: AttributeValue) -> float:
+        """Unsmoothed ``P(q, DM) = num(q, DM) / |DM|``."""
+        return self.count(value) / self.size
+
+    def postings(self, value: AttributeValue) -> Tuple[int, ...]:
+        """``S(q, DM)`` — sorted ids of sample records matching the value."""
+        entry = self._entries.get(value)
+        return () if entry is None else entry.postings
+
+    def values(self) -> List[AttributeValue]:
+        """All table values, most probable first (ties broken by value)."""
+        return sorted(self._entries, key=lambda v: (-self._entries[v].count, v))
+
+    def values_of_attribute(self, attribute: str) -> List[AttributeValue]:
+        key = attribute.strip().lower()
+        return [v for v in self.values() if v.attribute == key]
+
+
+def build_domain_table(
+    sample: RelationalTable,
+    attributes: Optional[Iterable[str]] = None,
+    attribute_map: Optional[Mapping[str, str]] = None,
+    min_count: int = 1,
+) -> DomainStatisticsTable:
+    """Build a :class:`DomainStatisticsTable` from a sample database.
+
+    Parameters
+    ----------
+    sample:
+        The domain sample (e.g. an IMDB subset).
+    attributes:
+        Sample attributes to include; defaults to all of them.
+    attribute_map:
+        Rename sample attributes into the target's interface vocabulary
+        (``{"director": "directed by"}``).  Unmapped attributes keep
+        their names.
+    min_count:
+        Drop values occurring in fewer sample records — a size/noise
+        knob for the DM(I)-versus-DM(II) comparisons.
+    """
+    if min_count < 1:
+        raise DatasetError(f"min_count must be >= 1, got {min_count}")
+    keep = None if attributes is None else {a.strip().lower() for a in attributes}
+    rename = {k.strip().lower(): v.strip().lower() for k, v in (attribute_map or {}).items()}
+
+    counts: Dict[AttributeValue, int] = {}
+    postings: Dict[AttributeValue, List[int]] = {}
+    # Sample record ids are re-indexed densely so posting lists stay small.
+    for dense_id, record in enumerate(sorted(sample, key=lambda r: r.record_id)):
+        seen_here = set()
+        for pair in record.attribute_values():
+            if keep is not None and pair.attribute not in keep:
+                continue
+            mapped = AttributeValue(rename.get(pair.attribute, pair.attribute), pair.value)
+            if mapped in seen_here:
+                continue
+            seen_here.add(mapped)
+            counts[mapped] = counts.get(mapped, 0) + 1
+            postings.setdefault(mapped, []).append(dense_id)
+    entries = {
+        value: DomainEntry(value, count, tuple(postings[value]))
+        for value, count in counts.items()
+        if count >= min_count
+    }
+    return DomainStatisticsTable(entries, len(sample))
+
+
+class SortedIdUnion:
+    """Incrementally maintained union of sorted posting lists (Section 4.4).
+
+    The paper keeps ``S(L_queried[1…m], DM)`` as a sorted duplicate-free
+    list and unions each newly issued query's postings into it by a
+    sorted-merge.  :meth:`union` is exactly that merge;
+    :attr:`cardinality` over :attr:`universe_size` gives
+    ``P(L_queried, DM)`` in O(1).
+    """
+
+    def __init__(self, universe_size: int) -> None:
+        if universe_size < 1:
+            raise DatasetError("universe must contain at least one record")
+        self.universe_size = universe_size
+        self._ids: List[int] = []
+
+    def union(self, postings: Iterable[int]) -> int:
+        """Merge a sorted posting list in; returns how many ids were new."""
+        incoming = list(postings)
+        if not incoming:
+            return 0
+        merged: List[int] = []
+        added = 0
+        existing = self._ids
+        i = j = 0
+        while i < len(existing) and j < len(incoming):
+            a, b = existing[i], incoming[j]
+            if a < b:
+                merged.append(a)
+                i += 1
+            elif b < a:
+                merged.append(b)
+                added += 1
+                j += 1
+            else:
+                merged.append(a)
+                i += 1
+                j += 1
+        merged.extend(existing[i:])
+        remainder = incoming[j:]
+        # Deduplicate within the incoming remainder itself.
+        for value in remainder:
+            if not merged or merged[-1] != value:
+                merged.append(value)
+                added += 1
+        self._ids = merged
+        return added
+
+    def __contains__(self, record_id: int) -> bool:
+        index = bisect.bisect_left(self._ids, record_id)
+        return index < len(self._ids) and self._ids[index] == record_id
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._ids)
+
+    @property
+    def fraction(self) -> float:
+        """``P(L_queried, DM)`` — covered share of the domain sample."""
+        return len(self._ids) / self.universe_size

@@ -1,0 +1,41 @@
+"""Database size estimation: overlap analysis + t confidence bounds."""
+
+from repro.estimation.multisample import (
+    all_estimates,
+    capture_frequencies,
+    chao1,
+    jackknife1,
+    schnabel,
+)
+from repro.estimation.profiler import (
+    SourceProfileReport,
+    fit_zipf_exponent,
+    profile_source,
+)
+from repro.estimation.overlap import (
+    capture_recapture,
+    pair_estimate,
+    pairwise_estimates,
+)
+from repro.estimation.ttest import (
+    ConfidenceInterval,
+    t_confidence_interval,
+    upper_confidence_bound,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "SourceProfileReport",
+    "all_estimates",
+    "capture_frequencies",
+    "capture_recapture",
+    "chao1",
+    "fit_zipf_exponent",
+    "jackknife1",
+    "pair_estimate",
+    "pairwise_estimates",
+    "profile_source",
+    "schnabel",
+    "t_confidence_interval",
+    "upper_confidence_bound",
+]

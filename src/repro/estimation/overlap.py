@@ -1,0 +1,67 @@
+"""Database size estimation by overlap analysis (Section 5, "real crawl").
+
+The paper cannot ask Amazon for its DVD count, so it estimates it the
+Lawrence–Giles way [18]: run several independent limited crawls from
+random seeds, treat each pair of result sets as a capture–recapture
+experiment, and combine the ``C(n, 2)`` pairwise estimates statistically.
+For two independent samples ``A`` and ``B`` of a universe of size ``N``,
+``|A ∩ B| / |B| ≈ |A| / N``, giving the classical Lincoln–Petersen
+estimator ``N̂ = |A|·|B| / |A ∩ B|``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import AbstractSet, List, Sequence
+
+from repro.core.errors import EstimationError
+
+
+def capture_recapture(size_a: int, size_b: int, overlap: int) -> float:
+    """Lincoln–Petersen estimate ``|A|·|B| / |A ∩ B|``.
+
+    Raises
+    ------
+    EstimationError
+        If the overlap is zero (disjoint samples carry no size signal)
+        or inconsistent with the sample sizes.
+    """
+    if size_a < 0 or size_b < 0:
+        raise EstimationError("sample sizes must be non-negative")
+    if overlap <= 0:
+        raise EstimationError("overlap analysis requires a non-empty intersection")
+    if overlap > min(size_a, size_b):
+        raise EstimationError(
+            f"overlap {overlap} exceeds a sample size ({size_a}, {size_b})"
+        )
+    return size_a * size_b / overlap
+
+
+def pair_estimate(sample_a: AbstractSet, sample_b: AbstractSet) -> float:
+    """Capture–recapture estimate from two harvested record-id sets."""
+    return capture_recapture(
+        len(sample_a), len(sample_b), len(sample_a & sample_b)
+    )
+
+
+def pairwise_estimates(samples: Sequence[AbstractSet]) -> List[float]:
+    """All ``C(n, 2)`` pairwise estimates (the paper's 15, for n = 6).
+
+    Pairs with empty intersections are skipped — a disjoint pair says
+    the universe is large but not how large.  Raises when *no* pair
+    overlaps; downstream confidence statements impose their own minimum
+    (a t-interval needs at least two estimates).
+    """
+    if len(samples) < 2:
+        raise EstimationError("need at least two independent samples")
+    estimates: List[float] = []
+    for a, b in itertools.combinations(samples, 2):
+        try:
+            estimates.append(pair_estimate(a, b))
+        except EstimationError:
+            continue
+    if not estimates:
+        raise EstimationError(
+            "no sample pair overlaps; crawl longer or reseed"
+        )
+    return estimates

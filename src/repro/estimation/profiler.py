@@ -1,0 +1,168 @@
+"""Query-probe source profiling (related work [4, 13, 17]).
+
+Before committing a crawl budget to an unknown source, a few cheap
+probe queries characterize it — the "probe, count" half of
+probe-count-classify (Ipeirotis et al. [17]) and the query-based access
+modelling of Agichtein et al. [4].  Each probe costs one communication
+round (only the first result page is fetched; the reported total does
+the counting), and the profile estimates:
+
+- the **hit rate** — how many probe values the source knows at all
+  (also the DM selector's ``P(q ∈ DB | q ∈ DM)`` prior);
+- the **match distribution** — mean/median/max matches per hit, plus a
+  Zipf exponent fitted to the sorted match counts, which predicts
+  whether hub-riding (GL) will pay off;
+- a **crawl cost forecast** — the page cost of exhausting the source
+  through queries, extrapolated from the probe mass.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import EstimationError
+from repro.core.query import Query
+from repro.core.values import AttributeValue
+
+
+@dataclass(frozen=True)
+class SourceProfileReport:
+    """What the probes revealed about one source."""
+
+    probes: int
+    hits: int
+    match_counts: tuple  # totals of the non-empty probes, descending
+    rounds_spent: int
+    page_size: int
+    zipf_exponent: Optional[float]
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    @property
+    def mean_matches(self) -> float:
+        if not self.match_counts:
+            return 0.0
+        return sum(self.match_counts) / len(self.match_counts)
+
+    @property
+    def median_matches(self) -> float:
+        if not self.match_counts:
+            return 0.0
+        counts = sorted(self.match_counts)
+        middle = len(counts) // 2
+        if len(counts) % 2:
+            return float(counts[middle])
+        return (counts[middle - 1] + counts[middle]) / 2.0
+
+    @property
+    def max_matches(self) -> int:
+        return max(self.match_counts) if self.match_counts else 0
+
+    @property
+    def hubby(self) -> bool:
+        """Whether the probe distribution shows a hub head.
+
+        True when the largest probe's matches dwarf the median — the
+        regime where greedy link-based selection shines.
+        """
+        return self.max_matches >= 10 * max(self.median_matches, 1.0)
+
+    def estimated_pages_per_value(self) -> float:
+        """Mean page cost of a random candidate query, per Def. 2.3."""
+        if not self.match_counts:
+            return 1.0
+        costs = [max(math.ceil(c / self.page_size), 1) for c in self.match_counts]
+        # Misses still cost their one empty page.
+        misses = self.probes - self.hits
+        return (sum(costs) + misses) / self.probes
+
+    def render(self) -> str:
+        from repro.experiments.report import render_table
+
+        rows = [
+            ["probes issued", self.probes],
+            ["rounds spent", self.rounds_spent],
+            ["hit rate", f"{self.hit_rate:.1%}"],
+            ["mean matches per hit", round(self.mean_matches, 1)],
+            ["median matches per hit", round(self.median_matches, 1)],
+            ["max matches", self.max_matches],
+            ["zipf exponent", "-" if self.zipf_exponent is None
+             else round(self.zipf_exponent, 2)],
+            ["hub head present", self.hubby],
+            ["mean pages per query", round(self.estimated_pages_per_value(), 2)],
+        ]
+        return render_table(["quantity", "value"], rows, title="Source profile")
+
+
+def fit_zipf_exponent(match_counts: Sequence[int]) -> Optional[float]:
+    """Fit ``count(rank) ∝ rank^-s`` over the sorted non-zero counts.
+
+    Returns None with fewer than three distinct ranks (no line to fit).
+    """
+    counts = sorted((c for c in match_counts if c > 0), reverse=True)
+    if len(counts) < 3:
+        return None
+    ranks = np.arange(1, len(counts) + 1, dtype=float)
+    slope, _intercept = np.polyfit(np.log10(ranks), np.log10(counts), deg=1)
+    return float(-slope)
+
+
+def profile_source(
+    server,
+    probe_values: Sequence[AttributeValue],
+    max_probes: int = 30,
+    rng: Optional[random.Random] = None,
+) -> SourceProfileReport:
+    """Probe a source with candidate values and summarize what it knows.
+
+    Each probe fetches only the first result page; sources that report
+    totals are counted exactly, others by the first page's floor (the
+    page is full ⇒ at least ``accessible`` matches).  Values the
+    interface cannot express are skipped without cost.
+    """
+    if not probe_values:
+        raise EstimationError("need at least one probe value")
+    rng = rng or random.Random(0)
+    candidates = list(probe_values)
+    rng.shuffle(candidates)
+    rounds_before = server.rounds
+    hits = 0
+    issued = 0
+    match_counts: List[int] = []
+    for value in candidates:
+        if issued >= max_probes:
+            break
+        query = Query.equality(value.attribute, value.value)
+        if not server.interface.accepts(query):
+            if server.interface.supports_keyword:
+                query = Query.keyword(value.value)
+            else:
+                continue
+        page = server.submit(query, 1)
+        issued += 1
+        total = (
+            page.total_matches
+            if page.total_matches is not None
+            else page.accessible_matches
+        )
+        if total > 0:
+            hits += 1
+            match_counts.append(total)
+    if issued == 0:
+        raise EstimationError("no probe was expressible on this interface")
+    match_counts.sort(reverse=True)
+    return SourceProfileReport(
+        probes=issued,
+        hits=hits,
+        match_counts=tuple(match_counts),
+        rounds_spent=server.rounds - rounds_before,
+        page_size=server.page_size,
+        zipf_exponent=fit_zipf_exponent(match_counts),
+    )

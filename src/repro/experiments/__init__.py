@@ -1,0 +1,79 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.ablations import (
+    run_abortion_ablation,
+    run_greedy_signal_ablation,
+    run_mmmi_ablation,
+    run_smoothing_ablation,
+)
+from repro.experiments.amazon import AmazonSetup, build_amazon_setup
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import (
+    COVERAGE_LEVELS,
+    Figure3Panel,
+    Figure3Result,
+    run_figure3,
+)
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.keyword import (
+    KeywordInterfaceResult,
+    run_keyword_interface,
+)
+from repro.experiments.harness import (
+    PolicyRun,
+    run_policy,
+    run_policy_suite,
+    sample_seed_values,
+)
+from repro.experiments.report import render_series, render_table
+from repro.experiments.size_estimation import (
+    SizeEstimationResult,
+    run_size_estimation,
+)
+from repro.experiments.stability import (
+    PolicySpread,
+    StabilityResult,
+    run_stability,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+
+__all__ = [
+    "AmazonSetup",
+    "COVERAGE_LEVELS",
+    "Figure2Result",
+    "Figure3Panel",
+    "Figure3Result",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "KeywordInterfaceResult",
+    "PolicyRun",
+    "PolicySpread",
+    "SizeEstimationResult",
+    "StabilityResult",
+    "Table1Result",
+    "Table2Result",
+    "build_amazon_setup",
+    "render_series",
+    "render_table",
+    "run_abortion_ablation",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_greedy_signal_ablation",
+    "run_keyword_interface",
+    "run_mmmi_ablation",
+    "run_policy",
+    "run_policy_suite",
+    "run_size_estimation",
+    "run_smoothing_ablation",
+    "run_stability",
+    "run_table1",
+    "run_table2",
+    "sample_seed_values",
+]

@@ -1,0 +1,240 @@
+"""Ablation experiment drivers for the design choices DESIGN.md calls out.
+
+Each driver mirrors one `benchmarks/test_ablation_*.py` bench as a
+library function, so the ablations are runnable programmatically and
+from the CLI, not only under pytest:
+
+- :func:`run_greedy_signal_ablation` — GL's ranking signal: local
+  degree vs local frequency vs the omniscient oracle.
+- :func:`run_mmmi_ablation` — MMMI switch point, aggregate function,
+  and the pure-Definition-3.1 ordering.
+- :func:`run_smoothing_ablation` — Eq. 4.3 ΔDM smoothing on/off, plus
+  the implied database-size estimate.
+- :func:`run_abortion_ablation` — §3.4's two abortion heuristics under
+  reported/hidden totals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crawler.abortion import (
+    CombinedAbort,
+    DuplicateFractionAbort,
+    TotalCountAbort,
+)
+from repro.crawler.engine import CrawlerEngine
+from repro.datasets.ebay import generate_ebay
+from repro.datasets.registry import load_dataset
+from repro.experiments.amazon import AmazonSetup, build_amazon_setup
+from repro.experiments.figure3 import COVERAGE_LEVELS
+from repro.experiments.harness import run_policy_suite, sample_seed_values
+from repro.experiments.report import render_series, render_table
+from repro.policies.domain import DomainKnowledgeSelector
+from repro.policies.greedy import GreedyFrequencySelector, GreedyLinkSelector
+from repro.policies.hybrid import GreedyMmmiSelector
+from repro.policies.oracle import OracleSelector
+from repro.server.webdb import SimulatedWebDatabase
+
+
+@dataclass
+class GreedySignalResult:
+    database_size: int
+    levels: Tuple[float, ...]
+    series: Dict[str, list]
+
+    def cost_at_90(self, label: str) -> float:
+        return self.series[label][-1]
+
+    def render(self) -> str:
+        return render_series(
+            "coverage",
+            [f"{level:.0%}" for level in self.levels],
+            self.series,
+            title=(
+                "Ablation — greedy ranking signal on DBLP "
+                f"(|DB| = {self.database_size:,})"
+            ),
+        )
+
+
+def run_greedy_signal_ablation(
+    n_records: int = 5000, n_seeds: int = 3, seed: int = 2
+) -> GreedySignalResult:
+    """Degree vs frequency vs oracle on the DBLP database."""
+    table = load_dataset("dblp", n_records, seed=seed)
+    runs = run_policy_suite(
+        table,
+        {
+            "degree (GL)": GreedyLinkSelector,
+            "frequency": GreedyFrequencySelector,
+            "oracle": lambda: OracleSelector(table, page_size=10),
+        },
+        n_seeds=n_seeds,
+        rng_seed=seed,
+        target_coverage=0.9,
+    )
+    series = {
+        label: run.mean_cost_at(COVERAGE_LEVELS, len(table))
+        for label, run in runs.items()
+    }
+    return GreedySignalResult(
+        database_size=len(table), levels=COVERAGE_LEVELS, series=series
+    )
+
+
+@dataclass
+class MmmiAblationResult:
+    database_size: int
+    target_coverage: float
+    rounds: Dict[str, float]
+
+    def render(self) -> str:
+        return render_table(
+            ["variant", f"mean rounds to {self.target_coverage:.0%}"],
+            [[label, round(value)] for label, value in self.rounds.items()],
+            title=(
+                "Ablation — MMMI configuration on eBay "
+                f"(|DB| = {self.database_size:,})"
+            ),
+        )
+
+
+def run_mmmi_ablation(
+    n_records: int = 6000,
+    n_seeds: int = 3,
+    seed: int = 2,
+    target_coverage: float = 0.97,
+) -> MmmiAblationResult:
+    """Switch point / aggregate / popularity-blending variants."""
+    table = generate_ebay(n_records, seed=seed)
+    variants = {
+        "gl (no switch)": GreedyLinkSelector,
+        "switch@0.75": lambda: GreedyMmmiSelector(0.75, detector=None),
+        "switch@0.85": lambda: GreedyMmmiSelector(0.85, detector=None),
+        "switch@0.95": lambda: GreedyMmmiSelector(0.95, detector=None),
+        "mean-aggregate": lambda: GreedyMmmiSelector(
+            0.85, detector=None, aggregate="mean"
+        ),
+        "pure-def-3.1": lambda: GreedyMmmiSelector(
+            0.85, detector=None, popularity_weight=0.0
+        ),
+    }
+    runs = run_policy_suite(
+        table, variants, n_seeds=n_seeds, rng_seed=seed,
+        target_coverage=target_coverage,
+    )
+    return MmmiAblationResult(
+        database_size=len(table),
+        target_coverage=target_coverage,
+        rounds={label: run.mean_rounds for label, run in runs.items()},
+    )
+
+
+@dataclass
+class SmoothingAblationResult:
+    true_size: int
+    #: label → (final coverage, implied |DB| estimate)
+    results: Dict[str, Tuple[float, float]]
+
+    def coverage(self, label: str) -> float:
+        return self.results[label][0]
+
+    def size_estimate(self, label: str) -> float:
+        return self.results[label][1]
+
+    def render(self) -> str:
+        return render_table(
+            ["variant", "final coverage", "implied |DB| estimate"],
+            [
+                [label, f"{coverage:.1%}", round(estimate)]
+                for label, (coverage, estimate) in self.results.items()
+            ],
+            title=(
+                "Ablation — Eq. 4.3 smoothing on the Amazon store "
+                f"(true |DB| = {self.true_size:,})"
+            ),
+        )
+
+
+def run_smoothing_ablation(
+    setup: Optional[AmazonSetup] = None, rng_seed: int = 3
+) -> SmoothingAblationResult:
+    """The ΔDM smoothing knob on the Amazon store."""
+    setup = setup or build_amazon_setup()
+    budget = setup.request_budget
+    [seeds] = setup.sample_seeds(1, rng_seed=rng_seed)
+    results: Dict[str, Tuple[float, float]] = {}
+    for label, smoothing in (("smoothing on", True), ("smoothing off", False)):
+        server = setup.make_server()
+        selector = DomainKnowledgeSelector(setup.dm1, smoothing=smoothing)
+        engine = CrawlerEngine(server, selector, seed=rng_seed)
+        outcome = engine.crawl(seeds, max_rounds=budget)
+        results[label] = (outcome.coverage, selector.estimated_database_size())
+    return SmoothingAblationResult(true_size=len(setup.store), results=results)
+
+
+@dataclass
+class AbortionAblationResult:
+    database_size: int
+    target_coverage: float
+    #: label → (rounds, coverage, aborted queries)
+    results: Dict[str, Tuple[int, float, int]]
+
+    def rounds(self, label: str) -> int:
+        return self.results[label][0]
+
+    def render(self) -> str:
+        return render_table(
+            ["variant", f"rounds to {self.target_coverage:.0%}", "coverage",
+             "aborted queries"],
+            [
+                [label, rounds, f"{coverage:.1%}", aborted]
+                for label, (rounds, coverage, aborted) in self.results.items()
+            ],
+            title=(
+                "Ablation — §3.4 query abortion on eBay "
+                f"(|DB| = {self.database_size:,})"
+            ),
+        )
+
+
+def run_abortion_ablation(
+    n_records: int = 6000,
+    seed: int = 5,
+    target_coverage: float = 0.95,
+) -> AbortionAblationResult:
+    """Both §3.4 heuristics under reported and hidden totals."""
+    table = generate_ebay(n_records, seed=seed)
+    seeds = sample_seed_values(table, 1, random.Random(seed), min_frequency=3)
+    variants = {
+        "no abortion (totals shown)": (None, True),
+        "heuristic 1 (totals shown)": (TotalCountAbort(min_harvest_rate=1.0), True),
+        "no abortion (totals hidden)": (None, False),
+        "heuristic 2 (totals hidden)": (
+            DuplicateFractionAbort(max_duplicate_fraction=0.9, probe_pages=2),
+            False,
+        ),
+        "combined (totals shown)": (CombinedAbort(), True),
+    }
+    results: Dict[str, Tuple[int, float, int]] = {}
+    for label, (abortion, report_total) in variants.items():
+        server = SimulatedWebDatabase(
+            table, page_size=10, report_total=report_total
+        )
+        engine = CrawlerEngine(
+            server, GreedyLinkSelector(), seed=seed, abortion=abortion
+        )
+        outcome = engine.crawl(seeds, target_coverage=target_coverage)
+        results[label] = (
+            outcome.communication_rounds,
+            outcome.coverage,
+            outcome.aborted_queries,
+        )
+    return AbortionAblationResult(
+        database_size=len(table),
+        target_coverage=target_coverage,
+        results=results,
+    )

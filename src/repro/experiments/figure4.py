@@ -1,0 +1,102 @@
+"""Figure 4 — effects of mutual-information-based ordering (MMMI).
+
+On the eBay dataset, compares plain GL against GL that switches to MMMI
+ordering once coverage reaches the saturation point (the paper uses
+85%).  The measured quantity is the cost of "squeezing out the marginal
+content": communication rounds to climb from the switch point to the
+final coverage target.  The paper reports MMMI saving about 1,200
+rounds on its 20k-record eBay; at other scales the saving scales, so
+the benchmark asserts the *sign* and reports the magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.harness import PolicyRun, run_policy_suite
+from repro.experiments.report import render_table
+from repro.policies.greedy import GreedyLinkSelector
+from repro.policies.hybrid import GreedyMmmiSelector
+
+
+@dataclass
+class Figure4Result:
+    dataset: str
+    database_size: int
+    switch_coverage: float
+    target_coverage: float
+    greedy: PolicyRun
+    hybrid: PolicyRun
+
+    @property
+    def greedy_rounds(self) -> float:
+        return self.greedy.mean_rounds
+
+    @property
+    def hybrid_rounds(self) -> float:
+        return self.hybrid.mean_rounds
+
+    @property
+    def rounds_saved(self) -> float:
+        """Positive when MMMI reaches the target cheaper than plain GL."""
+        return self.greedy_rounds - self.hybrid_rounds
+
+    def render(self) -> str:
+        table = render_table(
+            ["method", "rounds to target", "final coverage"],
+            [
+                ["greedy-link", round(self.greedy_rounds), f"{self.greedy.mean_final_coverage:.1%}"],
+                ["greedy-link + MMMI", round(self.hybrid_rounds), f"{self.hybrid.mean_final_coverage:.1%}"],
+            ],
+            title=(
+                f"Figure 4 ({self.dataset}) — MMMI switch at "
+                f"{self.switch_coverage:.0%}, target {self.target_coverage:.0%}, "
+                f"|DB| = {self.database_size:,}"
+            ),
+        )
+        return table + f"\nrounds saved by MMMI: {self.rounds_saved:.0f}"
+
+
+def run_figure4(
+    n_records: int = 4000,
+    n_seeds: int = 3,
+    seed: int = 0,
+    dataset: str = "ebay",
+    switch_coverage: float = 0.85,
+    target_coverage: float = 0.97,
+    batch_size: int = 25,
+    popularity_weight: float = 1.0,
+) -> Figure4Result:
+    """Regenerate Figure 4 on the eBay dataset.
+
+    ``target_coverage`` defaults to 97% rather than the 100% in the
+    figure: the paper's own Figure 4 axis tops out at full coverage of
+    the *reachable* records, and at small scales the final fraction of
+    a percent is dominated by a handful of single-record queries that
+    add noise, not signal.
+    """
+    table = load_dataset(dataset, n_records, seed=seed)
+    runs = run_policy_suite(
+        table,
+        {
+            "greedy-link": GreedyLinkSelector,
+            "greedy-link+mmmi": lambda: GreedyMmmiSelector(
+                switch_coverage=switch_coverage,
+                detector=None,
+                batch_size=batch_size,
+                popularity_weight=popularity_weight,
+            ),
+        },
+        n_seeds=n_seeds,
+        rng_seed=seed,
+        target_coverage=target_coverage,
+    )
+    return Figure4Result(
+        dataset=dataset,
+        database_size=len(table),
+        switch_coverage=switch_coverage,
+        target_coverage=target_coverage,
+        greedy=runs["greedy-link"],
+        hybrid=runs["greedy-link+mmmi"],
+    )

@@ -1,0 +1,110 @@
+"""Figure 5 — domain-knowledge versus greedy link on the Amazon DVD store.
+
+Crawls the simulated store with GL and with the DM selector backed by
+two domain tables — DM(I) built from the larger IMDB subset (movies
+since 1960) and DM(II) from the smaller one (since 1980) — under the
+paper-proportional request budget, taking coverage snapshots at regular
+request checkpoints.
+
+Shapes asserted by the benchmark, per the paper:
+
+- both DM crawlers end with higher coverage than GL;
+- DM(I) ends at or above DM(II) (a richer domain table helps);
+- GL's curve flattens (data islands + dependency) while DM keeps
+  climbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.amazon import AmazonSetup, build_amazon_setup
+from repro.crawler.engine import CrawlerEngine
+from repro.experiments.harness import PolicyRun
+from repro.experiments.report import render_series
+from repro.policies.domain import DomainKnowledgeSelector
+from repro.policies.greedy import GreedyLinkSelector
+
+
+@dataclass
+class Figure5Result:
+    store_size: int
+    result_limit: int
+    request_budget: int
+    checkpoints: Tuple[int, ...]
+    series: Dict[str, List[float]]  # label -> mean coverage per checkpoint
+    runs: Dict[str, PolicyRun]
+
+    def final(self, label: str) -> float:
+        return self.series[label][-1]
+
+    def render(self) -> str:
+        return render_series(
+            "requests",
+            list(self.checkpoints),
+            {k: [round(v, 3) for v in vs] for k, vs in self.series.items()},
+            title=(
+                f"Figure 5 — coverage vs. requests on the Amazon DVD store "
+                f"(|DB| = {self.store_size:,}, limit = {self.result_limit}, "
+                f"budget = {self.request_budget:,})"
+            ),
+        )
+
+    def chart(self, width: int = 64, height: int = 14) -> str:
+        """The figure as an ASCII line chart (coverage vs. requests)."""
+        from repro.analysis.charts import ascii_chart
+
+        return ascii_chart(
+            self.series,
+            width=width,
+            height=height,
+            x_values=list(self.checkpoints),
+            title="Figure 5 — coverage vs. requests",
+            y_label="cov",
+        )
+
+
+def run_figure5(
+    setup: Optional[AmazonSetup] = None,
+    n_seeds: int = 2,
+    n_checkpoints: int = 10,
+    rng_seed: int = 0,
+) -> Figure5Result:
+    """Regenerate Figure 5 (builds a default :class:`AmazonSetup` if needed)."""
+    setup = setup or build_amazon_setup()
+    budget = setup.request_budget
+    step = max(budget // n_checkpoints, 1)
+    checkpoints = tuple(range(step, budget + 1, step))
+    seed_sets = setup.sample_seeds(n_seeds, rng_seed=rng_seed)
+
+    policies = {
+        "greedy-link": GreedyLinkSelector,
+        "dm1": lambda: DomainKnowledgeSelector(setup.dm1),
+        "dm2": lambda: DomainKnowledgeSelector(setup.dm2),
+    }
+    runs: Dict[str, PolicyRun] = {}
+    for label, factory in policies.items():
+        run: Optional[PolicyRun] = None
+        for index, seeds in enumerate(seed_sets):
+            server = setup.make_server()
+            engine = CrawlerEngine(server, factory(), seed=rng_seed + index)
+            result = engine.crawl(seeds, max_rounds=budget)
+            if run is None:
+                run = PolicyRun(policy=result.policy)
+            run.results.append(result)
+        assert run is not None
+        runs[label] = run
+
+    size = len(setup.store)
+    series = {
+        label: run.mean_coverage_at(checkpoints, size) for label, run in runs.items()
+    }
+    return Figure5Result(
+        store_size=size,
+        result_limit=setup.result_limit,
+        request_budget=budget,
+        checkpoints=checkpoints,
+        series=series,
+        runs=runs,
+    )

@@ -1,0 +1,162 @@
+"""Shared machinery for the per-figure experiment drivers.
+
+The paper's evaluation protocol repeats across figures: build a
+controlled source, pick seed values, run each query-selection policy,
+average over several seeds, and read either *cost to reach coverage
+levels* (Figure 3/4) or *coverage within a round budget* (Figure 5/6)
+off the crawl histories.  This module implements that protocol once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.table import RelationalTable
+from repro.core.values import AttributeValue
+from repro.crawler.engine import CrawlerEngine, CrawlResult
+from repro.policies.base import QuerySelector
+from repro.server.limits import ResultLimitPolicy
+from repro.server.webdb import SimulatedWebDatabase
+
+#: A policy factory: fresh selector per crawl (selectors are single-use).
+PolicyFactory = Callable[[], QuerySelector]
+
+
+def sample_seed_values(
+    table: RelationalTable,
+    count: int,
+    rng: random.Random,
+    min_frequency: int = 1,
+) -> List[AttributeValue]:
+    """Draw seed attribute values from random records of the table.
+
+    Mirrors the paper's setup ("evaluated four times with different seed
+    values ... and the average result is reported").  One queriable
+    value is drawn from each of ``count`` random records;
+    ``min_frequency`` can bias seeds away from single-record islands
+    (used for the Amazon experiments, where a frequency-1 seed may be an
+    island the relational crawler can never leave).
+    """
+    queriable = set(table.schema.queriable)
+    record_ids = table.record_ids()
+    seeds: List[AttributeValue] = []
+    attempts = 0
+    while len(seeds) < count and attempts < 200 * count:
+        attempts += 1
+        record = table.get(record_ids[rng.randrange(len(record_ids))])
+        candidates = [
+            pair
+            for pair in record.attribute_values()
+            if pair.attribute in queriable
+            and table.frequency(pair) >= min_frequency
+        ]
+        if not candidates:
+            continue
+        value = candidates[rng.randrange(len(candidates))]
+        if value not in seeds:
+            seeds.append(value)
+    if not seeds:
+        raise ValueError("could not sample any seed values")
+    return seeds
+
+
+@dataclass
+class PolicyRun:
+    """One policy's averaged measurements over several seeded crawls."""
+
+    policy: str
+    results: List[CrawlResult] = field(default_factory=list)
+
+    def mean_cost_at(self, levels: Sequence[float], database_size: int) -> List[Optional[float]]:
+        """Mean rounds to each coverage level (None if any run missed it)."""
+        out: List[Optional[float]] = []
+        for level in levels:
+            costs = [
+                r.history.rounds_to_coverage(level, database_size)
+                for r in self.results
+            ]
+            if any(c is None for c in costs):
+                out.append(None)
+            else:
+                out.append(sum(costs) / len(costs))
+        return out
+
+    def mean_coverage_at(self, checkpoints: Sequence[int], database_size: int) -> List[float]:
+        """Mean coverage at each round checkpoint."""
+        out = []
+        for checkpoint in checkpoints:
+            values = [
+                r.history.coverage_at_rounds(checkpoint, database_size)
+                for r in self.results
+            ]
+            out.append(sum(values) / len(values))
+        return out
+
+    @property
+    def mean_final_coverage(self) -> float:
+        return sum(r.coverage for r in self.results) / len(self.results)
+
+    @property
+    def mean_rounds(self) -> float:
+        return sum(r.communication_rounds for r in self.results) / len(self.results)
+
+
+def run_policy(
+    table: RelationalTable,
+    policy_factory: PolicyFactory,
+    seeds: Sequence[Sequence[AttributeValue]],
+    page_size: int = 10,
+    limit_policy: Optional[ResultLimitPolicy] = None,
+    rng_seed: int = 0,
+    **crawl_kwargs,
+) -> PolicyRun:
+    """Crawl ``table`` once per seed set and aggregate the results.
+
+    ``seeds`` is a sequence of seed-value lists — one crawl per entry;
+    each crawl gets a fresh server (fresh communication log) and a fresh
+    selector from the factory.
+    """
+    run: Optional[PolicyRun] = None
+    for index, seed_values in enumerate(seeds):
+        server = SimulatedWebDatabase(
+            table, page_size=page_size, limit_policy=limit_policy
+        )
+        engine = CrawlerEngine(server, policy_factory(), seed=rng_seed + index)
+        result = engine.crawl(seed_values, **crawl_kwargs)
+        if run is None:
+            run = PolicyRun(policy=result.policy)
+        run.results.append(result)
+    assert run is not None
+    return run
+
+
+def run_policy_suite(
+    table: RelationalTable,
+    policies: Dict[str, PolicyFactory],
+    n_seeds: int = 4,
+    seed_min_frequency: int = 1,
+    page_size: int = 10,
+    limit_policy: Optional[ResultLimitPolicy] = None,
+    rng_seed: int = 0,
+    **crawl_kwargs,
+) -> Dict[str, PolicyRun]:
+    """Run several policies over the same seed sets (paired comparison)."""
+    rng = random.Random(rng_seed)
+    seed_sets = [
+        sample_seed_values(table, 1, rng, min_frequency=seed_min_frequency)
+        for _ in range(n_seeds)
+    ]
+    return {
+        label: run_policy(
+            table,
+            factory,
+            seed_sets,
+            page_size=page_size,
+            limit_policy=limit_policy,
+            rng_seed=rng_seed,
+            **crawl_kwargs,
+        )
+        for label, factory in policies.items()
+    }

@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver returns a result object with a ``render()``
+method producing the paper-style table as monospace text; this module
+holds the shared formatting helpers so the tables line up consistently
+in test output, benchmark logs, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    """Human formatting: ints with thousands separators, floats short."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]], title="T"))
+    T
+    a | b
+    --+----
+    1 | 2.5
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells.extend([format_cell(value) for value in row] for row in rows)
+    widths = [
+        max(len(row[column]) for row in cells) for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line.rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict,
+    title: Optional[str] = None,
+) -> str:
+    """Render named series over shared x values (a figure, as a table).
+
+    ``series`` maps a series name to its y values (same length as
+    ``x_values``).
+    """
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][index] for name in series]
+        for index, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def percentage(value: float) -> str:
+    """Format a fraction as a percentage string ("82%")."""
+    return f"{round(value * 100)}%"

@@ -1,0 +1,141 @@
+"""Seed-stability analysis of the policy comparison.
+
+The paper hedges against seed luck by running "each query selection
+algorithm ... four times with different seed values (starting points)
+... and the average result is reported".  This experiment quantifies
+how much hedging is needed: per policy, the spread (mean, standard
+deviation, min–max) of the cost to reach a coverage target across many
+independent seeds, and — the actionable statistic — how often the
+paper's headline ordering (GL cheapest) holds *per individual seed*.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.harness import run_policy, sample_seed_values
+from repro.experiments.report import render_table
+from repro.policies.greedy import GreedyLinkSelector
+from repro.policies.naive import BreadthFirstSelector, RandomSelector
+
+
+@dataclass(frozen=True)
+class PolicySpread:
+    policy: str
+    costs: Tuple[int, ...]  # rounds to target, one per seed
+
+    @property
+    def mean(self) -> float:
+        return sum(self.costs) / len(self.costs)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.costs) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((c - mean) ** 2 for c in self.costs) / (len(self.costs) - 1)
+        )
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+@dataclass
+class StabilityResult:
+    dataset: str
+    database_size: int
+    target_coverage: float
+    n_seeds: int
+    spreads: Dict[str, PolicySpread]
+    #: Fraction of individual seeds on which GL was the cheapest policy.
+    gl_wins_fraction: float
+
+    def spread(self, policy: str) -> PolicySpread:
+        return self.spreads[policy]
+
+    def render(self) -> str:
+        rows = []
+        for policy, spread in self.spreads.items():
+            rows.append(
+                [
+                    policy,
+                    round(spread.mean),
+                    round(spread.stdev),
+                    min(spread.costs),
+                    max(spread.costs),
+                    f"{spread.coefficient_of_variation:.1%}",
+                ]
+            )
+        table = render_table(
+            ["policy", "mean rounds", "stdev", "min", "max", "cv"],
+            rows,
+            title=(
+                f"Seed stability on {self.dataset} — rounds to "
+                f"{self.target_coverage:.0%} over {self.n_seeds} seeds "
+                f"(|DB| = {self.database_size:,})"
+            ),
+        )
+        return table + (
+            f"\nGL cheapest on {self.gl_wins_fraction:.0%} of individual seeds"
+        )
+
+
+def run_stability(
+    dataset: str = "dblp",
+    n_records: int = 3000,
+    n_seeds: int = 8,
+    target_coverage: float = 0.8,
+    seed: int = 0,
+    policies: Optional[Dict[str, type]] = None,
+) -> StabilityResult:
+    """Measure per-seed cost spread for several policies on one dataset."""
+    table = load_dataset(dataset, n_records, seed=seed)
+    rng = random.Random(seed)
+    seed_sets: List[Sequence] = [
+        sample_seed_values(table, 1, rng) for _ in range(n_seeds)
+    ]
+    chosen = policies or {
+        "greedy-link": GreedyLinkSelector,
+        "bfs": BreadthFirstSelector,
+        "random": RandomSelector,
+    }
+    per_policy_costs: Dict[str, List[int]] = {}
+    for label, factory in chosen.items():
+        run = run_policy(
+            table,
+            factory,
+            seed_sets,
+            rng_seed=seed,
+            target_coverage=target_coverage,
+        )
+        per_policy_costs[label] = [
+            result.communication_rounds for result in run.results
+        ]
+    spreads = {
+        label: PolicySpread(policy=label, costs=tuple(costs))
+        for label, costs in per_policy_costs.items()
+    }
+    gl_wins = 0
+    if "greedy-link" in per_policy_costs:
+        for index in range(n_seeds):
+            gl_cost = per_policy_costs["greedy-link"][index]
+            if all(
+                gl_cost <= costs[index]
+                for label, costs in per_policy_costs.items()
+                if label != "greedy-link"
+            ):
+                gl_wins += 1
+    return StabilityResult(
+        dataset=dataset,
+        database_size=len(table),
+        target_coverage=target_coverage,
+        n_seeds=n_seeds,
+        spreads=spreads,
+        gl_wins_fraction=gl_wins / n_seeds if n_seeds else 0.0,
+    )

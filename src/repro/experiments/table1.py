@@ -1,0 +1,119 @@
+"""Table 1 — the query-capability case study over 480 web sources.
+
+Generates the synthetic interface corpus (calibrated to the paper's
+per-domain percentages), runs the same classification the paper's
+manual survey applied — does the source support keyword search (K.W.)?
+is it modellable by the simplified single-predicate query model
+(S.Q.M.)? — and tallies the per-domain percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datasets.interfaces import (
+    SourceProfile,
+    TABLE1_PROFILES,
+    TABLE1_REPOSITORY,
+    generate_interface_corpus,
+)
+from repro.experiments.report import percentage, render_table
+
+
+@dataclass(frozen=True)
+class DomainSurveyRow:
+    """One domain's tallied capabilities."""
+
+    domain: str
+    repository: str
+    n_sources: int
+    keyword_fraction: float
+    sqm_fraction: float
+    paper_keyword_fraction: float
+    paper_sqm_fraction: float
+
+
+@dataclass
+class Table1Result:
+    rows: List[DomainSurveyRow]
+
+    def row(self, domain: str) -> DomainSurveyRow:
+        for entry in self.rows:
+            if entry.domain == domain:
+                return entry
+        raise KeyError(domain)
+
+    def max_absolute_error(self) -> float:
+        """Largest |measured − paper| over both columns and all domains."""
+        worst = 0.0
+        for entry in self.rows:
+            worst = max(
+                worst,
+                abs(entry.keyword_fraction - entry.paper_keyword_fraction),
+                abs(entry.sqm_fraction - entry.paper_sqm_fraction),
+            )
+        return worst
+
+    def render(self) -> str:
+        return render_table(
+            ["domain", "repo", "n", "K.W.", "S.Q.M.", "paper K.W.", "paper S.Q.M."],
+            [
+                [
+                    entry.domain,
+                    entry.repository,
+                    entry.n_sources,
+                    percentage(entry.keyword_fraction),
+                    percentage(entry.sqm_fraction),
+                    percentage(entry.paper_keyword_fraction),
+                    percentage(entry.paper_sqm_fraction),
+                ]
+                for entry in self.rows
+            ],
+            title="Table 1 — single-attribute queriability across 11 domains",
+        )
+
+
+def classify(profile: SourceProfile) -> Tuple[bool, bool]:
+    """The survey's classification of one source: (K.W., S.Q.M.).
+
+    A keyword-searchable source naturally satisfies the simplified
+    query model too (a keyword is a single-value query) — the paper's
+    Table 1 reflects the two capabilities as reported separately by its
+    human annotators, which the corpus generator preserves.
+    """
+    interface = profile.interface()
+    if interface is None:
+        return False, False
+    return interface.supports_keyword, interface.single_attribute_queriable
+
+
+def run_table1(sources_per_domain: int = 44, seed: int = 0) -> Table1Result:
+    """Regenerate Table 1.
+
+    The default of 44 sources per domain makes a 484-source corpus —
+    the paper examined 480 across its two repositories.
+    """
+    corpus = generate_interface_corpus(sources_per_domain, seed=seed)
+    tallies: Dict[str, List[SourceProfile]] = {}
+    for profile in corpus:
+        tallies.setdefault(profile.domain, []).append(profile)
+    rows = []
+    for domain, profiles in tallies.items():
+        classified = [classify(p) for p in profiles]
+        n = len(classified)
+        keyword = sum(1 for kw, _sqm in classified if kw) / n
+        sqm = sum(1 for _kw, sqm in classified if sqm) / n
+        paper_kw, paper_sqm = TABLE1_PROFILES[domain]
+        rows.append(
+            DomainSurveyRow(
+                domain=domain,
+                repository=TABLE1_REPOSITORY[domain],
+                n_sources=n,
+                keyword_fraction=keyword,
+                sqm_fraction=sqm,
+                paper_keyword_fraction=paper_kw / 100,
+                paper_sqm_fraction=paper_sqm / 100,
+            )
+        )
+    return Table1Result(rows=rows)

@@ -1,0 +1,99 @@
+"""Table 2 — query interface schemas and distinct attribute-value counts.
+
+For each controlled database, lists the queriable attributes exposed by
+its interface and the number of distinct attribute values (AVG vertex
+count), next to the counts the paper reports for its full-size
+snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.registry import dataset_info, dataset_names, load_dataset
+from repro.experiments.report import render_table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    dataset: str
+    queriable_attributes: tuple
+    records: int
+    distinct_values: int
+    paper_records: int
+    paper_distinct_values: int
+
+    @property
+    def values_per_record(self) -> float:
+        return self.distinct_values / self.records
+
+    @property
+    def paper_values_per_record(self) -> float:
+        return self.paper_distinct_values / self.paper_records
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row]
+
+    def row(self, dataset: str) -> Table2Row:
+        for entry in self.rows:
+            if entry.dataset == dataset:
+                return entry
+        raise KeyError(dataset)
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "dataset",
+                "queriable attributes",
+                "records",
+                "distinct values",
+                "v/r",
+                "paper records",
+                "paper values",
+                "paper v/r",
+            ],
+            [
+                [
+                    entry.dataset,
+                    ", ".join(entry.queriable_attributes),
+                    entry.records,
+                    entry.distinct_values,
+                    round(entry.values_per_record, 2),
+                    entry.paper_records,
+                    entry.paper_distinct_values,
+                    round(entry.paper_values_per_record, 2),
+                ]
+                for entry in self.rows
+            ],
+            title="Table 2 — database query interface schemas",
+        )
+
+
+def run_table2(n_records: Optional[int] = None, seed: int = 0) -> Table2Result:
+    """Regenerate Table 2 at the given scale (registry defaults if None).
+
+    Distinct values are counted over the queriable attributes — the
+    candidate query pool the crawler actually faces.
+    """
+    rows = []
+    for name in dataset_names():
+        info = dataset_info(name)
+        table = load_dataset(name, n_records or 0, seed=seed)
+        queriable = set(table.schema.queriable)
+        distinct = sum(
+            1 for value in table.distinct_values() if value.attribute in queriable
+        )
+        rows.append(
+            Table2Row(
+                dataset=name,
+                queriable_attributes=info.queriable_attributes,
+                records=len(table),
+                distinct_values=distinct,
+                paper_records=info.paper_records,
+                paper_distinct_values=info.paper_distinct_values,
+            )
+        )
+    return Table2Result(rows=rows)

@@ -1,0 +1,61 @@
+"""Attribute-value graph model, power-law analysis, dominating sets."""
+
+from repro.graph.avg import (
+    build_avg,
+    build_avg_from_table,
+    page_cost,
+    record_clique,
+)
+from repro.graph.connectivity import (
+    component_sizes,
+    convergence_coverage,
+    largest_component_fraction,
+    reachable_records,
+    reachable_values,
+    record_connectivity,
+)
+from repro.graph.dominating import (
+    dominating_set_lower_bound,
+    exact_weighted_dominating_set,
+    greedy_record_cover,
+    greedy_weighted_dominating_set,
+    is_dominating_set,
+    total_weight,
+)
+from repro.graph.powerlaw import (
+    PowerLawFit,
+    ccdf,
+    degree_histogram,
+    degree_sequence,
+    fit_power_law,
+    fit_power_law_points,
+    hub_fraction,
+    loglog_points,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "build_avg",
+    "build_avg_from_table",
+    "ccdf",
+    "component_sizes",
+    "convergence_coverage",
+    "degree_histogram",
+    "degree_sequence",
+    "dominating_set_lower_bound",
+    "exact_weighted_dominating_set",
+    "fit_power_law",
+    "fit_power_law_points",
+    "greedy_record_cover",
+    "greedy_weighted_dominating_set",
+    "hub_fraction",
+    "is_dominating_set",
+    "largest_component_fraction",
+    "loglog_points",
+    "page_cost",
+    "reachable_records",
+    "reachable_values",
+    "record_clique",
+    "record_connectivity",
+    "total_weight",
+]

@@ -1,0 +1,126 @@
+"""Attribute-value graph (AVG) construction — Definition 2.1.
+
+Given a universal table, the AVG has one vertex per distinct attribute
+value and an undirected edge between two vertices iff they co-occur in
+at least one record; the attribute values of each record therefore form
+a clique.  The graph is materialized as a :class:`networkx.Graph` whose
+nodes are :class:`~repro.core.values.AttributeValue` instances, so all
+of networkx's algorithms apply directly.
+
+Node attributes
+---------------
+``frequency``
+    Number of records containing the value — drives the paper's cost
+    model, since querying the value costs ``ceil(frequency / k)`` pages.
+``weight``
+    The Definition 2.4 weight function ``W: V → (0, 1]``, here the
+    normalized page cost of querying the node.
+
+Edge attributes
+---------------
+``records``
+    Number of records in which the two endpoint values co-occur.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from repro.core.records import Record
+from repro.core.table import RelationalTable
+from repro.core.values import AttributeValue
+
+
+def record_clique(record: Record) -> list[tuple[AttributeValue, AttributeValue]]:
+    """All vertex pairs a single record connects (its clique's edges)."""
+    pairs = record.attribute_values()
+    return [
+        (pairs[i], pairs[j])
+        for i in range(len(pairs))
+        for j in range(i + 1, len(pairs))
+    ]
+
+
+def build_avg(
+    records: Iterable[Record],
+    page_size: int = 10,
+    attributes: Optional[Iterable[str]] = None,
+) -> nx.Graph:
+    """Build the attribute-value graph of an iterable of records.
+
+    Parameters
+    ----------
+    records:
+        The rows of the universal table (or any subset — the crawler
+        uses this same function for the local graph ``G_local``).
+    page_size:
+        ``k`` of the cost model; used to derive node weights.
+    attributes:
+        If given, restrict the graph to values of these attributes —
+        the paper's experiments build AVGs over the queriable schema.
+
+    Returns
+    -------
+    networkx.Graph
+        Nodes are :class:`AttributeValue`; see module docstring for the
+        node/edge attributes attached.
+    """
+    keep = None if attributes is None else {a.strip().lower() for a in attributes}
+    graph = nx.Graph()
+    for record in records:
+        clique = [
+            pair
+            for pair in record.attribute_values()
+            if keep is None or pair.attribute in keep
+        ]
+        for pair in clique:
+            if graph.has_node(pair):
+                graph.nodes[pair]["frequency"] += 1
+            else:
+                graph.add_node(pair, frequency=1)
+        for i in range(len(clique)):
+            for j in range(i + 1, len(clique)):
+                u, v = clique[i], clique[j]
+                if graph.has_edge(u, v):
+                    graph.edges[u, v]["records"] += 1
+                else:
+                    graph.add_edge(u, v, records=1)
+    _attach_weights(graph, page_size)
+    return graph
+
+
+def build_avg_from_table(
+    table: RelationalTable,
+    page_size: int = 10,
+    queriable_only: bool = False,
+) -> nx.Graph:
+    """Convenience wrapper building the AVG of a whole table."""
+    attributes = table.schema.queriable if queriable_only else None
+    return build_avg(table, page_size=page_size, attributes=attributes)
+
+
+def _attach_weights(graph: nx.Graph, page_size: int) -> None:
+    """Attach the Definition 2.4 weight ``W: V → (0, 1]`` to every node.
+
+    The weight of a node is its page cost ``ceil(frequency / k)``
+    normalized by the maximum page cost in the graph, so that weights
+    fall in ``(0, 1]`` as the paper requires while preserving the cost
+    ordering.
+    """
+    if not graph:
+        return
+    costs = {
+        node: math.ceil(data["frequency"] / page_size)
+        for node, data in graph.nodes(data=True)
+    }
+    max_cost = max(costs.values())
+    for node, cost in costs.items():
+        graph.nodes[node]["weight"] = cost / max_cost
+
+
+def page_cost(graph: nx.Graph, node: AttributeValue, page_size: int = 10) -> int:
+    """``cost(q, DB) = ceil(num(q, DB) / k)`` for the node's query."""
+    return math.ceil(graph.nodes[node]["frequency"] / page_size)

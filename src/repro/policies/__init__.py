@@ -1,0 +1,44 @@
+"""Query-selection policies: naive, greedy link, MMMI, domain, oracle,
+clique selection for multi-attribute sources, and the practical bundle."""
+
+from repro.policies.adaptive import AdaptiveAttributeSelector
+from repro.policies.base import QuerySelector
+from repro.policies.domain import DomainKnowledgeSelector
+from repro.policies.greedy import GreedyFrequencySelector, GreedyLinkSelector
+from repro.policies.hybrid import GreedyMmmiSelector, SaturationDetector
+from repro.policies.mmmi import MinMaxMutualInformationSelector
+from repro.policies.multi import (
+    GreedyCliqueSelector,
+    RandomCliqueSelector,
+    record_combinations,
+)
+from repro.policies.naive import (
+    BreadthFirstSelector,
+    DepthFirstSelector,
+    RandomSelector,
+)
+from repro.policies.oracle import OracleSelector
+from repro.policies.practical import (
+    build_practical_crawler,
+    build_practical_selector,
+)
+
+__all__ = [
+    "AdaptiveAttributeSelector",
+    "BreadthFirstSelector",
+    "DepthFirstSelector",
+    "DomainKnowledgeSelector",
+    "GreedyCliqueSelector",
+    "GreedyFrequencySelector",
+    "GreedyLinkSelector",
+    "GreedyMmmiSelector",
+    "MinMaxMutualInformationSelector",
+    "OracleSelector",
+    "QuerySelector",
+    "RandomCliqueSelector",
+    "RandomSelector",
+    "SaturationDetector",
+    "build_practical_crawler",
+    "build_practical_selector",
+    "record_combinations",
+]

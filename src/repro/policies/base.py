@@ -1,0 +1,65 @@
+"""Query-selector protocol — the pluggable heart of the crawler.
+
+The engine drives every policy through the same four-call protocol:
+
+1. ``bind(context)`` — once, before the crawl starts;
+2. ``add_candidate(value)`` — for each attribute value entering
+   ``L_to-query`` (seeds and decomposed result values alike);
+3. ``next_query()`` — pick the next attribute value to visit, or None
+   when the policy has nothing left to ask;
+4. ``observe_outcome(outcome)`` — after the query ran, with everything
+   it returned (policies use this to update statistics tables).
+
+Selectors return *attribute values*; the engine formulates the actual
+query (structured or keyword) via the interface, enforces no-repeat
+semantics, and skips values the interface cannot express.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.core.values import AttributeValue
+from repro.crawler.context import CrawlerContext
+from repro.crawler.prober import QueryOutcome
+
+
+class QuerySelector(ABC):
+    """Base class for all query-selection policies.
+
+    Class attribute ``requires_cooccurrence`` tells the engine whether
+    ``DB_local`` must maintain pairwise co-occurrence counts (only MMMI
+    needs them; they cost O(clique²) memory).
+    """
+
+    #: Whether the policy reads LocalDatabase.cooccurrence / pmi.
+    requires_cooccurrence = False
+
+    def __init__(self) -> None:
+        self.context: Optional[CrawlerContext] = None
+
+    @property
+    def name(self) -> str:
+        """Short policy label used in experiment reports."""
+        return type(self).__name__.replace("Selector", "").lower()
+
+    def bind(self, context: CrawlerContext) -> None:
+        """Attach the crawl's shared state. Called once, before any candidate."""
+        self.context = context
+
+    @abstractmethod
+    def add_candidate(self, value: AttributeValue) -> None:
+        """Offer a newly discovered attribute value for future querying."""
+
+    @abstractmethod
+    def next_query(self) -> Optional[AttributeValue]:
+        """Select the next attribute value to visit, or None when exhausted."""
+
+    def observe_outcome(self, outcome: QueryOutcome) -> None:
+        """Hook invoked after each executed query (default: no-op)."""
+
+    def _require_context(self) -> CrawlerContext:
+        if self.context is None:
+            raise RuntimeError(f"{type(self).__name__} used before bind()")
+        return self.context

@@ -1,0 +1,76 @@
+"""Naive query-selection methods (Section 3.1).
+
+Breadth-first, depth-first, and random selection differ only in how
+``L_to-query`` is organized: a queue, a stack, or a uniformly sampled
+bag.  None uses any information from ``DB_local`` — the paper notes the
+random selector effectively assigns every candidate the same harvest
+rate, breadth-first favours earlier-found values and depth-first
+newer-found ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.values import AttributeValue
+from repro.crawler.context import CrawlerContext
+from repro.crawler.frontier import FifoFrontier, Frontier, LifoFrontier, RandomFrontier
+from repro.policies.base import QuerySelector
+
+
+class _FrontierSelector(QuerySelector):
+    """Shared plumbing: selection is exactly the frontier's pop order."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._frontier: Optional[Frontier] = None
+
+    def _make_frontier(self) -> Frontier:
+        raise NotImplementedError
+
+    def bind(self, context: CrawlerContext) -> None:
+        super().bind(context)
+        self._frontier = self._make_frontier()
+
+    def add_candidate(self, value: AttributeValue) -> None:
+        if self._frontier is None:
+            raise RuntimeError(f"{type(self).__name__} used before bind()")
+        self._frontier.push(value)
+
+    def next_query(self) -> Optional[AttributeValue]:
+        if self._frontier is None:
+            raise RuntimeError(f"{type(self).__name__} used before bind()")
+        return self._frontier.pop()
+
+
+class BreadthFirstSelector(_FrontierSelector):
+    """FIFO ``L_to-query``: query values in discovery order."""
+
+    @property
+    def name(self) -> str:
+        return "bfs"
+
+    def _make_frontier(self) -> Frontier:
+        return FifoFrontier()
+
+
+class DepthFirstSelector(_FrontierSelector):
+    """LIFO ``L_to-query``: always chase the newest discovery."""
+
+    @property
+    def name(self) -> str:
+        return "dfs"
+
+    def _make_frontier(self) -> Frontier:
+        return LifoFrontier()
+
+
+class RandomSelector(_FrontierSelector):
+    """Uniform random choice from ``L_to-query``."""
+
+    @property
+    def name(self) -> str:
+        return "random"
+
+    def _make_frontier(self) -> Frontier:
+        return RandomFrontier(self._require_context().rng)

@@ -1,0 +1,140 @@
+"""Failure injection: a transiently failing web source.
+
+Real web sources time out, rate-limit, and return 5xx pages; a crawler
+that cannot absorb transient failures never finishes a million-round
+crawl.  :class:`FlakyServer` wraps a
+:class:`~repro.server.webdb.SimulatedWebDatabase` and makes each page
+request fail with a configurable probability — and, faithfully to the
+paper's cost model, *a failed request still costs a communication
+round* (the bytes crossed the wire).  The prober's retry loop lives in
+:func:`submit_with_retries`, which both the flaky tests and a
+production adaptation would use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.errors import ReproError
+from repro.core.query import AnyQuery
+from repro.server.pagination import ResultPage
+from repro.server.webdb import SimulatedWebDatabase
+
+
+class TransientServerError(ReproError):
+    """A retryable failure (timeout, 5xx, connection reset)."""
+
+
+class PermanentServerFailure(ReproError):
+    """Retries exhausted — the request could not be completed."""
+
+
+class FlakyServer:
+    """A source whose page requests fail transiently.
+
+    Parameters
+    ----------
+    server:
+        The underlying (reliable) simulated source.
+    failure_rate:
+        Probability that any single page request fails.
+    seed:
+        Seeds the failure stream, so runs are reproducible.
+    charge_failed_rounds:
+        Whether failed requests consume communication rounds (default
+        True — a timeout is not free).
+    """
+
+    def __init__(
+        self,
+        server: SimulatedWebDatabase,
+        failure_rate: float = 0.1,
+        seed: int = 0,
+        charge_failed_rounds: bool = True,
+    ) -> None:
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        self._server = server
+        self.failure_rate = failure_rate
+        self.charge_failed_rounds = charge_failed_rounds
+        self._rng = random.Random(seed)
+        self.failures_injected = 0
+
+    # The crawler-facing surface mirrors SimulatedWebDatabase.
+    @property
+    def table(self):
+        return self._server.table
+
+    @property
+    def interface(self):
+        return self._server.interface
+
+    @property
+    def page_size(self) -> int:
+        return self._server.page_size
+
+    @property
+    def log(self):
+        return self._server.log
+
+    @property
+    def rounds(self) -> int:
+        return self._server.rounds
+
+    def truth_size(self) -> int:
+        return self._server.truth_size()
+
+    def truth_count(self, query: AnyQuery) -> int:
+        return self._server.truth_count(query)
+
+    def truth_coverage(self, record_ids) -> float:
+        return self._server.truth_coverage(record_ids)
+
+    def submit(self, query: AnyQuery, page_number: int = 1) -> ResultPage:
+        """One page request that may fail transiently.
+
+        The interface check happens first (a rejected form submission is
+        not a network failure); then the failure coin is tossed.
+        """
+        self.interface.validate(query)
+        if self._rng.random() < self.failure_rate:
+            self.failures_injected += 1
+            if self.charge_failed_rounds:
+                self.log.record(query, page_number, 0)
+            raise TransientServerError(
+                f"request {query} page {page_number} timed out"
+            )
+        return self._server.submit(query, page_number)
+
+    def submit_xml(self, query: AnyQuery, page_number: int = 1) -> str:
+        from repro.server.service import render_page
+
+        return render_page(self.submit(query, page_number))
+
+
+def submit_with_retries(
+    server,
+    query: AnyQuery,
+    page_number: int = 1,
+    max_retries: int = 5,
+    rng: Optional[random.Random] = None,
+) -> ResultPage:
+    """Submit one page request, absorbing transient failures.
+
+    Retries up to ``max_retries`` times; each attempt (failed or not)
+    costs whatever the server charges.  Raises
+    :class:`PermanentServerFailure` when the budget is exhausted.
+    ``rng`` is accepted for future jittered-backoff strategies; the
+    simulated clock is request-counted, so no sleeping happens here.
+    """
+    attempts = max_retries + 1
+    last_error: Optional[TransientServerError] = None
+    for _attempt in range(attempts):
+        try:
+            return server.submit(query, page_number)
+        except TransientServerError as error:
+            last_error = error
+    raise PermanentServerFailure(
+        f"{attempts} attempts failed for {query} page {page_number}"
+    ) from last_error

@@ -1,0 +1,311 @@
+"""HTML result pages and wrapper-style extraction.
+
+The paper's Amazon experiment used XML web services precisely to dodge
+"the possible accuracy problems of extracting structured records from
+Web pages" — but most deep-web sources answer in HTML, and the paper
+leans on wrapper induction (Arasu & Garcia-Molina [5]; Lerman et al.
+[19]) as the solved substrate.  This module supplies that substrate for
+the simulation:
+
+- :func:`render_html_page` renders a
+  :class:`~repro.server.pagination.ResultPage` as a template-generated
+  result page, in two realism levels:
+
+  * ``annotated=True`` — fields carry machine-readable ``data-attr``
+    markers (a cooperative, microdata-style site);
+  * ``annotated=False`` — a plain ``<table>`` whose only schema hints
+    are its human-readable header labels ("Release Location"), the way
+    an ordinary store renders listings.
+
+- :class:`HtmlResultParser` is the wrapper: an
+  :class:`html.parser.HTMLParser` that handles both levels — reading
+  ``data-attr`` markers when present, otherwise *inducing* the
+  column-to-attribute mapping from the header row by reversing the
+  label prettification.  Record identity comes from each row's detail
+  link (``/item/<id>``), exactly what a real crawler dedupes on.
+
+Round-trip guarantee: ``parse_html_page(render_html_page(p)) == p`` for
+both realism levels.
+"""
+
+from __future__ import annotations
+
+import html as html_lib
+import re
+from html.parser import HTMLParser
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ReproError
+from repro.core.query import AnyQuery, ConjunctiveQuery, Query
+from repro.core.records import Record
+from repro.core.values import AttributeValue
+from repro.server.pagination import ResultPage
+
+#: Joins multiple values of one attribute inside a plain table cell.
+_VALUE_SEPARATOR = " | "
+
+_ITEM_HREF = re.compile(r"/item/(\d+)$")
+
+
+class HtmlExtractionError(ReproError):
+    """The document does not look like one of our result templates."""
+
+
+def attribute_label(attribute: str) -> str:
+    """Prettify an attribute name into a column header ("release_location"
+    → "Release Location")."""
+    return attribute.replace("_", " ").title()
+
+
+def label_attribute(label: str) -> str:
+    """Reverse :func:`attribute_label` (the induction step)."""
+    return label.strip().lower().replace(" ", "_")
+
+
+def _escape(text: str) -> str:
+    return html_lib.escape(text, quote=True)
+
+
+def _query_description(query: AnyQuery) -> str:
+    if isinstance(query, ConjunctiveQuery):
+        return " AND ".join(
+            f"{predicate.attribute}={predicate.value}"
+            for predicate in query.predicates
+        )
+    if query.is_keyword:
+        return query.value
+    return f"{query.attribute}={query.value}"
+
+
+def _summary_attributes(page: ResultPage) -> str:
+    parts = [
+        f'data-page="{page.page_number}"',
+        f'data-pages="{page.num_pages}"',
+        f'data-accessible="{page.accessible_matches}"',
+    ]
+    if page.total_matches is not None:
+        parts.append(f'data-total="{page.total_matches}"')
+    query = page.query
+    if isinstance(query, ConjunctiveQuery):
+        predicates = ";".join(
+            f"{predicate.attribute}={predicate.value}"
+            for predicate in query.predicates
+        )
+        parts.append(f'data-query-predicates="{_escape(predicates)}"')
+    else:
+        if query.attribute is not None:
+            parts.append(f'data-query-attribute="{_escape(query.attribute)}"')
+        parts.append(f'data-query-value="{_escape(query.value)}"')
+    return " ".join(parts)
+
+
+def render_html_page(page: ResultPage, annotated: bool = True) -> str:
+    """Serialize a result page as a template-generated HTML document."""
+    total_text = (
+        f"{page.total_matches} results" if page.total_matches is not None
+        else "results"
+    )
+    head = (
+        "<!DOCTYPE html>\n<html><head><title>Search results</title></head><body>\n"
+        f'<div id="summary" {_summary_attributes(page)}>'
+        f"Page {page.page_number} of {max(page.num_pages, 1)} — {total_text} for "
+        f"&quot;{_escape(_query_description(page.query))}&quot;</div>\n"
+    )
+    if annotated:
+        body = _render_annotated(page)
+    else:
+        body = _render_plain(page)
+    return head + body + "</body></html>\n"
+
+
+def _render_annotated(page: ResultPage) -> str:
+    lines = ['<ol class="results">']
+    for record in page.records:
+        lines.append(
+            f'<li class="record"><a class="detail" '
+            f'href="/item/{record.record_id}">details</a>'
+        )
+        for attribute, values in record.fields.items():
+            for value in values:
+                lines.append(
+                    f'<span class="field" data-attr="{_escape(attribute)}">'
+                    f"{_escape(value)}</span>"
+                )
+        lines.append("</li>")
+    lines.append("</ol>\n")
+    return "\n".join(lines)
+
+
+def _columns_of(page: ResultPage) -> List[str]:
+    columns: Dict[str, None] = {}
+    for record in page.records:
+        for attribute in record.fields:
+            columns.setdefault(attribute, None)
+    return list(columns)
+
+
+def _render_plain(page: ResultPage) -> str:
+    columns = _columns_of(page)
+    lines = ['<table class="results">', "<tr>"]
+    lines.extend(f"<th>{_escape(attribute_label(c))}</th>" for c in columns)
+    lines.append("<th>Link</th></tr>")
+    for record in page.records:
+        lines.append("<tr>")
+        for column in columns:
+            cell = _VALUE_SEPARATOR.join(record.values_of(column))
+            lines.append(f"<td>{_escape(cell)}</td>")
+        lines.append(
+            f'<td><a class="detail" href="/item/{record.record_id}">view</a></td>'
+        )
+        lines.append("</tr>")
+    lines.append("</table>\n")
+    return "\n".join(lines)
+
+
+class HtmlResultParser(HTMLParser):
+    """The wrapper: parses both template levels back into a ResultPage."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.summary: Dict[str, str] = {}
+        # Annotated mode state.
+        self._records: List[Tuple[int, Dict[str, List[str]]]] = []
+        self._current_fields: Optional[Dict[str, List[str]]] = None
+        self._current_id: Optional[int] = None
+        self._field_attr: Optional[str] = None
+        self._text: List[str] = []
+        # Plain-table mode state.
+        self._columns: Optional[List[str]] = None
+        self._row_cells: Optional[List[str]] = None
+        self._in_cell = False
+        self._in_header = False
+        self._header_cells: List[str] = []
+        self._mode: Optional[str] = None
+
+    # -- tag handling ---------------------------------------------------
+    def handle_starttag(self, tag, attrs):
+        attributes = dict(attrs)
+        if tag == "div" and attributes.get("id") == "summary":
+            self.summary = {k: v for k, v in attributes.items() if v is not None}
+        elif tag == "li" and attributes.get("class") == "record":
+            self._mode = "annotated"
+            self._current_fields = {}
+            self._current_id = None
+        elif tag == "span" and attributes.get("class") == "field":
+            self._field_attr = attributes.get("data-attr")
+            self._text = []
+        elif tag == "a" and attributes.get("class") == "detail":
+            match = _ITEM_HREF.search(attributes.get("href", ""))
+            if match:
+                record_id = int(match.group(1))
+                if self._current_fields is not None:
+                    self._current_id = record_id
+                elif self._row_cells is not None:
+                    self._row_cells.append(f"\0id:{record_id}")
+        elif tag == "table" and attributes.get("class") == "results":
+            self._mode = "plain"
+        elif tag == "tr" and self._mode == "plain":
+            if self._columns is None:
+                self._in_header = True
+                self._header_cells = []
+            else:
+                self._row_cells = []
+        elif tag == "th" and self._in_header:
+            self._in_cell = True
+            self._text = []
+        elif tag == "td" and self._row_cells is not None:
+            self._in_cell = True
+            self._text = []
+
+    def handle_endtag(self, tag):
+        if tag == "span" and self._field_attr is not None:
+            value = "".join(self._text)
+            if self._current_fields is not None:
+                self._current_fields.setdefault(self._field_attr, []).append(value)
+            self._field_attr = None
+        elif tag == "li" and self._current_fields is not None:
+            if self._current_id is None:
+                raise HtmlExtractionError("record without a detail link")
+            self._records.append((self._current_id, self._current_fields))
+            self._current_fields = None
+        elif tag == "th" and self._in_header:
+            self._header_cells.append("".join(self._text))
+            self._in_cell = False
+        elif tag == "td" and self._row_cells is not None and self._in_cell:
+            self._row_cells.append("".join(self._text))
+            self._in_cell = False
+        elif tag == "tr" and self._mode == "plain":
+            if self._in_header:
+                # Induce the schema from the prettified header labels.
+                self._columns = [
+                    label_attribute(label)
+                    for label in self._header_cells
+                    if label_attribute(label) != "link"
+                ]
+                self._in_header = False
+            elif self._row_cells is not None:
+                self._finish_plain_row()
+                self._row_cells = None
+
+    def handle_data(self, data):
+        if self._field_attr is not None or self._in_cell:
+            self._text.append(data)
+
+    # -- assembly ---------------------------------------------------------
+    def _finish_plain_row(self) -> None:
+        assert self._columns is not None and self._row_cells is not None
+        record_id = None
+        cells = []
+        for cell in self._row_cells:
+            if cell.startswith("\0id:"):
+                record_id = int(cell[4:])
+            else:
+                cells.append(cell)
+        if record_id is None:
+            raise HtmlExtractionError("row without a detail link")
+        fields: Dict[str, List[str]] = {}
+        for column, cell in zip(self._columns, cells):
+            values = [v for v in cell.split(_VALUE_SEPARATOR) if v]
+            if values:
+                fields[column] = values
+        self._records.append((record_id, fields))
+
+    def page(self) -> ResultPage:
+        if not self.summary:
+            raise HtmlExtractionError("no result summary found — not our template")
+        summary = self.summary
+        predicates = summary.get("data-query-predicates")
+        query: AnyQuery
+        if predicates is not None:
+            pairs = [
+                AttributeValue(*part.split("=", 1))
+                for part in predicates.split(";")
+                if part
+            ]
+            query = ConjunctiveQuery.of(*pairs)
+        else:
+            query = Query(
+                value=summary.get("data-query-value", ""),
+                attribute=summary.get("data-query-attribute"),
+            )
+        total = summary.get("data-total")
+        records = tuple(
+            Record(record_id, {k: tuple(v) for k, v in fields.items()})
+            for record_id, fields in self._records
+        )
+        return ResultPage(
+            query=query,
+            page_number=int(summary.get("data-page", "1")),
+            records=records,
+            total_matches=int(total) if total is not None else None,
+            accessible_matches=int(summary.get("data-accessible", "0")),
+            num_pages=int(summary.get("data-pages", "0")),
+        )
+
+
+def parse_html_page(document: str) -> ResultPage:
+    """Extract a :class:`ResultPage` from either HTML template level."""
+    parser = HtmlResultParser()
+    parser.feed(document)
+    parser.close()
+    return parser.page()

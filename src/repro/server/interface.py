@@ -1,0 +1,150 @@
+"""Query interfaces guarding simulated web databases.
+
+The paper's case study (Table 1) distinguishes sources by whether they
+accept keyword queries (K.W.) and whether they are single-attribute
+queriable (S.Q.M.).  A :class:`QueryInterface` captures those
+capabilities for one source: the set of attributes accepting equality
+predicates, and whether a bare keyword may be "thrown into the query
+box".  The interface validates every incoming query before the backend
+sees it, the way a web form constrains what can be submitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.core.errors import UnsupportedQueryError
+from repro.core.query import AnyQuery, ConjunctiveQuery, Query
+from repro.core.schema import Schema
+
+
+@dataclass(frozen=True)
+class QueryInterface:
+    """Capabilities of one source's query form / web-service endpoint.
+
+    Parameters
+    ----------
+    queriable_attributes:
+        Attributes accepting equality predicates (the interface schema
+        ``Aq``).  May be empty for keyword-only sources.
+    supports_keyword:
+        Whether a bare value (no attribute) is accepted.
+    name:
+        Label used in survey reports.
+    min_predicates:
+        Minimum number of equality predicates a structured query must
+        carry.  The default of 1 is the paper's simplified query model;
+        restrictive forms (the Table 1 Car domain: "only multi-attribute
+        queries are accepted") set it higher.  Keyword queries, where
+        supported, bypass this gate — the search box takes one value by
+        construction.
+    max_predicates:
+        Maximum number of predicates one form submission may combine
+        (``None`` = any subset of ``Aq``).
+    """
+
+    queriable_attributes: FrozenSet[str]
+    supports_keyword: bool = False
+    name: str = "interface"
+    min_predicates: int = 1
+    max_predicates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        cleaned = frozenset(a.strip().lower() for a in self.queriable_attributes)
+        object.__setattr__(self, "queriable_attributes", cleaned)
+        if not cleaned and not self.supports_keyword:
+            raise UnsupportedQueryError(
+                f"interface {self.name!r} accepts no queries at all"
+            )
+        if self.min_predicates < 1:
+            raise UnsupportedQueryError("min_predicates must be >= 1")
+        if self.min_predicates > len(cleaned) and not self.supports_keyword:
+            raise UnsupportedQueryError(
+                f"interface {self.name!r} demands {self.min_predicates} "
+                f"predicates but only exposes {len(cleaned)} attributes"
+            )
+        if (
+            self.max_predicates is not None
+            and self.max_predicates < self.min_predicates
+        ):
+            raise UnsupportedQueryError(
+                "max_predicates must be >= min_predicates"
+            )
+
+    @classmethod
+    def from_schema(
+        cls, schema: Schema, supports_keyword: bool = False, name: str = "interface"
+    ) -> "QueryInterface":
+        """Build the interface exposing a schema's queriable attributes."""
+        return cls(frozenset(schema.queriable), supports_keyword, name)
+
+    @classmethod
+    def keyword_only(cls, name: str = "interface") -> "QueryInterface":
+        """A pure search-box interface (the paper's "fading schema" case)."""
+        return cls(frozenset(), supports_keyword=True, name=name)
+
+    @property
+    def single_attribute_queriable(self) -> bool:
+        """The Table 1 "S.Q.M." property: accepts one-predicate queries.
+
+        True when some attribute is individually queriable (no
+        multi-predicate gate) or a keyword box exists (a keyword query
+        is a single-value query).
+        """
+        structured = bool(self.queriable_attributes) and self.min_predicates <= 1
+        return structured or self.supports_keyword
+
+    def accepts(self, query: AnyQuery) -> bool:
+        """Whether the interface would accept ``query`` (no exception)."""
+        if isinstance(query, ConjunctiveQuery):
+            if not all(a in self.queriable_attributes for a in query.attributes):
+                return False
+            if query.arity < self.min_predicates:
+                return False
+            return self.max_predicates is None or query.arity <= self.max_predicates
+        if query.is_keyword:
+            return self.supports_keyword
+        if self.min_predicates > 1:
+            return False
+        return query.attribute in self.queriable_attributes
+
+    def validate(self, query: AnyQuery) -> None:
+        """Raise :class:`UnsupportedQueryError` unless ``query`` is accepted."""
+        if self.accepts(query):
+            return
+        if isinstance(query, ConjunctiveQuery):
+            raise UnsupportedQueryError(
+                f"interface {self.name!r} rejects conjunction over "
+                f"{query.attributes} (queriable: "
+                f"{sorted(self.queriable_attributes)}, predicates "
+                f"{self.min_predicates}..{self.max_predicates or 'any'})"
+            )
+        if query.is_keyword:
+            raise UnsupportedQueryError(
+                f"interface {self.name!r} has no keyword search box"
+            )
+        if self.min_predicates > 1:
+            raise UnsupportedQueryError(
+                f"interface {self.name!r} demands at least "
+                f"{self.min_predicates} predicates per query"
+            )
+        raise UnsupportedQueryError(
+            f"interface {self.name!r} does not accept queries on "
+            f"{query.attribute!r} (queriable: {sorted(self.queriable_attributes)})"
+        )
+
+    def coerce(self, query: Query) -> Query:
+        """Rewrite a structured query into a keyword one when necessary.
+
+        Models the crawler tactic the case study highlights: when the
+        form lacks the attribute but has a search box, "throw" the value
+        in and let the site's query processor pick the column.  Raises
+        when neither form is possible.
+        """
+        if self.accepts(query):
+            return query
+        if not query.is_keyword and self.supports_keyword:
+            return Query.keyword(query.value)
+        self.validate(query)  # raises with a precise message
+        raise AssertionError("unreachable")  # pragma: no cover

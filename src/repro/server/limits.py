@@ -1,0 +1,82 @@
+"""Result-size limit policies (Section 5.4).
+
+Most web databases cap how many results of a query can actually be
+retrieved — Amazon's web service stops at 3,200 records; Yahoo! Autos
+"may claim 5000 matches" yet serve only the first 20 pages.  The cap
+interacts with *which* records are served: a site returns its top-ranked
+matches, not a uniform sample.  A :class:`ResultLimitPolicy` bundles the
+cap with the ranking used to choose the accessible prefix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import QueryError
+from repro.core.query import AnyQuery, ConjunctiveQuery
+
+
+def _query_key(query: AnyQuery) -> str:
+    """A stable string identifying a query for ranking purposes."""
+    if isinstance(query, ConjunctiveQuery):
+        return "&".join(f"{p.attribute}={p.value}" for p in query.predicates)
+    return f"{query.attribute}:{query.value}"
+
+#: Ordering choices for the accessible prefix of a result list.
+ORDERINGS = ("id", "ranked")
+
+
+@dataclass(frozen=True)
+class ResultLimitPolicy:
+    """How a source truncates large result sets.
+
+    Parameters
+    ----------
+    limit:
+        Maximum records served per query (``None`` = unlimited).  The
+        paper's Amazon experiments use 3200, 50, and 10.
+    ordering:
+        ``"id"`` serves matches in record-id order (stable, like a
+        date-sorted listing); ``"ranked"`` applies a deterministic
+        per-query pseudo-random ranking, modelling relevance ranking
+        uncorrelated with record ids.
+    seed:
+        Ranking seed, so experiments are reproducible.
+    """
+
+    limit: Optional[int] = None
+    ordering: str = "id"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit < 1:
+            raise QueryError(f"result limit must be >= 1, got {self.limit}")
+        if self.ordering not in ORDERINGS:
+            raise QueryError(
+                f"unknown ordering {self.ordering!r}; expected one of {ORDERINGS}"
+            )
+
+    def order(self, query: AnyQuery, match_ids: List[int]) -> List[int]:
+        """Order a match list according to the policy (without truncating).
+
+        The ranked ordering is a deterministic function of (seed, query,
+        record id) so repeated requests for the same query always see
+        the same ranking, as a real ranked source would show.
+        """
+        if self.ordering == "id":
+            return sorted(match_ids)
+        query_key = _query_key(query)
+
+        def rank(record_id: int) -> str:
+            key = f"{self.seed}:{query_key}:{record_id}"
+            return hashlib.md5(key.encode("utf-8")).hexdigest()
+
+        return sorted(match_ids, key=rank)
+
+    def accessible(self, n_matches: int) -> int:
+        """How many of ``n_matches`` records the source will serve."""
+        if self.limit is None:
+            return n_matches
+        return min(n_matches, self.limit)

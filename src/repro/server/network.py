@@ -1,0 +1,72 @@
+"""Communication accounting between crawler and simulated source.
+
+The paper's only cost metric is the number of communication rounds
+(result-page requests) between crawler and server.  The
+:class:`CommunicationLog` counts them, remembers per-query detail, and
+supports the snapshotting the figures need (e.g. Figure 5 samples
+coverage every 1,000 requests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.query import Query
+
+
+@dataclass
+class RequestRecord:
+    """One page request as seen on the wire."""
+
+    round_number: int
+    query: Query
+    page_number: int
+    records_returned: int
+    new_records: Optional[int] = None  # filled in by the crawler, if known
+
+
+@dataclass
+class CommunicationLog:
+    """Counts rounds and queries; optionally fires per-round callbacks.
+
+    A "round" is one page request, matching Definition 2.3.  ``on_round``
+    callbacks let experiment harnesses take snapshots at exact round
+    counts without threading state through the crawler.
+    """
+
+    rounds: int = 0
+    requests: List[RequestRecord] = field(default_factory=list)
+    queries_issued: Dict[Query, int] = field(default_factory=dict)
+    keep_requests: bool = True
+    _callbacks: List[Callable[[int], None]] = field(default_factory=list)
+
+    def record(self, query: Query, page_number: int, records_returned: int) -> RequestRecord:
+        """Log one page request and advance the round counter."""
+        self.rounds += 1
+        entry = RequestRecord(self.rounds, query, page_number, records_returned)
+        if self.keep_requests:
+            self.requests.append(entry)
+        self.queries_issued[query] = self.queries_issued.get(query, 0) + 1
+        for callback in self._callbacks:
+            callback(self.rounds)
+        return entry
+
+    def on_round(self, callback: Callable[[int], None]) -> None:
+        """Register a callback invoked with the round number after each round."""
+        self._callbacks.append(callback)
+
+    @property
+    def distinct_queries(self) -> int:
+        """Number of distinct queries issued (≠ rounds: multi-page queries)."""
+        return len(self.queries_issued)
+
+    def pages_for(self, query: Query) -> int:
+        """How many page requests were spent on ``query``."""
+        return self.queries_issued.get(query, 0)
+
+    def reset(self) -> None:
+        """Zero all counters (callbacks are kept)."""
+        self.rounds = 0
+        self.requests.clear()
+        self.queries_issued.clear()

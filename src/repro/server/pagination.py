@@ -1,0 +1,111 @@
+"""Result pagination — the unit of the paper's cost model.
+
+Definition 2.3 charges one communication round per result *page*, each
+holding at most ``k`` records, so ``cost(q, DB) = ceil(num(q, DB) / k)``.
+This module slices an ordered match list into :class:`ResultPage`
+objects, optionally truncated by the source's result-size limit (the
+Section 5.4 experiments: Amazon's 3200, or tightened to 50 / 10) and
+optionally carrying the total match count, which most sources "report in
+the first return page" (Section 3.4) and which enables query abortion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.errors import PaginationError
+from repro.core.query import AnyQuery
+from repro.core.records import Record
+
+
+@dataclass(frozen=True)
+class ResultPage:
+    """One page of query results, as the crawler sees it.
+
+    Attributes
+    ----------
+    query:
+        The query that produced the page.
+    page_number:
+        1-based index of this page.
+    records:
+        The page's records, projected onto the result schema.
+    total_matches:
+        ``num(q, DB)`` as reported by the source, or ``None`` when the
+        source withholds it (Section 3.4's second heuristic case).
+    accessible_matches:
+        ``min(num(q, DB), result_limit)`` — how many records the source
+        will actually serve for this query.
+    num_pages:
+        Total number of pages available for this query.
+    """
+
+    query: AnyQuery
+    page_number: int
+    records: tuple[Record, ...]
+    total_matches: Optional[int]
+    accessible_matches: int
+    num_pages: int
+
+    @property
+    def has_next(self) -> bool:
+        """Whether another page can be requested after this one."""
+        return self.page_number < self.num_pages
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records
+
+
+def page_count(n_matches: int, page_size: int, result_limit: Optional[int] = None) -> int:
+    """Pages needed to exhaust a query: ``ceil(min(n, limit) / k)``.
+
+    A zero-match query still costs one round (the empty page must be
+    fetched to learn there is nothing), so the minimum return is 1 —
+    but only for the *cost of finding out*; this function returns 0 for
+    zero matches and callers charge the empty round separately, keeping
+    the Definition 2.3 identity exact for non-empty queries.
+    """
+    accessible = n_matches if result_limit is None else min(n_matches, result_limit)
+    return math.ceil(accessible / page_size)
+
+
+def paginate(
+    query: AnyQuery,
+    matches: Sequence[Record],
+    page_number: int,
+    page_size: int,
+    result_limit: Optional[int] = None,
+    report_total: bool = True,
+) -> ResultPage:
+    """Serve one page of an ordered match list.
+
+    Raises
+    ------
+    PaginationError
+        If ``page_number`` is less than 1 or beyond the last page
+        (except page 1 of an empty result, which is a valid empty page).
+    """
+    if page_size < 1:
+        raise PaginationError(f"page size must be >= 1, got {page_size}")
+    if page_number < 1:
+        raise PaginationError(f"page numbers are 1-based, got {page_number}")
+    total = len(matches)
+    accessible = total if result_limit is None else min(total, result_limit)
+    num_pages = math.ceil(accessible / page_size)
+    if page_number > max(num_pages, 1):
+        raise PaginationError(
+            f"page {page_number} out of range: query {query} has {num_pages} page(s)"
+        )
+    start = (page_number - 1) * page_size
+    stop = min(start + page_size, accessible)
+    return ResultPage(
+        query=query,
+        page_number=page_number,
+        records=tuple(matches[start:stop]),
+        total_matches=total if report_total else None,
+        accessible_matches=accessible,
+        num_pages=num_pages,
+    )

@@ -1,0 +1,110 @@
+"""XML web-service envelope for result pages.
+
+The paper's live experiment queries the Amazon Web Service, whose
+responses "are in the format of XML documents, which eliminates the
+possible accuracy problems of extracting structured records from Web
+pages".  This module renders a :class:`~repro.server.pagination.ResultPage`
+to an Amazon-style XML document and parses it back, giving the crawler's
+result extractor a realistic wire format to work against instead of a
+Python object handed through a back door.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.core.query import AnyQuery, ConjunctiveQuery, Query
+from repro.core.records import Record
+from repro.core.values import AttributeValue
+from repro.server.pagination import ResultPage
+
+
+def render_page(page: ResultPage) -> str:
+    """Serialize a result page to an XML document string.
+
+    Layout (one element per record, one child per attribute, repeated
+    children for multi-valued attributes)::
+
+        <QueryResponse totalResults="95" totalPages="10" page="1">
+          <Request attribute="brand" value="toyota"/>
+          <Item id="17">
+            <brand>toyota</brand>
+            <model>corolla</model>
+          </Item>
+          ...
+        </QueryResponse>
+    """
+    root = ET.Element("QueryResponse")
+    if page.total_matches is not None:
+        root.set("totalResults", str(page.total_matches))
+    root.set("totalPages", str(page.num_pages))
+    root.set("page", str(page.page_number))
+    root.set("accessibleResults", str(page.accessible_matches))
+    request = ET.SubElement(root, "Request")
+    if isinstance(page.query, ConjunctiveQuery):
+        for predicate in page.query.predicates:
+            ET.SubElement(
+                request,
+                "Predicate",
+                attribute=predicate.attribute,
+                value=predicate.value,
+            )
+    else:
+        if page.query.attribute is not None:
+            request.set("attribute", page.query.attribute)
+        request.set("value", page.query.value)
+    for record in page.records:
+        item = ET.SubElement(root, "Item", id=str(record.record_id))
+        # Field order is preserved (not sorted): the extractor's
+        # decomposition order — and hence BFS/DFS behaviour — must be
+        # identical whether results arrive as objects or as XML.
+        for attribute, values in record.fields.items():
+            for value in values:
+                ET.SubElement(item, attribute).text = value
+    return ET.tostring(root, encoding="unicode")
+
+
+def parse_page(document: str) -> ResultPage:
+    """Parse an XML document produced by :func:`render_page`.
+
+    Round-trips exactly: ``parse_page(render_page(p)) == p`` for pages
+    whose records carry only displayed attributes (which is all pages a
+    real server emits).
+    """
+    root = ET.fromstring(document)
+    request = root.find("Request")
+    if request is None:
+        raise ValueError("malformed response: missing <Request>")
+    predicates = request.findall("Predicate")
+    query: AnyQuery
+    if predicates:
+        query = ConjunctiveQuery.of(
+            *(
+                AttributeValue(p.get("attribute", ""), p.get("value", ""))
+                for p in predicates
+            )
+        )
+    else:
+        attribute = request.get("attribute")
+        value = request.get("value", "")
+        query = Query(value=value, attribute=attribute)
+    total: Optional[int] = None
+    if root.get("totalResults") is not None:
+        total = int(root.get("totalResults", "0"))
+    records = []
+    for item in root.findall("Item"):
+        fields: dict[str, list[str]] = {}
+        for child in item:
+            fields.setdefault(child.tag, []).append(child.text or "")
+        records.append(
+            Record(int(item.get("id", "0")), {k: tuple(v) for k, v in fields.items()})
+        )
+    return ResultPage(
+        query=query,
+        page_number=int(root.get("page", "1")),
+        records=tuple(records),
+        total_matches=total,
+        accessible_matches=int(root.get("accessibleResults", "0")),
+        num_pages=int(root.get("totalPages", "0")),
+    )

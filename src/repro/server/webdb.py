@@ -1,0 +1,161 @@
+"""The simulated structured web source.
+
+:class:`SimulatedWebDatabase` plays the role of the paper's "server
+programs that mimic Web server behaviour on top of the database server":
+it owns a universal table, guards it with a
+:class:`~repro.server.interface.QueryInterface`, serves paginated,
+possibly truncated result pages, and charges one communication round per
+page request through a :class:`~repro.server.network.CommunicationLog`.
+
+The crawler must not peek past this class — everything it learns about
+the database comes from submitted pages.  Ground-truth accessors used by
+experiment harnesses for coverage measurement are prefixed ``truth_`` to
+keep that boundary visible in calling code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.errors import PaginationError
+from repro.core.query import Query
+from repro.core.table import RelationalTable
+from repro.server.interface import QueryInterface
+from repro.server.limits import ResultLimitPolicy
+from repro.server.network import CommunicationLog
+from repro.server.pagination import ResultPage
+from repro.server.service import render_page
+
+
+class SimulatedWebDatabase:
+    """A web database reachable only through its query interface.
+
+    Parameters
+    ----------
+    table:
+        The backend universal table.
+    page_size:
+        ``k`` — records per result page (the paper defaults to 10).
+    limit_policy:
+        Result-size cap and ranking (Section 5.4); unlimited by default.
+    report_total:
+        Whether pages carry ``num(q, DB)``, the total match count most
+        real sources display ("95 results found").
+    interface:
+        Defaults to the schema's queriable attributes without a keyword
+        box; pass :meth:`QueryInterface.keyword_only` etc. to vary.
+    """
+
+    def __init__(
+        self,
+        table: RelationalTable,
+        page_size: int = 10,
+        limit_policy: Optional[ResultLimitPolicy] = None,
+        report_total: bool = True,
+        interface: Optional[QueryInterface] = None,
+        keep_request_log: bool = False,
+    ) -> None:
+        self.table = table
+        self.page_size = page_size
+        self.limit_policy = limit_policy or ResultLimitPolicy()
+        self.report_total = report_total
+        self.interface = interface or QueryInterface.from_schema(
+            table.schema, name=table.name
+        )
+        self.log = CommunicationLog(keep_requests=keep_request_log)
+        self._order_cache: Dict[Query, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # The crawler-facing API
+    # ------------------------------------------------------------------
+    def submit(self, query: Query, page_number: int = 1) -> ResultPage:
+        """Answer one page request; costs one communication round.
+
+        Raises
+        ------
+        UnsupportedQueryError
+            If the interface rejects the query (no round is charged —
+            the form cannot even be submitted).
+        PaginationError
+            If the page number is out of range (a round *is* charged;
+            the crawler had to ask to find out).
+        """
+        self.interface.validate(query)
+        ordered = self._ordered_matches(query)
+        total = len(ordered)
+        accessible = self.limit_policy.accessible(total)
+        num_pages = math.ceil(accessible / self.page_size)
+        if page_number < 1 or page_number > max(num_pages, 1):
+            self.log.record(query, page_number, 0)
+            raise PaginationError(
+                f"page {page_number} out of range: query {query} has "
+                f"{num_pages} page(s)"
+            )
+        start = (page_number - 1) * self.page_size
+        stop = min(start + self.page_size, accessible)
+        records = tuple(self.table.project(ordered[start:stop]))
+        page = ResultPage(
+            query=query,
+            page_number=page_number,
+            records=records,
+            total_matches=total if self.report_total else None,
+            accessible_matches=accessible,
+            num_pages=num_pages,
+        )
+        self.log.record(query, page_number, len(records))
+        return page
+
+    def submit_xml(self, query: Query, page_number: int = 1) -> str:
+        """Like :meth:`submit` but returns the XML wire format.
+
+        Used by extractor-based crawls that parse responses the way the
+        paper's Amazon experiment consumed AWS XML documents.
+        """
+        return render_page(self.submit(query, page_number))
+
+    def submit_html(
+        self, query: Query, page_number: int = 1, annotated: bool = True
+    ) -> str:
+        """Like :meth:`submit` but returns an HTML result page.
+
+        ``annotated=False`` renders the plain-table template whose only
+        schema hints are its header labels — the wrapper-induction case.
+        """
+        from repro.server.html import render_html_page
+
+        return render_html_page(self.submit(query, page_number), annotated=annotated)
+
+    @property
+    def rounds(self) -> int:
+        """Communication rounds consumed so far."""
+        return self.log.rounds
+
+    # ------------------------------------------------------------------
+    # Ground truth — for experiment harnesses only
+    # ------------------------------------------------------------------
+    def truth_size(self) -> int:
+        """True number of records (unknown to the crawler)."""
+        return len(self.table)
+
+    def truth_count(self, query: Query) -> int:
+        """True ``num(q, DB)`` (unknown to the crawler before querying)."""
+        return self.table.count(query)
+
+    def truth_coverage(self, record_ids) -> float:
+        """Fraction of the true database covered by ``record_ids``."""
+        size = len(self.table)
+        if size == 0:
+            return 0.0
+        known = sum(1 for record_id in record_ids if record_id in self.table)
+        return known / size
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ordered_matches(self, query: Query) -> List[int]:
+        cached = self._order_cache.get(query)
+        if cached is None:
+            cached = self.limit_policy.order(query, self.table.match(query))
+            self._order_cache[query] = cached
+        return cached

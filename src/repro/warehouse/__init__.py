@@ -1,0 +1,33 @@
+"""Centralized warehousing of multi-source crawl harvests."""
+
+from repro.warehouse.merge import (
+    Offer,
+    Warehouse,
+    WarehouseEntry,
+    WarehouseError,
+)
+from repro.warehouse.pipeline import (
+    PipelineResult,
+    SourceReport,
+    crawl_into_warehouse,
+)
+from repro.warehouse.scheduler import (
+    GreedyScheduler,
+    RoundRobinScheduler,
+    ScheduleResult,
+    ScheduledSource,
+)
+
+__all__ = [
+    "GreedyScheduler",
+    "Offer",
+    "PipelineResult",
+    "RoundRobinScheduler",
+    "ScheduleResult",
+    "ScheduledSource",
+    "SourceReport",
+    "Warehouse",
+    "WarehouseEntry",
+    "WarehouseError",
+    "crawl_into_warehouse",
+]

@@ -1,0 +1,144 @@
+"""Warehousing crawled records from many sources.
+
+The paper's introduction motivates crawling with the "data
+warehouse-like approach ... where the data is gathered from a large
+number of Web data sources and can be searched and mined in a
+centralized manner", with comparison shopping as the flagship
+application.  This module is that centralized side: it merges the
+record sets harvested from several sources into one catalogue of
+:class:`WarehouseEntry` items, resolving entities by a normalized key
+attribute and keeping per-source provenance (which store offered the
+item, under which local record id, with which attribute values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.errors import ReproError
+from repro.core.records import Record
+from repro.core.values import normalize
+
+
+class WarehouseError(ReproError):
+    """Invalid warehouse configuration or ingest."""
+
+
+@dataclass
+class Offer:
+    """One source's version of an entity (its provenance unit)."""
+
+    source: str
+    record_id: int
+    fields: Mapping[str, Tuple[str, ...]]
+
+    def value(self, attribute: str) -> Optional[str]:
+        values = self.fields.get(attribute.strip().lower())
+        return values[0] if values else None
+
+
+@dataclass
+class WarehouseEntry:
+    """An entity with every source's offer attached."""
+
+    key: str
+    offers: List[Offer] = field(default_factory=list)
+
+    @property
+    def sources(self) -> Tuple[str, ...]:
+        return tuple(sorted({offer.source for offer in self.offers}))
+
+    @property
+    def n_sources(self) -> int:
+        return len(set(offer.source for offer in self.offers))
+
+    def consolidated(self) -> Dict[str, Tuple[str, ...]]:
+        """Union of attribute values across offers (first-seen order)."""
+        merged: Dict[str, Dict[str, None]] = {}
+        for offer in self.offers:
+            for attribute, values in offer.fields.items():
+                bucket = merged.setdefault(attribute, {})
+                for value in values:
+                    bucket.setdefault(value, None)
+        return {attribute: tuple(bucket) for attribute, bucket in merged.items()}
+
+    def values_by_source(self, attribute: str) -> Dict[str, str]:
+        """``source → value`` for one attribute (e.g. price comparison)."""
+        out: Dict[str, str] = {}
+        for offer in self.offers:
+            value = offer.value(attribute)
+            if value is not None and offer.source not in out:
+                out[offer.source] = value
+        return out
+
+
+class Warehouse:
+    """A centralized catalogue keyed by one entity-resolution attribute.
+
+    Parameters
+    ----------
+    key_attribute:
+        The attribute whose normalized value identifies an entity
+        (title for media, ISBN for books...).  Records lacking it are
+        counted in :attr:`skipped` rather than silently dropped.
+    """
+
+    def __init__(self, key_attribute: str = "title") -> None:
+        key = key_attribute.strip().lower()
+        if not key:
+            raise WarehouseError("key attribute must be non-empty")
+        self.key_attribute = key
+        self._entries: Dict[str, WarehouseEntry] = {}
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    def ingest(self, source: str, records: Iterable[Record]) -> int:
+        """Add one source's harvested records; returns entities touched."""
+        if not source.strip():
+            raise WarehouseError("source name must be non-empty")
+        touched = 0
+        for record in records:
+            values = record.values_of(self.key_attribute)
+            if not values:
+                self.skipped += 1
+                continue
+            key = normalize(values[0])
+            entry = self._entries.setdefault(key, WarehouseEntry(key=key))
+            entry.offers.append(
+                Offer(source=source, record_id=record.record_id, fields=record.fields)
+            )
+            touched += 1
+        return touched
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return normalize(key) in self._entries
+
+    def get(self, key: str) -> WarehouseEntry:
+        try:
+            return self._entries[normalize(key)]
+        except KeyError:
+            raise WarehouseError(f"no entity with key {key!r}") from None
+
+    def entries(self) -> List[WarehouseEntry]:
+        return [self._entries[key] for key in sorted(self._entries)]
+
+    def multi_source_entries(self, minimum: int = 2) -> List[WarehouseEntry]:
+        """Entities offered by at least ``minimum`` distinct sources."""
+        return [e for e in self.entries() if e.n_sources >= minimum]
+
+    def coverage_by_source(self) -> Dict[str, int]:
+        """``source → number of entities it offers``."""
+        out: Dict[str, int] = {}
+        for entry in self._entries.values():
+            for source in entry.sources:
+                out[source] = out.get(source, 0) + 1
+        return out
+
+    def compare(self, attribute: str, key: str) -> Dict[str, str]:
+        """Per-source values of one attribute for one entity."""
+        return self.get(key).values_by_source(attribute)

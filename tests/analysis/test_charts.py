@@ -1,0 +1,68 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.analysis import ascii_chart, coverage_chart
+from repro.crawler import CrawlHistory
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart({"up": [0, 1, 2, 3]}, width=20, height=6)
+        lines = text.splitlines()
+        assert any("o" in line for line in lines)
+        assert "legend: o up" in lines[-1]
+
+    def test_title_first(self):
+        text = ascii_chart({"s": [1, 2]}, title="My Chart")
+        assert text.splitlines()[0] == "My Chart"
+
+    def test_two_series_distinct_markers(self):
+        text = ascii_chart({"a": [0, 1], "b": [1, 0]}, width=12, height=5)
+        assert "o" in text and "x" in text
+        assert "o a" in text and "x b" in text
+
+    def test_y_labels_show_extremes(self):
+        text = ascii_chart({"s": [5, 25]}, width=10, height=4)
+        assert "25" in text and "5" in text
+
+    def test_x_values_on_axis(self):
+        text = ascii_chart({"s": [0, 1]}, x_values=[100, 900], width=16, height=4)
+        assert "100" in text and "900" in text
+
+    def test_flat_series_ok(self):
+        text = ascii_chart({"s": [2, 2, 2]}, width=10, height=3)
+        assert "o" in text
+
+    def test_single_point(self):
+        text = ascii_chart({"s": [7]}, width=10, height=3)
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1], "b": [1, 2]})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1, 2]}, x_values=[1])
+
+
+class TestCoverageChart:
+    def test_renders_from_histories(self):
+        gl = CrawlHistory()
+        gl.append(0, 0)
+        gl.append(50, 40)
+        gl.append(100, 70)
+        bfs = CrawlHistory()
+        bfs.append(0, 0)
+        bfs.append(100, 50)
+        text = coverage_chart(
+            {"gl": gl, "bfs": bfs},
+            database_size=100,
+            checkpoints=[25, 50, 75, 100],
+            title="coverage",
+        )
+        assert "legend" in text
+        assert "gl" in text and "bfs" in text

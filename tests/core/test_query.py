@@ -1,0 +1,61 @@
+"""Unit tests for the simplified query model."""
+
+import pytest
+
+from repro.core import AttributeValue, Query, QueryError
+
+
+class TestConstruction:
+    def test_equality_query(self):
+        query = Query.equality("Brand", " IBM ")
+        assert query.attribute == "brand"
+        assert query.value == "ibm"
+        assert not query.is_keyword
+
+    def test_keyword_query(self):
+        query = Query.keyword("Hanks, Tom")
+        assert query.is_keyword
+        assert query.attribute is None
+        assert query.value == "hanks, tom"
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(QueryError):
+            Query.keyword("   ")
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            Query(value="x", attribute="  ")
+
+    def test_from_attribute_value_roundtrip(self):
+        pair = AttributeValue("actor", "hanks, tom")
+        query = Query.from_attribute_value(pair)
+        assert query.as_attribute_value() == pair
+
+    def test_keyword_has_no_single_vertex(self):
+        with pytest.raises(QueryError):
+            Query.keyword("x").as_attribute_value()
+
+
+class TestEqualitySemantics:
+    def test_normalized_queries_compare_equal(self):
+        assert Query.equality("a", "X ") == Query.equality("A", "x")
+
+    def test_hashable(self):
+        assert len({Query.keyword("x"), Query.keyword("x ")}) == 1
+
+    def test_keyword_differs_from_equality(self):
+        assert Query.keyword("x") != Query.equality("a", "x")
+
+
+class TestSql:
+    def test_equality_sql(self):
+        sql = Query.equality("brand", "IBM").sql(("title", "price"))
+        assert sql == "SELECT title, price FROM DB WHERE brand = 'ibm'"
+
+    def test_keyword_sql_mentions_contains(self):
+        sql = Query.keyword("ibm").sql()
+        assert "CONTAINS" in sql
+        assert "'ibm'" in sql
+
+    def test_default_projection_star(self):
+        assert Query.equality("a", "b").sql().startswith("SELECT *")

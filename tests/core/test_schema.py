@@ -1,0 +1,93 @@
+"""Unit tests for schemas and attribute definitions."""
+
+import pytest
+
+from repro.core import Attribute, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_name_normalized(self):
+        assert Attribute(" Title ").name == "title"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("   ")
+
+    def test_default_flags(self):
+        attribute = Attribute("title")
+        assert attribute.queriable and attribute.displayed
+        assert not attribute.multivalued
+
+
+class TestSchema:
+    def test_of_plain_names(self):
+        schema = Schema.of("title", "author")
+        assert schema.names == ("title", "author")
+        assert schema.queriable == ("title", "author")
+
+    def test_of_with_flags(self):
+        schema = Schema.of(
+            "title",
+            author={"multivalued": True},
+            price={"queriable": False},
+        )
+        assert schema.attribute("author").multivalued
+        assert not schema.attribute("price").queriable
+        assert "price" not in schema.queriable
+        assert "price" in schema.displayed
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((Attribute("a"), Attribute("A")))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_lookup_case_insensitive(self):
+        schema = Schema.of("Title")
+        assert schema.attribute("TITLE").name == "title"
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema.of("title")
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            schema.attribute("author")
+
+    def test_contains(self):
+        schema = Schema.of("title")
+        assert "title" in schema
+        assert "TITLE " in schema
+        assert "author" not in schema
+
+    def test_iteration_and_len(self):
+        schema = Schema.of("a", "b", "c")
+        assert len(schema) == 3
+        assert [a.name for a in schema] == ["a", "b", "c"]
+
+    def test_displayed_excludes_hidden(self):
+        schema = Schema.of("a", b={"displayed": False})
+        assert schema.displayed == ("a",)
+
+
+class TestRestrictQueriable:
+    def test_narrows_interface(self):
+        schema = Schema.of("a", "b", "c")
+        narrowed = schema.restrict_queriable(["b"])
+        assert narrowed.queriable == ("b",)
+        # Display schema unchanged.
+        assert narrowed.displayed == ("a", "b", "c")
+
+    def test_preserves_multivalued_flag(self):
+        schema = Schema.of("a", b={"multivalued": True})
+        narrowed = schema.restrict_queriable(["b"])
+        assert narrowed.attribute("b").multivalued
+
+    def test_unknown_name_rejected(self):
+        schema = Schema.of("a")
+        with pytest.raises(SchemaError):
+            schema.restrict_queriable(["nope"])
+
+    def test_original_untouched(self):
+        schema = Schema.of("a", "b")
+        schema.restrict_queriable(["a"])
+        assert schema.queriable == ("a", "b")

@@ -1,0 +1,165 @@
+"""Unit and property tests for the universal relational table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttributeValue,
+    Query,
+    Record,
+    RelationalTable,
+    Schema,
+    SchemaError,
+)
+
+schema = Schema.of(
+    "title", "publisher", author={"multivalued": True}, price={"queriable": False}
+)
+
+
+def build_table(rows):
+    table = RelationalTable(schema, name="t")
+    table.insert_rows(rows)
+    return table
+
+
+class TestInsert:
+    def test_duplicate_id_rejected(self):
+        table = RelationalTable(schema)
+        table.insert(Record.build(1, schema, title="a"))
+        with pytest.raises(SchemaError):
+            table.insert(Record.build(1, schema, title="b"))
+
+    def test_unknown_attribute_rejected(self):
+        table = RelationalTable(schema)
+        bad = Record(1, {"isbn": ("123",)})
+        with pytest.raises(SchemaError):
+            table.insert(bad)
+
+    def test_insert_rows_skips_taken_ids(self):
+        table = RelationalTable(schema)
+        table.insert(Record.build(1, schema, title="x"))
+        table.insert_rows([{"title": "a"}, {"title": "b"}])
+        assert len(table) == 3
+        assert sorted(table.record_ids()) == [0, 1, 2]
+
+
+class TestMatching:
+    def test_equality_match(self, books):
+        ids = books.match_equality("publisher", "orbit")
+        assert len(ids) == 4
+        assert ids == sorted(ids)
+
+    def test_equality_match_on_multivalue(self, books):
+        assert len(books.match_equality("author", "knuth")) == 3
+
+    def test_keyword_match_spans_attributes(self):
+        table = build_table(
+            [{"title": "orbit"}, {"publisher": "orbit"}, {"title": "other"}]
+        )
+        assert len(table.match_keyword("orbit")) == 2
+
+    def test_no_match_returns_empty(self, books):
+        assert books.match_equality("publisher", "nope") == []
+        assert books.match_keyword("nope") == []
+
+    def test_match_dispatches_query(self, books):
+        equality = Query.equality("publisher", "orbit")
+        keyword = Query.keyword("orbit")
+        assert books.match(equality) == books.match_equality("publisher", "orbit")
+        assert books.match(keyword) == books.match_keyword("orbit")
+
+    def test_count_equals_match_length(self, books):
+        for query in (Query.equality("author", "knuth"), Query.keyword("mitp")):
+            assert books.count(query) == len(books.match(query))
+
+    def test_normalization_applies(self, books):
+        assert books.match_equality("PUBLISHER", " Orbit ") == books.match_equality(
+            "publisher", "orbit"
+        )
+
+
+class TestDistinctValues:
+    def test_vertex_count(self, books):
+        # 9 titles + 4 publishers + 6 authors + distinct prices.
+        prices = {r.values_of("price")[0] for r in books}
+        assert books.num_distinct_values() == 9 + 4 + 6 + len(prices)
+
+    def test_per_attribute_listing(self, books):
+        publishers = books.distinct_values("publisher")
+        assert [p.value for p in publishers] == sorted(p.value for p in publishers)
+        assert all(p.attribute == "publisher" for p in publishers)
+        assert len(publishers) == 4
+
+    def test_frequency(self, books):
+        assert books.frequency(AttributeValue("publisher", "orbit")) == 4
+        assert books.frequency(AttributeValue("publisher", "nope")) == 0
+
+
+class TestProjection:
+    def test_hidden_attributes_stripped(self):
+        hidden_schema = Schema.of("title", secret={"displayed": False})
+        table = RelationalTable(hidden_schema)
+        table.insert_rows([{"title": "a", "secret": "s"}])
+        [projected] = table.project([0])
+        assert projected.values_of("title") == ("a",)
+        assert projected.values_of("secret") == ()
+
+    def test_projection_keeps_ids(self, books):
+        projected = books.project([2, 0])
+        assert [r.record_id for r in projected] == [2, 0]
+
+    def test_all_displayed_returns_same_objects(self, books):
+        # books schema displays everything: projection is pass-through.
+        [record] = books.project([1])
+        assert record is books.get(1)
+
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "title": st.text(
+                alphabet=st.characters(whitelist_categories=("Ll",)),
+                min_size=1,
+                max_size=6,
+            ),
+            "author": st.lists(
+                st.sampled_from(["ada", "bob", "cai", "dee"]),
+                min_size=1,
+                max_size=3,
+            ),
+        }
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_property_inverted_index_consistent(rows):
+    """Every record that claims to hold a value is in that value's postings."""
+    table = build_table(rows)
+    for value in table.distinct_values():
+        ids = table.match_equality(value.attribute, value.value)
+        assert len(ids) == table.frequency(value)
+        for record_id in ids:
+            assert table.get(record_id).matches(value.attribute, value.value)
+    # And the converse: records' values all appear in the index.
+    for record in table:
+        for pair in record.attribute_values():
+            assert record.record_id in table.match_equality(
+                pair.attribute, pair.value
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_property_keyword_superset_of_equality(rows):
+    """Keyword matching must return a superset of any per-attribute match."""
+    table = build_table(rows)
+    for value in table.distinct_values():
+        equality = set(table.match_equality(value.attribute, value.value))
+        keyword = set(table.match_keyword(value.value))
+        assert equality <= keyword

@@ -1,0 +1,131 @@
+"""Unit tests for heuristic query abortion policies."""
+
+import pytest
+
+from repro.core import Query, Record, Schema
+from repro.crawler import (
+    CombinedAbort,
+    DuplicateFractionAbort,
+    NeverAbort,
+    PageProgress,
+    TotalCountAbort,
+)
+from repro.server import paginate
+
+schema = Schema.of("title")
+
+
+def page_with(total, fetched_so_far=0, page_size=10, report_total=True):
+    matches = [Record.build(i, schema, title=f"t{i}") for i in range(total)]
+    page_number = fetched_so_far // page_size + 1
+    return paginate(
+        Query.equality("title", "x"),
+        matches,
+        page_number,
+        page_size,
+        report_total=report_total,
+    )
+
+
+class TestPageProgress:
+    def test_tracks_tallies(self):
+        progress = PageProgress()
+        progress.update(10, 4)
+        progress.update(10, 0)
+        assert progress.pages_fetched == 2
+        assert progress.records_seen == 20
+        assert progress.new_records == 4
+        assert progress.duplicate_fraction == pytest.approx(0.8)
+
+    def test_zero_records_no_division(self):
+        assert PageProgress().duplicate_fraction == 0.0
+
+
+class TestNeverAbort:
+    def test_always_false(self):
+        policy = NeverAbort()
+        progress = PageProgress()
+        progress.update(10, 0)
+        assert not policy.should_abort(page_with(50), progress, known_matches=50)
+
+
+class TestTotalCountAbort:
+    def test_aborts_when_remaining_all_known(self):
+        # 50 matches, all 50 already local; after page 1 (10 dups seen),
+        # remaining 40 records contain >= 40 guaranteed duplicates.
+        policy = TotalCountAbort(min_harvest_rate=1.0)
+        progress = PageProgress()
+        progress.update(10, 0)
+        assert policy.should_abort(page_with(50), progress, known_matches=50)
+
+    def test_continues_when_fresh_records_remain(self):
+        policy = TotalCountAbort(min_harvest_rate=1.0)
+        progress = PageProgress()
+        progress.update(10, 10)
+        assert not policy.should_abort(page_with(50), progress, known_matches=0)
+
+    def test_no_total_defers(self):
+        policy = TotalCountAbort()
+        progress = PageProgress()
+        progress.update(10, 0)
+        page = page_with(50, report_total=False)
+        assert not policy.should_abort(page, progress, known_matches=50)
+
+    def test_last_page_never_aborts(self):
+        policy = TotalCountAbort()
+        progress = PageProgress()
+        progress.update(10, 0)
+        page = page_with(10)
+        assert not policy.should_abort(page, progress, known_matches=10)
+
+    def test_threshold_scales(self):
+        # 30 matches, 15 known; after page 1 (10 new): remaining 20 with
+        # 15 guaranteed dups -> 5 new over 2 pages = 2.5/page.
+        progress = PageProgress()
+        progress.update(10, 10)
+        page = page_with(30)
+        assert not TotalCountAbort(min_harvest_rate=2.0).should_abort(
+            page, progress, known_matches=15
+        )
+        assert TotalCountAbort(min_harvest_rate=3.0).should_abort(
+            page, progress, known_matches=15
+        )
+
+
+class TestDuplicateFractionAbort:
+    def test_waits_for_probe_pages(self):
+        policy = DuplicateFractionAbort(max_duplicate_fraction=0.5, probe_pages=2)
+        progress = PageProgress()
+        progress.update(10, 0)  # 100% duplicates but only 1 page
+        assert not policy.should_abort(page_with(50), progress, known_matches=0)
+
+    def test_aborts_on_duplicate_heavy_pages(self):
+        policy = DuplicateFractionAbort(max_duplicate_fraction=0.5, probe_pages=2)
+        progress = PageProgress()
+        progress.update(10, 1)
+        progress.update(10, 2)
+        assert policy.should_abort(page_with(50), progress, known_matches=0)
+
+    def test_continues_on_fresh_pages(self):
+        policy = DuplicateFractionAbort(max_duplicate_fraction=0.5, probe_pages=2)
+        progress = PageProgress()
+        progress.update(10, 9)
+        progress.update(10, 8)
+        assert not policy.should_abort(page_with(50), progress, known_matches=0)
+
+
+class TestCombined:
+    def test_uses_total_when_reported(self):
+        policy = CombinedAbort()
+        progress = PageProgress()
+        progress.update(10, 0)
+        assert policy.should_abort(page_with(50), progress, known_matches=50)
+
+    def test_falls_back_to_duplicates(self):
+        policy = CombinedAbort(
+            duplicate_fraction=DuplicateFractionAbort(0.5, probe_pages=1)
+        )
+        progress = PageProgress()
+        progress.update(10, 0)
+        page = page_with(50, report_total=False)
+        assert policy.should_abort(page, progress, known_matches=0)

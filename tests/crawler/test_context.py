@@ -1,0 +1,66 @@
+"""Unit tests for the crawler context (policy-facing state)."""
+
+import random
+
+import pytest
+
+from repro.core import AttributeValue, Query
+from repro.crawler import CrawlerContext, LocalDatabase
+from repro.server import QueryInterface
+
+
+def make_context(interface):
+    return CrawlerContext(
+        local_db=LocalDatabase(),
+        interface=interface,
+        page_size=10,
+        rng=random.Random(0),
+    )
+
+
+class TestValueToQuery:
+    def test_queriable_attribute_structured(self):
+        context = make_context(QueryInterface(frozenset({"title"})))
+        query = context.value_to_query(AttributeValue("title", "x"))
+        assert query == Query.equality("title", "x")
+
+    def test_keyword_fallback(self):
+        context = make_context(
+            QueryInterface(frozenset({"title"}), supports_keyword=True)
+        )
+        query = context.value_to_query(AttributeValue("price", "9.99"))
+        assert query is not None and query.is_keyword
+
+    def test_inexpressible_returns_none(self):
+        context = make_context(QueryInterface(frozenset({"title"})))
+        assert context.value_to_query(AttributeValue("price", "9.99")) is None
+
+    def test_star_pseudo_attribute_needs_keyword_box(self):
+        structured = make_context(QueryInterface(frozenset({"title"})))
+        assert structured.value_to_query(AttributeValue("*", "x")) is None
+        keyword = make_context(QueryInterface.keyword_only())
+        query = keyword.value_to_query(AttributeValue("*", "x"))
+        assert query is not None and query.is_keyword
+
+
+class TestCoverageOracle:
+    def test_absent_oracle_gives_none(self):
+        context = make_context(QueryInterface(frozenset({"a"})))
+        assert context.estimated_coverage() is None
+
+    def test_oracle_passthrough(self):
+        context = CrawlerContext(
+            local_db=LocalDatabase(),
+            interface=QueryInterface(frozenset({"a"})),
+            page_size=10,
+            rng=random.Random(0),
+            coverage_oracle=lambda: 0.42,
+        )
+        assert context.estimated_coverage() == pytest.approx(0.42)
+
+
+class TestDefaults:
+    def test_fresh_context_is_empty(self):
+        context = make_context(QueryInterface(frozenset({"a"})))
+        assert context.lqueried == []
+        assert context.queried_values == set()

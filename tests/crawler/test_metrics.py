@@ -1,0 +1,103 @@
+"""Unit and property tests for crawl histories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawler import CrawlHistory
+
+
+def history_from(points):
+    history = CrawlHistory()
+    for rounds, records in points:
+        history.append(rounds, records)
+    return history
+
+
+class TestAppend:
+    def test_monotone_enforced_rounds(self):
+        history = history_from([(0, 0), (5, 3)])
+        with pytest.raises(ValueError):
+            history.append(4, 10)
+
+    def test_monotone_enforced_records(self):
+        history = history_from([(0, 0), (5, 3)])
+        with pytest.raises(ValueError):
+            history.append(6, 2)
+
+    def test_finals(self):
+        history = history_from([(0, 0), (5, 3), (9, 7)])
+        assert history.final_rounds == 9
+        assert history.final_records == 7
+        assert len(history) == 3
+
+    def test_empty(self):
+        history = CrawlHistory()
+        assert history.final_rounds == 0
+        assert history.final_records == 0
+
+
+class TestRoundsToRecords:
+    history = history_from([(0, 0), (10, 40), (25, 60), (60, 90)])
+
+    def test_exact_hit(self):
+        assert self.history.rounds_to_records(60) == 25
+
+    def test_between_points_charges_crossing_query(self):
+        assert self.history.rounds_to_records(50) == 25
+
+    def test_zero_target_free(self):
+        assert self.history.rounds_to_records(0) == 0
+
+    def test_unreached_returns_none(self):
+        assert self.history.rounds_to_records(91) is None
+
+    def test_rounds_to_coverage(self):
+        # 50% of 100 records = 50 -> crossed at rounds 25.
+        assert self.history.rounds_to_coverage(0.5, 100) == 25
+
+
+class TestRecordsAtRounds:
+    history = history_from([(0, 0), (10, 40), (25, 60)])
+
+    def test_exact(self):
+        assert self.history.records_at_rounds(10) == 40
+
+    def test_between(self):
+        assert self.history.records_at_rounds(24) == 40
+
+    def test_before_start(self):
+        assert self.history.records_at_rounds(-1) == 0
+
+    def test_beyond_end(self):
+        assert self.history.records_at_rounds(1000) == 60
+
+    def test_coverage_at_rounds(self):
+        assert self.history.coverage_at_rounds(25, 120) == pytest.approx(0.5)
+        assert self.history.coverage_at_rounds(25, 0) == 0.0
+
+    def test_series_helpers(self):
+        assert self.history.coverage_series([10, 25], 100) == [0.4, 0.6]
+        assert self.history.cost_series([0.4, 0.6, 0.9], 100) == [10, 25, None]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 10)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_lookups_are_inverse_consistent(deltas):
+    """records_at_rounds(rounds_to_records(n)) >= n when reachable."""
+    history = CrawlHistory()
+    rounds = records = 0
+    for d_rounds, d_records in deltas:
+        rounds += d_rounds
+        records += d_records
+        history.append(rounds, records)
+    for target in range(0, records + 1, max(records // 5, 1)):
+        cost = history.rounds_to_records(target)
+        assert cost is not None
+        assert history.records_at_rounds(cost) >= target

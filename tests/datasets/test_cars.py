@@ -1,0 +1,49 @@
+"""Unit tests for the car-domain dataset and its restrictive interface."""
+
+import pytest
+
+from repro.core import DatasetError
+from repro.datasets import car_interface, generate_cars
+
+
+class TestGenerator:
+    def test_size(self):
+        assert len(generate_cars(250, seed=1)) == 250
+
+    def test_deterministic(self):
+        a = generate_cars(100, seed=4)
+        b = generate_cars(100, seed=4)
+        assert [r.fields for r in a] == [r.fields for r in b]
+
+    def test_models_nest_under_makes(self):
+        """Each model string appears under exactly one make."""
+        table = generate_cars(1200, seed=2)
+        model_to_makes = {}
+        for record in table:
+            model = record.values_of("model")[0]
+            make = record.values_of("make")[0]
+            model_to_makes.setdefault(model, set()).add(make)
+        assert all(len(makes) == 1 for makes in model_to_makes.values())
+
+    def test_bad_size(self):
+        with pytest.raises(DatasetError):
+            generate_cars(0)
+
+    def test_complete_records(self):
+        table = generate_cars(80, seed=3)
+        for record in table:
+            for attribute in ("make", "model", "year", "price", "location"):
+                assert record.values_of(attribute)
+
+
+class TestInterface:
+    def test_default_requires_two_predicates(self):
+        interface = car_interface()
+        assert interface.min_predicates == 2
+        assert not interface.single_attribute_queriable
+
+    def test_custom_minimum(self):
+        assert car_interface(min_predicates=3).min_predicates == 3
+
+    def test_no_keyword_box(self):
+        assert not car_interface().supports_keyword

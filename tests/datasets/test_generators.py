@@ -1,0 +1,100 @@
+"""Unit tests for the eBay / ACM / DBLP dataset generators."""
+
+import pytest
+
+from repro.core import DatasetError
+from repro.datasets import (
+    EBAY_SCHEMA,
+    generate_acm,
+    generate_dblp,
+    generate_ebay,
+)
+from repro.graph import build_avg_from_table, fit_power_law, record_connectivity
+
+
+class TestEbay:
+    def test_size_and_schema(self):
+        table = generate_ebay(300, seed=1)
+        assert len(table) == 300
+        assert table.schema is EBAY_SCHEMA
+        assert set(table.schema.queriable) == {
+            "categories",
+            "seller",
+            "location",
+            "price",
+        }
+
+    def test_deterministic(self):
+        a = generate_ebay(100, seed=5)
+        b = generate_ebay(100, seed=5)
+        assert [r.fields for r in a] == [r.fields for r in b]
+
+    def test_seed_changes_content(self):
+        a = generate_ebay(100, seed=5)
+        b = generate_ebay(100, seed=6)
+        assert [r.fields for r in a] != [r.fields for r in b]
+
+    def test_every_record_complete(self):
+        table = generate_ebay(100, seed=2)
+        for record in table:
+            for attribute in ("categories", "seller", "location", "price", "title"):
+                assert record.values_of(attribute)
+
+    def test_bad_size(self):
+        with pytest.raises(DatasetError):
+            generate_ebay(0)
+
+    def test_seller_head_exists(self):
+        table = generate_ebay(1000, seed=3)
+        top = max(
+            table.frequency(value) for value in table.distinct_values("seller")
+        )
+        assert top >= 10  # power sellers exist
+        assert top < 300  # but no single seller owns the market
+
+
+class TestScholarly:
+    def test_acm_has_keywords_no_volume(self):
+        table = generate_acm(200, seed=1)
+        assert "subject_keywords" in table.schema.queriable
+        assert "volume" not in table.schema.names
+
+    def test_dblp_has_volume_no_keywords(self):
+        table = generate_dblp(200, seed=1)
+        assert "volume" in table.schema.queriable
+        assert "subject_keywords" not in table.schema.names
+
+    def test_journal_xor_conference(self):
+        table = generate_dblp(200, seed=1)
+        for record in table:
+            has_journal = bool(record.values_of("journal"))
+            has_conference = bool(record.values_of("conference"))
+            assert has_journal != has_conference
+
+    def test_authors_multivalued(self):
+        table = generate_dblp(300, seed=1)
+        assert any(len(record.values_of("author")) >= 2 for record in table)
+
+    def test_bad_sizes(self):
+        with pytest.raises(DatasetError):
+            generate_acm(0)
+        with pytest.raises(DatasetError):
+            generate_dblp(-5)
+
+
+class TestStructuralProperties:
+    """The properties Figures 2 and 3 depend on."""
+
+    @pytest.mark.parametrize("generator", [generate_ebay, generate_acm, generate_dblp])
+    def test_well_connected(self, generator):
+        table = generator(800, seed=4)
+        graph = build_avg_from_table(table, queriable_only=True)
+        assert record_connectivity(list(table), graph) > 0.95
+
+    @pytest.mark.parametrize("generator", [generate_acm, generate_dblp])
+    def test_heavy_tail_degrees(self, generator):
+        table = generator(1500, seed=4)
+        graph = build_avg_from_table(table, queriable_only=True)
+        fit = fit_power_law(graph)
+        assert fit.slope < -0.8
+        assert fit.r_squared > 0.5

@@ -1,0 +1,77 @@
+"""Unit tests for the Table 1 interface corpus."""
+
+import pytest
+
+from repro.core import DatasetError
+from repro.datasets import (
+    TABLE1_PROFILES,
+    TABLE1_REPOSITORY,
+    generate_interface_corpus,
+)
+
+
+class TestCorpus:
+    def test_size(self):
+        corpus = generate_interface_corpus(25, seed=0)
+        assert len(corpus) == 25 * len(TABLE1_PROFILES)
+
+    def test_deterministic(self):
+        assert generate_interface_corpus(10, seed=1) == generate_interface_corpus(
+            10, seed=1
+        )
+
+    def test_counts_match_percentages(self):
+        corpus = generate_interface_corpus(100, seed=2)
+        for domain, (kw_pct, sqm_pct) in TABLE1_PROFILES.items():
+            profiles = [p for p in corpus if p.domain == domain]
+            kw = sum(p.supports_keyword for p in profiles)
+            sqm = sum(p.single_attribute_queriable for p in profiles)
+            assert kw == kw_pct
+            assert sqm == sqm_pct
+
+    def test_sqm_covers_keyword_where_possible(self):
+        corpus = generate_interface_corpus(50, seed=3)
+        for domain, (kw_pct, sqm_pct) in TABLE1_PROFILES.items():
+            if kw_pct > sqm_pct:
+                continue  # the paper's own inconsistency (e.g. job)
+            for profile in corpus:
+                if profile.domain == domain and profile.supports_keyword:
+                    assert profile.single_attribute_queriable
+
+    def test_bad_size(self):
+        with pytest.raises(DatasetError):
+            generate_interface_corpus(0)
+
+    def test_all_domains_have_repository(self):
+        assert set(TABLE1_PROFILES) == set(TABLE1_REPOSITORY)
+
+
+class TestInterfaces:
+    def test_sqm_source_gets_structured_interface(self):
+        corpus = generate_interface_corpus(25, seed=0)
+        profile = next(p for p in corpus if p.single_attribute_queriable)
+        interface = profile.interface()
+        assert interface is not None
+        assert interface.queriable_attributes
+
+    def test_keyword_only_source(self):
+        corpus = generate_interface_corpus(50, seed=0)
+        keyword_only = [
+            p
+            for p in corpus
+            if p.supports_keyword and not p.single_attribute_queriable
+        ]
+        for profile in keyword_only:
+            interface = profile.interface()
+            assert interface is not None
+            assert interface.supports_keyword
+            assert not interface.queriable_attributes
+
+    def test_uncrawlable_source_has_no_interface(self):
+        corpus = generate_interface_corpus(50, seed=0)
+        blocked = next(
+            p
+            for p in corpus
+            if not p.supports_keyword and not p.single_attribute_queriable
+        )
+        assert blocked.interface() is None

@@ -1,0 +1,68 @@
+"""Unit tests for synthetic vocabularies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import names
+
+
+GENERATORS = (
+    names.person_names,
+    names.titles,
+    names.venues,
+    names.subjects,
+    names.cities,
+    names.companies,
+    names.genres,
+    names.languages,
+    names.usernames,
+    names.price_buckets,
+)
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestAllGenerators:
+    def test_distinct(self, generator):
+        values = generator(500)
+        assert len(values) == len(set(values)) == 500
+
+    def test_deterministic(self, generator):
+        assert generator(50) == generator(50)
+
+    def test_prefix_stable(self, generator):
+        # Growing the vocabulary never changes earlier entries.
+        assert generator(100)[:40] == generator(40)
+
+    def test_nonempty_strings(self, generator):
+        assert all(value and value.strip() == value for value in generator(100))
+
+    def test_zero(self, generator):
+        assert generator(0) == []
+
+
+class TestSpecifics:
+    def test_person_name_format(self):
+        assert "," in names.person_name(0)
+        assert names.person_names(3)[0] == names.person_name(0)
+
+    def test_person_name_unbounded_index(self):
+        assert names.person_name(10_000_000) != names.person_name(10_000_001)
+
+    def test_person_names_negative_rejected(self):
+        with pytest.raises(Exception):
+            names.person_names(-1)
+
+    def test_price_buckets_format(self):
+        assert all(bucket.startswith("$") for bucket in names.price_buckets(20))
+
+    def test_venue_mentions_subject(self):
+        assert " on " in names.venues(1)[0]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_person_name_lowercase_normalizable(self, index):
+        from repro.core import normalize
+
+        name = names.person_name(index)
+        assert normalize(name) == name.lower()

@@ -1,0 +1,39 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.core import DatasetError
+from repro.datasets import dataset_info, dataset_names, load_dataset
+
+
+class TestRegistry:
+    def test_names_cover_paper_datasets(self):
+        assert set(dataset_names()) == {"ebay", "imdb", "dblp", "acm"}
+
+    def test_info_fields(self):
+        info = dataset_info("ebay")
+        assert info.paper_records == 20_000
+        assert info.paper_distinct_values == 22_950
+        assert "seller" in info.queriable_attributes
+
+    def test_info_case_insensitive(self):
+        assert dataset_info(" DBLP ").name == "dblp"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_info("oracle-db")
+
+    def test_load_with_explicit_size(self):
+        table = load_dataset("acm", 150, seed=1)
+        assert len(table) == 150
+
+    def test_load_default_size(self):
+        table = load_dataset("ebay", seed=1)
+        assert len(table) == dataset_info("ebay").default_records
+
+    def test_loaded_schema_matches_registry(self):
+        for name in dataset_names():
+            table = load_dataset(name, 60, seed=0)
+            assert set(table.schema.queriable) == set(
+                dataset_info(name).queriable_attributes
+            )

@@ -1,0 +1,114 @@
+"""Unit and property tests for Zipf samplers."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DatasetError
+from repro.datasets import ZipfSampler, choose_zipf, pareto_int
+
+
+class TestValidation:
+    def test_bad_n(self):
+        with pytest.raises(DatasetError):
+            ZipfSampler(0)
+
+    def test_bad_exponent(self):
+        with pytest.raises(DatasetError):
+            ZipfSampler(5, exponent=-0.5)
+
+
+class TestSampling:
+    def test_ranks_in_range(self):
+        sampler = ZipfSampler(10, 1.0)
+        rng = random.Random(0)
+        assert all(0 <= sampler.sample(rng) < 10 for _ in range(500))
+
+    def test_head_heavier_than_tail(self):
+        sampler = ZipfSampler(50, 1.2)
+        rng = random.Random(1)
+        counts = Counter(sampler.sample_many(rng, 5000))
+        assert counts[0] > counts.get(49, 0)
+        assert counts[0] > 5000 / 50  # above the uniform share
+
+    def test_uniform_when_exponent_zero(self):
+        sampler = ZipfSampler(10, 0.0)
+        rng = random.Random(2)
+        counts = Counter(sampler.sample_many(rng, 10000))
+        for rank in range(10):
+            assert counts[rank] == pytest.approx(1000, rel=0.25)
+
+    def test_deterministic_per_seed(self):
+        sampler = ZipfSampler(20, 1.0)
+        assert sampler.sample_many(random.Random(5), 50) == sampler.sample_many(
+            random.Random(5), 50
+        )
+
+
+class TestProbability:
+    def test_sums_to_one(self):
+        sampler = ZipfSampler(30, 1.1)
+        total = sum(sampler.probability(rank) for rank in range(30))
+        assert total == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        sampler = ZipfSampler(30, 1.1)
+        probabilities = [sampler.probability(rank) for rank in range(30)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_out_of_range(self):
+        with pytest.raises(DatasetError):
+            ZipfSampler(5).probability(5)
+
+    def test_matches_formula(self):
+        sampler = ZipfSampler(4, 1.0)
+        h = 1 + 1 / 2 + 1 / 3 + 1 / 4
+        assert sampler.probability(0) == pytest.approx(1 / h)
+        assert sampler.probability(3) == pytest.approx(1 / (4 * h))
+
+
+class TestDistinct:
+    def test_exact_count(self):
+        sampler = ZipfSampler(40, 1.0)
+        rng = random.Random(3)
+        ranks = sampler.sample_distinct(rng, 10)
+        assert len(ranks) == len(set(ranks)) == 10
+
+    def test_full_draw(self):
+        sampler = ZipfSampler(8, 1.0)
+        ranks = sampler.sample_distinct(random.Random(0), 8)
+        assert sorted(ranks) == list(range(8))
+
+    def test_too_many_rejected(self):
+        with pytest.raises(DatasetError):
+            ZipfSampler(3).sample_distinct(random.Random(0), 4)
+
+
+class TestHelpers:
+    def test_choose_zipf(self):
+        items = ["a", "b", "c"]
+        sampler = ZipfSampler(3, 1.0)
+        assert choose_zipf(items, sampler, random.Random(0)) in items
+
+    def test_choose_zipf_size_mismatch(self):
+        with pytest.raises(DatasetError):
+            choose_zipf(["a"], ZipfSampler(2), random.Random(0))
+
+    def test_pareto_int_minimum(self):
+        rng = random.Random(0)
+        assert all(pareto_int(rng, 2, 3.0) >= 2 for _ in range(200))
+
+    def test_pareto_int_degenerate_mean(self):
+        assert pareto_int(random.Random(0), 3, 2.0) == 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 5), st.floats(1.5, 10.0))
+    def test_pareto_int_mean_roughly_right(self, minimum, mean):
+        if mean <= minimum:
+            return
+        rng = random.Random(42)
+        draws = [pareto_int(rng, minimum, mean) for _ in range(2000)]
+        assert sum(draws) / len(draws) == pytest.approx(mean, rel=0.35)

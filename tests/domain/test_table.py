@@ -1,0 +1,137 @@
+"""Unit and property tests for domain statistics tables and sorted unions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AttributeValue, DatasetError, RelationalTable, Schema
+from repro.domain import DomainStatisticsTable, SortedIdUnion, build_domain_table
+
+
+def AV(attribute, value):
+    return AttributeValue(attribute, value)
+
+
+schema = Schema.of("a", "b", tags={"multivalued": True})
+
+
+def sample(rows):
+    table = RelationalTable(schema, name="sample")
+    table.insert_rows(rows)
+    return table
+
+
+@pytest.fixture
+def table():
+    return build_domain_table(
+        sample(
+            [
+                {"a": "x", "b": "p"},
+                {"a": "x", "b": "q"},
+                {"a": "y", "b": "p"},
+            ]
+        )
+    )
+
+
+class TestBuild:
+    def test_counts_and_probabilities(self, table):
+        assert table.size == 3
+        assert table.count(AV("a", "x")) == 2
+        assert table.probability(AV("a", "x")) == pytest.approx(2 / 3)
+        assert table.probability(AV("a", "ghost")) == 0.0
+
+    def test_postings_sorted_dense(self, table):
+        assert table.postings(AV("a", "x")) == (0, 1)
+        assert table.postings(AV("b", "p")) == (0, 2)
+        assert table.postings(AV("a", "ghost")) == ()
+
+    def test_values_most_probable_first(self, table):
+        values = table.values()
+        counts = [table.count(v) for v in values]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_attribute_restriction(self):
+        table = build_domain_table(
+            sample([{"a": "x", "b": "p"}]), attributes=["a"]
+        )
+        assert AV("a", "x") in table
+        assert AV("b", "p") not in table
+        assert table.attributes == frozenset({"a"})
+
+    def test_attribute_map_renames(self):
+        table = build_domain_table(
+            sample([{"a": "x"}]), attribute_map={"a": "alias"}
+        )
+        assert AV("alias", "x") in table
+        assert AV("a", "x") not in table
+
+    def test_min_count_filters(self):
+        table = build_domain_table(
+            sample([{"a": "x"}, {"a": "x"}, {"a": "y"}]), min_count=2
+        )
+        assert AV("a", "x") in table
+        assert AV("a", "y") not in table
+
+    def test_multivalued_counts_record_once(self):
+        table = build_domain_table(sample([{"tags": ["t", "t", "u"]}]))
+        assert table.count(AV("tags", "t")) == 1
+
+    def test_bad_min_count(self):
+        with pytest.raises(DatasetError):
+            build_domain_table(sample([{"a": "x"}]), min_count=0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(DatasetError):
+            DomainStatisticsTable({}, size=0)
+
+    def test_values_of_attribute(self, table):
+        values = table.values_of_attribute("a")
+        assert all(v.attribute == "a" for v in values)
+        assert len(values) == 2
+
+
+class TestSortedIdUnion:
+    def test_union_and_fraction(self):
+        union = SortedIdUnion(universe_size=10)
+        assert union.union([1, 3, 5]) == 3
+        assert union.union([3, 4]) == 1
+        assert union.cardinality == 4
+        assert union.fraction == pytest.approx(0.4)
+
+    def test_contains(self):
+        union = SortedIdUnion(10)
+        union.union([2, 7])
+        assert 2 in union and 7 in union
+        assert 3 not in union
+
+    def test_empty_union(self):
+        union = SortedIdUnion(5)
+        assert union.union([]) == 0
+        assert union.fraction == 0.0
+
+    def test_bad_universe(self):
+        with pytest.raises(DatasetError):
+            SortedIdUnion(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 40), max_size=15).map(
+                lambda xs: sorted(set(xs))
+            ),
+            max_size=8,
+        )
+    )
+    def test_property_matches_set_union(self, posting_lists):
+        union = SortedIdUnion(41)
+        reference: set = set()
+        for postings in posting_lists:
+            added = union.union(postings)
+            new_reference = reference | set(postings)
+            assert added == len(new_reference) - len(reference)
+            reference = new_reference
+            assert union.cardinality == len(reference)
+        assert union.fraction == pytest.approx(len(reference) / 41)
+        for record_id in range(41):
+            assert (record_id in union) == (record_id in reference)

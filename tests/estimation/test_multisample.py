@@ -1,0 +1,110 @@
+"""Unit and property tests for the multi-sample size estimators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EstimationError
+from repro.estimation import (
+    all_estimates,
+    capture_frequencies,
+    chao1,
+    jackknife1,
+    schnabel,
+)
+
+
+class TestCaptureFrequencies:
+    def test_counts(self):
+        samples = [frozenset({1, 2, 3}), frozenset({2, 3}), frozenset({3})]
+        frequencies = capture_frequencies(samples)
+        # 1 seen once, 2 seen twice, 3 seen thrice.
+        assert frequencies == {1: 1, 2: 1, 3: 1}
+
+    def test_sum_equals_union(self):
+        samples = [frozenset(range(10)), frozenset(range(5, 15))]
+        frequencies = capture_frequencies(samples)
+        assert sum(frequencies.values()) == 15
+
+
+class TestSchnabel:
+    def test_two_sample_reduces_to_lincoln_petersen(self):
+        a = frozenset(range(0, 50))
+        b = frozenset(range(40, 90))
+        # Schnabel with 2 samples: C2*M2/R2 = 50*50/10.
+        assert schnabel([a, b]) == pytest.approx(250.0)
+
+    def test_no_recaptures_rejected(self):
+        with pytest.raises(EstimationError):
+            schnabel([frozenset({1}), frozenset({2})])
+
+    def test_needs_two_samples(self):
+        with pytest.raises(EstimationError):
+            schnabel([frozenset({1})])
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            schnabel([frozenset(), frozenset()])
+
+
+class TestChao1:
+    def test_no_singletons_estimates_observed(self):
+        samples = [frozenset({1, 2}), frozenset({1, 2})]
+        assert chao1(samples) == pytest.approx(2.0)
+
+    def test_singletons_push_estimate_up(self):
+        base = [frozenset({1, 2}), frozenset({1, 2})]
+        with_singletons = [frozenset({1, 2, 3}), frozenset({1, 2, 4})]
+        assert chao1(with_singletons) > chao1(base)
+
+    def test_formula(self):
+        # f1 = 2 (records 3, 4), f2 = 2 (records 1, 2), observed 4.
+        samples = [frozenset({1, 2, 3}), frozenset({1, 2, 4})]
+        assert chao1(samples) == pytest.approx(4 + 4 / 4)
+
+
+class TestJackknife:
+    def test_formula(self):
+        samples = [frozenset({1, 2, 3}), frozenset({1, 2, 4})]
+        # observed 4, f1 = 2, n = 2 -> 4 + 2*(1/2) = 5.
+        assert jackknife1(samples) == pytest.approx(5.0)
+
+    def test_at_least_observed(self):
+        samples = [frozenset(range(5)), frozenset(range(3, 8))]
+        observed = len(frozenset(range(8)))
+        assert jackknife1(samples) >= observed
+
+
+class TestAllEstimates:
+    def test_returns_computable_subset(self):
+        samples = [frozenset({1}), frozenset({2})]  # no recaptures
+        estimates = all_estimates(samples)
+        assert "schnabel" not in estimates
+        assert "chao1" in estimates and "jackknife1" in estimates
+
+    def test_full_house(self):
+        samples = [frozenset(range(0, 40)), frozenset(range(30, 70))]
+        estimates = all_estimates(samples)
+        assert set(estimates) == {"schnabel", "chao1", "jackknife1"}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    universe=st.integers(400, 1500),
+    seed=st.integers(0, 500),
+)
+def test_property_uniform_samples_land_near_truth(universe, seed):
+    rng = random.Random(seed)
+    samples = [frozenset(rng.sample(range(universe), 150)) for _ in range(6)]
+    estimates = all_estimates(samples)
+    assert estimates, "all estimators failed on dense samples"
+    for name, estimate in estimates.items():
+        if name == "schnabel":
+            assert 0.5 * universe <= estimate <= 2.0 * universe, name
+        else:
+            # Richness estimators lower-bound the universe: above the
+            # observed count, not above the truth.
+            observed = len(frozenset().union(*samples))
+            assert observed <= estimate <= 2.0 * universe, name

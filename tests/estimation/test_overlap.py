@@ -1,0 +1,87 @@
+"""Unit and property tests for capture-recapture size estimation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EstimationError
+from repro.estimation import capture_recapture, pair_estimate, pairwise_estimates
+
+
+class TestCaptureRecapture:
+    def test_lincoln_petersen(self):
+        # |A|=50, |B|=40, overlap 10 -> N̂ = 200.
+        assert capture_recapture(50, 40, 10) == pytest.approx(200.0)
+
+    def test_full_overlap_estimates_sample_size(self):
+        assert capture_recapture(30, 30, 30) == pytest.approx(30.0)
+
+    def test_zero_overlap_rejected(self):
+        with pytest.raises(EstimationError):
+            capture_recapture(50, 40, 0)
+
+    def test_inconsistent_overlap_rejected(self):
+        with pytest.raises(EstimationError):
+            capture_recapture(5, 4, 6)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(EstimationError):
+            capture_recapture(-1, 4, 1)
+
+
+class TestPairEstimate:
+    def test_from_sets(self):
+        a = frozenset(range(0, 50))
+        b = frozenset(range(40, 90))
+        assert pair_estimate(a, b) == pytest.approx(50 * 50 / 10)
+
+    def test_disjoint_rejected(self):
+        with pytest.raises(EstimationError):
+            pair_estimate(frozenset({1}), frozenset({2}))
+
+
+class TestPairwise:
+    def test_count_is_n_choose_2(self):
+        samples = [frozenset(range(i, i + 30)) for i in range(0, 12, 2)]
+        estimates = pairwise_estimates(samples)
+        assert len(estimates) == 6 * 5 // 2
+
+    def test_skips_disjoint_pairs(self):
+        samples = [
+            frozenset(range(0, 30)),
+            frozenset(range(10, 40)),
+            frozenset(range(1000, 1010)),
+        ]
+        estimates = pairwise_estimates(samples)
+        assert len(estimates) == 1
+
+    def test_needs_two_samples(self):
+        with pytest.raises(EstimationError):
+            pairwise_estimates([frozenset({1})])
+
+    def test_all_disjoint_rejected(self):
+        with pytest.raises(EstimationError):
+            pairwise_estimates([frozenset({1}), frozenset({2}), frozenset({3})])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    universe=st.integers(min_value=200, max_value=2000),
+    sample_size=st.integers(min_value=80, max_value=150),
+    seed=st.integers(0, 1000),
+)
+def test_property_uniform_samples_recover_universe(universe, sample_size, seed):
+    """With genuinely uniform samples the estimator is nearly unbiased."""
+    rng = random.Random(seed)
+    samples = [
+        frozenset(rng.sample(range(universe), min(sample_size, universe)))
+        for _ in range(6)
+    ]
+    try:
+        estimates = pairwise_estimates(samples)
+    except EstimationError:
+        return  # tiny overlaps can all vanish; nothing to check
+    mean = sum(estimates) / len(estimates)
+    assert 0.4 * universe <= mean <= 2.5 * universe

@@ -1,0 +1,99 @@
+"""Tests for query-probe source profiling."""
+
+import random
+
+import pytest
+
+from repro.core import AttributeValue, EstimationError
+from repro.estimation import fit_zipf_exponent, profile_source
+from repro.server import QueryInterface, SimulatedWebDatabase
+
+
+class TestFitZipf:
+    def test_exact_power_law(self):
+        counts = [int(1000 * rank**-1.2) for rank in range(1, 12)]
+        exponent = fit_zipf_exponent(counts)
+        assert exponent == pytest.approx(1.2, abs=0.15)
+
+    def test_too_few_counts(self):
+        assert fit_zipf_exponent([10, 5]) is None
+
+    def test_zeros_ignored(self):
+        assert fit_zipf_exponent([0, 0, 0]) is None
+
+
+class TestProfileSource:
+    def probes_for(self, table, attribute, extra_misses=5):
+        values = table.distinct_values(attribute)[:20]
+        misses = [
+            AttributeValue(attribute, f"no-such-value-{i}")
+            for i in range(extra_misses)
+        ]
+        return values + misses
+
+    def test_profile_counts(self, books):
+        server = SimulatedWebDatabase(books, page_size=2)
+        probes = self.probes_for(books, "publisher", extra_misses=2)
+        report = profile_source(server, probes, max_probes=10, rng=random.Random(1))
+        assert report.probes == min(10, len(probes))
+        assert 0 < report.hit_rate <= 1
+        assert report.rounds_spent == report.probes  # one page each
+        assert report.max_matches <= len(books)
+
+    def test_hit_rate_reflects_misses(self, books):
+        server = SimulatedWebDatabase(books, page_size=2)
+        all_misses = [
+            AttributeValue("publisher", f"ghost-{i}") for i in range(8)
+        ]
+        report = profile_source(server, all_misses, rng=random.Random(0))
+        assert report.hit_rate == 0.0
+        assert report.mean_matches == 0.0
+        assert not report.hubby
+
+    def test_hubby_source_detected(self, small_ebay):
+        server = SimulatedWebDatabase(small_ebay, page_size=10)
+        probes = self.probes_for(small_ebay, "categories", extra_misses=0)
+        probes += self.probes_for(small_ebay, "seller", extra_misses=0)
+        report = profile_source(
+            server, probes, max_probes=30, rng=random.Random(3)
+        )
+        assert report.hit_rate == 1.0
+        assert report.max_matches > report.median_matches
+
+    def test_inexpressible_probes_skipped_free(self, books):
+        server = SimulatedWebDatabase(books, page_size=2)
+        probes = [AttributeValue("price", "10")]  # not queriable
+        with pytest.raises(EstimationError):
+            profile_source(server, probes)
+        assert server.rounds == 0
+
+    def test_keyword_fallback(self, books):
+        server = SimulatedWebDatabase(
+            books, page_size=2, interface=QueryInterface.keyword_only("books")
+        )
+        probes = [AttributeValue("publisher", "orbit")]
+        report = profile_source(server, probes)
+        assert report.hits == 1
+
+    def test_empty_probe_list_rejected(self, books):
+        server = SimulatedWebDatabase(books)
+        with pytest.raises(EstimationError):
+            profile_source(server, [])
+
+    def test_render(self, books):
+        server = SimulatedWebDatabase(books, page_size=2)
+        report = profile_source(
+            server, self.probes_for(books, "publisher"), rng=random.Random(0)
+        )
+        text = report.render()
+        assert "hit rate" in text
+        assert "Source profile" in text
+
+    def test_pages_per_value_accounts_misses(self, books):
+        server = SimulatedWebDatabase(books, page_size=2)
+        probes = [
+            AttributeValue("publisher", "orbit"),   # 4 matches -> 2 pages
+            AttributeValue("publisher", "ghost"),   # miss -> 1 page
+        ]
+        report = profile_source(server, probes, rng=random.Random(0))
+        assert report.estimated_pages_per_value() == pytest.approx(1.5)

@@ -1,0 +1,74 @@
+"""Unit tests for t-based confidence statements."""
+
+import math
+
+import pytest
+
+from repro.core import EstimationError
+from repro.estimation import t_confidence_interval, upper_confidence_bound
+
+
+class TestInterval:
+    def test_contains_mean(self):
+        interval = t_confidence_interval([10.0, 12.0, 11.0, 13.0])
+        assert interval.lower < interval.mean < interval.upper
+        assert interval.mean == pytest.approx(11.5)
+        assert interval.n == 4
+
+    def test_zero_variance_degenerate(self):
+        interval = t_confidence_interval([5.0, 5.0, 5.0])
+        assert interval.lower == interval.upper == interval.mean == 5.0
+
+    def test_higher_confidence_wider(self):
+        values = [10.0, 14.0, 12.0, 9.0, 15.0]
+        narrow = t_confidence_interval(values, confidence=0.8)
+        wide = t_confidence_interval(values, confidence=0.99)
+        assert wide.upper - wide.lower > narrow.upper - narrow.lower
+
+    def test_known_critical_value(self):
+        # n=15 (like the paper's 15 estimates), 90% two-sided:
+        # t(0.95, df=14) = 1.7613.
+        values = list(range(15))
+        interval = t_confidence_interval([float(v) for v in values], 0.9)
+        mean = 7.0
+        stdev = math.sqrt(sum((v - mean) ** 2 for v in values) / 14)
+        margin = 1.7613 * stdev / math.sqrt(15)
+        assert interval.upper == pytest.approx(mean + margin, rel=1e-3)
+
+    def test_needs_two_values(self):
+        with pytest.raises(EstimationError):
+            t_confidence_interval([1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(EstimationError):
+            t_confidence_interval([1.0, float("nan")])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(EstimationError):
+            t_confidence_interval([1.0, 2.0], confidence=1.0)
+
+
+class TestUpperBound:
+    def test_above_mean(self):
+        values = [10.0, 14.0, 12.0, 9.0, 15.0]
+        bound = upper_confidence_bound(values, confidence=0.9)
+        assert bound > sum(values) / len(values)
+
+    def test_one_sided_tighter_than_two_sided_upper(self):
+        values = [10.0, 14.0, 12.0, 9.0, 15.0]
+        one_sided = upper_confidence_bound(values, confidence=0.9)
+        two_sided = t_confidence_interval(values, confidence=0.9).upper
+        assert one_sided < two_sided
+
+    def test_paper_statement_shape(self):
+        """15 estimates around 35k -> a '< 37,000-ish' style bound."""
+        import random
+
+        rng = random.Random(0)
+        estimates = [35_000 + rng.gauss(0, 1500) for _ in range(15)]
+        bound = upper_confidence_bound(estimates, confidence=0.9)
+        assert 34_000 < bound < 38_000
+
+    def test_needs_two_values(self):
+        with pytest.raises(EstimationError):
+            upper_confidence_bound([42.0])

@@ -1,0 +1,208 @@
+"""Shape tests for the figure drivers at reduced scale.
+
+Each test runs the real experiment driver with small parameters and
+asserts the qualitative result the paper reports — the same assertions
+the benchmarks make at larger scale, kept here so a regression is
+caught by the fast suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    build_amazon_setup,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_size_estimation,
+)
+
+
+@pytest.fixture(scope="module")
+def amazon_setup():
+    return build_amazon_setup(n_movies=1800, seed=4)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure2(n_records=1200, seed=0)
+
+    def test_three_panels(self, result):
+        assert {panel.dataset for panel in result.panels} == {
+            "dblp",
+            "imdb",
+            "acm",
+        }
+
+    def test_power_law_shape(self, result):
+        for panel in result.panels:
+            assert panel.fit.slope < -0.8, panel.dataset
+            assert panel.fit.r_squared > 0.5, panel.dataset
+
+    def test_hubs_exist(self, result):
+        for panel in result.panels:
+            assert panel.hub_share_top1pct > 0.05, panel.dataset
+
+    def test_points_exported(self, result):
+        x, y = result.panel("dblp").points
+        assert len(x) == len(y) > 5
+
+    def test_render(self, result):
+        assert "Figure 2" in result.render()
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure3(n_records=1500, n_seeds=2, seed=1, max_level=0.9)
+
+    def test_four_panels(self, result):
+        assert len(result.panels) == 4
+
+    def test_greedy_wins_at_high_coverage(self, result):
+        """GL cheapest (or tied) among all methods at 90% on every panel."""
+        for panel in result.panels:
+            greedy = panel.cost("greedy-link", 0.9)
+            assert greedy is not None
+            for policy in ("dfs", "random"):
+                other = panel.cost(policy, 0.9)
+                assert other is None or greedy <= other * 1.1, (
+                    panel.dataset,
+                    policy,
+                )
+
+    def test_costs_monotone_in_coverage(self, result):
+        for panel in result.panels:
+            for policy, series in panel.series.items():
+                concrete = [cost for cost in series if cost is not None]
+                assert concrete == sorted(concrete), (panel.dataset, policy)
+
+    def test_low_marginal_benefit(self, result):
+        """Cost per coverage point steepens past 70% (the paper's knee)."""
+        for panel in result.panels:
+            series = panel.series["greedy-link"]
+            early = series[1] - series[0]  # 10% -> 30%
+            late = series[4] - series[3]   # 70% -> 90%
+            assert late > early, panel.dataset
+
+    def test_render(self, result):
+        text = result.render()
+        assert text.count("Figure 3") == 4
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4(n_records=2500, n_seeds=2, seed=0)
+
+    def test_mmmi_saves_rounds(self, result):
+        assert result.rounds_saved > 0
+
+    def test_both_reach_target(self, result):
+        assert result.greedy.mean_final_coverage >= result.target_coverage - 0.01
+        assert result.hybrid.mean_final_coverage >= result.target_coverage - 0.01
+
+    def test_render(self, result):
+        assert "rounds saved" in result.render()
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self, amazon_setup):
+        return run_figure5(amazon_setup, n_seeds=2, rng_seed=0)
+
+    def test_dm_beats_gl_final(self, result):
+        assert result.final("dm1") > result.final("greedy-link")
+
+    def test_dm1_at_least_dm2(self, result):
+        assert result.final("dm1") >= result.final("dm2") - 0.02
+
+    def test_gl_plateaus_dm_climbs(self, result):
+        half = len(result.checkpoints) // 2
+        gl_late_gain = result.series["greedy-link"][-1] - result.series["greedy-link"][half]
+        dm_late_gain = result.series["dm1"][-1] - result.series["dm1"][half]
+        assert dm_late_gain > gl_late_gain
+
+    def test_coverage_monotone(self, result):
+        for series in result.series.values():
+            assert series == sorted(series)
+
+    def test_render(self, result):
+        assert "Figure 5" in result.render()
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, amazon_setup):
+        return run_figure6(amazon_setup, limits=(10, 50), n_seeds=1, rng_seed=0)
+
+    def test_tighter_limits_hurt(self, result):
+        native = max(result.limits)
+        for method in ("greedy-link", "dm1"):
+            assert result.coverage[(method, 10)] <= result.coverage[(method, 50)]
+            assert (
+                result.coverage[(method, 50)]
+                <= result.coverage[(method, native)] + 0.02
+            )
+
+    def test_limit_10_degrades_more(self, result):
+        for method in ("greedy-link", "dm1"):
+            assert result.degradation(method, 10) >= result.degradation(method, 50)
+
+    def test_dm_stays_ahead(self, result):
+        for limit in result.limits:
+            assert (
+                result.coverage[("dm1", limit)]
+                >= result.coverage[("greedy-link", limit)] - 0.02
+            )
+
+    def test_render(self, result):
+        assert "Figure 6" in result.render()
+
+
+class TestSizeEstimation:
+    @pytest.fixture(scope="class")
+    def result(self, amazon_setup):
+        return run_size_estimation(amazon_setup, rng_seed=0)
+
+    def test_fifteen_estimates(self, result):
+        assert len(result.estimates) == 15
+
+    def test_estimate_right_order_of_magnitude(self, result):
+        assert 0.5 * result.true_size <= result.interval.mean <= 1.5 * result.true_size
+
+    def test_bound_above_mean(self, result):
+        assert result.upper_bound >= result.interval.mean
+
+    def test_union_below_truth(self, result):
+        assert result.union_size <= result.true_size
+
+    def test_render(self, result):
+        assert "overlap" in result.render()
+
+
+class TestCharts:
+    def test_figure3_panel_chart(self):
+        result = run_figure3(n_records=800, n_seeds=1, seed=2, datasets=("ebay",))
+        chart = result.panels[0].chart(width=40, height=8)
+        assert "legend" in chart
+        assert "greedy-link" in chart
+
+    def test_figure5_chart(self, amazon_setup):
+        result = run_figure5(amazon_setup, n_seeds=1, rng_seed=1)
+        chart = result.chart(width=40, height=8)
+        assert "Figure 5" in chart
+        assert "dm1" in chart
+
+
+class TestKeywordInterface:
+    def test_fading_schema_adds_reach(self, amazon_setup):
+        from repro.experiments import run_keyword_interface
+
+        result = run_keyword_interface(amazon_setup, rng_seed=0)
+        assert result.coverage("keyword box only") > result.coverage(
+            "structured (title/people)"
+        )
+        assert "Fading schema" in result.render()

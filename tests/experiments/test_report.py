@@ -1,0 +1,55 @@
+"""Unit tests for report rendering."""
+
+from repro.experiments import render_series, render_table
+from repro.experiments.report import format_cell, percentage
+
+
+class TestFormatCell:
+    def test_none_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_int_thousands(self):
+        assert format_cell(12345) == "12,345"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_short(self):
+        assert format_cell(0.123456) == "0.123"
+
+    def test_large_float(self):
+        assert format_cell(12345.6) == "12,346"
+
+    def test_nan_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "long-name" in lines[3]
+
+    def test_title_first_line(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_separator_row(self):
+        text = render_table(["a", "b"], [[1, 2]])
+        assert "-+-" in text.splitlines()[1]
+
+
+class TestRenderSeries:
+    def test_columns_per_series(self):
+        text = render_series("x", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+        header = text.splitlines()[0]
+        assert "x" in header and "s1" in header and "s2" in header
+        assert "40" in text
+
+
+def test_percentage():
+    assert percentage(0.823) == "82%"
+    assert percentage(1.0) == "100%"

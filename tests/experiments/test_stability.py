@@ -1,0 +1,48 @@
+"""Tests for the seed-stability experiment driver."""
+
+import pytest
+
+from repro.experiments import run_stability
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_stability(
+        dataset="dblp", n_records=1200, n_seeds=4, target_coverage=0.7, seed=1
+    )
+
+
+class TestStability:
+    def test_one_cost_per_seed(self, result):
+        for spread in result.spreads.values():
+            assert len(spread.costs) == 4
+
+    def test_spread_statistics(self, result):
+        spread = result.spread("random")
+        assert min(spread.costs) <= spread.mean <= max(spread.costs)
+        assert spread.stdev >= 0
+        assert spread.coefficient_of_variation >= 0
+
+    def test_gl_wins_fraction_in_unit_interval(self, result):
+        assert 0.0 <= result.gl_wins_fraction <= 1.0
+
+    def test_gl_mean_beats_random(self, result):
+        assert result.spread("greedy-link").mean <= result.spread("random").mean
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Seed stability" in text
+        assert "GL cheapest" in text
+
+    def test_custom_policy_set(self):
+        from repro.policies import BreadthFirstSelector, DepthFirstSelector
+
+        custom = run_stability(
+            dataset="ebay",
+            n_records=600,
+            n_seeds=2,
+            target_coverage=0.6,
+            policies={"bfs": BreadthFirstSelector, "dfs": DepthFirstSelector},
+        )
+        assert set(custom.spreads) == {"bfs", "dfs"}
+        assert custom.gl_wins_fraction == 0.0  # GL absent

@@ -1,0 +1,73 @@
+"""Tests for the Table 1 and Table 2 drivers."""
+
+import pytest
+
+from repro.experiments import run_table1, run_table2
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(sources_per_domain=44, seed=0)
+
+    def test_eleven_domains(self, result):
+        assert len(result.rows) == 11
+
+    def test_matches_paper_within_rounding(self, result):
+        assert result.max_absolute_error() <= 0.05
+
+    def test_corpus_size_matches_paper(self, result):
+        assert sum(row.n_sources for row in result.rows) == pytest.approx(
+            480, abs=5
+        )
+
+    def test_domain_lookup(self, result):
+        row = result.row("car")
+        assert row.repository == "uiuc"
+        assert row.keyword_fraction < 0.3  # the paper's outlier domain
+
+    def test_render_mentions_domains(self, result):
+        text = result.render()
+        for domain in ("book", "jewellery", "car"):
+            assert domain in text
+
+    def test_unknown_domain(self, result):
+        with pytest.raises(KeyError):
+            result.row("groceries")
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(n_records=600, seed=0)
+
+    def test_four_datasets(self, result):
+        assert {row.dataset for row in result.rows} == {
+            "ebay",
+            "imdb",
+            "dblp",
+            "acm",
+        }
+
+    def test_imdb_richest_interface(self, result):
+        """The paper's IMDB exposes 12 queriable attributes — the most."""
+        widths = {
+            row.dataset: len(row.queriable_attributes) for row in result.rows
+        }
+        assert max(widths, key=widths.get) == "imdb"
+        assert widths["imdb"] == 12
+
+    def test_values_per_record_ordering_matches_paper(self, result):
+        """IMDB has by far the highest distinct-values-per-record ratio."""
+        ratios = {row.dataset: row.values_per_record for row in result.rows}
+        assert max(ratios, key=ratios.get) == "imdb"
+
+    def test_paper_columns_recorded(self, result):
+        row = result.row("dblp")
+        assert row.paper_records == 500_000
+        assert row.paper_distinct_values == 860_293
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Table 2" in text
+        assert "dblp" in text

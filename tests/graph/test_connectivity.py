@@ -1,0 +1,99 @@
+"""Unit tests for AVG connectivity and crawl-reachability analysis."""
+
+import pytest
+
+from repro.core import AttributeValue
+from repro.graph import (
+    build_avg,
+    component_sizes,
+    convergence_coverage,
+    largest_component_fraction,
+    reachable_records,
+    reachable_values,
+    record_connectivity,
+)
+from tests.conftest import make_record
+
+
+def AV(attribute, value):
+    return AttributeValue(attribute, value)
+
+
+@pytest.fixture
+def split_world():
+    """Two components: records 0-2 share values, record 3 is an island."""
+    records = [
+        make_record(0, a="x", b="p"),
+        make_record(1, a="x", b="q"),
+        make_record(2, a="y", b="q"),
+        make_record(3, a="island", b="alone"),
+    ]
+    return records, build_avg(records)
+
+
+class TestComponents:
+    def test_sizes_descending(self, split_world):
+        records, graph = split_world
+        sizes = component_sizes(graph)
+        assert sizes == sorted(sizes, reverse=True)
+        assert sum(sizes) == graph.number_of_nodes()
+        assert len(sizes) == 2
+
+    def test_largest_fraction(self, split_world):
+        _records, graph = split_world
+        # Main component: x, y, p, q (4 of 6 vertices).
+        assert largest_component_fraction(graph) == pytest.approx(4 / 6)
+
+    def test_empty_graph(self):
+        assert largest_component_fraction(build_avg([])) == 0.0
+
+
+class TestReachability:
+    def test_reachable_values_within_component(self, split_world):
+        _records, graph = split_world
+        reached = reachable_values(graph, [AV("a", "x")])
+        assert reached == {AV("a", "x"), AV("a", "y"), AV("b", "p"), AV("b", "q")}
+
+    def test_unknown_seed_contributes_nothing(self, split_world):
+        _records, graph = split_world
+        assert reachable_values(graph, [AV("a", "ghost")]) == set()
+
+    def test_multiple_seeds_union(self, split_world):
+        _records, graph = split_world
+        reached = reachable_values(graph, [AV("a", "x"), AV("a", "island")])
+        assert len(reached) == 6
+
+    def test_reachable_records(self, split_world):
+        records, graph = split_world
+        reached = reachable_records(records, graph, [AV("b", "q")])
+        assert {record.record_id for record in reached} == {0, 1, 2}
+
+    def test_convergence_coverage(self, split_world):
+        records, graph = split_world
+        assert convergence_coverage(records, graph, [AV("a", "x")]) == pytest.approx(
+            0.75
+        )
+        assert convergence_coverage(
+            records, graph, [AV("a", "island")]
+        ) == pytest.approx(0.25)
+
+    def test_empty_records(self):
+        assert convergence_coverage([], build_avg([]), []) == 0.0
+
+
+class TestRecordConnectivity:
+    def test_split_world(self, split_world):
+        records, graph = split_world
+        assert record_connectivity(records, graph) == pytest.approx(0.75)
+
+    def test_fully_connected(self):
+        records = [make_record(i, a="shared", b=f"v{i}") for i in range(5)]
+        graph = build_avg(records)
+        assert record_connectivity(records, graph) == 1.0
+
+    def test_controlled_datasets_well_connected(self, small_ebay):
+        """The paper: 99% of records connected on the controlled servers."""
+        from repro.graph import build_avg_from_table
+
+        graph = build_avg_from_table(small_ebay, queriable_only=True)
+        assert record_connectivity(list(small_ebay), graph) > 0.99

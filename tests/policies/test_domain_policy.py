@@ -1,0 +1,218 @@
+"""Unit tests for the domain-knowledge (DM) selector."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import AttributeValue, CrawlError, Query, RelationalTable, Schema
+from repro.crawler import CrawlerContext, CrawlerEngine, LocalDatabase, QueryOutcome
+from repro.domain import build_domain_table
+from repro.policies import DomainKnowledgeSelector
+from repro.server import QueryInterface, SimulatedWebDatabase
+from tests.conftest import make_record
+
+
+def AV(attribute, value):
+    return AttributeValue(attribute, value)
+
+
+schema = Schema.of("a", "b")
+
+
+def sample_table(rows):
+    table = RelationalTable(schema, name="sample")
+    table.insert_rows(rows)
+    return table
+
+
+@pytest.fixture
+def domain_table():
+    # Sample of 4 records: a=x in 3, a=y in 1, b values singletons.
+    return build_domain_table(
+        sample_table(
+            [
+                {"a": "x", "b": "p"},
+                {"a": "x", "b": "q"},
+                {"a": "x", "b": "r"},
+                {"a": "y", "b": "s"},
+            ]
+        )
+    )
+
+
+def bind(selector):
+    context = CrawlerContext(
+        local_db=LocalDatabase(),
+        interface=QueryInterface(frozenset({"a", "b"})),
+        page_size=10,
+        rng=random.Random(0),
+    )
+    selector.bind(context)
+    return selector, context
+
+
+class TestValidation:
+    def test_bad_initial_hit_rate(self, domain_table):
+        with pytest.raises(CrawlError):
+            DomainKnowledgeSelector(domain_table, initial_hit_rate=1.5)
+
+
+class TestQdtSeeding:
+    def test_can_start_with_empty_local_db(self, domain_table):
+        selector, _context = bind(DomainKnowledgeSelector(domain_table))
+        # Most probable domain value first.
+        assert selector.next_query() == AV("a", "x")
+
+    def test_qdt_served_once(self, domain_table):
+        selector, _context = bind(DomainKnowledgeSelector(domain_table))
+        seen = set()
+        while True:
+            value = selector.next_query()
+            if value is None:
+                break
+            assert value not in seen
+            seen.add(value)
+        assert seen == set(domain_table.values())
+
+
+class TestHitRate:
+    def test_initial_prior(self, domain_table):
+        selector, _context = bind(
+            DomainKnowledgeSelector(domain_table, initial_hit_rate=0.7)
+        )
+        assert selector.hit_rate == pytest.approx(0.7)
+
+    def test_tracks_discovered_values(self, domain_table):
+        selector, _context = bind(DomainKnowledgeSelector(domain_table))
+        selector.add_candidate(AV("a", "x"))      # in DT
+        selector.add_candidate(AV("a", "ghost"))  # not in DT
+        assert selector.hit_rate == pytest.approx(0.5)
+
+    def test_out_of_scope_attributes_ignored(self, domain_table):
+        selector, _context = bind(DomainKnowledgeSelector(domain_table))
+        selector.add_candidate(AV("zzz", "whatever"))
+        assert selector.hit_rate == 1.0  # untouched prior
+
+
+class TestEstimators:
+    def test_size_estimate_tracks_coverage(self, domain_table):
+        selector, context = bind(DomainKnowledgeSelector(domain_table))
+        # Two local records; issued query a=x matched 3 of 4 DM records.
+        context.local_db.add(make_record(1, a="x", b="p"))
+        context.local_db.add(make_record(2, a="x", b="q"))
+        outcome = QueryOutcome(query=Query.equality("a", "x"))
+        selector.observe_outcome(outcome)
+        # P(Lq, DM) = 3/4 -> S = 2 / 0.75 ≈ 2.67.
+        assert selector.estimated_database_size() == pytest.approx(2 / 0.75)
+
+    def test_estimated_matches_eq42(self, domain_table):
+        selector, context = bind(
+            DomainKnowledgeSelector(domain_table, smoothing=False)
+        )
+        context.local_db.add(make_record(1, a="x", b="p"))
+        selector.observe_outcome(QueryOutcome(query=Query.equality("a", "x")))
+        # num̂(y) = |DBlocal| * P(y,DM) / P(Lq,DM) = 1 * 0.25 / 0.75.
+        assert selector.estimated_matches(AV("a", "y")) == pytest.approx(
+            0.25 / 0.75
+        )
+
+    def test_infinite_before_any_dm_coverage(self, domain_table):
+        selector, _context = bind(DomainKnowledgeSelector(domain_table))
+        assert selector.estimated_matches(AV("a", "x")) == math.inf
+        assert selector.estimated_database_size() == math.inf
+
+    def test_harvest_rate_definition(self, domain_table):
+        selector, context = bind(
+            DomainKnowledgeSelector(domain_table, smoothing=False)
+        )
+        for i in range(8):
+            context.local_db.add(make_record(i, a="x", b=f"b{i}"))
+        selector.observe_outcome(QueryOutcome(query=Query.equality("a", "x")))
+        # S = 8/0.75; est(y) = S * 0.25 = 8/3; local(y) = 0;
+        # HR = est / ceil(est/10) = est (single page).
+        estimate = selector.estimated_matches(AV("a", "y"))
+        assert selector.harvest_rate_qdb(AV("a", "y")) == pytest.approx(estimate)
+
+    def test_harvest_rate_clamped_to_page_size(self, domain_table):
+        selector, context = bind(DomainKnowledgeSelector(domain_table))
+        assert selector.harvest_rate_qdb(AV("a", "x")) <= context.page_size
+
+
+class TestSmoothing:
+    def test_delta_dm_grows_on_unknown_values(self, domain_table):
+        selector, context = bind(DomainKnowledgeSelector(domain_table, smoothing=True))
+        before = selector.smoothed_probability(AV("a", "x"))
+        outcome = QueryOutcome(query=Query.equality("a", "x"))
+        # This record carries value b=new not present in DM -> joins ΔDM.
+        record = make_record(10, a="x", b="new")
+        context.local_db.add(record)
+        outcome.new_records = [record]
+        selector.observe_outcome(outcome)
+        after = selector.smoothed_probability(AV("a", "x"))
+        # x occurs in the ΔDM record too: (1+3)/(1+4) > 3/4... actually
+        # 4/5 > 3/4, and the unseen value now has mass.
+        assert after == pytest.approx(4 / 5)
+        assert selector.smoothed_probability(AV("b", "new")) == pytest.approx(1 / 5)
+        assert before == pytest.approx(3 / 4)
+
+    def test_smoothing_off_keeps_raw_probabilities(self, domain_table):
+        selector, context = bind(
+            DomainKnowledgeSelector(domain_table, smoothing=False)
+        )
+        record = make_record(10, a="x", b="new")
+        context.local_db.add(record)
+        outcome = QueryOutcome(query=Query.equality("a", "x"))
+        outcome.new_records = [record]
+        selector.observe_outcome(outcome)
+        assert selector.smoothed_probability(AV("a", "x")) == pytest.approx(3 / 4)
+        assert selector.smoothed_probability(AV("b", "new")) == 0.0
+
+
+class TestIntermediateScore:
+    def test_monotone_with_exact_hr_under_eq41(self, domain_table):
+        """Lazy key ordering agrees with Eq. 4.1's fraction-new ordering."""
+        selector, context = bind(
+            DomainKnowledgeSelector(domain_table, smoothing=False)
+        )
+        for i in range(6):
+            context.local_db.add(make_record(i, a="x", b=f"b{i}"))
+        context.local_db.add(make_record(20, a="y", b="s"))
+        selector.observe_outcome(QueryOutcome(query=Query.equality("a", "x")))
+        x, y = AV("a", "x"), AV("a", "y")
+        # Eq 4.1 fraction-new = 1 - local/(S*P): smaller intermediate
+        # (local/P) means larger fraction-new.
+        inter_x, inter_y = (
+            selector.intermediate_score(x),
+            selector.intermediate_score(y),
+        )
+        size = selector.estimated_database_size()
+        fraction_new_x = 1 - inter_x / size
+        fraction_new_y = 1 - inter_y / size
+        assert (inter_x < inter_y) == (fraction_new_x > fraction_new_y)
+
+
+class TestEndToEnd:
+    def test_dm_crawl_beats_gl_on_island_store(self, dvd_store, dvd_domain_table):
+        from repro.policies import GreedyLinkSelector
+        from repro.server import ResultLimitPolicy
+
+        seed_value = next(
+            value
+            for value in dvd_store.distinct_values("actor")
+            if dvd_store.frequency(value) >= 3
+        )
+        budget = len(dvd_store) // 2
+
+        def run(selector):
+            server = SimulatedWebDatabase(
+                dvd_store,
+                page_size=10,
+                limit_policy=ResultLimitPolicy(limit=100, ordering="ranked"),
+            )
+            engine = CrawlerEngine(server, selector, seed=3)
+            return engine.crawl([seed_value], max_rounds=budget).coverage
+
+        dm = run(DomainKnowledgeSelector(dvd_domain_table))
+        gl = run(GreedyLinkSelector())
+        assert dm > gl

@@ -1,0 +1,88 @@
+"""Unit tests for the naive (BFS/DFS/Random) selectors."""
+
+import random
+
+import pytest
+
+from repro.core import AttributeValue
+from repro.crawler import CrawlerContext, LocalDatabase
+from repro.policies import (
+    BreadthFirstSelector,
+    DepthFirstSelector,
+    RandomSelector,
+)
+from repro.server import QueryInterface
+
+
+def AV(value):
+    return AttributeValue("a", value)
+
+
+def bind(selector, seed=0):
+    context = CrawlerContext(
+        local_db=LocalDatabase(),
+        interface=QueryInterface(frozenset({"a"})),
+        page_size=10,
+        rng=random.Random(seed),
+    )
+    selector.bind(context)
+    return selector
+
+
+class TestNames:
+    def test_labels(self):
+        assert bind(BreadthFirstSelector()).name == "bfs"
+        assert bind(DepthFirstSelector()).name == "dfs"
+        assert bind(RandomSelector()).name == "random"
+
+
+class TestOrdering:
+    def test_bfs_fifo(self):
+        selector = bind(BreadthFirstSelector())
+        for value in ("x", "y", "z"):
+            selector.add_candidate(AV(value))
+        assert selector.next_query() == AV("x")
+        selector.add_candidate(AV("w"))
+        assert selector.next_query() == AV("y")
+
+    def test_dfs_lifo(self):
+        selector = bind(DepthFirstSelector())
+        for value in ("x", "y"):
+            selector.add_candidate(AV(value))
+        assert selector.next_query() == AV("y")
+        selector.add_candidate(AV("z"))
+        assert selector.next_query() == AV("z")
+        assert selector.next_query() == AV("x")
+
+    def test_random_uses_context_rng(self):
+        def run(seed):
+            selector = bind(RandomSelector(), seed=seed)
+            for i in range(10):
+                selector.add_candidate(AV(f"v{i}"))
+            return [selector.next_query() for _ in range(10)]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_exhaustion_returns_none(self):
+        selector = bind(BreadthFirstSelector())
+        selector.add_candidate(AV("x"))
+        selector.next_query()
+        assert selector.next_query() is None
+
+    def test_duplicate_candidates_ignored(self):
+        selector = bind(BreadthFirstSelector())
+        selector.add_candidate(AV("x"))
+        selector.add_candidate(AV("x"))
+        assert selector.next_query() == AV("x")
+        assert selector.next_query() is None
+
+
+class TestBindRequired:
+    def test_add_before_bind_raises(self):
+        with pytest.raises(RuntimeError):
+            BreadthFirstSelector().add_candidate(AV("x"))
+
+    def test_next_before_bind_raises(self):
+        with pytest.raises(RuntimeError):
+            DepthFirstSelector().next_query()

@@ -1,0 +1,138 @@
+"""Failure-injection tests: flaky sources and crawl resilience."""
+
+import pytest
+
+from repro.core import Query, UnsupportedQueryError
+from repro.crawler import CrawlerEngine
+from repro.policies import BreadthFirstSelector
+from repro.server import (
+    FlakyServer,
+    PermanentServerFailure,
+    SimulatedWebDatabase,
+    TransientServerError,
+    submit_with_retries,
+)
+
+
+def flaky_books(books, failure_rate, seed=0, charge=True):
+    return FlakyServer(
+        SimulatedWebDatabase(books, page_size=2),
+        failure_rate=failure_rate,
+        seed=seed,
+        charge_failed_rounds=charge,
+    )
+
+
+class TestFlakyServer:
+    def test_zero_rate_never_fails(self, books):
+        server = flaky_books(books, 0.0)
+        for _ in range(20):
+            page = server.submit(Query.equality("publisher", "orbit"))
+            assert page.total_matches == 4
+        assert server.failures_injected == 0
+
+    def test_failures_injected_at_high_rate(self, books):
+        server = flaky_books(books, 0.9, seed=1)
+        failures = 0
+        for _ in range(30):
+            try:
+                server.submit(Query.equality("publisher", "orbit"))
+            except TransientServerError:
+                failures += 1
+        assert failures > 15
+        assert server.failures_injected == failures
+
+    def test_failed_requests_charge_rounds(self, books):
+        server = flaky_books(books, 0.9, seed=1)
+        before = server.rounds
+        with pytest.raises(TransientServerError):
+            for _ in range(50):
+                server.submit(Query.equality("publisher", "orbit"))
+        assert server.rounds > before
+
+    def test_uncharged_mode(self, books):
+        server = flaky_books(books, 0.99, seed=1, charge=False)
+        with pytest.raises(TransientServerError):
+            server.submit(Query.equality("publisher", "orbit"))
+        assert server.rounds == 0
+
+    def test_interface_rejection_is_not_a_failure(self, books):
+        server = flaky_books(books, 0.99, seed=1)
+        with pytest.raises(UnsupportedQueryError):
+            server.submit(Query.keyword("orbit"))
+        assert server.failures_injected == 0
+
+    def test_deterministic_failure_stream(self, books):
+        def observe(seed):
+            server = flaky_books(books, 0.5, seed=seed)
+            stream = []
+            for _ in range(20):
+                try:
+                    server.submit(Query.equality("publisher", "orbit"))
+                    stream.append(True)
+                except TransientServerError:
+                    stream.append(False)
+            return stream
+
+        assert observe(7) == observe(7)
+        assert observe(7) != observe(8)
+
+    def test_bad_rate_rejected(self, books):
+        with pytest.raises(ValueError):
+            flaky_books(books, 1.0)
+
+
+class TestRetries:
+    def test_retries_succeed_eventually(self, books):
+        server = flaky_books(books, 0.5, seed=3)
+        page = submit_with_retries(
+            server, Query.equality("publisher", "orbit"), max_retries=20
+        )
+        assert page.total_matches == 4
+
+    def test_exhausted_retries_raise_permanent(self, books):
+        server = flaky_books(books, 0.97, seed=2)
+        with pytest.raises(PermanentServerFailure):
+            submit_with_retries(
+                server, Query.equality("publisher", "orbit"), max_retries=2
+            )
+
+    def test_reliable_server_needs_no_retries(self, books):
+        server = SimulatedWebDatabase(books, page_size=2)
+        page = submit_with_retries(server, Query.equality("publisher", "orbit"))
+        assert page.total_matches == 4
+
+
+class TestCrawlResilience:
+    def test_crawl_completes_through_failures(self, books):
+        server = flaky_books(books, 0.3, seed=5)
+        engine = CrawlerEngine(
+            server, BreadthFirstSelector(), seed=0, max_retries=10
+        )
+        result = engine.crawl([("publisher", "orbit")])
+        # Same reachable set as the reliable crawl, just more rounds.
+        assert result.records_harvested == 8
+        assert result.failed_queries == 0
+
+    def test_failures_cost_extra_rounds(self, books):
+        reliable = SimulatedWebDatabase(books, page_size=2)
+        baseline = CrawlerEngine(reliable, BreadthFirstSelector(), seed=0).crawl(
+            [("publisher", "orbit")]
+        )
+        flaky = flaky_books(books, 0.4, seed=5)
+        noisy = CrawlerEngine(
+            flaky, BreadthFirstSelector(), seed=0, max_retries=20
+        ).crawl([("publisher", "orbit")])
+        assert noisy.records_harvested == baseline.records_harvested
+        assert noisy.communication_rounds > baseline.communication_rounds
+
+    def test_unretried_crawl_records_failed_queries(self, books):
+        # With retries enabled but a near-certain failure rate, queries
+        # exhaust their budgets and are recorded as failed, yet the
+        # crawl itself terminates cleanly.
+        server = flaky_books(books, 0.95, seed=4)
+        engine = CrawlerEngine(
+            server, BreadthFirstSelector(), seed=0, max_retries=1
+        )
+        result = engine.crawl([("publisher", "orbit")], max_rounds=500)
+        assert result.failed_queries > 0

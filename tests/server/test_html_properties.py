@@ -1,0 +1,65 @@
+"""Property-based robustness tests for the HTML wrapper round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Query, Record
+from repro.server import paginate, parse_html_page, render_html_page
+
+# Values with whitespace collapsed away survive normalization unchanged;
+# include HTML-dangerous characters to exercise escaping.
+value_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"),
+        whitelist_characters="&<>\"' .,-|;=",
+    ),
+    min_size=1,
+    max_size=20,
+).map(lambda s: " ".join(s.split())).filter(
+    lambda s: s and "|" not in s  # '|' is the multi-value cell separator
+)
+
+record_strategy = st.builds(
+    lambda record_id, title, authors: Record(
+        record_id,
+        {
+            "title": (title,),
+            "author": tuple(dict.fromkeys(authors)),
+        },
+    ),
+    record_id=st.integers(min_value=0, max_value=10_000),
+    title=value_text,
+    authors=st.lists(value_text, min_size=1, max_size=3),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(record_strategy, min_size=0, max_size=6, unique_by=lambda r: r.record_id))
+def test_annotated_roundtrip(records):
+    page = paginate(Query.keyword("probe"), records, 1, 10)
+    assert parse_html_page(render_html_page(page, annotated=True)) == page
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(record_strategy, min_size=0, max_size=6, unique_by=lambda r: r.record_id))
+def test_plain_roundtrip(records):
+    page = paginate(Query.keyword("probe"), records, 1, 10)
+    assert parse_html_page(render_html_page(page, annotated=False)) == page
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(record_strategy, min_size=1, max_size=5, unique_by=lambda r: r.record_id),
+    st.integers(min_value=1, max_value=3),
+)
+def test_xml_and_html_agree(records, page_size):
+    from repro.server import parse_page, render_page
+
+    import math
+
+    num_pages = math.ceil(len(records) / page_size)
+    for page_number in range(1, num_pages + 1):
+        page = paginate(Query.keyword("probe"), records, page_number, page_size)
+        via_xml = parse_page(render_page(page))
+        via_html = parse_html_page(render_html_page(page, annotated=True))
+        assert via_xml == via_html == page

@@ -1,0 +1,78 @@
+"""Unit tests for query interfaces."""
+
+import pytest
+
+from repro.core import Query, Schema, UnsupportedQueryError
+from repro.server import QueryInterface
+
+
+class TestConstruction:
+    def test_from_schema_takes_queriable(self):
+        schema = Schema.of("a", "b", c={"queriable": False})
+        interface = QueryInterface.from_schema(schema)
+        assert interface.queriable_attributes == frozenset({"a", "b"})
+        assert not interface.supports_keyword
+
+    def test_keyword_only(self):
+        interface = QueryInterface.keyword_only()
+        assert interface.supports_keyword
+        assert interface.queriable_attributes == frozenset()
+
+    def test_nothing_queriable_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            QueryInterface(frozenset(), supports_keyword=False)
+
+    def test_attribute_names_normalized(self):
+        interface = QueryInterface(frozenset({" Title "}))
+        assert interface.queriable_attributes == frozenset({"title"})
+
+
+class TestAccepts:
+    interface = QueryInterface(frozenset({"title", "author"}), supports_keyword=False)
+
+    def test_accepts_queriable_attribute(self):
+        assert self.interface.accepts(Query.equality("title", "x"))
+
+    def test_rejects_other_attribute(self):
+        assert not self.interface.accepts(Query.equality("price", "x"))
+
+    def test_rejects_keyword_without_box(self):
+        assert not self.interface.accepts(Query.keyword("x"))
+
+    def test_keyword_box_accepts_keyword(self):
+        keyword_interface = QueryInterface.keyword_only()
+        assert keyword_interface.accepts(Query.keyword("x"))
+        assert not keyword_interface.accepts(Query.equality("title", "x"))
+
+    def test_validate_raises_with_message(self):
+        with pytest.raises(UnsupportedQueryError, match="price"):
+            self.interface.validate(Query.equality("price", "x"))
+
+    def test_validate_passes_silently(self):
+        self.interface.validate(Query.equality("author", "x"))
+
+
+class TestCoerce:
+    def test_structured_passes_through(self):
+        interface = QueryInterface(frozenset({"title"}), supports_keyword=True)
+        query = Query.equality("title", "x")
+        assert interface.coerce(query) is query
+
+    def test_falls_back_to_keyword(self):
+        interface = QueryInterface(frozenset({"title"}), supports_keyword=True)
+        coerced = interface.coerce(Query.equality("price", "9.99"))
+        assert coerced.is_keyword
+        assert coerced.value == "9.99"
+
+    def test_raises_when_neither_possible(self):
+        interface = QueryInterface(frozenset({"title"}), supports_keyword=False)
+        with pytest.raises(UnsupportedQueryError):
+            interface.coerce(Query.equality("price", "x"))
+
+
+class TestSingleAttributeQueriable:
+    def test_structured_counts(self):
+        assert QueryInterface(frozenset({"a"})).single_attribute_queriable
+
+    def test_keyword_counts(self):
+        assert QueryInterface.keyword_only().single_attribute_queriable

@@ -1,0 +1,62 @@
+"""Unit tests for result-size limit policies."""
+
+import pytest
+
+from repro.core import Query, QueryError
+from repro.server import ResultLimitPolicy
+
+
+class TestValidation:
+    def test_bad_limit(self):
+        with pytest.raises(QueryError):
+            ResultLimitPolicy(limit=0)
+
+    def test_bad_ordering(self):
+        with pytest.raises(QueryError):
+            ResultLimitPolicy(ordering="chaos")
+
+    def test_defaults_unlimited(self):
+        policy = ResultLimitPolicy()
+        assert policy.limit is None
+        assert policy.accessible(10_000) == 10_000
+
+
+class TestAccessible:
+    def test_caps(self):
+        assert ResultLimitPolicy(limit=50).accessible(200) == 50
+
+    def test_no_cap_below_limit(self):
+        assert ResultLimitPolicy(limit=50).accessible(20) == 20
+
+
+class TestOrdering:
+    query = Query.equality("a", "x")
+
+    def test_id_ordering_sorts(self):
+        policy = ResultLimitPolicy(ordering="id")
+        assert policy.order(self.query, [5, 1, 3]) == [1, 3, 5]
+
+    def test_ranked_is_permutation(self):
+        policy = ResultLimitPolicy(ordering="ranked", seed=7)
+        ids = list(range(30))
+        ranked = policy.order(self.query, ids)
+        assert sorted(ranked) == ids
+        assert ranked != ids  # astronomically unlikely to be identity
+
+    def test_ranked_deterministic(self):
+        policy = ResultLimitPolicy(ordering="ranked", seed=7)
+        first = policy.order(self.query, list(range(20)))
+        second = policy.order(self.query, list(range(20)))
+        assert first == second
+
+    def test_ranked_differs_per_query(self):
+        policy = ResultLimitPolicy(ordering="ranked", seed=7)
+        a = policy.order(Query.equality("a", "x"), list(range(20)))
+        b = policy.order(Query.equality("a", "y"), list(range(20)))
+        assert a != b
+
+    def test_ranked_differs_per_seed(self):
+        ids = list(range(20))
+        a = ResultLimitPolicy(ordering="ranked", seed=1).order(self.query, ids)
+        b = ResultLimitPolicy(ordering="ranked", seed=2).order(self.query, ids)
+        assert a != b

@@ -1,0 +1,100 @@
+"""Unit tests for multi-attribute interface gating and serving."""
+
+import pytest
+
+from repro.core import (
+    AttributeValue,
+    ConjunctiveQuery,
+    Query,
+    UnsupportedQueryError,
+)
+from repro.datasets import car_interface, generate_cars
+from repro.server import QueryInterface, SimulatedWebDatabase, parse_page, render_page
+
+
+class TestMinPredicates:
+    interface = QueryInterface(
+        frozenset({"make", "model", "year"}), min_predicates=2, name="cars"
+    )
+
+    def test_single_query_rejected(self):
+        assert not self.interface.accepts(Query.equality("make", "toyota"))
+        with pytest.raises(UnsupportedQueryError, match="at least 2"):
+            self.interface.validate(Query.equality("make", "toyota"))
+
+    def test_pair_accepted(self):
+        query = ConjunctiveQuery.equalities(make="toyota", model="corolla")
+        assert self.interface.accepts(query)
+
+    def test_undersized_conjunction_rejected(self):
+        assert not self.interface.accepts(ConjunctiveQuery.equalities(make="toyota"))
+
+    def test_unknown_attribute_rejected(self):
+        query = ConjunctiveQuery.equalities(make="toyota", price="low")
+        assert not self.interface.accepts(query)
+
+    def test_not_single_attribute_queriable(self):
+        assert not self.interface.single_attribute_queriable
+
+    def test_keyword_bypasses_gate(self):
+        keyword_interface = QueryInterface(
+            frozenset({"make", "model"}), supports_keyword=True, min_predicates=2
+        )
+        assert keyword_interface.accepts(Query.keyword("toyota"))
+        assert keyword_interface.single_attribute_queriable
+
+    def test_max_predicates_cap(self):
+        capped = QueryInterface(frozenset({"a", "b", "c"}), max_predicates=2)
+        assert capped.accepts(ConjunctiveQuery.equalities(a="1", b="2"))
+        assert not capped.accepts(ConjunctiveQuery.equalities(a="1", b="2", c="3"))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(UnsupportedQueryError):
+            QueryInterface(frozenset({"a"}), min_predicates=0)
+        with pytest.raises(UnsupportedQueryError):
+            QueryInterface(frozenset({"a"}), min_predicates=2)
+        with pytest.raises(UnsupportedQueryError):
+            QueryInterface(frozenset({"a", "b"}), min_predicates=2, max_predicates=1)
+
+    def test_default_interface_accepts_conjunctions(self):
+        plain = QueryInterface(frozenset({"a", "b"}))
+        assert plain.accepts(ConjunctiveQuery.equalities(a="1", b="2"))
+
+
+class TestServing:
+    def test_server_answers_conjunctions(self):
+        table = generate_cars(200, seed=1)
+        server = SimulatedWebDatabase(
+            table, page_size=10, interface=car_interface()
+        )
+        record = table.get(table.record_ids()[0])
+        query = ConjunctiveQuery.of(
+            AttributeValue("make", record.values_of("make")[0]),
+            AttributeValue("model", record.values_of("model")[0]),
+        )
+        page = server.submit(query)
+        assert page.total_matches >= 1
+        assert all(
+            r.values_of("make") == record.values_of("make") for r in page.records
+        )
+
+    def test_server_rejects_single_predicates(self):
+        table = generate_cars(100, seed=1)
+        server = SimulatedWebDatabase(table, interface=car_interface())
+        with pytest.raises(UnsupportedQueryError):
+            server.submit(Query.equality("make", "toyota"))
+        assert server.rounds == 0
+
+
+class TestXmlRoundtrip:
+    def test_conjunctive_page_roundtrips(self):
+        from repro.core import Record, Schema
+        from repro.server import paginate
+
+        schema = Schema.of("make", "model")
+        matches = [Record.build(1, schema, make="toyota", model="corolla")]
+        query = ConjunctiveQuery.equalities(make="toyota", model="corolla")
+        page = paginate(query, matches, 1, 10)
+        parsed = parse_page(render_page(page))
+        assert parsed == page
+        assert isinstance(parsed.query, ConjunctiveQuery)

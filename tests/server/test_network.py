@@ -1,0 +1,51 @@
+"""Unit tests for communication accounting."""
+
+from repro.core import Query
+from repro.server import CommunicationLog
+
+
+def test_rounds_increment():
+    log = CommunicationLog()
+    query = Query.keyword("x")
+    log.record(query, 1, 10)
+    log.record(query, 2, 4)
+    assert log.rounds == 2
+    assert log.pages_for(query) == 2
+    assert log.distinct_queries == 1
+
+
+def test_requests_capture_detail():
+    log = CommunicationLog()
+    entry = log.record(Query.keyword("x"), 3, 7)
+    assert entry.round_number == 1
+    assert entry.page_number == 3
+    assert entry.records_returned == 7
+    assert log.requests == [entry]
+
+
+def test_keep_requests_off_saves_memory():
+    log = CommunicationLog(keep_requests=False)
+    log.record(Query.keyword("x"), 1, 1)
+    assert log.rounds == 1
+    assert log.requests == []
+
+
+def test_callbacks_fire_per_round():
+    log = CommunicationLog()
+    seen = []
+    log.on_round(seen.append)
+    log.record(Query.keyword("x"), 1, 0)
+    log.record(Query.keyword("y"), 1, 0)
+    assert seen == [1, 2]
+
+
+def test_reset_clears_counters_keeps_callbacks():
+    log = CommunicationLog()
+    seen = []
+    log.on_round(seen.append)
+    log.record(Query.keyword("x"), 1, 0)
+    log.reset()
+    assert log.rounds == 0
+    assert log.distinct_queries == 0
+    log.record(Query.keyword("x"), 1, 0)
+    assert seen == [1, 1]

@@ -1,0 +1,73 @@
+"""Unit tests for the XML web-service wire format."""
+
+import pytest
+
+from repro.core import Query, Record, Schema
+from repro.server import ResultPage, paginate, parse_page, render_page
+
+schema = Schema.of("title", author={"multivalued": True})
+
+
+def sample_page(report_total=True):
+    matches = [
+        Record.build(3, schema, title="alpha", author=["x", "y"]),
+        Record.build(7, schema, title="beta"),
+    ]
+    return paginate(
+        Query.equality("author", "x"), matches, 1, 10, report_total=report_total
+    )
+
+
+class TestRender:
+    def test_contains_items_and_metadata(self):
+        document = render_page(sample_page())
+        assert "<QueryResponse" in document
+        assert 'totalResults="2"' in document
+        assert document.count("<Item") == 2
+        assert "<author>x</author>" in document
+        assert "<author>y</author>" in document
+
+    def test_request_echoed(self):
+        document = render_page(sample_page())
+        assert 'attribute="author"' in document
+        assert 'value="x"' in document
+
+    def test_keyword_query_omits_attribute(self):
+        page = paginate(Query.keyword("x"), [], 1, 10)
+        document = render_page(page)
+        assert "attribute=" not in document
+
+    def test_total_omitted_when_unreported(self):
+        document = render_page(sample_page(report_total=False))
+        assert "totalResults" not in document
+
+
+class TestParse:
+    def test_roundtrip(self):
+        page = sample_page()
+        parsed = parse_page(render_page(page))
+        assert parsed == page
+
+    def test_roundtrip_without_total(self):
+        page = sample_page(report_total=False)
+        parsed = parse_page(render_page(page))
+        assert parsed.total_matches is None
+        assert parsed == page
+
+    def test_roundtrip_keyword(self):
+        matches = [Record.build(1, schema, title="orbit")]
+        page = paginate(Query.keyword("orbit"), matches, 1, 5)
+        assert parse_page(render_page(page)) == page
+
+    def test_multivalued_fields_preserved(self):
+        parsed = parse_page(render_page(sample_page()))
+        [first, _second] = parsed.records
+        assert first.values_of("author") == ("x", "y")
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ValueError):
+            parse_page("<QueryResponse></QueryResponse>")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(Exception):
+            parse_page("this is not xml")

@@ -1,0 +1,85 @@
+"""Property tests for the server's pagination-under-limit semantics."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Query, RelationalTable, Schema
+from repro.server import ResultLimitPolicy, SimulatedWebDatabase
+
+schema = Schema.of("a", "b")
+
+
+def build_server(rows, page_size, limit, ordering, seed):
+    table = RelationalTable(schema)
+    table.insert_rows(rows)
+    return SimulatedWebDatabase(
+        table,
+        page_size=page_size,
+        limit_policy=ResultLimitPolicy(limit=limit, ordering=ordering, seed=seed),
+    )
+
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries(
+        {"a": st.sampled_from(["x", "y"]), "b": st.sampled_from("pqrs")}
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=rows_strategy,
+    page_size=st.integers(1, 7),
+    limit=st.one_of(st.none(), st.integers(1, 25)),
+    ordering=st.sampled_from(["id", "ranked"]),
+    seed=st.integers(0, 5),
+)
+def test_pages_enumerate_the_accessible_prefix_once(
+    rows, page_size, limit, ordering, seed
+):
+    """Fetching every page yields each accessible record exactly once,
+    the same prefix on repeated full fetches, and the Def. 2.3 count."""
+    server = build_server(rows, page_size, limit, ordering, seed)
+    query = Query.equality("a", "x")
+    true_matches = server.truth_count(query)
+    accessible = true_matches if limit is None else min(true_matches, limit)
+
+    def fetch_all():
+        ids = []
+        page_number = 1
+        while True:
+            page = server.submit(query, page_number)
+            ids.extend(record.record_id for record in page.records)
+            assert page.accessible_matches == accessible
+            assert page.total_matches == true_matches
+            if not page.has_next:
+                break
+            page_number += 1
+        return ids
+
+    first = fetch_all()
+    assert len(first) == accessible
+    assert len(set(first)) == accessible
+    # The served prefix is stable across repeated full fetches.
+    assert fetch_all() == first
+    # Definition 2.3: pages needed = ceil(accessible / k) (min 1 round).
+    expected_pages = max(math.ceil(accessible / page_size), 1)
+    assert server.rounds == 2 * expected_pages
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=rows_strategy,
+    limit=st.integers(1, 10),
+    seed=st.integers(0, 5),
+)
+def test_ranked_prefix_is_a_subset_of_matches(rows, limit, seed):
+    server = build_server(rows, 5, limit, "ranked", seed)
+    query = Query.equality("a", "x")
+    page = server.submit(query, 1)
+    full = set(server.table.match(query))
+    assert {record.record_id for record in page.records} <= full

@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import io as stdio
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = stdio.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDatasets:
+    def test_lists_all(self):
+        code, text = run_cli("datasets")
+        assert code == 0
+        for name in ("ebay", "imdb", "dblp", "acm"):
+            assert name in text
+
+
+class TestGenerate:
+    def test_writes_file(self, tmp_path):
+        out_path = tmp_path / "ebay.json"
+        code, text = run_cli(
+            "generate", "ebay", "--records", "120", "--out", str(out_path)
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "120" in text
+
+    def test_gzip_output(self, tmp_path):
+        out_path = tmp_path / "acm.json.gz"
+        code, _text = run_cli(
+            "generate", "acm", "--records", "80", "--out", str(out_path)
+        )
+        assert code == 0
+        from repro import io
+
+        assert len(io.load_table(out_path)) == 80
+
+
+class TestCrawl:
+    def test_crawl_builtin_dataset(self):
+        code, text = run_cli(
+            "crawl",
+            "--dataset", "ebay",
+            "--records", "400",
+            "--policy", "greedy-link",
+            "--target", "0.7",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "greedy-link" in text
+        assert "rounds" in text
+
+    def test_crawl_saved_table_with_history(self, tmp_path):
+        table_path = tmp_path / "t.json"
+        history_path = tmp_path / "h.csv"
+        run_cli("generate", "dblp", "--records", "300", "--out", str(table_path))
+        code, text = run_cli(
+            "crawl",
+            "--table", str(table_path),
+            "--policy", "bfs",
+            "--max-rounds", "150",
+            "--history", str(history_path),
+        )
+        assert code == 0
+        assert history_path.exists()
+        assert history_path.read_text().startswith("rounds,records")
+
+    def test_practical_policy(self):
+        code, text = run_cli(
+            "crawl",
+            "--dataset", "ebay",
+            "--records", "300",
+            "--policy", "practical",
+            "--target", "0.6",
+        )
+        assert code == 0
+        assert "stopped by" in text
+
+    def test_result_limit_flag(self):
+        code, text = run_cli(
+            "crawl",
+            "--dataset", "ebay",
+            "--records", "300",
+            "--result-limit", "20",
+            "--max-rounds", "100",
+        )
+        assert code == 0
+
+    def test_requires_a_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["crawl", "--policy", "bfs"])
+
+
+class TestExperiment:
+    def test_table1(self):
+        code, text = run_cli("experiment", "table1")
+        assert code == 0
+        assert "Table 1" in text
+
+    def test_figure2_small(self):
+        code, text = run_cli("experiment", "figure2", "--records", "600")
+        assert code == 0
+        assert "Figure 2" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])
+
+
+class TestProfile:
+    def test_profile_builtin_dataset(self):
+        code, text = run_cli(
+            "profile", "--dataset", "ebay", "--records", "300", "--probes", "10"
+        )
+        assert code == 0
+        assert "hit rate" in text
+        assert "Source profile" in text
+
+    def test_profile_saved_table(self, tmp_path):
+        table_path = tmp_path / "t.json"
+        run_cli("generate", "acm", "--records", "200", "--out", str(table_path))
+        code, text = run_cli("profile", "--table", str(table_path), "--probes", "8")
+        assert code == 0
+        assert "probes issued" in text
+
+    def test_adaptive_policy_available(self):
+        code, text = run_cli(
+            "crawl", "--dataset", "dblp", "--records", "300",
+            "--policy", "adaptive", "--max-rounds", "80",
+        )
+        assert code == 0
+        assert "adaptive-attribute" in text

@@ -1,0 +1,28 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Modules with runnable ``>>>`` examples are listed explicitly so a new
+doctest cannot silently go unexecuted.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.query
+import repro.core.records
+import repro.core.values
+import repro.experiments.report
+
+MODULES = (
+    repro.core.values,
+    repro.core.records,
+    repro.core.query,
+    repro.experiments.report,
+)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lists no doctests"
+    assert result.failed == 0

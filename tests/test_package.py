@@ -1,0 +1,41 @@
+"""Package-level sanity: version consistency, export hygiene."""
+
+import pathlib
+import re
+
+import repro
+
+
+def test_version_matches_pyproject():
+    pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+    match = re.search(r'^version = "([^"]+)"', pyproject.read_text(), re.M)
+    assert match is not None
+    assert repro.__version__ == match.group(1)
+
+
+def test_py_typed_marker_ships():
+    marker = pathlib.Path(repro.__file__).parent / "py.typed"
+    assert marker.exists()
+
+
+def test_all_subpackage_exports_resolve():
+    """Every name in each subpackage's __all__ must be importable."""
+    import importlib
+
+    for name in (
+        "repro.core",
+        "repro.graph",
+        "repro.server",
+        "repro.crawler",
+        "repro.policies",
+        "repro.domain",
+        "repro.datasets",
+        "repro.estimation",
+        "repro.experiments",
+        "repro.warehouse",
+        "repro.analysis",
+    ):
+        module = importlib.import_module(name)
+        for export in module.__all__:
+            assert hasattr(module, export), f"{name}.{export} missing"
+        assert module.__all__ == sorted(module.__all__), f"{name}.__all__ unsorted"

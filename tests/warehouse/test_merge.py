@@ -1,0 +1,98 @@
+"""Unit tests for the warehouse merge layer."""
+
+import pytest
+
+from repro.core import Record
+from repro.warehouse import Warehouse, WarehouseError
+
+
+def record(record_id, **fields):
+    return Record(
+        record_id,
+        {k: (v if isinstance(v, tuple) else (v,)) for k, v in fields.items()},
+    )
+
+
+class TestIngest:
+    def test_entities_keyed_by_normalized_title(self):
+        warehouse = Warehouse("title")
+        warehouse.ingest("store-a", [record(1, title="The  Deep Web", price="10")])
+        warehouse.ingest("store-b", [record(7, title="the deep web", price="12")])
+        assert len(warehouse) == 1
+        entry = warehouse.get("The Deep Web")
+        assert entry.n_sources == 2
+
+    def test_records_without_key_are_skipped_and_counted(self):
+        warehouse = Warehouse("title")
+        warehouse.ingest("a", [record(1, price="10")])
+        assert len(warehouse) == 0
+        assert warehouse.skipped == 1
+
+    def test_ingest_returns_touched_count(self):
+        warehouse = Warehouse("title")
+        touched = warehouse.ingest(
+            "a", [record(1, title="x"), record(2, title="y"), record(3, price="1")]
+        )
+        assert touched == 2
+
+    def test_empty_source_name_rejected(self):
+        with pytest.raises(WarehouseError):
+            Warehouse("title").ingest("  ", [])
+
+    def test_empty_key_attribute_rejected(self):
+        with pytest.raises(WarehouseError):
+            Warehouse("  ")
+
+    def test_missing_entity_raises(self):
+        with pytest.raises(WarehouseError):
+            Warehouse("title").get("ghost")
+
+
+class TestEntries:
+    def build(self):
+        warehouse = Warehouse("title")
+        warehouse.ingest(
+            "a",
+            [record(1, title="x", price="10"), record(2, title="y", price="20")],
+        )
+        warehouse.ingest("b", [record(5, title="x", price="11")])
+        return warehouse
+
+    def test_multi_source_entries(self):
+        warehouse = self.build()
+        multi = warehouse.multi_source_entries()
+        assert [entry.key for entry in multi] == ["x"]
+
+    def test_coverage_by_source(self):
+        warehouse = self.build()
+        assert warehouse.coverage_by_source() == {"a": 2, "b": 1}
+
+    def test_compare_prices(self):
+        warehouse = self.build()
+        assert warehouse.compare("price", "x") == {"a": "10", "b": "11"}
+
+    def test_contains_normalizes(self):
+        warehouse = self.build()
+        assert " X " in warehouse
+        assert "zz" not in warehouse
+
+    def test_entries_sorted(self):
+        warehouse = self.build()
+        assert [entry.key for entry in warehouse.entries()] == ["x", "y"]
+
+
+class TestConsolidation:
+    def test_union_of_values(self):
+        warehouse = Warehouse("title")
+        warehouse.ingest("a", [record(1, title="x", actor=("p", "q"))])
+        warehouse.ingest("b", [record(2, title="x", actor=("q", "r"), genre="drama")])
+        merged = warehouse.get("x").consolidated()
+        assert merged["actor"] == ("p", "q", "r")
+        assert merged["genre"] == ("drama",)
+
+    def test_same_source_duplicate_offers_kept_as_provenance(self):
+        warehouse = Warehouse("title")
+        warehouse.ingest("a", [record(1, title="x"), record(2, title="x")])
+        entry = warehouse.get("x")
+        assert len(entry.offers) == 2
+        assert entry.n_sources == 1

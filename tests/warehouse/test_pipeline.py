@@ -1,0 +1,64 @@
+"""Integration tests for the multi-source crawl pipeline."""
+
+import pytest
+
+from repro.datasets import MovieUniverse, generate_amazon_dvd
+from repro.server import SimulatedWebDatabase
+from repro.warehouse import crawl_into_warehouse
+
+
+@pytest.fixture(scope="module")
+def stores():
+    universe = MovieUniverse(600, seed=31, obscure_fraction=0.0)
+    built = []
+    for index, (fraction, name) in enumerate(
+        ((0.7, "alpha-dvd"), (0.5, "beta-dvd"))
+    ):
+        store = generate_amazon_dvd(
+            universe, catalogue_fraction=fraction, seed=60 + index
+        )
+        store.name = name
+        built.append(store)
+    return built
+
+
+def seed_for(store):
+    return [
+        next(
+            value
+            for value in store.distinct_values("actor")
+            if store.frequency(value) >= 2
+        )
+    ]
+
+
+class TestPipeline:
+    def test_crawls_and_merges(self, stores):
+        servers = [SimulatedWebDatabase(store, page_size=10) for store in stores]
+        result = crawl_into_warehouse(
+            servers,
+            [seed_for(store) for store in stores],
+            key_attribute="title",
+            max_rounds_per_source=400,
+        )
+        assert len(result.reports) == 2
+        assert result.total_entities > 0
+        assert result.total_rounds <= 2 * 400 + 200  # budget (+ overshoot slack)
+        # Overlapping catalogues: some entities must come from both.
+        assert result.warehouse.multi_source_entries()
+
+    def test_report_lines_mention_sources(self, stores):
+        servers = [SimulatedWebDatabase(store, page_size=10) for store in stores]
+        result = crawl_into_warehouse(
+            servers,
+            [seed_for(store) for store in stores],
+            max_rounds_per_source=150,
+        )
+        text = "\n".join(result.report_lines())
+        assert "alpha-dvd" in text and "beta-dvd" in text
+        assert "warehouse" in text
+
+    def test_seed_count_mismatch_rejected(self, stores):
+        servers = [SimulatedWebDatabase(store) for store in stores]
+        with pytest.raises(ValueError):
+            crawl_into_warehouse(servers, [[]])

@@ -1,0 +1,101 @@
+"""Tests for the multi-source budget scheduler."""
+
+import pytest
+
+from repro.core import CrawlError
+from repro.crawler import CrawlerEngine
+from repro.datasets import generate_dblp, generate_ebay
+from repro.policies import GreedyLinkSelector
+from repro.server import SimulatedWebDatabase
+from repro.warehouse import GreedyScheduler, RoundRobinScheduler
+
+
+def make_engines(tables, seed=0):
+    engines = {}
+    seeds = {}
+    for table in tables:
+        server = SimulatedWebDatabase(table, page_size=10)
+        engines[table.name] = CrawlerEngine(server, GreedyLinkSelector(), seed=seed)
+        seeds[table.name] = [
+            next(
+                value
+                for value in table.distinct_values()
+                if value.attribute in table.schema.queriable
+                and table.frequency(value) >= 2
+            )
+        ]
+    return engines, seeds
+
+
+@pytest.fixture(scope="module")
+def two_sources():
+    ebay = generate_ebay(700, seed=3)
+    dblp = generate_dblp(700, seed=3)
+    return ebay, dblp
+
+
+class TestValidation:
+    def test_needs_sources(self):
+        with pytest.raises(CrawlError):
+            GreedyScheduler({}, {})
+
+    def test_engines_and_seeds_must_match(self, two_sources):
+        engines, seeds = make_engines(two_sources)
+        del seeds["ebay"]
+        with pytest.raises(CrawlError):
+            GreedyScheduler(engines, seeds)
+
+    def test_budget_must_be_positive(self, two_sources):
+        engines, seeds = make_engines(two_sources)
+        scheduler = GreedyScheduler(engines, seeds)
+        with pytest.raises(CrawlError):
+            scheduler.run(0)
+
+
+class TestBudgeting:
+    def test_budget_respected(self, two_sources):
+        engines, seeds = make_engines(two_sources)
+        result = GreedyScheduler(engines, seeds).run(total_rounds=120)
+        # One query may overshoot by its own page count; allow slack.
+        assert result.rounds_used <= 120 + 80
+        assert result.total_records > 0
+        assert set(result.results) == {"ebay", "dblp"}
+
+    def test_allocation_sums_to_rounds(self, two_sources):
+        engines, seeds = make_engines(two_sources)
+        result = RoundRobinScheduler(engines, seeds).run(total_rounds=100)
+        assert sum(result.allocation().values()) == result.rounds_used
+
+    def test_exhaustion_before_budget(self):
+        tiny = generate_ebay(40, seed=1)
+        engines, seeds = make_engines([tiny])
+        result = GreedyScheduler(engines, seeds).run(total_rounds=100_000)
+        assert result.results["ebay"].stopped_by == "frontier-exhausted"
+
+    def test_round_robin_spreads_budget(self, two_sources):
+        engines, seeds = make_engines(two_sources)
+        result = RoundRobinScheduler(engines, seeds).run(total_rounds=200)
+        allocation = result.allocation()
+        # Fair share: neither source is starved.
+        assert all(rounds > 20 for rounds in allocation.values())
+
+
+class TestGreedyAllocation:
+    def test_greedy_at_least_matches_round_robin(self, two_sources):
+        """Greedy marginal-gain allocation harvests >= fair share."""
+        budget = 250
+        engines_a, seeds_a = make_engines(two_sources, seed=1)
+        greedy = GreedyScheduler(engines_a, seeds_a).run(budget)
+        engines_b, seeds_b = make_engines(two_sources, seed=1)
+        fair = RoundRobinScheduler(engines_b, seeds_b).run(budget)
+        assert greedy.total_records >= fair.total_records * 0.95
+
+    def test_greedy_shifts_budget_to_productive_source(self):
+        # A nearly-drained tiny source vs a fresh large one: the greedy
+        # scheduler should spend most of the budget on the large one.
+        tiny = generate_ebay(50, seed=2)
+        big = generate_dblp(900, seed=2)
+        engines, seeds = make_engines([tiny, big])
+        result = GreedyScheduler(engines, seeds).run(total_rounds=150)
+        allocation = result.allocation()
+        assert allocation["dblp"] > allocation["ebay"]
