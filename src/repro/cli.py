@@ -6,11 +6,21 @@ Usage (also via ``python -m repro``)::
     repro generate dblp --records 5000 --out dblp.json.gz
     repro crawl --dataset ebay --policy greedy-link --target 0.9
     repro crawl --table dblp.json.gz --policy bfs --max-rounds 2000
+    repro crawl --dataset ebay --checkpoint-dir state/ --checkpoint-every 100
+    repro resume state/
     repro experiment figure3 --records 2000
     repro experiment table1
 
 Every subcommand prints a plain-text report to stdout; ``crawl`` can
 additionally write the coverage history as CSV (``--history out.csv``).
+
+With ``--checkpoint-dir`` the crawl runs under the durable runtime
+(:mod:`repro.runtime`): it journals every step, commits a checkpoint
+marker every ``--checkpoint-every`` steps (cheap: a journal flush plus
+a progress manifest; add ``--snapshot-every`` for periodic full-state
+snapshots), and records a setup recipe so ``repro resume DIR`` can
+rebuild the source and continue after a crash or a
+``--stop-after-steps`` suspension.
 """
 
 from __future__ import annotations
@@ -125,9 +135,31 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--target", type=float, default=None,
                        help="stop at this true coverage (0..1)")
     crawl.add_argument("--max-rounds", type=int, default=None)
+    crawl.add_argument("--max-queries", type=int, default=None)
     crawl.add_argument("--seed", type=int, default=0)
     crawl.add_argument("--history", default=None,
                        help="write the coverage history CSV here")
+    crawl.add_argument("--checkpoint-dir", default=None,
+                       help="run durably: journal + checkpoints in this directory")
+    crawl.add_argument("--checkpoint-every", type=int, default=100,
+                       help="steps between checkpoint markers: journal "
+                            "group-commit + progress manifest "
+                            "(with --checkpoint-dir)")
+    crawl.add_argument("--snapshot-every", type=int, default=0,
+                       help="steps between full-state snapshots; 0 writes "
+                            "them only at baseline and suspension")
+    crawl.add_argument("--stop-after-steps", type=int, default=None,
+                       help="suspend gracefully after N steps (with --checkpoint-dir)")
+
+    resume = commands.add_parser(
+        "resume", help="resume a checkpointed crawl from its directory"
+    )
+    resume.add_argument("checkpoint_dir",
+                        help="directory holding checkpoint.json + journal.jsonl")
+    resume.add_argument("--stop-after-steps", type=int, default=None,
+                        help="suspend again after N further steps")
+    resume.add_argument("--history", default=None,
+                        help="write the coverage history CSV here")
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -170,9 +202,49 @@ def _command_generate(args, out) -> int:
     return 0
 
 
+def _build_from_setup(setup: dict):
+    """Rebuild (table, server, selector) from a setup recipe.
+
+    The same recipe is built from ``crawl`` arguments and stored inside
+    every checkpoint, so ``resume`` reconstructs an identical source.
+    """
+    if setup.get("dataset"):
+        table = load_dataset(
+            setup["dataset"], setup.get("records", 0), seed=setup.get("seed", 0)
+        )
+    else:
+        table = io.load_table(setup["table"])
+    limit_policy = (
+        ResultLimitPolicy(limit=setup["result_limit"], ordering="ranked")
+        if setup.get("result_limit")
+        else None
+    )
+    server = SimulatedWebDatabase(
+        table, page_size=setup.get("page_size", 10), limit_policy=limit_policy
+    )
+    selector = POLICIES[setup["policy"]]()
+    return table, server, selector
+
+
+def _report_result(table, result, args, out) -> None:
+    out.write(f"source: {table.name} ({len(table):,} records)\n")
+    out.write(
+        f"{result.policy}: {result.records_harvested:,} records "
+        f"({result.coverage:.1%}) in {result.communication_rounds:,} rounds, "
+        f"{result.queries_issued:,} queries, stopped by {result.stopped_by}\n"
+    )
+    if result.aborted_queries:
+        out.write(f"aborted queries: {result.aborted_queries}\n")
+    if args.history:
+        io.history_to_csv(result.history, args.history)
+        out.write(f"history written to {args.history}\n")
+
+
 def _command_crawl(args, out) -> int:
     import random
 
+    if args.checkpoint_dir is not None:
+        return _durable_crawl(args, out)
     if args.dataset:
         table = load_dataset(args.dataset, args.records, seed=args.seed)
     else:
@@ -193,20 +265,100 @@ def _command_crawl(args, out) -> int:
         table, 1, random.Random(args.seed), min_frequency=2
     )
     result = engine.crawl(
-        seeds, target_coverage=args.target, max_rounds=args.max_rounds
+        seeds,
+        target_coverage=args.target,
+        max_rounds=args.max_rounds,
+        max_queries=args.max_queries,
     )
-    out.write(f"source: {table.name} ({len(table):,} records)\n")
     out.write(f"seed value: {seeds[0]}\n")
-    out.write(
-        f"{result.policy}: {result.records_harvested:,} records "
-        f"({result.coverage:.1%}) in {result.communication_rounds:,} rounds, "
-        f"{result.queries_issued:,} queries, stopped by {result.stopped_by}\n"
+    _report_result(table, result, args, out)
+    return 0
+
+
+def _durable_crawl(args, out) -> int:
+    import random
+
+    from repro.analysis.reports import render_runtime_metrics
+    from repro.runtime.crawler import RuntimeCrawler
+    from repro.runtime.events import EventBus, MetricsAggregator
+
+    if args.policy == "practical":
+        out.write("--checkpoint-dir does not support the practical bundle\n")
+        return 2
+    setup = {
+        "dataset": args.dataset,
+        "table": args.table,
+        "records": args.records,
+        "policy": args.policy,
+        "page_size": args.page_size,
+        "result_limit": args.result_limit,
+        "seed": args.seed,
+    }
+    table, server, selector = _build_from_setup(setup)
+    bus = EventBus()
+    metrics = bus.attach(MetricsAggregator())
+    engine = CrawlerEngine(server, selector, seed=args.seed, bus=bus)
+    runtime = RuntimeCrawler(
+        engine,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        snapshot_every=args.snapshot_every,
+        setup=setup,
     )
-    if result.aborted_queries:
-        out.write(f"aborted queries: {result.aborted_queries}\n")
-    if args.history:
-        io.history_to_csv(result.history, args.history)
-        out.write(f"history written to {args.history}\n")
+    seeds = sample_seed_values(
+        table, 1, random.Random(args.seed), min_frequency=2
+    )
+    result = runtime.crawl(
+        seeds,
+        target_coverage=args.target,
+        max_rounds=args.max_rounds,
+        max_queries=args.max_queries,
+        stop_after_steps=args.stop_after_steps,
+    )
+    runtime.close()
+    out.write(f"seed value: {seeds[0]}\n")
+    _report_result(table, result, args, out)
+    out.write(
+        f"checkpoints written: {runtime.checkpoints_written} "
+        f"(every {args.checkpoint_every} steps) in {args.checkpoint_dir}\n"
+    )
+    if result.stopped_by == "suspended":
+        out.write(f"suspended; continue with: repro resume {args.checkpoint_dir}\n")
+    out.write(render_runtime_metrics(metrics))
+    out.write("\n")
+    return 0
+
+
+def _command_resume(args, out) -> int:
+    from repro.analysis.reports import render_runtime_metrics
+    from repro.runtime.checkpoint import CrawlCheckpoint
+    from repro.runtime.crawler import CHECKPOINT_FILE, RuntimeCrawler
+    from repro.runtime.events import EventBus, MetricsAggregator
+    from pathlib import Path
+
+    directory = Path(args.checkpoint_dir)
+    checkpoint = CrawlCheckpoint.load(directory / CHECKPOINT_FILE)
+    if not checkpoint.setup:
+        out.write(
+            "checkpoint carries no setup recipe (API-made); "
+            "resume it with RuntimeCrawler.resume() instead\n"
+        )
+        return 2
+    table, server, selector = _build_from_setup(checkpoint.setup)
+    bus = EventBus()
+    metrics = bus.attach(MetricsAggregator())
+    runtime = RuntimeCrawler.resume(directory, server, selector, bus=bus)
+    out.write(
+        f"resumed from step {checkpoint.step} "
+        f"(+{runtime.engine.steps - checkpoint.step} journaled steps replayed)\n"
+    )
+    result = runtime.run(stop_after_steps=args.stop_after_steps)
+    runtime.close()
+    _report_result(table, result, args, out)
+    if result.stopped_by == "suspended":
+        out.write(f"suspended; continue with: repro resume {args.checkpoint_dir}\n")
+    out.write(render_runtime_metrics(metrics))
+    out.write("\n")
     return 0
 
 
@@ -250,6 +402,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "datasets": _command_datasets,
         "generate": _command_generate,
         "crawl": _command_crawl,
+        "resume": _command_resume,
         "experiment": _command_experiment,
         "profile": _command_profile,
     }[args.command]

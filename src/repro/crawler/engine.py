@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import CrawlError
+from repro.core.errors import CrawlError, UnsupportedQueryError
 from repro.core.query import AnyQuery, ConjunctiveQuery, Query
 from repro.core.values import AttributeValue
 from repro.crawler.abortion import AbortionPolicy
@@ -33,9 +33,15 @@ from repro.crawler.localdb import LocalDatabase
 from repro.crawler.metrics import CrawlHistory
 from repro.crawler.prober import DatabaseProber, QueryOutcome
 from repro.policies.base import QuerySelector
+from repro.runtime.events import CrawlStopped, EventBus, RecordsHarvested
+from repro.server.flaky import ExponentialBackoff
 from repro.server.webdb import SimulatedWebDatabase
 
 Seed = Union[AttributeValue, Tuple[str, str], str]
+
+#: Decorrelates the backoff-jitter stream from the policy stream when
+#: both derive from the same user-facing seed.
+_BACKOFF_SEED_SALT = 0x9E3779B9
 
 
 @dataclass
@@ -96,6 +102,12 @@ class CrawlerEngine:
     keep_outcomes:
         Retain per-query outcomes on the result (memory-heavy; off by
         default).
+    bus:
+        Event bus every layer of this crawl announces on; defaults to a
+        silent bus (see :mod:`repro.runtime.events`).
+    backoff:
+        Retry backoff schedule, forwarded to the prober (only relevant
+        with ``max_retries > 0``).
     """
 
     def __init__(
@@ -107,10 +119,19 @@ class CrawlerEngine:
         use_xml: bool = False,
         keep_outcomes: bool = False,
         max_retries: int = 0,
+        bus: Optional[EventBus] = None,
+        backoff: Optional[ExponentialBackoff] = None,
     ) -> None:
         self.server = server
         self.selector = selector
         self.rng = random.Random(seed)
+        self.bus = bus or EventBus()
+        self.backoff = backoff
+        # Separate stream for retry jitter: backoff draws must not
+        # perturb the policy's selection randomness.
+        self.backoff_rng = random.Random(
+            seed ^ _BACKOFF_SEED_SALT if seed is not None else None
+        )
         self.local_db = LocalDatabase(
             track_cooccurrence=selector.requires_cooccurrence
         )
@@ -122,6 +143,10 @@ class CrawlerEngine:
             abortion,
             use_xml,
             max_retries=max_retries,
+            bus=self.bus,
+            backoff=backoff,
+            retry_rng=self.backoff_rng,
+            policy=selector.name,
         )
         self.keep_outcomes = keep_outcomes
         self.context = CrawlerContext(
@@ -139,6 +164,7 @@ class CrawlerEngine:
         self._aborted = 0
         self._rejected = 0
         self._failed = 0
+        self._steps = 0
         self._outcomes: List[QueryOutcome] = []
 
     # ------------------------------------------------------------------
@@ -178,14 +204,7 @@ class CrawlerEngine:
             if proposal is None:
                 self._exhausted = True
                 return None
-            if isinstance(proposal, (Query, ConjunctiveQuery)):
-                # Policies for richer interfaces (e.g. multi-attribute
-                # sources) formulate whole queries themselves.
-                value = None
-                query: Optional[AnyQuery] = proposal
-            else:
-                value = proposal
-                query = self.context.value_to_query(value)
+            value, query = self._formulate(proposal)
             if query is None or query in self._issued:
                 # Inexpressible on this interface, or the same wire query
                 # was already sent for an equal-valued candidate.
@@ -196,22 +215,60 @@ class CrawlerEngine:
                 self._rejected += 1
                 continue
 
-            self._issued.add(query)
-            self.context.lqueried.append(query)
-            if value is not None:
-                self.context.queried_values.add(value)
-            if outcome.aborted:
-                self._aborted += 1
-            if outcome.failed:
-                self._failed += 1
-            for candidate in outcome.candidate_values:
-                if candidate not in self.context.queried_values:
-                    self.selector.add_candidate(candidate)
-            self.selector.observe_outcome(outcome)
-            if self.keep_outcomes:
-                self._outcomes.append(outcome)
-            self._history.append(self.server.rounds, len(self.local_db))
+            self._apply_outcome(value, query, outcome, self.server.rounds)
+            if self.bus.has_sinks:
+                self.bus.emit(
+                    RecordsHarvested(
+                        query=query,
+                        step=self._steps,
+                        new_records=len(outcome.new_records),
+                        pages_fetched=outcome.pages_fetched,
+                        records_total=len(self.local_db),
+                        rounds=self.server.rounds,
+                    ),
+                    policy=self.selector.name,
+                )
             return outcome
+
+    def _formulate(
+        self, proposal
+    ) -> Tuple[Optional[AttributeValue], Optional[AnyQuery]]:
+        """Turn a selector proposal into the wire query it implies."""
+        if isinstance(proposal, (Query, ConjunctiveQuery)):
+            # Policies for richer interfaces (e.g. multi-attribute
+            # sources) formulate whole queries themselves.
+            return None, proposal
+        return proposal, self.context.value_to_query(proposal)
+
+    def _apply_outcome(
+        self,
+        value: Optional[AttributeValue],
+        query: AnyQuery,
+        outcome: QueryOutcome,
+        rounds: int,
+    ) -> None:
+        """Fold one executed query's outcome into the crawl state.
+
+        Shared by the live step and journal replay; ``rounds`` is the
+        server's round counter after the query (replay passes the
+        journaled value instead of reading the live server).
+        """
+        self._issued.add(query)
+        self.context.lqueried.append(query)
+        if value is not None:
+            self.context.queried_values.add(value)
+        if outcome.aborted:
+            self._aborted += 1
+        if outcome.failed:
+            self._failed += 1
+        for candidate in outcome.candidate_values:
+            if candidate not in self.context.queried_values:
+                self.selector.add_candidate(candidate)
+        self.selector.observe_outcome(outcome)
+        if self.keep_outcomes:
+            self._outcomes.append(outcome)
+        self._steps += 1
+        self._history.append(rounds, len(self.local_db))
 
     def result(self, stopped_by: Optional[str] = None) -> CrawlResult:
         """Snapshot the crawl's current totals as a :class:`CrawlResult`."""
@@ -260,7 +317,169 @@ class CrawlerEngine:
                 break
             if self.step() is None:
                 break
-        return self.result(stopped_by)
+        result = self.result(stopped_by)
+        if self.bus.has_sinks:
+            self.bus.emit(
+                CrawlStopped(
+                    stopped_by=stopped_by,
+                    rounds=result.communication_rounds,
+                    queries=result.queries_issued,
+                    records=result.records_harvested,
+                ),
+                policy=self.selector.name,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Durable-runtime API (see repro.runtime)
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        """Completed query–harvest–decompose steps so far."""
+        return self._steps
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of all engine-side crawl state.
+
+        The selector contributes its own state via
+        :meth:`~repro.policies.base.QuerySelector.state_dict`; server
+        state is snapshotted separately (``server.runtime_state()``)
+        because schedulers share one engine per source but the runtime
+        owns when server state is captured.
+        """
+        from repro.runtime.serialize import (
+            encode_query,
+            encode_record,
+            encode_rng,
+            encode_value,
+            query_sort_key,
+        )
+
+        state = {
+            "started": self._started,
+            "exhausted": self._exhausted,
+            "steps": self._steps,
+            "issued": [
+                encode_query(q) for q in sorted(self._issued, key=query_sort_key)
+            ],
+            "lqueried": [encode_query(q) for q in self.context.lqueried],
+            "queried_values": [
+                encode_value(v) for v in sorted(self.context.queried_values)
+            ],
+            "rng": encode_rng(self.rng),
+            "backoff_rng": encode_rng(self.backoff_rng),
+            "aborted": self._aborted,
+            "rejected": self._rejected,
+            "failed": self._failed,
+            "history": [[p.rounds, p.records] for p in self._history.points],
+            "records": [encode_record(r) for r in self.local_db],
+            "selector": self.selector.state_dict(),
+            "flags": {
+                "use_xml": self.prober.use_xml,
+                "keep_outcomes": self.keep_outcomes,
+                "max_retries": self.prober.max_retries,
+            },
+        }
+        if self.keep_outcomes:
+            from repro.runtime.journal import encode_outcome
+
+            state["outcomes"] = [encode_outcome(o) for o in self._outcomes]
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot onto a freshly constructed engine.
+
+        The engine must have been built with the same server config,
+        selector type/config, and flags as the one that produced the
+        snapshot; ``prepare``/``crawl`` must not have been called.
+        """
+        from repro.runtime.serialize import (
+            decode_query,
+            decode_record,
+            decode_value,
+            restore_rng,
+        )
+
+        if self._started:
+            raise CrawlError("load_state requires a fresh engine")
+        flags = state.get("flags")
+        if flags is not None:
+            current = {
+                "use_xml": self.prober.use_xml,
+                "keep_outcomes": self.keep_outcomes,
+                "max_retries": self.prober.max_retries,
+            }
+            if flags != current:
+                raise CrawlError(
+                    f"engine config mismatch: checkpoint has {flags}, "
+                    f"this engine has {current}"
+                )
+        self._started = state["started"]
+        self._exhausted = state["exhausted"]
+        self._steps = state["steps"]
+        self._issued = {decode_query(q) for q in state["issued"]}
+        # lqueried and queried_values live on the shared context: mutate
+        # in place so the selector's bound view stays consistent.
+        self.context.lqueried.extend(decode_query(q) for q in state["lqueried"])
+        self.context.queried_values.update(
+            decode_value(v) for v in state["queried_values"]
+        )
+        restore_rng(self.rng, state["rng"])
+        restore_rng(self.backoff_rng, state["backoff_rng"])
+        self._aborted = state["aborted"]
+        self._rejected = state["rejected"]
+        self._failed = state["failed"]
+        self._history = CrawlHistory()
+        for rounds, records in state["history"]:
+            self._history.append(rounds, records)
+        # Re-adding records in insertion order rebuilds DB_local's graph
+        # (degrees, co-occurrence) exactly as the original crawl did.
+        for payload in state["records"]:
+            self.local_db.add(decode_record(payload))
+        self.selector.load_state(state["selector"])
+        if "outcomes" in state and self.keep_outcomes:
+            from repro.runtime.journal import decode_outcome
+
+            self._outcomes = [decode_outcome(o) for o in state["outcomes"]]
+
+    def replay_outcome(self, outcome: QueryOutcome, rounds_after: int) -> None:
+        """Re-apply one journaled step without contacting the server.
+
+        Drives the selector through exactly the proposals the live step
+        consumed (reproducing its RNG draws and skip decisions, with
+        interface rejection re-derived locally — validation is
+        deterministic and consumes no server state), verifies the
+        selected wire query matches the journaled one, then folds the
+        journaled outcome in.  Raises :class:`CrawlError` if the replay
+        diverges — a corrupted journal or a config mismatch.
+        """
+        if not self._started:
+            raise CrawlError("load a checkpoint (or prepare()) before replay")
+        while True:
+            proposal = self.selector.next_query()
+            if proposal is None:
+                raise CrawlError(
+                    f"journal replay diverged: selector exhausted while "
+                    f"expecting {outcome.query}"
+                )
+            value, query = self._formulate(proposal)
+            if query is None or query in self._issued:
+                continue
+            try:
+                self.server.interface.validate(query)
+            except UnsupportedQueryError:
+                # The live step saw the prober reject this query.
+                self._rejected += 1
+                continue
+            break
+        if query != outcome.query:
+            raise CrawlError(
+                f"journal replay diverged: journal has {outcome.query}, "
+                f"selector proposed {query}"
+            )
+        for record in outcome.new_records:
+            self.local_db.add(record)
+        self._apply_outcome(value, query, outcome, rounds_after)
 
     # ------------------------------------------------------------------
     def _true_coverage(self) -> float:

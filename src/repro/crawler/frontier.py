@@ -11,15 +11,28 @@ provides all of them behind one small protocol: ``push`` candidates,
 from __future__ import annotations
 
 import heapq
-import itertools
 import random
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.core.values import AttributeValue
 
 ScoreFn = Callable[[AttributeValue], float]
+
+#: Item codecs for checkpoint serialization.  Frontiers normally hold
+#: :class:`AttributeValue` items, but the clique selectors store tuples
+#: of them, so the state API takes the codec as a parameter.
+ItemEncoder = Callable[[Any], Any]
+ItemDecoder = Callable[[Any], Any]
+
+
+def _default_encode(item: AttributeValue) -> list:
+    return [item.attribute, item.value]
+
+
+def _default_decode(payload) -> AttributeValue:
+    return AttributeValue(payload[0], payload[1])
 
 
 class Frontier(ABC):
@@ -71,6 +84,40 @@ class Frontier(ABC):
     def _remove(self) -> AttributeValue:
         """Remove the container's next value (container is non-empty)."""
 
+    # ------------------------------------------------------------------
+    # Checkpoint state (see repro.runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self, encode: Optional[ItemEncoder] = None) -> dict:
+        """Full frontier state as a JSON-safe dict.
+
+        ``seen`` is a set (order-irrelevant) and is stored sorted so
+        checkpoint bytes are deterministic; the container payload keeps
+        whatever order the concrete frontier depends on.
+        """
+        encode = encode or _default_encode
+        return {
+            "seen": [encode(item) for item in sorted(self._seen)],
+            "pending": self._pending,
+            "container": self._container_state(encode),
+        }
+
+    def load_state(
+        self, state: dict, decode: Optional[ItemDecoder] = None
+    ) -> None:
+        """Restore a state captured by :meth:`state_dict` in place."""
+        decode = decode or _default_decode
+        self._seen = {decode(item) for item in state["seen"]}
+        self._pending = state["pending"]
+        self._load_container(state["container"], decode)
+
+    @abstractmethod
+    def _container_state(self, encode: ItemEncoder):
+        """Serialize the concrete container (order preserved)."""
+
+    @abstractmethod
+    def _load_container(self, payload, decode: ItemDecoder) -> None:
+        """Restore the concrete container from its serialized form."""
+
 
 class FifoFrontier(Frontier):
     """Queue frontier — breadth-first selection."""
@@ -85,6 +132,12 @@ class FifoFrontier(Frontier):
     def _remove(self) -> AttributeValue:
         return self._queue.popleft()
 
+    def _container_state(self, encode: ItemEncoder):
+        return [encode(item) for item in self._queue]
+
+    def _load_container(self, payload, decode: ItemDecoder) -> None:
+        self._queue = deque(decode(item) for item in payload)
+
 
 class LifoFrontier(Frontier):
     """Stack frontier — depth-first selection."""
@@ -98,6 +151,12 @@ class LifoFrontier(Frontier):
 
     def _remove(self) -> AttributeValue:
         return self._stack.pop()
+
+    def _container_state(self, encode: ItemEncoder):
+        return [encode(item) for item in self._stack]
+
+    def _load_container(self, payload, decode: ItemDecoder) -> None:
+        self._stack = [decode(item) for item in payload]
 
 
 class RandomFrontier(Frontier):
@@ -115,6 +174,15 @@ class RandomFrontier(Frontier):
         index = self._rng.randrange(len(self._items))
         self._items[index], self._items[-1] = self._items[-1], self._items[index]
         return self._items.pop()
+
+    def _container_state(self, encode: ItemEncoder):
+        # Item order matters: removal draws an *index*, so the restored
+        # list must match position for position (the RNG stream itself
+        # is checkpointed by the engine).
+        return [encode(item) for item in self._items]
+
+    def _load_container(self, payload, decode: ItemDecoder) -> None:
+        self._items = [decode(item) for item in payload]
 
 
 class PriorityFrontier(Frontier):
@@ -134,8 +202,14 @@ class PriorityFrontier(Frontier):
         super().__init__()
         self._score_fn = score_fn
         self._heap: list[tuple[float, int, AttributeValue]] = []
-        self._counter = itertools.count()
+        # A plain int tick (not itertools.count) so the FIFO tie-break
+        # stream survives checkpoint/restore exactly.
+        self._tick = 0
         self._pending_set: set[AttributeValue] = set()
+
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
 
     def refresh(self, value: AttributeValue) -> None:
         """Record that ``value``'s score may have changed.
@@ -144,7 +218,7 @@ class PriorityFrontier(Frontier):
         """
         if value in self._pending_set:
             score = self._score_fn(value)
-            heapq.heappush(self._heap, (-score, next(self._counter), value))
+            heapq.heappush(self._heap, (-score, self._next_tick(), value))
 
     def refresh_all(self, values: Iterable[AttributeValue]) -> None:
         for value in values:
@@ -153,7 +227,7 @@ class PriorityFrontier(Frontier):
     def _insert(self, value: AttributeValue) -> None:
         self._pending_set.add(value)
         score = self._score_fn(value)
-        heapq.heappush(self._heap, (-score, next(self._counter), value))
+        heapq.heappush(self._heap, (-score, self._next_tick(), value))
 
     def _remove(self) -> AttributeValue:
         while True:
@@ -164,7 +238,27 @@ class PriorityFrontier(Frontier):
             if fresh > -neg_score:
                 # Grew since this entry was pushed and nobody refreshed it;
                 # reinsert at the correct rank rather than returning early.
-                heapq.heappush(self._heap, (-fresh, next(self._counter), value))
+                heapq.heappush(self._heap, (-fresh, self._next_tick(), value))
                 continue
             self._pending_set.discard(value)
             return value
+
+    def _container_state(self, encode: ItemEncoder):
+        # The heap list is stored verbatim: any snapshot of a valid heap
+        # is itself a valid heap, so no re-heapify is needed on load.
+        return {
+            "heap": [
+                [neg_score, tie, encode(value)]
+                for neg_score, tie, value in self._heap
+            ],
+            "tick": self._tick,
+            "pending": [encode(value) for value in sorted(self._pending_set)],
+        }
+
+    def _load_container(self, payload, decode: ItemDecoder) -> None:
+        self._heap = [
+            (neg_score, tie, decode(value))
+            for neg_score, tie, value in payload["heap"]
+        ]
+        self._tick = payload["tick"]
+        self._pending_set = {decode(value) for value in payload["pending"]}

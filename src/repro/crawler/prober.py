@@ -9,6 +9,7 @@ for the next page.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -19,7 +20,19 @@ from repro.crawler.abortion import AbortionPolicy, NeverAbort, PageProgress
 from repro.crawler.extractor import ResultExtractor
 from repro.crawler.localdb import LocalDatabase
 from repro.core.values import AttributeValue
-from repro.server.flaky import PermanentServerFailure, submit_with_retries
+from repro.runtime.events import (
+    EventBus,
+    PageFetched,
+    QueryAborted,
+    QueryFailed,
+    QueryIssued,
+    QueryRejected,
+)
+from repro.server.flaky import (
+    ExponentialBackoff,
+    PermanentServerFailure,
+    submit_with_retries,
+)
 from repro.server.service import parse_page
 from repro.server.webdb import SimulatedWebDatabase
 
@@ -74,6 +87,15 @@ class DatabaseProber:
         Exercise the XML wire format (render + parse per page) instead
         of passing result objects directly; identical semantics, used by
         integration tests and the Amazon-style experiments.
+    bus:
+        Event bus to announce wire activity on (defaults to a silent
+        bus; see :mod:`repro.runtime.events`).
+    backoff:
+        Retry backoff schedule for transient failures (only consulted
+        when ``max_retries > 0``).
+    retry_rng:
+        RNG feeding the backoff jitter; owned (and checkpointed) by the
+        engine so retry streams survive resume.
     """
 
     def __init__(
@@ -84,6 +106,10 @@ class DatabaseProber:
         abortion: Optional[AbortionPolicy] = None,
         use_xml: bool = False,
         max_retries: int = 0,
+        bus: Optional[EventBus] = None,
+        backoff: Optional[ExponentialBackoff] = None,
+        retry_rng: Optional[random.Random] = None,
+        policy: Optional[str] = None,
     ) -> None:
         self.server = server
         self.extractor = extractor
@@ -91,6 +117,10 @@ class DatabaseProber:
         self.abortion = abortion or NeverAbort()
         self.use_xml = use_xml
         self.max_retries = max_retries
+        self.bus = bus or EventBus()
+        self.backoff = backoff
+        self.retry_rng = retry_rng
+        self.policy = policy
 
     def execute(self, query: AnyQuery) -> QueryOutcome:
         """Run ``query`` to completion (or abortion) and return the outcome.
@@ -103,16 +133,28 @@ class DatabaseProber:
         known_matches = self._known_matches(query)
         progress = PageProgress()
         page_number = 1
+        announce = self.bus.has_sinks
+        if announce:
+            self.bus.emit(QueryIssued(query=query), policy=self.policy)
         while True:
             try:
                 meta = self._fetch(query, page_number)
             except UnsupportedQueryError:
                 outcome.rejected = True
+                if announce:
+                    self.bus.emit(QueryRejected(query=query), policy=self.policy)
                 return outcome
             except PermanentServerFailure:
                 # Retries exhausted mid-query: keep what was harvested,
                 # flag the query, and let the crawl move on.
                 outcome.failed = True
+                if announce:
+                    self.bus.emit(
+                        QueryFailed(
+                            query=query, pages_fetched=outcome.pages_fetched
+                        ),
+                        policy=self.policy,
+                    )
                 return outcome
             page = self.extractor.extract(meta)
             outcome.pages_fetched += 1
@@ -123,10 +165,27 @@ class DatabaseProber:
             outcome.new_records.extend(new_here)
             outcome.candidate_values.extend(page.candidate_values)
             progress.update(len(page.records), len(new_here))
+            if announce:
+                self.bus.emit(
+                    PageFetched(
+                        query=query,
+                        page_number=page_number,
+                        records=len(page.records),
+                        new_records=len(new_here),
+                    ),
+                    policy=self.policy,
+                )
             if not meta.has_next:
                 break
             if self.abortion.should_abort(meta, progress, known_matches):
                 outcome.aborted = True
+                if announce:
+                    self.bus.emit(
+                        QueryAborted(
+                            query=query, pages_fetched=outcome.pages_fetched
+                        ),
+                        policy=self.policy,
+                    )
                 break
             page_number += 1
         return outcome
@@ -134,8 +193,17 @@ class DatabaseProber:
     def _fetch(self, query: AnyQuery, page_number: int):
         """One page request, with transient-failure retries when enabled."""
         if self.max_retries > 0:
+            emit = None
+            if self.bus.has_sinks:
+                emit = lambda event: self.bus.emit(event, policy=self.policy)
             meta = submit_with_retries(
-                self.server, query, page_number, max_retries=self.max_retries
+                self.server,
+                query,
+                page_number,
+                max_retries=self.max_retries,
+                rng=self.retry_rng,
+                backoff=self.backoff,
+                emit=emit,
             )
             if self.use_xml:
                 # Exercise the wire format on the successful response.

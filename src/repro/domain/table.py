@@ -189,3 +189,10 @@ class SortedIdUnion:
     def fraction(self) -> float:
         """``P(L_queried, DM)`` — covered share of the domain sample."""
         return len(self._ids) / self.universe_size
+
+    def state_dict(self) -> dict:
+        """Checkpoint payload (see ``repro.runtime``); ids are already sorted."""
+        return {"ids": list(self._ids)}
+
+    def load_state(self, state: dict) -> None:
+        self._ids = list(state["ids"])

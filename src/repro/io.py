@@ -11,6 +11,10 @@ the path ends in ``.gz``):
   :class:`~repro.domain.table.DomainStatisticsTable` with posting lists;
 - :func:`history_to_csv` — a crawl's coverage-versus-cost series for
   external plotting.
+- :func:`save_checkpoint` / :func:`load_checkpoint` — a durable
+  runtime's :class:`~repro.runtime.checkpoint.CrawlCheckpoint` payload
+  (written atomically: a crash mid-write never corrupts the previous
+  checkpoint).
 
 All formats carry a ``format`` tag and version so stale files fail
 loudly instead of deserializing into garbage.
@@ -20,6 +24,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -35,6 +40,7 @@ PathLike = Union[str, Path]
 
 _TABLE_FORMAT = "repro.table/1"
 _DOMAIN_FORMAT = "repro.domain-table/1"
+CHECKPOINT_FORMAT = "repro.checkpoint/1"
 
 
 class PersistenceError(ReproError):
@@ -171,6 +177,38 @@ def load_domain_table(path: PathLike) -> DomainStatisticsTable:
             f"{path}: cannot read domain table ({error})"
         ) from error
     return domain_table_from_dict(payload, path)
+
+
+# ----------------------------------------------------------------------
+# Crawl checkpoints (see repro.runtime)
+# ----------------------------------------------------------------------
+def save_checkpoint(payload: dict, path: PathLike) -> None:
+    """Atomically persist a checkpoint payload.
+
+    The payload is written to a sibling temp file and moved into place
+    with :func:`os.replace`, so readers only ever see either the old
+    complete checkpoint or the new complete one.  The payload must
+    carry ``format == CHECKPOINT_FORMAT`` (the runtime stamps it).
+    """
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise PersistenceError(
+            f"checkpoint payload must carry format {CHECKPOINT_FORMAT!r}"
+        )
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: PathLike) -> dict:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise PersistenceError(
+            f"{path}: cannot read checkpoint ({error})"
+        ) from error
+    _check_format(payload, CHECKPOINT_FORMAT, path)
+    return payload
 
 
 # ----------------------------------------------------------------------

@@ -112,3 +112,37 @@ class AdaptiveAttributeSelector(QuerySelector):
             frontier = self._frontiers.get(value.attribute)
             if frontier is not None:
                 frontier.refresh(value)
+
+    # ------------------------------------------------------------------
+    # Checkpoint state (see repro.runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        # Attribute order is load-bearing: exploration draws an index
+        # into the nonempty-attribute list, which iterates the frontier
+        # dict in insertion order — so serialize it in that order.
+        return {
+            "attributes": [
+                [
+                    attribute,
+                    self._frontiers[attribute].state_dict(),
+                    {
+                        "pages": self._stats[attribute].pages,
+                        "new_records": self._stats[attribute].new_records,
+                    },
+                ]
+                for attribute in self._frontiers
+            ]
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._frontiers = {}
+        self._stats = {}
+        for attribute, frontier_state, stats_state in state["attributes"]:
+            frontier = self._frontier_for(attribute)
+            frontier.load_state(frontier_state)
+            stats = self._stats[attribute]
+            stats.pages = stats_state["pages"]
+            stats.new_records = stats_state["new_records"]
+
+    def pending_count(self) -> int:
+        return sum(len(frontier) for frontier in self._frontiers.values())

@@ -59,6 +59,42 @@ class QuerySelector(ABC):
     def observe_outcome(self, outcome: QueryOutcome) -> None:
         """Hook invoked after each executed query (default: no-op)."""
 
+    # ------------------------------------------------------------------
+    # Durable-runtime protocol (see repro.runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the policy's mutable selection state.
+
+        Together with :meth:`load_state` this is what makes a crawl
+        checkpointable: the engine serializes the selector's state into
+        every :class:`~repro.runtime.checkpoint.CrawlCheckpoint`.  The
+        contract: ``load_state(state_dict())`` on a freshly constructed
+        (same constructor arguments) and freshly bound selector must
+        reproduce identical future selections given identical inputs.
+
+        Constructor-supplied configuration (batch sizes, domain tables,
+        thresholds) is *not* part of the state — resume reconstructs
+        the selector with the same arguments first, then loads state.
+        The base implementation covers stateless selectors; every
+        stateful selector must override both methods.
+        """
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`.
+
+        Must be called on a bound selector (``bind`` happens in the
+        engine constructor) whose crawl has not started.
+        """
+
+    def pending_count(self) -> int:
+        """Number of candidates currently awaiting issuance.
+
+        Diagnostic used by the runtime's journal-replay verification
+        ("frontier size"); stateless or exotic selectors may return 0.
+        """
+        return 0
+
     def _require_context(self) -> CrawlerContext:
         if self.context is None:
             raise RuntimeError(f"{type(self).__name__} used before bind()")

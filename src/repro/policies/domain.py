@@ -33,7 +33,6 @@ heap top's exact harvest rate is ever computed per selection.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from collections import defaultdict
 from typing import Dict, Optional
@@ -87,7 +86,9 @@ class DomainKnowledgeSelector(QuerySelector):
         self._qdb_heap: list[tuple[float, int, AttributeValue]] = []
         self._qdb_members: set[AttributeValue] = set()
         self._served: set[AttributeValue] = set()
-        self._tiebreak = itertools.count()
+        # A plain int tick (not itertools.count) so the heap tie-break
+        # stream survives checkpoint/restore exactly.
+        self._tiebreak = 0
 
         # ΔDM smoothing state (Eq. 4.3).
         self._delta_size = 0
@@ -128,9 +129,10 @@ class DomainKnowledgeSelector(QuerySelector):
             return
         else:
             self._qdb_members.add(value)
+        self._tiebreak += 1
         heapq.heappush(
             self._qdb_heap,
-            (-self.harvest_rate_qdb(value), next(self._tiebreak), value),
+            (-self.harvest_rate_qdb(value), self._tiebreak, value),
         )
 
     # ------------------------------------------------------------------
@@ -314,3 +316,61 @@ class DomainKnowledgeSelector(QuerySelector):
                 self._delta_size += 1
                 for pair in in_scope:
                     self._delta_counts[pair] += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint state (see repro.runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        from repro.runtime.serialize import encode_value
+
+        # Both heap lists are stored verbatim: a snapshot of a valid heap
+        # is itself a valid heap, so load needs no re-heapify and the
+        # tie-break order is preserved bit for bit.
+        return {
+            "qdt_heap": [
+                [key, tie, encode_value(value)]
+                for key, tie, value in self._qdt_heap
+            ],
+            "qdb_heap": [
+                [key, tie, encode_value(value)]
+                for key, tie, value in self._qdb_heap
+            ],
+            "seen_values": [encode_value(v) for v in sorted(self._seen_values)],
+            "qdb_members": [encode_value(v) for v in sorted(self._qdb_members)],
+            "served": [encode_value(v) for v in sorted(self._served)],
+            "tiebreak": self._tiebreak,
+            "delta_size": self._delta_size,
+            "delta_counts": [
+                [encode_value(value), count]
+                for value, count in sorted(self._delta_counts.items())
+            ],
+            "discovered_in_scope": self._discovered_in_scope,
+            "discovered_in_dt": self._discovered_in_dt,
+            "matched_dm": self._matched_dm.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.runtime.serialize import decode_value
+
+        self._qdt_heap = [
+            (key, tie, decode_value(value))
+            for key, tie, value in state["qdt_heap"]
+        ]
+        self._qdb_heap = [
+            (key, tie, decode_value(value))
+            for key, tie, value in state["qdb_heap"]
+        ]
+        self._seen_values = {decode_value(v) for v in state["seen_values"]}
+        self._qdb_members = {decode_value(v) for v in state["qdb_members"]}
+        self._served = {decode_value(v) for v in state["served"]}
+        self._tiebreak = state["tiebreak"]
+        self._delta_size = state["delta_size"]
+        self._delta_counts = defaultdict(int)
+        for value, count in state["delta_counts"]:
+            self._delta_counts[decode_value(value)] = count
+        self._discovered_in_scope = state["discovered_in_scope"]
+        self._discovered_in_dt = state["discovered_in_dt"]
+        self._matched_dm.load_state(state["matched_dm"])
+
+    def pending_count(self) -> int:
+        return len(self._qdb_members) + len(self._qdt_heap)

@@ -55,6 +55,15 @@ class _PrioritySelector(QuerySelector):
     def observe_outcome(self, outcome: QueryOutcome) -> None:
         self._frontier.refresh_all(outcome.candidate_values)
 
+    def state_dict(self) -> dict:
+        return {"frontier": self._frontier.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        self._frontier.load_state(state["frontier"])
+
+    def pending_count(self) -> int:
+        return len(self._frontier)
+
 
 class GreedyLinkSelector(_PrioritySelector):
     """Pick the frontier value with the greatest degree in ``G_local``."""

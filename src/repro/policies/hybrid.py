@@ -51,6 +51,12 @@ class SaturationDetector:
             return False
         return sum(self._rates) / len(self._rates) < self.min_harvest_rate
 
+    def state_dict(self) -> dict:
+        return {"rates": list(self._rates)}
+
+    def load_state(self, state: dict) -> None:
+        self._rates = deque(state["rates"], maxlen=self.window)
+
 
 class GreedyMmmiSelector(QuerySelector):
     """GL until saturation, MMMI afterwards (the Figure 4 configuration).
@@ -134,6 +140,33 @@ class GreedyMmmiSelector(QuerySelector):
             self.detector.observe(outcome)
         if self._switched:
             self._mmmi.observe_outcome(outcome)
+
+    # ------------------------------------------------------------------
+    # Checkpoint state (see repro.runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        state = {
+            "switched": self._switched,
+            "greedy": self._greedy.state_dict(),
+            "mmmi": self._mmmi.state_dict(),
+        }
+        if self.detector is not None:
+            state["detector"] = self.detector.state_dict()
+        return state
+
+    def load_state(self, state: dict) -> None:
+        self._switched = state["switched"]
+        self._greedy.load_state(state["greedy"])
+        self._mmmi.load_state(state["mmmi"])
+        if self.detector is not None and "detector" in state:
+            self.detector.load_state(state["detector"])
+
+    def pending_count(self) -> int:
+        return (
+            self._mmmi.pending_count()
+            if self._switched
+            else self._greedy.pending_count()
+        )
 
     # ------------------------------------------------------------------
     def _maybe_switch(self) -> None:

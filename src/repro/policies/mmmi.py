@@ -114,6 +114,25 @@ class MinMaxMutualInformationSelector(QuerySelector):
         # next_query already schedules the recompute, nothing to do here.
         return
 
+    def state_dict(self) -> dict:
+        from repro.runtime.serialize import encode_value
+
+        return {
+            "candidates": [encode_value(v) for v in sorted(self._candidates)],
+            "ordered": [encode_value(v) for v in self._ordered],
+            "since_recompute": self._since_recompute,
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.runtime.serialize import decode_value
+
+        self._candidates = {decode_value(v) for v in state["candidates"]}
+        self._ordered = [decode_value(v) for v in state["ordered"]]
+        self._since_recompute = state["since_recompute"]
+
+    def pending_count(self) -> int:
+        return len(self._candidates)
+
     # ------------------------------------------------------------------
     def dependency_score(self, value: AttributeValue) -> float:
         """``s(q_i, L_queried)`` of Definition 3.1 (or its mean variant).

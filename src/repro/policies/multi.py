@@ -131,6 +131,37 @@ class _CliqueSelector(QuerySelector):
             return None
         return ConjunctiveQuery.of(*combo)
 
+    # ------------------------------------------------------------------
+    # Checkpoint state (see repro.runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        from repro.runtime.serialize import encode_combo, encode_value
+
+        return {
+            "seen_combos": [
+                encode_combo(combo) for combo in sorted(self._seen_combos)
+            ],
+            "pending_values": [encode_value(v) for v in self._pending_values],
+            "container": self._container_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.runtime.serialize import decode_combo, decode_value
+
+        self._seen_combos = {
+            decode_combo(combo) for combo in state["seen_combos"]
+        }
+        self._pending_values = [
+            decode_value(v) for v in state["pending_values"]
+        ]
+        self._load_container(state["container"])
+
+    def _container_state(self):
+        raise NotImplementedError
+
+    def _load_container(self, payload) -> None:
+        raise NotImplementedError
+
 
 class GreedyCliqueSelector(_CliqueSelector):
     """GL generalized to conjunctive queries.
@@ -174,6 +205,19 @@ class GreedyCliqueSelector(_CliqueSelector):
             ):
                 self._frontier.refresh(combo)  # type: ignore[arg-type]
 
+    def _container_state(self):
+        from repro.runtime.serialize import encode_combo
+
+        return {"frontier": self._frontier.state_dict(encode=encode_combo)}
+
+    def _load_container(self, payload) -> None:
+        from repro.runtime.serialize import decode_combo
+
+        self._frontier.load_state(payload["frontier"], decode=decode_combo)
+
+    def pending_count(self) -> int:
+        return len(self._frontier)
+
 
 class RandomCliqueSelector(_CliqueSelector):
     """Naive baseline: issue discovered combinations in random order."""
@@ -195,3 +239,18 @@ class RandomCliqueSelector(_CliqueSelector):
         index = self._rng.randrange(len(self._items))
         self._items[index], self._items[-1] = self._items[-1], self._items[index]
         return self._items.pop()
+
+    def _container_state(self):
+        from repro.runtime.serialize import encode_combo
+
+        # Item order matters: removal draws an index (the RNG stream is
+        # checkpointed by the engine), so the list is stored verbatim.
+        return {"items": [encode_combo(combo) for combo in self._items]}
+
+    def _load_container(self, payload) -> None:
+        from repro.runtime.serialize import decode_combo
+
+        self._items = [decode_combo(combo) for combo in payload["items"]]
+
+    def pending_count(self) -> int:
+        return len(self._items)

@@ -42,6 +42,19 @@ class _FrontierSelector(QuerySelector):
             raise RuntimeError(f"{type(self).__name__} used before bind()")
         return self._frontier.pop()
 
+    def state_dict(self) -> dict:
+        if self._frontier is None:
+            raise RuntimeError(f"{type(self).__name__} used before bind()")
+        return {"frontier": self._frontier.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        if self._frontier is None:
+            raise RuntimeError(f"{type(self).__name__} used before bind()")
+        self._frontier.load_state(state["frontier"])
+
+    def pending_count(self) -> int:
+        return len(self._frontier) if self._frontier is not None else 0
+
 
 class BreadthFirstSelector(_FrontierSelector):
     """FIFO ``L_to-query``: query values in discovery order."""

@@ -76,3 +76,14 @@ class OracleSelector(QuerySelector):
         value = self._plan[self._cursor]
         self._cursor += 1
         return value
+
+    def state_dict(self) -> dict:
+        # The plan is rebuilt from the table at construction; only the
+        # replay position is dynamic state.
+        return {"cursor": self._cursor}
+
+    def load_state(self, state: dict) -> None:
+        self._cursor = state["cursor"]
+
+    def pending_count(self) -> int:
+        return len(self._plan) - self._cursor

@@ -1,0 +1,123 @@
+"""Full-state crawl checkpoints.
+
+A :class:`CrawlCheckpoint` captures everything a crawl needs to
+continue as if never interrupted: the engine's state (issued queries,
+``DB_local`` records, history, counters, both RNG streams, and the
+selector's :meth:`~repro.policies.base.QuerySelector.state_dict`), the
+server's runtime state (round counter, and the failure stream for a
+:class:`~repro.server.flaky.FlakyServer`), the active stopping limits,
+and an optional ``setup`` recipe the CLI uses to rebuild the server and
+selector from scratch on ``repro resume``.
+
+What a checkpoint deliberately does **not** contain: the source's data
+(tables are config, rebuilt or reloaded on resume) and the selector's
+constructor arguments (same rule — resume constructs the selector with
+identical config, then loads its dynamic state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.errors import ReproError
+from repro.io import CHECKPOINT_FORMAT, load_checkpoint, save_checkpoint
+
+PathLike = Union[str, Path]
+
+
+class CheckpointError(ReproError):
+    """A checkpoint cannot be captured, stored, or restored."""
+
+
+@dataclass
+class CrawlCheckpoint:
+    """One durable snapshot of a crawl in flight.
+
+    ``step`` is the number of completed query–harvest–decompose steps
+    at capture time; journal entries with larger step numbers postdate
+    this checkpoint and are replayed on recovery.
+    """
+
+    step: int
+    engine: dict
+    server: dict
+    limits: dict = field(default_factory=dict)
+    checkpoint_every: int = 100
+    snapshot_every: int = 0
+    setup: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        engine,
+        limits: Optional[dict] = None,
+        checkpoint_every: int = 100,
+        snapshot_every: int = 0,
+        setup: Optional[dict] = None,
+    ) -> "CrawlCheckpoint":
+        """Snapshot a live engine (and its server) into a checkpoint."""
+        server = engine.server
+        if not hasattr(server, "runtime_state"):
+            raise CheckpointError(
+                f"server {type(server).__name__} does not expose runtime_state()"
+            )
+        return cls(
+            step=engine.steps,
+            engine=engine.state_dict(),
+            server=server.runtime_state(),
+            limits=dict(limits or {}),
+            checkpoint_every=checkpoint_every,
+            snapshot_every=snapshot_every,
+            setup=setup,
+        )
+
+    def restore_into(self, engine) -> None:
+        """Load this checkpoint's state onto a freshly built engine.
+
+        The caller constructs the engine with the same configuration
+        (server config, selector type and arguments, abortion policy,
+        flags) as the checkpointed crawl; this method restores the
+        dynamic state on top.
+        """
+        engine.load_state(self.engine)
+        engine.server.load_runtime_state(self.server)
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "step": self.step,
+            "engine": self.engine,
+            "server": self.server,
+            "limits": self.limits,
+            "checkpoint_every": self.checkpoint_every,
+            "snapshot_every": self.snapshot_every,
+            "setup": self.setup,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CrawlCheckpoint":
+        try:
+            return cls(
+                step=payload["step"],
+                engine=payload["engine"],
+                server=payload["server"],
+                limits=payload.get("limits", {}),
+                checkpoint_every=payload.get("checkpoint_every", 100),
+                snapshot_every=payload.get("snapshot_every", 0),
+                setup=payload.get("setup"),
+            )
+        except KeyError as error:
+            raise CheckpointError(
+                f"checkpoint payload missing key {error}"
+            ) from error
+
+    def save(self, path: PathLike) -> None:
+        save_checkpoint(self.to_payload(), path)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CrawlCheckpoint":
+        return cls.from_payload(load_checkpoint(path))

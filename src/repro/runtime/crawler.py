@@ -1,0 +1,386 @@
+"""The durable crawl loop: journal every step, commit every N steps.
+
+:class:`RuntimeCrawler` wraps a :class:`~repro.crawler.engine.CrawlerEngine`
+and replicates its stopping semantics exactly, adding durability:
+
+- a **write-ahead journal** entry after *every* completed step;
+- a **checkpoint marker** every ``checkpoint_every`` completed steps:
+  the journal is group-commit flushed and a small ``progress.json``
+  manifest records the durable horizon — O(1) work, so checkpointing
+  every 100 steps costs a few percent, not a second snapshot of the
+  crawl;
+- a **full-state snapshot** (``checkpoint.json``: engine + selector +
+  server state) at baseline, on graceful suspension, and optionally
+  every ``snapshot_every`` steps when bounded replay time matters more
+  than hot-loop cost;
+- :meth:`RuntimeCrawler.resume` — rebuild the crawl from
+  ``checkpoint.json`` + ``journal.jsonl`` and continue to a
+  bit-identical :class:`~repro.crawler.engine.CrawlResult` on fixed
+  seeds.
+
+Recovery replays journaled steps through the *selector itself*
+(:meth:`~repro.crawler.engine.CrawlerEngine.replay_outcome`): the
+policy re-proposes exactly the queries the live crawl issued, consuming
+identical RNG draws, and each journaled outcome is folded in without
+contacting the server.  After replay the server's runtime state and the
+retry-jitter RNG are fast-forwarded from the last journal entry.  Steps
+lost past the journal's durable horizon are not lost at all: resume
+re-executes them live, which on fixed seeds reproduces them bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.core.errors import CrawlError
+from repro.crawler.abortion import AbortionPolicy
+from repro.crawler.engine import CrawlerEngine, CrawlResult, Seed
+from repro.policies.base import QuerySelector
+from repro.runtime.checkpoint import CheckpointError, CrawlCheckpoint
+from repro.runtime.events import CheckpointWritten, CrawlStopped, EventBus
+from repro.runtime.journal import OutcomeJournal, read_journal
+from repro.runtime.serialize import restore_rng
+from repro.server.flaky import ExponentialBackoff
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FILE = "checkpoint.json"
+JOURNAL_FILE = "journal.jsonl"
+PROGRESS_FILE = "progress.json"
+
+#: Keys :meth:`RuntimeCrawler.crawl` accepts as stopping limits.
+_LIMIT_KEYS = ("max_rounds", "max_queries", "target_coverage")
+
+
+def rebuild_engine_state(checkpoint_dir: PathLike) -> dict:
+    """What the journal alone proves about the crawl at crash time.
+
+    Reads ``checkpoint.json`` + ``journal.jsonl`` and — without
+    constructing a server or selector — reports the crawl position the
+    files encode: completed steps, rounds, and the distinct-record count
+    (checkpointed records plus journaled new records).  Used by
+    diagnostics and the journal-replay verification tests.
+    """
+    directory = Path(checkpoint_dir)
+    checkpoint = CrawlCheckpoint.load(directory / CHECKPOINT_FILE)
+    entries = read_journal(directory / JOURNAL_FILE, after_step=checkpoint.step)
+    record_ids = {payload["id"] for payload in checkpoint.engine["records"]}
+    for entry in entries:
+        record_ids.update(r.record_id for r in entry.outcome.new_records)
+    last = entries[-1] if entries else None
+    state = {
+        "checkpoint_step": checkpoint.step,
+        "step": last.step if last else checkpoint.step,
+        "rounds": last.rounds if last else checkpoint.server.get("rounds", 0),
+        "records": len(record_ids),
+        "journal_entries": len(entries),
+    }
+    progress_path = directory / PROGRESS_FILE
+    if progress_path.exists():
+        progress = json.loads(progress_path.read_text(encoding="utf-8"))
+        state["committed_step"] = progress["step"]
+    return state
+
+
+class RuntimeCrawler:
+    """Durable wrapper around one single-use engine.
+
+    Parameters
+    ----------
+    engine:
+        A fresh (or checkpoint-restored) engine; the runtime drives its
+        ``step()`` loop directly.
+    checkpoint_dir:
+        Directory for ``checkpoint.json`` and ``journal.jsonl``; with
+        ``None`` the runtime degrades to a plain (but event-emitting)
+        crawl loop.
+    checkpoint_every:
+        Completed steps between checkpoint markers (journal
+        group-commit + ``progress.json`` manifest — O(1) work, no state
+        snapshot); ``0`` disables periodic markers (baseline and
+        suspension checkpoints are still written).
+    snapshot_every:
+        Completed steps between periodic *full-state* snapshots
+        (``checkpoint.json``); ``0`` (the default) writes them only at
+        baseline and suspension.  A snapshot costs O(crawl state), so
+        this is a recovery-replay-time bound to opt into, not a
+        default.
+    setup:
+        Opaque recipe stored inside every checkpoint; the CLI records
+        how to rebuild the server/selector so ``repro resume`` works
+        from the directory alone.
+    """
+
+    def __init__(
+        self,
+        engine: CrawlerEngine,
+        checkpoint_dir: Optional[PathLike] = None,
+        checkpoint_every: int = 100,
+        snapshot_every: int = 0,
+        setup: Optional[dict] = None,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise CrawlError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if snapshot_every < 0:
+            raise CrawlError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
+        self.engine = engine
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.snapshot_every = snapshot_every
+        self.setup = setup
+        self.checkpoints_written = 0
+        self._limits: dict = {}
+        self._journal: Optional[OutcomeJournal] = None
+
+    # ------------------------------------------------------------------
+    # Fresh crawl
+    # ------------------------------------------------------------------
+    def crawl(
+        self,
+        seeds: Iterable[Seed],
+        max_rounds: Optional[int] = None,
+        max_queries: Optional[int] = None,
+        target_coverage: Optional[float] = None,
+        allow_empty_seeds: bool = False,
+        stop_after_steps: Optional[int] = None,
+    ) -> CrawlResult:
+        """Run a new durable crawl (the engine must be unused).
+
+        ``stop_after_steps`` suspends the crawl gracefully after that
+        many completed steps this run (writing a final checkpoint);
+        the result is then marked ``stopped_by="suspended"``.
+        """
+        self.engine.prepare(seeds, allow_empty_seeds=allow_empty_seeds)
+        self._limits = {
+            "max_rounds": max_rounds,
+            "max_queries": max_queries,
+            "target_coverage": target_coverage,
+        }
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            self._journal = OutcomeJournal(
+                self.checkpoint_dir / JOURNAL_FILE, append=False
+            )
+            self._write_checkpoint()  # baseline: resume works from step 0
+        return self._run(stop_after_steps)
+
+    # ------------------------------------------------------------------
+    # Continue (after resume or suspension)
+    # ------------------------------------------------------------------
+    def run(
+        self, stop_after_steps: Optional[int] = None, **limit_overrides
+    ) -> CrawlResult:
+        """Continue a prepared crawl to its limits (or suspend again)."""
+        unknown = set(limit_overrides) - set(_LIMIT_KEYS)
+        if unknown:
+            raise CrawlError(f"unknown limit overrides: {sorted(unknown)}")
+        self._limits.update(limit_overrides)
+        if self.checkpoint_dir is not None and self._journal is None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            self._journal = OutcomeJournal(
+                self.checkpoint_dir / JOURNAL_FILE, append=True
+            )
+        return self._run(stop_after_steps)
+
+    # ------------------------------------------------------------------
+    def _run(self, stop_after_steps: Optional[int] = None) -> CrawlResult:
+        engine = self.engine
+        max_rounds = self._limits.get("max_rounds")
+        max_queries = self._limits.get("max_queries")
+        target_coverage = self._limits.get("target_coverage")
+        steps_this_run = 0
+        stopped_by = "frontier-exhausted"
+        # Same criteria in the same order as CrawlerEngine.crawl, so a
+        # durable crawl stops exactly where a plain one would.
+        while True:
+            if max_rounds is not None and engine.server.rounds >= max_rounds:
+                stopped_by = "max-rounds"
+                break
+            if (
+                max_queries is not None
+                and len(engine.context.lqueried) >= max_queries
+            ):
+                stopped_by = "max-queries"
+                break
+            if (
+                target_coverage is not None
+                and engine._true_coverage() >= target_coverage
+            ):
+                stopped_by = "target-coverage"
+                break
+            if (
+                stop_after_steps is not None
+                and steps_this_run >= stop_after_steps
+            ):
+                stopped_by = "suspended"
+                break
+            outcome = engine.step()
+            if outcome is None:
+                break
+            steps_this_run += 1
+            if self._journal is not None:
+                self._journal.record(
+                    step=engine.steps,
+                    rounds=engine.server.rounds,
+                    outcome=outcome,
+                    server_state=engine.server.runtime_state(),
+                    backoff_rng=(
+                        engine.backoff_rng
+                        if engine.prober.max_retries > 0
+                        else None
+                    ),
+                )
+            if self.checkpoint_dir is not None:
+                if (
+                    self.snapshot_every > 0
+                    and engine.steps % self.snapshot_every == 0
+                ):
+                    self._write_checkpoint()
+                elif (
+                    self.checkpoint_every > 0
+                    and engine.steps % self.checkpoint_every == 0
+                ):
+                    self._commit_progress()
+        if stopped_by == "suspended" and self.checkpoint_dir is not None:
+            self._write_checkpoint()
+        elif self._journal is not None:
+            self._journal.flush()
+        result = engine.result(stopped_by)
+        if engine.bus.has_sinks:
+            engine.bus.emit(
+                CrawlStopped(
+                    stopped_by=stopped_by,
+                    rounds=result.communication_rounds,
+                    queries=result.queries_issued,
+                    records=result.records_harvested,
+                ),
+                policy=engine.selector.name,
+            )
+        return result
+
+    def _write_checkpoint(self) -> None:
+        """Full-state snapshot: baseline, suspension, ``snapshot_every``."""
+        assert self.checkpoint_dir is not None
+        if self._journal is not None:
+            self._journal.flush()
+        checkpoint = CrawlCheckpoint.capture(
+            self.engine,
+            limits=self._limits,
+            checkpoint_every=self.checkpoint_every,
+            snapshot_every=self.snapshot_every,
+            setup=self.setup,
+        )
+        path = self.checkpoint_dir / CHECKPOINT_FILE
+        checkpoint.save(path)
+        self._emit_checkpoint_written(checkpoint.step, path, snapshot=True)
+
+    def _commit_progress(self) -> None:
+        """Checkpoint marker: flush the journal, stamp the horizon.
+
+        This is the hot-path checkpoint — O(1) regardless of crawl
+        size.  Entries up to here are durable; recovery replays them
+        from the last full snapshot, so no state snapshot is needed.
+        """
+        assert self.checkpoint_dir is not None and self._journal is not None
+        self._journal.flush()
+        path = self.checkpoint_dir / PROGRESS_FILE
+        payload = {
+            "step": self.engine.steps,
+            "rounds": self.engine.server.rounds,
+            "records": len(self.engine.local_db),
+            "journal_entries": self._journal.entries_written,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+        self._emit_checkpoint_written(self.engine.steps, path, snapshot=False)
+
+    def _emit_checkpoint_written(
+        self, step: int, path: Path, snapshot: bool
+    ) -> None:
+        self.checkpoints_written += 1
+        if self.engine.bus.has_sinks:
+            self.engine.bus.emit(
+                CheckpointWritten(
+                    step=step,
+                    rounds=self.engine.server.rounds,
+                    path=str(path),
+                    snapshot=snapshot,
+                ),
+                policy=self.engine.selector.name,
+            )
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: PathLike,
+        server,
+        selector: QuerySelector,
+        abortion: Optional[AbortionPolicy] = None,
+        backoff: Optional[ExponentialBackoff] = None,
+        bus: Optional[EventBus] = None,
+    ) -> "RuntimeCrawler":
+        """Rebuild a crawl from its checkpoint directory.
+
+        The caller supplies a *fresh* server and selector constructed
+        with the same configuration as the crashed crawl (data tables
+        and constructor arguments are config, not state); engine flags
+        (``use_xml``, ``keep_outcomes``, ``max_retries``) are read back
+        from the checkpoint.  Journaled steps past the checkpoint are
+        replayed, then the server and retry RNG are fast-forwarded to
+        the last journaled instant.  Call :meth:`run` on the returned
+        runtime to continue the crawl.
+        """
+        directory = Path(checkpoint_dir)
+        checkpoint_path = directory / CHECKPOINT_FILE
+        if not checkpoint_path.exists():
+            raise CheckpointError(f"no checkpoint at {checkpoint_path}")
+        checkpoint = CrawlCheckpoint.load(checkpoint_path)
+        flags = checkpoint.engine.get("flags", {})
+        engine = CrawlerEngine(
+            server,
+            selector,
+            seed=None,  # both RNG streams are restored from state below
+            abortion=abortion,
+            use_xml=flags.get("use_xml", False),
+            keep_outcomes=flags.get("keep_outcomes", False),
+            max_retries=flags.get("max_retries", 0),
+            bus=bus,
+            backoff=backoff,
+        )
+        checkpoint.restore_into(engine)
+        entries = read_journal(directory / JOURNAL_FILE, after_step=checkpoint.step)
+        for entry in entries:
+            engine.replay_outcome(entry.outcome, entry.rounds)
+        if entries:
+            last = entries[-1]
+            engine.server.load_runtime_state(last.server)
+            if last.backoff_rng is not None:
+                restore_rng(engine.backoff_rng, last.backoff_rng)
+        runtime = cls(
+            engine,
+            checkpoint_dir=directory,
+            checkpoint_every=checkpoint.checkpoint_every,
+            snapshot_every=checkpoint.snapshot_every,
+            setup=checkpoint.setup,
+        )
+        runtime._limits = dict(checkpoint.limits)
+        return runtime

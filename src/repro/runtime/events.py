@@ -1,0 +1,447 @@
+"""The crawl event bus — a typed stream of everything a crawl does.
+
+The engine, the prober, the retrying transport, the schedulers, and the
+durable runtime all emit small typed events onto an :class:`EventBus`;
+sinks subscribe to consume them.  Three sinks ship with the runtime:
+
+- :class:`RingBufferSink` — the last N events in memory, for
+  interactive inspection and tests;
+- :class:`JsonlEventSink` — an append-only JSONL writer, the
+  observability log a production deployment would tail;
+- :class:`MetricsAggregator` — per-policy counters plus
+  latency-in-rounds histograms, consumable by
+  :func:`repro.analysis.reports.render_runtime_metrics`.
+
+Events are observational: emitting them never touches crawl state or
+RNG streams, so an instrumented crawl is bit-identical to a bare one.
+Emission is guarded by :attr:`EventBus.has_sinks` at the hot call
+sites, so a bus nobody listens to costs one attribute check per event.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.core.errors import ReproError
+from repro.core.query import AnyQuery
+
+
+@dataclass
+class CrawlEvent:
+    """Base event.  ``policy`` and ``source`` are stamped by the emitter."""
+
+    #: Short event-kind tag, stable across versions (used in payloads).
+    kind = "event"
+
+    policy: Optional[str] = field(default=None, kw_only=True)
+    source: Optional[str] = field(default=None, kw_only=True)
+
+    def payload(self) -> dict:
+        """JSON-safe dict for the JSONL sink."""
+        body = {"event": self.kind}
+        if self.policy is not None:
+            body["policy"] = self.policy
+        if self.source is not None:
+            body["source"] = self.source
+        body.update(self._body())
+        return body
+
+    def _body(self) -> dict:
+        return {}
+
+
+def _query_label(query: AnyQuery) -> str:
+    return str(query)
+
+
+@dataclass
+class QueryIssued(CrawlEvent):
+    """The prober put a query on the wire (first page about to be paid)."""
+
+    kind = "query-issued"
+    query: AnyQuery = None  # type: ignore[assignment]
+
+    def _body(self) -> dict:
+        return {"query": _query_label(self.query)}
+
+
+@dataclass
+class PageFetched(CrawlEvent):
+    """One result page arrived and was extracted."""
+
+    kind = "page-fetched"
+    query: AnyQuery = None  # type: ignore[assignment]
+    page_number: int = 0
+    records: int = 0
+    new_records: int = 0
+
+    def _body(self) -> dict:
+        return {
+            "query": _query_label(self.query),
+            "page": self.page_number,
+            "records": self.records,
+            "new": self.new_records,
+        }
+
+
+@dataclass
+class QueryRejected(CrawlEvent):
+    """The interface refused the query (no round charged)."""
+
+    kind = "query-rejected"
+    query: AnyQuery = None  # type: ignore[assignment]
+
+    def _body(self) -> dict:
+        return {"query": _query_label(self.query)}
+
+
+@dataclass
+class QueryAborted(CrawlEvent):
+    """The abortion policy stopped paying for the query's remaining pages."""
+
+    kind = "query-aborted"
+    query: AnyQuery = None  # type: ignore[assignment]
+    pages_fetched: int = 0
+
+    def _body(self) -> dict:
+        return {"query": _query_label(self.query), "pages": self.pages_fetched}
+
+
+@dataclass
+class QueryFailed(CrawlEvent):
+    """Retries exhausted mid-query; pages fetched so far were harvested."""
+
+    kind = "query-failed"
+    query: AnyQuery = None  # type: ignore[assignment]
+    pages_fetched: int = 0
+
+    def _body(self) -> dict:
+        return {"query": _query_label(self.query), "pages": self.pages_fetched}
+
+
+@dataclass
+class RetryAttempted(CrawlEvent):
+    """One transient failure absorbed; the request will be retried."""
+
+    kind = "retry-attempted"
+    query: AnyQuery = None  # type: ignore[assignment]
+    page_number: int = 0
+    attempt: int = 0
+    backoff_delay: float = 0.0
+    backoff_rounds: int = 0
+
+    def _body(self) -> dict:
+        return {
+            "query": _query_label(self.query),
+            "page": self.page_number,
+            "attempt": self.attempt,
+            "delay": self.backoff_delay,
+            "delay_rounds": self.backoff_rounds,
+        }
+
+
+@dataclass
+class RecordsHarvested(CrawlEvent):
+    """One query-harvest-decompose step completed."""
+
+    kind = "records-harvested"
+    query: AnyQuery = None  # type: ignore[assignment]
+    step: int = 0
+    new_records: int = 0
+    pages_fetched: int = 0
+    records_total: int = 0
+    rounds: int = 0
+
+    def _body(self) -> dict:
+        return {
+            "query": _query_label(self.query),
+            "step": self.step,
+            "new": self.new_records,
+            "pages": self.pages_fetched,
+            "records_total": self.records_total,
+            "rounds": self.rounds,
+        }
+
+
+@dataclass
+class CheckpointWritten(CrawlEvent):
+    """A durable checkpoint reached disk.
+
+    ``snapshot`` distinguishes a full-state snapshot
+    (``checkpoint.json``) from a light checkpoint marker (journal
+    group-commit + ``progress.json``).
+    """
+
+    kind = "checkpoint-written"
+    step: int = 0
+    rounds: int = 0
+    path: str = ""
+    snapshot: bool = True
+
+    def _body(self) -> dict:
+        return {
+            "step": self.step,
+            "rounds": self.rounds,
+            "path": self.path,
+            "snapshot": self.snapshot,
+        }
+
+
+@dataclass
+class CrawlStopped(CrawlEvent):
+    """The crawl loop exited."""
+
+    kind = "crawl-stopped"
+    stopped_by: str = ""
+    rounds: int = 0
+    queries: int = 0
+    records: int = 0
+
+    def _body(self) -> dict:
+        return {
+            "stopped_by": self.stopped_by,
+            "rounds": self.rounds,
+            "queries": self.queries,
+            "records": self.records,
+        }
+
+
+# ----------------------------------------------------------------------
+# Bus and sinks
+# ----------------------------------------------------------------------
+class EventSink:
+    """Anything that consumes crawl events."""
+
+    def handle(self, event: CrawlEvent) -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (default: nothing to release)."""
+
+
+class EventBus:
+    """Synchronous fan-out of events to attached sinks.
+
+    Sink exceptions propagate to the emitter on purpose: the fault
+    injection used by the crash/resume tests *is* a sink that raises.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: List[EventSink] = []
+
+    @property
+    def has_sinks(self) -> bool:
+        return bool(self._sinks)
+
+    def attach(self, sink: EventSink) -> EventSink:
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: EventSink) -> None:
+        self._sinks.remove(sink)
+
+    def emit(
+        self,
+        event: CrawlEvent,
+        policy: Optional[str] = None,
+        source: Optional[str] = None,
+    ) -> None:
+        if not self._sinks:
+            return
+        if policy is not None and event.policy is None:
+            event.policy = policy
+        if source is not None and event.source is None:
+            event.source = source
+        for sink in self._sinks:
+            sink.handle(event)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+class RingBufferSink(EventSink):
+    """Keep the last ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buffer: Deque[CrawlEvent] = deque(maxlen=capacity)
+
+    def handle(self, event: CrawlEvent) -> None:
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> List[CrawlEvent]:
+        return list(self._buffer)
+
+    def of_kind(self, kind: str) -> List[CrawlEvent]:
+        return [event for event in self._buffer if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlEventSink(EventSink):
+    """Append every event as one JSON line (the observability journal)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.events_written = 0
+
+    def handle(self, event: CrawlEvent) -> None:
+        self._handle.write(json.dumps(event.payload(), separators=(",", ":")))
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class RoundsHistogram:
+    """A small fixed-bucket histogram of per-query cost in rounds."""
+
+    #: Upper bounds (inclusive) of each bucket; the last bucket is open.
+    DEFAULT_BOUNDS = (1, 2, 3, 5, 8, 13, 21, 34, 55)
+
+    def __init__(self, bounds=DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum_rounds = 0
+
+    def observe(self, rounds: int) -> None:
+        # First bucket whose inclusive upper bound admits `rounds`;
+        # everything past the last bound lands in the open tail bucket.
+        index = bisect_right(self.bounds, rounds - 1)
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_rounds += rounds
+
+    @property
+    def mean(self) -> float:
+        return self.sum_rounds / self.total if self.total else 0.0
+
+    def labelled_buckets(self) -> List[tuple]:
+        """``[(label, count), ...]`` for rendering."""
+        labels = []
+        lower = 1
+        for bound in self.bounds:
+            labels.append(f"{lower}" if lower == bound else f"{lower}-{bound}")
+            lower = bound + 1
+        labels.append(f">{self.bounds[-1]}")
+        return list(zip(labels, self.counts))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {label: count for label, count in self.labelled_buckets()}
+
+
+class MetricsAggregator(EventSink):
+    """Per-policy counters plus latency-in-rounds histograms.
+
+    ``counters`` is keyed ``(policy, event_kind)``; the special policy
+    key ``None`` appears when the emitter did not stamp one.  The
+    histogram observes each completed query's page cost from
+    :class:`RecordsHarvested` events.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[tuple, int] = {}
+        self.histograms: Dict[Optional[str], RoundsHistogram] = {}
+        self.new_records: Dict[Optional[str], int] = {}
+        self.pages: Dict[Optional[str], int] = {}
+
+    def handle(self, event: CrawlEvent) -> None:
+        key = (event.policy, event.kind)
+        self.counters[key] = self.counters.get(key, 0) + 1
+        if isinstance(event, RecordsHarvested):
+            histogram = self.histograms.get(event.policy)
+            if histogram is None:
+                histogram = self.histograms[event.policy] = RoundsHistogram()
+            histogram.observe(event.pages_fetched)
+            self.new_records[event.policy] = (
+                self.new_records.get(event.policy, 0) + event.new_records
+            )
+            self.pages[event.policy] = (
+                self.pages.get(event.policy, 0) + event.pages_fetched
+            )
+
+    # ------------------------------------------------------------------
+    def count(self, kind: str, policy: Optional[str] = None) -> int:
+        """Total events of ``kind`` (for ``policy``, or summed over all)."""
+        if policy is not None:
+            return self.counters.get((policy, kind), 0)
+        return sum(
+            count for (_, k), count in self.counters.items() if k == kind
+        )
+
+    def policies(self) -> List[Optional[str]]:
+        seen = {policy for (policy, _) in self.counters}
+        return sorted(seen, key=lambda p: (p is None, p or ""))
+
+    def harvest_rate(self, policy: Optional[str]) -> float:
+        pages = self.pages.get(policy, 0)
+        return self.new_records.get(policy, 0) / pages if pages else 0.0
+
+    def summary(self) -> dict:
+        """JSON-safe roll-up of everything observed."""
+        return {
+            "policies": {
+                (policy or "?"): {
+                    "queries": self.count(RecordsHarvested.kind, policy),
+                    "pages": self.pages.get(policy, 0),
+                    "new_records": self.new_records.get(policy, 0),
+                    "harvest_rate": round(self.harvest_rate(policy), 4),
+                    "aborted": self.count(QueryAborted.kind, policy),
+                    "rejected": self.count(QueryRejected.kind, policy),
+                    "failed": self.count(QueryFailed.kind, policy),
+                    "retries": self.count(RetryAttempted.kind, policy),
+                    "checkpoints": self.count(CheckpointWritten.kind, policy),
+                    "rounds_histogram": (
+                        self.histograms[policy].as_dict()
+                        if policy in self.histograms
+                        else {}
+                    ),
+                }
+                for policy in self.policies()
+            },
+            "events_total": sum(self.counters.values()),
+        }
+
+
+# ----------------------------------------------------------------------
+# Fault injection (crash/resume tests and the resumable-crawl example)
+# ----------------------------------------------------------------------
+class SimulatedCrash(ReproError):
+    """Raised by :class:`CrashAfterSteps` to kill a crawl mid-run."""
+
+
+class CrashAfterSteps(EventSink):
+    """Kill the process-under-test after N completed steps.
+
+    The crash fires from inside the engine's step — after the server
+    mutated and records were harvested, but *before* the runtime
+    journaled the step — which is the worst-case point for recovery.
+    """
+
+    def __init__(self, steps: int) -> None:
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        self.steps = steps
+        self.seen = 0
+
+    def handle(self, event: CrawlEvent) -> None:
+        if isinstance(event, RecordsHarvested):
+            self.seen += 1
+            if self.seen >= self.steps:
+                raise SimulatedCrash(f"simulated crash after step {self.seen}")

@@ -56,6 +56,19 @@ class CommunicationLog:
         """Register a callback invoked with the round number after each round."""
         self._callbacks.append(callback)
 
+    def charge(self, rounds: int) -> None:
+        """Charge rounds with no page request behind them.
+
+        Used for simulated waiting — e.g. exponential-backoff delays
+        between retries, which under the paper's cost model are paid in
+        communication rounds.  Each charged round fires the ``on_round``
+        callbacks, so snapshot harnesses see them like any other.
+        """
+        for _ in range(rounds):
+            self.rounds += 1
+            for callback in self._callbacks:
+                callback(self.rounds)
+
     @property
     def distinct_queries(self) -> int:
         """Number of distinct queries issued (≠ rounds: multi-page queries)."""

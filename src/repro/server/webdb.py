@@ -132,6 +132,23 @@ class SimulatedWebDatabase:
         return self.log.rounds
 
     # ------------------------------------------------------------------
+    # Durable-runtime state (see repro.runtime)
+    # ------------------------------------------------------------------
+    def runtime_state(self) -> dict:
+        """Dynamic server state a resumed crawl must restore.
+
+        The simulated source itself is a pure function of its table and
+        policies (both rebuilt from config on resume); only the round
+        counter is crawl-dependent.  The per-request detail log is not
+        restored — a resumed crawl's ``log.requests`` covers only the
+        post-resume portion.
+        """
+        return {"rounds": self.log.rounds}
+
+    def load_runtime_state(self, state: dict) -> None:
+        self.log.rounds = state["rounds"]
+
+    # ------------------------------------------------------------------
     # Ground truth — for experiment harnesses only
     # ------------------------------------------------------------------
     def truth_size(self) -> int:

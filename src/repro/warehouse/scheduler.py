@@ -13,6 +13,13 @@ scheduler interleaves the engines' :meth:`~CrawlerEngine.step` calls:
 Both stop when the shared round budget is exhausted or every source's
 frontier is dry, and both return per-source crawl results plus the
 allocation that emerged.
+
+Schedulers are checkpointable (see :mod:`repro.runtime`): ``state_dict``
+captures every engine's state, every server's runtime state, the
+sliding windows, and the shared-budget position; ``from_checkpoint``
+rebuilds a scheduler mid-allocation from fresh engines.  Durability is
+checkpoint-granular — there is no per-step write-ahead journal at the
+warehouse level, so a crash replays from the last scheduler snapshot.
 """
 
 from __future__ import annotations
@@ -87,6 +94,7 @@ class _BaseScheduler:
         engines: Dict[str, CrawlerEngine],
         seeds: Dict[str, Sequence],
         allow_empty_seeds: bool = False,
+        prepare: bool = True,
     ) -> None:
         if not engines:
             raise CrawlError("need at least one source to schedule")
@@ -94,25 +102,38 @@ class _BaseScheduler:
             raise CrawlError("engines and seeds must cover the same sources")
         self._sources: List[ScheduledSource] = []
         for name, engine in engines.items():
-            engine.prepare(seeds[name], allow_empty_seeds=allow_empty_seeds)
+            if prepare:
+                engine.prepare(seeds[name], allow_empty_seeds=allow_empty_seeds)
             self._sources.append(ScheduledSource(name=name, engine=engine))
+        # Shared-budget position, maintained incrementally: one delta
+        # per step instead of an O(sources) recomputation per loop
+        # iteration (which dominated wall-clock on wide warehouses).
+        self._spent = sum(s.engine.server.rounds for s in self._sources)
 
     def _pick(self) -> Optional[ScheduledSource]:
         raise NotImplementedError
 
+    @property
+    def rounds_spent(self) -> int:
+        """Rounds consumed across all sources so far."""
+        return self._spent
+
     def run(self, total_rounds: int) -> ScheduleResult:
-        """Spend up to ``total_rounds`` across the sources."""
+        """Spend up to ``total_rounds`` across the sources.
+
+        Callable repeatedly with growing budgets: the spent counter
+        carries over, so ``run(300)`` then ``run(600)`` ends exactly
+        where a single ``run(600)`` would.
+        """
         if total_rounds < 1:
             raise CrawlError(f"budget must be >= 1, got {total_rounds}")
-
-        def spent() -> int:
-            return sum(s.engine.server.rounds for s in self._sources)
-
-        while spent() < total_rounds:
+        while self._spent < total_rounds:
             source = self._pick()
             if source is None:
                 break
+            before = source.engine.server.rounds
             source.step()
+            self._spent += source.engine.server.rounds - before
         results = {
             source.name: source.engine.result(
                 "frontier-exhausted" if source.exhausted else "budget"
@@ -121,9 +142,66 @@ class _BaseScheduler:
         }
         return ScheduleResult(
             results=results,
-            rounds_used=spent(),
+            rounds_used=self._spent,
             total_records=sum(r.records_harvested for r in results.values()),
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint state (see repro.runtime)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot the whole allocation: every source plus budget spent."""
+        return {
+            "sources": {
+                source.name: {
+                    "engine": source.engine.state_dict(),
+                    "server": source.engine.server.runtime_state(),
+                    "window": list(source.window),
+                    "steps": source.steps,
+                    "exhausted": source.exhausted,
+                }
+                for source in sorted(self._sources, key=lambda s: s.name)
+            },
+            "spent": self._spent,
+            **self._extra_state(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore onto a scheduler built with fresh engines (``prepare=False``)."""
+        by_name = {source.name: source for source in self._sources}
+        if set(by_name) != set(state["sources"]):
+            raise CrawlError(
+                f"scheduler state covers sources {sorted(state['sources'])}, "
+                f"this scheduler has {sorted(by_name)}"
+            )
+        for name, source_state in state["sources"].items():
+            source = by_name[name]
+            source.engine.load_state(source_state["engine"])
+            source.engine.server.load_runtime_state(source_state["server"])
+            source.window = deque(
+                source_state["window"], maxlen=source.window.maxlen
+            )
+            source.steps = source_state["steps"]
+            source.exhausted = source_state["exhausted"]
+        self._spent = state["spent"]
+        self._load_extra(state)
+
+    @classmethod
+    def from_checkpoint(
+        cls, engines: Dict[str, CrawlerEngine], state: dict
+    ) -> "_BaseScheduler":
+        """Rebuild a mid-allocation scheduler from fresh (unprepared) engines."""
+        scheduler = cls(
+            engines, {name: () for name in engines}, prepare=False
+        )
+        scheduler.load_state(state)
+        return scheduler
+
+    def _extra_state(self) -> dict:
+        return {}
+
+    def _load_extra(self, state: dict) -> None:
+        pass
 
 
 class GreedyScheduler(_BaseScheduler):
@@ -150,3 +228,9 @@ class RoundRobinScheduler(_BaseScheduler):
         source = live[self._cursor % len(live)]
         self._cursor += 1
         return source
+
+    def _extra_state(self) -> dict:
+        return {"cursor": self._cursor}
+
+    def _load_extra(self, state: dict) -> None:
+        self._cursor = state.get("cursor", 0)

@@ -1,0 +1,175 @@
+"""Mid-crawl checkpoint round-trips for every selector type.
+
+The contract under test: capture a checkpoint K steps into a crawl,
+restore it onto a freshly constructed engine (same config, new objects),
+and both crawls must finish with bit-identical results.  The checkpoint
+payload is forced through JSON on the way, so nothing non-serializable
+can hide in a state dict.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.crawler.engine import CrawlerEngine
+from repro.datasets import car_interface, generate_cars
+from repro.datasets.ebay import generate_ebay
+from repro.domain import build_domain_table
+from repro.experiments.harness import sample_seed_values
+from repro.policies import (
+    AdaptiveAttributeSelector,
+    BreadthFirstSelector,
+    DepthFirstSelector,
+    DomainKnowledgeSelector,
+    GreedyCliqueSelector,
+    GreedyFrequencySelector,
+    GreedyLinkSelector,
+    GreedyMmmiSelector,
+    MinMaxMutualInformationSelector,
+    OracleSelector,
+    RandomCliqueSelector,
+    RandomSelector,
+    record_combinations,
+)
+from repro.runtime.checkpoint import CheckpointError, CrawlCheckpoint
+from repro.server.webdb import SimulatedWebDatabase
+
+STEPS_BEFORE_CHECKPOINT = 8
+STEPS_TO_FINISH = 40
+
+SELECTORS = {
+    "bfs": lambda ctx: BreadthFirstSelector(),
+    "dfs": lambda ctx: DepthFirstSelector(),
+    "random": lambda ctx: RandomSelector(),
+    "greedy-link": lambda ctx: GreedyLinkSelector(),
+    "greedy-frequency": lambda ctx: GreedyFrequencySelector(),
+    "mmmi": lambda ctx: MinMaxMutualInformationSelector(batch_size=5),
+    "dm": lambda ctx: DomainKnowledgeSelector(ctx["domain_table"]),
+    "hybrid": lambda ctx: GreedyMmmiSelector(switch_coverage=0.5, batch_size=5),
+    "adaptive": lambda ctx: AdaptiveAttributeSelector(epsilon=0.3),
+    "oracle": lambda ctx: OracleSelector(ctx["table"], page_size=10),
+    "clique-greedy": lambda ctx: GreedyCliqueSelector(),
+    "clique-random": lambda ctx: RandomCliqueSelector(),
+}
+
+CLIQUE_POLICIES = ("clique-greedy", "clique-random")
+
+
+@pytest.fixture(scope="module")
+def ebay_table():
+    return generate_ebay(n_records=400, seed=1)
+
+
+@pytest.fixture(scope="module")
+def cars_table():
+    return generate_cars(500, seed=2)
+
+
+@pytest.fixture(scope="module")
+def domain_table():
+    return build_domain_table(generate_ebay(n_records=300, seed=9))
+
+
+def build_engine(policy, ebay_table, cars_table, domain_table):
+    """A fresh (engine, seeds, allow_empty) triple for one policy."""
+    if policy in CLIQUE_POLICIES:
+        table = cars_table
+        server = SimulatedWebDatabase(
+            table, page_size=10, interface=car_interface()
+        )
+    else:
+        table = ebay_table
+        server = SimulatedWebDatabase(table, page_size=10)
+    selector = SELECTORS[policy]({"table": table, "domain_table": domain_table})
+    engine = CrawlerEngine(server, selector, seed=11)
+    if policy in CLIQUE_POLICIES:
+        first = table.get(table.record_ids()[0])
+        selector.seed_combinations(
+            record_combinations(first, table.schema.queriable, 2)
+        )
+        return engine, [], True
+    seeds = sample_seed_values(table, 1, random.Random(3), min_frequency=2)
+    return engine, seeds, False
+
+
+def run_steps(engine, count):
+    for _ in range(count):
+        if engine.step() is None:
+            break
+
+
+@pytest.mark.parametrize("policy", sorted(SELECTORS))
+def test_mid_crawl_checkpoint_round_trip(
+    policy, ebay_table, cars_table, domain_table
+):
+    original, seeds, allow_empty = build_engine(
+        policy, ebay_table, cars_table, domain_table
+    )
+    original.prepare(seeds, allow_empty_seeds=allow_empty)
+    run_steps(original, STEPS_BEFORE_CHECKPOINT)
+
+    checkpoint = CrawlCheckpoint.capture(original)
+    # Force the payload through real JSON: state dicts must be pure data.
+    checkpoint = CrawlCheckpoint.from_payload(
+        json.loads(json.dumps(checkpoint.to_payload()))
+    )
+    assert checkpoint.step == original.steps
+
+    restored, _, _ = build_engine(policy, ebay_table, cars_table, domain_table)
+    checkpoint.restore_into(restored)
+    assert restored.steps == original.steps
+    assert len(restored.local_db) == len(original.local_db)
+    assert restored.selector.pending_count() == original.selector.pending_count()
+    assert restored.server.rounds == original.server.rounds
+
+    run_steps(original, STEPS_TO_FINISH)
+    run_steps(restored, STEPS_TO_FINISH)
+    assert restored.result("done") == original.result("done")
+
+
+def test_load_state_rejects_flag_mismatch(ebay_table):
+    from repro.core.errors import CrawlError
+
+    engine = CrawlerEngine(SimulatedWebDatabase(ebay_table),
+                           GreedyLinkSelector(), seed=11, keep_outcomes=True)
+    engine.prepare(sample_seed_values(ebay_table, 1, random.Random(3)))
+    run_steps(engine, 3)
+    state = engine.state_dict()
+    other = CrawlerEngine(
+        SimulatedWebDatabase(ebay_table), GreedyLinkSelector(), seed=11
+    )
+    with pytest.raises(CrawlError):
+        other.load_state(state)
+
+
+def test_capture_requires_runtime_state(ebay_table):
+    class Bare:
+        pass
+
+    engine = CrawlerEngine(SimulatedWebDatabase(ebay_table),
+                           GreedyLinkSelector(), seed=11)
+    engine.server = Bare()
+    with pytest.raises(CheckpointError):
+        CrawlCheckpoint.capture(engine)
+
+
+def test_checkpoint_file_round_trip(tmp_path, ebay_table):
+    engine = CrawlerEngine(SimulatedWebDatabase(ebay_table),
+                           GreedyLinkSelector(), seed=11)
+    engine.prepare(sample_seed_values(ebay_table, 1, random.Random(3)))
+    run_steps(engine, 5)
+    checkpoint = CrawlCheckpoint.capture(
+        engine, limits={"max_queries": 40}, checkpoint_every=7,
+        setup={"policy": "greedy-link"},
+    )
+    path = tmp_path / "checkpoint.json"
+    checkpoint.save(path)
+    again = CrawlCheckpoint.load(path)
+    assert again.step == checkpoint.step
+    assert again.limits == {"max_queries": 40}
+    assert again.checkpoint_every == 7
+    assert again.setup == {"policy": "greedy-link"}
+    assert again.engine == checkpoint.engine

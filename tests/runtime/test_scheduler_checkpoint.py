@@ -1,0 +1,111 @@
+"""Warehouse scheduler checkpointing: shared-budget state survives restore.
+
+The invariant: ``run(300)`` → snapshot → rebuild from fresh engines →
+``run(600)`` must land exactly where one uninterrupted ``run(600)``
+does, for both allocation strategies.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.crawler.engine import CrawlerEngine
+from repro.datasets.ebay import generate_ebay
+from repro.experiments.harness import sample_seed_values
+from repro.policies import GreedyLinkSelector
+from repro.server.webdb import SimulatedWebDatabase
+from repro.warehouse.scheduler import GreedyScheduler, RoundRobinScheduler
+
+N_SOURCES = 3
+FIRST_BUDGET = 300
+FULL_BUDGET = 600
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {
+        f"store-{index}": generate_ebay(n_records=200, seed=index)
+        for index in range(N_SOURCES)
+    }
+
+
+def fresh_engines(tables):
+    return {
+        name: CrawlerEngine(
+            SimulatedWebDatabase(table), GreedyLinkSelector(), seed=4
+        )
+        for name, table in tables.items()
+    }
+
+
+def seeds_for(tables):
+    rng = random.Random(2)
+    return {
+        name: sample_seed_values(table, 1, rng, min_frequency=2)
+        for name, table in tables.items()
+    }
+
+
+SCHEDULERS = {"greedy": GreedyScheduler, "round-robin": RoundRobinScheduler}
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_checkpointed_allocation_matches_straight_run(kind, tables):
+    scheduler_cls = SCHEDULERS[kind]
+
+    straight = scheduler_cls(fresh_engines(tables), seeds_for(tables))
+    want = straight.run(FULL_BUDGET)
+
+    first = scheduler_cls(fresh_engines(tables), seeds_for(tables))
+    first.run(FIRST_BUDGET)
+    # Force the snapshot through JSON — it must be pure data.
+    state = json.loads(json.dumps(first.state_dict()))
+
+    restored = scheduler_cls.from_checkpoint(fresh_engines(tables), state)
+    assert restored.rounds_spent == first.rounds_spent
+    got = restored.run(FULL_BUDGET)
+
+    assert got.rounds_used == want.rounds_used
+    assert got.total_records == want.total_records
+    assert got.results == want.results
+    assert got.allocation() == want.allocation()
+
+
+def test_growing_budget_is_continuous(tables):
+    """run(300) then run(600) on one scheduler == a single run(600)."""
+    split = GreedyScheduler(fresh_engines(tables), seeds_for(tables))
+    split.run(FIRST_BUDGET)
+    got = split.run(FULL_BUDGET)
+    want = GreedyScheduler(fresh_engines(tables), seeds_for(tables)).run(
+        FULL_BUDGET
+    )
+    assert got.results == want.results
+    assert got.rounds_used == want.rounds_used
+
+
+def test_spent_counter_tracks_server_rounds(tables):
+    scheduler = GreedyScheduler(fresh_engines(tables), seeds_for(tables))
+    result = scheduler.run(FIRST_BUDGET)
+    total = sum(r.communication_rounds for r in result.results.values())
+    assert scheduler.rounds_spent == total
+    assert result.rounds_used == total
+
+
+def test_load_state_rejects_source_mismatch(tables):
+    scheduler = GreedyScheduler(fresh_engines(tables), seeds_for(tables))
+    scheduler.run(FIRST_BUDGET)
+    state = scheduler.state_dict()
+    wrong = {
+        "other": CrawlerEngine(
+            SimulatedWebDatabase(generate_ebay(n_records=100, seed=8)),
+            GreedyLinkSelector(),
+            seed=4,
+        )
+    }
+    from repro.core.errors import CrawlError
+
+    with pytest.raises(CrawlError):
+        GreedyScheduler.from_checkpoint(wrong, state)
