@@ -33,6 +33,45 @@ def test_bench_equality_match(benchmark, table):
     assert total > 0
 
 
+def test_bench_keyword_match(benchmark, table):
+    """match_keyword now returns a pre-sorted copy — no per-call sort."""
+    values = [v.value for v in table.distinct_values("seller")[:100]]
+
+    def lookup():
+        return sum(len(table.match_keyword(value)) for value in values)
+
+    assert benchmark(lookup) > 0
+
+
+def test_bench_match_under_churn(benchmark):
+    """Interleaved inserts and matches — the posting-sort hot path.
+
+    Before the sorted-at-insert fix every match paid an O(n log n)
+    sort of the full posting list; now inserts keep lists ordered
+    (O(1) append for the common ascending-id case) and matches copy.
+    """
+    from repro.core import Record, RelationalTable, Schema
+
+    schema = Schema.of("category", "seller")
+    rows = [
+        (record_id, f"cat{record_id % 5}", f"s{record_id % 37}")
+        for record_id in range(2000)
+    ]
+
+    def churn():
+        table = RelationalTable(schema)
+        matched = 0
+        for record_id, category, seller in rows:
+            table.insert(
+                Record.build(record_id, schema, category=category, seller=seller)
+            )
+            if record_id % 20 == 0:
+                matched += len(table.match_equality("category", category))
+        return matched
+
+    assert benchmark(churn) > 0
+
+
 def test_bench_localdb_ingest(benchmark, table):
     records = list(table)[:1000]
 

@@ -1,0 +1,99 @@
+"""Benchmark: the parallel experiment executor — identity and speedup.
+
+Two guarantees, benchmarked separately:
+
+1. **Bit-identity** (always runs): a Figure-3-sized grid fanned out
+   over a real multi-process pool produces *exactly* the results the
+   sequential path produces — same histories, same coverage curves,
+   same round counts.  The equality is exercised with explicit
+   ``workers=4``, which ``resolve_workers`` honours regardless of the
+   machine's CPU count.
+
+2. **Speedup** (needs ≥ 4 CPUs): with 4 workers the same grid must
+   complete at least 2× faster than the sequential runner.  Perfectly
+   independent crawls should get near-linear scaling; 2× at 4 workers
+   leaves headroom for pool start-up and result pickling.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import emit, scaled
+
+from repro.datasets import generate_ebay
+from repro.experiments.figure3 import FIGURE3_POLICIES
+from repro.experiments.harness import run_policy_suite
+from repro.parallel import available_workers
+from repro.runtime.events import EventBus, RingBufferSink
+
+
+@pytest.fixture(scope="module")
+def grid_table():
+    """A Figure-3-sized eBay database shared by both benches."""
+    return generate_ebay(scaled(3000), seed=1)
+
+
+def _run_suite(table, workers, bus=None):
+    return run_policy_suite(
+        table,
+        dict(FIGURE3_POLICIES),
+        n_seeds=4,
+        rng_seed=1,
+        target_coverage=0.9,
+        workers=workers,
+        bus=bus,
+    )
+
+
+def test_parallel_grid_bit_identical(benchmark, grid_table):
+    """workers=4 reproduces the sequential suite result-for-result."""
+    sequential = _run_suite(grid_table, workers=1)
+    parallel = benchmark.pedantic(
+        lambda: _run_suite(grid_table, workers=4), rounds=1, iterations=1
+    )
+
+    assert set(parallel) == set(sequential)
+    assert parallel == sequential
+    for label, run in sequential.items():
+        twin = parallel[label]
+        assert twin.policy == run.policy
+        assert len(twin.results) == len(run.results)
+        for seq, par in zip(run.results, twin.results):
+            assert par.history == seq.history
+            assert par.coverage == seq.coverage
+            assert par.communication_rounds == seq.communication_rounds
+            assert par.queries_issued == seq.queries_issued
+
+
+@pytest.mark.skipif(
+    available_workers() < 4,
+    reason="speedup needs at least 4 CPUs; identity is asserted regardless",
+)
+def test_parallel_grid_speedup(benchmark, grid_table):
+    """≥ 2× wall-clock at 4 workers on a 4-policy × 4-seed grid."""
+    started = time.perf_counter()
+    _run_suite(grid_table, workers=1)
+    sequential_wall = time.perf_counter() - started
+
+    bus = EventBus()
+    sink = bus.attach(RingBufferSink())
+    started = time.perf_counter()
+    benchmark.pedantic(
+        lambda: _run_suite(grid_table, workers=4, bus=bus),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_wall = time.perf_counter() - started
+
+    from repro.analysis import render_speedup_table
+
+    emit(render_speedup_table(sink.events))
+    benchmark.extra_info["sequential_wall_s"] = round(sequential_wall, 2)
+    benchmark.extra_info["parallel_wall_s"] = round(parallel_wall, 2)
+    benchmark.extra_info["speedup"] = round(sequential_wall / parallel_wall, 2)
+    assert parallel_wall * 2 <= sequential_wall, (
+        f"expected >=2x speedup at 4 workers: sequential {sequential_wall:.2f}s "
+        f"vs parallel {parallel_wall:.2f}s"
+    )

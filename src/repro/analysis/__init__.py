@@ -7,6 +7,7 @@ from repro.analysis.reports import (
     attribute_productivity,
     productivity_decay,
     render_attribute_productivity,
+    render_speedup_table,
     render_value_coverage,
     value_coverage,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "coverage_chart",
     "productivity_decay",
     "render_attribute_productivity",
+    "render_speedup_table",
     "render_value_coverage",
     "value_coverage",
 ]

@@ -152,6 +152,50 @@ def render_value_coverage(
     )
 
 
+def render_speedup_table(events) -> str:
+    """Render per-policy task timings and the realized fan-out speedup.
+
+    ``events`` is any iterable of crawl events — typically a
+    :class:`~repro.runtime.events.RingBufferSink`'s contents after an
+    experiment ran through :func:`repro.parallel.run_crawl_grid`.  Only
+    ``task-completed`` / ``suite-completed`` events are consumed; the
+    speedup is the sequential-equivalent cost (sum of per-task crawl
+    seconds) over the wall-clock the fan-out actually took.
+    """
+    from repro.runtime.events import (
+        ExperimentSuiteCompleted,
+        ExperimentTaskCompleted,
+    )
+
+    tasks = [e for e in events if isinstance(e, ExperimentTaskCompleted)]
+    suites = [e for e in events if isinstance(e, ExperimentSuiteCompleted)]
+    if not tasks:
+        return "no task timings recorded"
+    per_label: Dict[str, List[float]] = {}
+    for event in tasks:
+        per_label.setdefault(event.label, []).append(event.seconds)
+    rows = [
+        [label, len(seconds), f"{sum(seconds):.2f}s"]
+        for label, seconds in per_label.items()
+    ]
+    text = render_table(
+        ["policy", "tasks", "task time"],
+        rows,
+        title="Parallel experiment timing",
+    )
+    task_seconds = sum(event.seconds for event in tasks)
+    wall_seconds = sum(event.wall_seconds for event in suites)
+    if wall_seconds > 0:
+        workers = max(event.workers for event in suites)
+        speedup = task_seconds / wall_seconds
+        text += (
+            f"\ntask time {task_seconds:.2f}s in {wall_seconds:.2f}s wall "
+            f"({workers} worker{'s' if workers != 1 else ''}) — "
+            f"speedup x{speedup:.2f}"
+        )
+    return text
+
+
 def render_runtime_metrics(metrics) -> str:
     """Render a :class:`~repro.runtime.events.MetricsAggregator` roll-up.
 

@@ -49,6 +49,7 @@ from repro.experiments import (
     run_table2,
 )
 from repro.experiments.harness import sample_seed_values
+from repro.parallel import parse_workers
 from repro.policies import (
     AdaptiveAttributeSelector,
     BreadthFirstSelector,
@@ -74,34 +75,53 @@ POLICIES: Dict[str, Callable] = {
     "practical": None,  # resolved specially (engine-level bundle)
 }
 
+#: Experiment drivers.  Each entry takes ``(args, workers, bus)``;
+#: drivers with no independent grid to fan out ignore the last two.
 EXPERIMENTS = {
-    "table1": lambda args: run_table1(seed=args.seed),
-    "table2": lambda args: run_table2(n_records=args.records, seed=args.seed),
-    "figure2": lambda args: run_figure2(
+    "table1": lambda args, workers, bus: run_table1(
+        seed=args.seed, workers=workers
+    ),
+    "table2": lambda args, workers, bus: run_table2(
+        n_records=args.records, seed=args.seed
+    ),
+    "figure2": lambda args, workers, bus: run_figure2(
         n_records=args.records or 4000, seed=args.seed
     ),
-    "figure3": lambda args: run_figure3(
-        n_records=args.records or 3000, n_seeds=2, seed=args.seed
+    "figure3": lambda args, workers, bus: run_figure3(
+        n_records=args.records or 3000, n_seeds=2, seed=args.seed,
+        workers=workers, bus=bus,
     ),
-    "figure4": lambda args: run_figure4(
-        n_records=args.records or 4000, n_seeds=2, seed=args.seed
+    "figure4": lambda args, workers, bus: run_figure4(
+        n_records=args.records or 4000, n_seeds=2, seed=args.seed,
+        workers=workers, bus=bus,
     ),
-    "figure5": lambda args: run_figure5(rng_seed=args.seed),
-    "figure6": lambda args: run_figure6(rng_seed=args.seed),
-    "size": lambda args: run_size_estimation(rng_seed=args.seed),
-    "ablation-greedy-signal": lambda args: run_greedy_signal_ablation(
-        n_records=args.records or 3000, seed=args.seed
+    "figure5": lambda args, workers, bus: run_figure5(
+        rng_seed=args.seed, workers=workers, bus=bus
     ),
-    "ablation-mmmi": lambda args: run_mmmi_ablation(
-        n_records=args.records or 4000, seed=args.seed
+    "figure6": lambda args, workers, bus: run_figure6(
+        rng_seed=args.seed, workers=workers, bus=bus
     ),
-    "ablation-smoothing": lambda args: run_smoothing_ablation(rng_seed=args.seed),
-    "ablation-abortion": lambda args: run_abortion_ablation(
-        n_records=args.records or 4000, seed=args.seed
+    "size": lambda args, workers, bus: run_size_estimation(rng_seed=args.seed),
+    "ablation-greedy-signal": lambda args, workers, bus: run_greedy_signal_ablation(
+        n_records=args.records or 3000, seed=args.seed,
+        workers=workers, bus=bus,
     ),
-    "keyword-interface": lambda args: run_keyword_interface(rng_seed=args.seed),
-    "stability": lambda args: run_stability(
-        n_records=args.records or 2000, seed=args.seed
+    "ablation-mmmi": lambda args, workers, bus: run_mmmi_ablation(
+        n_records=args.records or 4000, seed=args.seed,
+        workers=workers, bus=bus,
+    ),
+    "ablation-smoothing": lambda args, workers, bus: run_smoothing_ablation(
+        rng_seed=args.seed, workers=workers
+    ),
+    "ablation-abortion": lambda args, workers, bus: run_abortion_ablation(
+        n_records=args.records or 4000, seed=args.seed, workers=workers
+    ),
+    "keyword-interface": lambda args, workers, bus: run_keyword_interface(
+        rng_seed=args.seed
+    ),
+    "stability": lambda args, workers, bus: run_stability(
+        n_records=args.records or 2000, seed=args.seed,
+        workers=workers, bus=bus,
     ),
 }
 
@@ -167,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--records", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--workers", default="auto",
+        help="process-pool width for the experiment grid: a count, or "
+             "'auto' (one per CPU); 1 = the legacy sequential path. "
+             "Results are identical at any width.",
+    )
 
     profile = commands.add_parser(
         "profile", help="probe a source and summarize what it knows"
@@ -363,9 +389,18 @@ def _command_resume(args, out) -> int:
 
 
 def _command_experiment(args, out) -> int:
-    result = EXPERIMENTS[args.name](args)
+    from repro.analysis.reports import render_speedup_table
+    from repro.runtime.events import EventBus, RingBufferSink
+
+    bus = EventBus()
+    sink = bus.attach(RingBufferSink(capacity=4096))
+    workers = parse_workers(getattr(args, "workers", "auto"))
+    result = EXPERIMENTS[args.name](args, workers, bus)
     out.write(result.render())
     out.write("\n")
+    if any(event.kind == "task-completed" for event in sink.events):
+        out.write(render_speedup_table(sink.events))
+        out.write("\n")
     return 0
 
 

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Set
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set
 
 from repro.core.records import Record
 from repro.core.values import AttributeValue
+
+#: Shared empty view returned for unknown keys (no per-call allocation).
+_EMPTY_VIEW: frozenset = frozenset()
 
 
 class LocalDatabase:
@@ -99,13 +102,20 @@ class LocalDatabase:
         neighbors = self._neighbors.get(value)
         return 0 if neighbors is None else len(neighbors)
 
-    def neighbors(self, value: AttributeValue) -> Set[AttributeValue]:
-        """The value's neighbours in ``G_local`` (a copy-safe view)."""
-        return self._neighbors.get(value, set())
+    def neighbors(self, value: AttributeValue) -> FrozenSet[AttributeValue]:
+        """The value's neighbours in ``G_local`` (a copy-safe view).
 
-    def matching_ids(self, value: AttributeValue) -> Set[int]:
-        """Ids of local records containing ``value``."""
-        return self._postings.get(value, set())
+        The returned set is immutable and detached from the index:
+        callers can keep, compare, or combine it without any way of
+        corrupting ``G_local``'s adjacency.
+        """
+        neighbors = self._neighbors.get(value)
+        return frozenset(neighbors) if neighbors else _EMPTY_VIEW
+
+    def matching_ids(self, value: AttributeValue) -> FrozenSet[int]:
+        """Ids of local records containing ``value`` (a copy-safe view)."""
+        ids = self._postings.get(value)
+        return frozenset(ids) if ids else _EMPTY_VIEW
 
     def keyword_frequency(self, value: str) -> int:
         """Local records holding ``value`` under *any* attribute."""

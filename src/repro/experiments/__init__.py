@@ -23,6 +23,7 @@ from repro.experiments.keyword import (
 )
 from repro.experiments.harness import (
     PolicyRun,
+    group_policy_runs,
     run_policy,
     run_policy_suite,
     sample_seed_values,
@@ -57,6 +58,7 @@ __all__ = [
     "Table1Result",
     "Table2Result",
     "build_amazon_setup",
+    "group_policy_runs",
     "render_series",
     "render_table",
     "run_abortion_ablation",

@@ -32,6 +32,7 @@ from repro.experiments.amazon import AmazonSetup, build_amazon_setup
 from repro.experiments.figure3 import COVERAGE_LEVELS
 from repro.experiments.harness import run_policy_suite, sample_seed_values
 from repro.experiments.report import render_series, render_table
+from repro.parallel import parallel_map
 from repro.policies.domain import DomainKnowledgeSelector
 from repro.policies.greedy import GreedyFrequencySelector, GreedyLinkSelector
 from repro.policies.hybrid import GreedyMmmiSelector
@@ -61,7 +62,7 @@ class GreedySignalResult:
 
 
 def run_greedy_signal_ablation(
-    n_records: int = 5000, n_seeds: int = 3, seed: int = 2
+    n_records: int = 5000, n_seeds: int = 3, seed: int = 2, workers=1, bus=None
 ) -> GreedySignalResult:
     """Degree vs frequency vs oracle on the DBLP database."""
     table = load_dataset("dblp", n_records, seed=seed)
@@ -75,6 +76,8 @@ def run_greedy_signal_ablation(
         n_seeds=n_seeds,
         rng_seed=seed,
         target_coverage=0.9,
+        workers=workers,
+        bus=bus,
     )
     series = {
         label: run.mean_cost_at(COVERAGE_LEVELS, len(table))
@@ -107,6 +110,8 @@ def run_mmmi_ablation(
     n_seeds: int = 3,
     seed: int = 2,
     target_coverage: float = 0.97,
+    workers=1,
+    bus=None,
 ) -> MmmiAblationResult:
     """Switch point / aggregate / popularity-blending variants."""
     table = generate_ebay(n_records, seed=seed)
@@ -124,7 +129,7 @@ def run_mmmi_ablation(
     }
     runs = run_policy_suite(
         table, variants, n_seeds=n_seeds, rng_seed=seed,
-        target_coverage=target_coverage,
+        target_coverage=target_coverage, workers=workers, bus=bus,
     )
     return MmmiAblationResult(
         database_size=len(table),
@@ -159,20 +164,31 @@ class SmoothingAblationResult:
         )
 
 
+def _smoothing_variant(payload, item) -> Tuple[str, float, float]:
+    """Worker: one smoothing variant on a fresh store (parallel-safe)."""
+    setup, seeds, rng_seed = payload
+    label, smoothing = item
+    server = setup.make_server()
+    selector = DomainKnowledgeSelector(setup.dm1, smoothing=smoothing)
+    engine = CrawlerEngine(server, selector, seed=rng_seed)
+    outcome = engine.crawl(seeds, max_rounds=setup.request_budget)
+    return label, outcome.coverage, selector.estimated_database_size()
+
+
 def run_smoothing_ablation(
-    setup: Optional[AmazonSetup] = None, rng_seed: int = 3
+    setup: Optional[AmazonSetup] = None, rng_seed: int = 3, workers=1
 ) -> SmoothingAblationResult:
     """The ΔDM smoothing knob on the Amazon store."""
     setup = setup or build_amazon_setup()
-    budget = setup.request_budget
     [seeds] = setup.sample_seeds(1, rng_seed=rng_seed)
-    results: Dict[str, Tuple[float, float]] = {}
-    for label, smoothing in (("smoothing on", True), ("smoothing off", False)):
-        server = setup.make_server()
-        selector = DomainKnowledgeSelector(setup.dm1, smoothing=smoothing)
-        engine = CrawlerEngine(server, selector, seed=rng_seed)
-        outcome = engine.crawl(seeds, max_rounds=budget)
-        results[label] = (outcome.coverage, selector.estimated_database_size())
+    variants = [("smoothing on", True), ("smoothing off", False)]
+    rows = parallel_map(
+        _smoothing_variant, variants, payload=(setup, seeds, rng_seed),
+        workers=workers,
+    )
+    results: Dict[str, Tuple[float, float]] = {
+        label: (coverage, estimate) for label, coverage, estimate in rows
+    }
     return SmoothingAblationResult(true_size=len(setup.store), results=results)
 
 
@@ -201,38 +217,53 @@ class AbortionAblationResult:
         )
 
 
+def _abortion_variant(payload, item) -> Tuple[str, int, float, int]:
+    """Worker: one abortion heuristic against a fresh server."""
+    table, seeds, seed, target_coverage = payload
+    label, abortion, report_total = item
+    server = SimulatedWebDatabase(table, page_size=10, report_total=report_total)
+    engine = CrawlerEngine(
+        server, GreedyLinkSelector(), seed=seed, abortion=abortion
+    )
+    outcome = engine.crawl(seeds, target_coverage=target_coverage)
+    return (
+        label,
+        outcome.communication_rounds,
+        outcome.coverage,
+        outcome.aborted_queries,
+    )
+
+
 def run_abortion_ablation(
     n_records: int = 6000,
     seed: int = 5,
     target_coverage: float = 0.95,
+    workers=1,
 ) -> AbortionAblationResult:
     """Both §3.4 heuristics under reported and hidden totals."""
     table = generate_ebay(n_records, seed=seed)
     seeds = sample_seed_values(table, 1, random.Random(seed), min_frequency=3)
-    variants = {
-        "no abortion (totals shown)": (None, True),
-        "heuristic 1 (totals shown)": (TotalCountAbort(min_harvest_rate=1.0), True),
-        "no abortion (totals hidden)": (None, False),
-        "heuristic 2 (totals hidden)": (
+    variants = [
+        ("no abortion (totals shown)", None, True),
+        ("heuristic 1 (totals shown)", TotalCountAbort(min_harvest_rate=1.0), True),
+        ("no abortion (totals hidden)", None, False),
+        (
+            "heuristic 2 (totals hidden)",
             DuplicateFractionAbort(max_duplicate_fraction=0.9, probe_pages=2),
             False,
         ),
-        "combined (totals shown)": (CombinedAbort(), True),
+        ("combined (totals shown)", CombinedAbort(), True),
+    ]
+    rows = parallel_map(
+        _abortion_variant,
+        variants,
+        payload=(table, seeds, seed, target_coverage),
+        workers=workers,
+    )
+    results: Dict[str, Tuple[int, float, int]] = {
+        label: (rounds, coverage, aborted)
+        for label, rounds, coverage, aborted in rows
     }
-    results: Dict[str, Tuple[int, float, int]] = {}
-    for label, (abortion, report_total) in variants.items():
-        server = SimulatedWebDatabase(
-            table, page_size=10, report_total=report_total
-        )
-        engine = CrawlerEngine(
-            server, GreedyLinkSelector(), seed=seed, abortion=abortion
-        )
-        outcome = engine.crawl(seeds, target_coverage=target_coverage)
-        results[label] = (
-            outcome.communication_rounds,
-            outcome.coverage,
-            outcome.aborted_queries,
-        )
     return AbortionAblationResult(
         database_size=len(table),
         target_coverage=target_coverage,

@@ -111,11 +111,16 @@ def run_figure3(
     datasets: Sequence[str] = (),
     max_level: float = 0.9,
     page_size: int = 10,
+    workers=1,
+    bus=None,
 ) -> Figure3Result:
     """Regenerate Figure 3 (all four panels by default).
 
     ``n_records`` scales each controlled database; the paper's absolute
     round counts scale accordingly but the ordering of methods does not.
+    ``workers`` fans each panel's (policy × seed) grid out over a
+    process pool (see :mod:`repro.parallel`); results are bit-identical
+    to the sequential run.
     """
     levels = tuple(level for level in COVERAGE_LEVELS if level <= max_level)
     panels = []
@@ -128,6 +133,8 @@ def run_figure3(
             rng_seed=seed,
             page_size=page_size,
             target_coverage=max_level,
+            workers=workers,
+            bus=bus,
         )
         series = {
             label: run.mean_cost_at(levels, len(table))

@@ -67,6 +67,8 @@ def run_figure4(
     target_coverage: float = 0.97,
     batch_size: int = 25,
     popularity_weight: float = 1.0,
+    workers=1,
+    bus=None,
 ) -> Figure4Result:
     """Regenerate Figure 4 on the eBay dataset.
 
@@ -91,6 +93,8 @@ def run_figure4(
         n_seeds=n_seeds,
         rng_seed=seed,
         target_coverage=target_coverage,
+        workers=workers,
+        bus=bus,
     )
     return Figure4Result(
         dataset=dataset,

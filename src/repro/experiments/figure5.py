@@ -20,9 +20,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.amazon import AmazonSetup, build_amazon_setup
-from repro.crawler.engine import CrawlerEngine
-from repro.experiments.harness import PolicyRun
+from repro.experiments.harness import PolicyRun, group_policy_runs
 from repro.experiments.report import render_series
+from repro.parallel import CrawlGrid, CrawlTask, run_crawl_grid
 from repro.policies.domain import DomainKnowledgeSelector
 from repro.policies.greedy import GreedyLinkSelector
 
@@ -70,6 +70,8 @@ def run_figure5(
     n_seeds: int = 2,
     n_checkpoints: int = 10,
     rng_seed: int = 0,
+    workers=1,
+    bus=None,
 ) -> Figure5Result:
     """Regenerate Figure 5 (builds a default :class:`AmazonSetup` if needed)."""
     setup = setup or build_amazon_setup()
@@ -83,18 +85,20 @@ def run_figure5(
         "dm1": lambda: DomainKnowledgeSelector(setup.dm1),
         "dm2": lambda: DomainKnowledgeSelector(setup.dm2),
     }
-    runs: Dict[str, PolicyRun] = {}
-    for label, factory in policies.items():
-        run: Optional[PolicyRun] = None
-        for index, seeds in enumerate(seed_sets):
-            server = setup.make_server()
-            engine = CrawlerEngine(server, factory(), seed=rng_seed + index)
-            result = engine.crawl(seeds, max_rounds=budget)
-            if run is None:
-                run = PolicyRun(policy=result.policy)
-            run.results.append(result)
-        assert run is not None
-        runs[label] = run
+    tasks = tuple(
+        CrawlTask(label=label, seed_index=index, seeds=tuple(seeds))
+        for label in policies
+        for index, seeds in enumerate(seed_sets)
+    )
+    grid = CrawlGrid(
+        make_server=lambda task: setup.make_server(),
+        make_selector=lambda task: policies[task.label](),
+        tasks=tasks,
+        rng_seed=rng_seed,
+        crawl_kwargs={"max_rounds": budget},
+    )
+    outcome = run_crawl_grid(grid, workers=workers, bus=bus)
+    runs: Dict[str, PolicyRun] = group_policy_runs(tasks, outcome.results)
 
     size = len(setup.store)
     series = {

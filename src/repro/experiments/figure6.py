@@ -18,10 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.crawler.engine import CrawlerEngine
 from repro.experiments.amazon import AmazonSetup, build_amazon_setup
 from repro.experiments.harness import PolicyRun
 from repro.experiments.report import render_table
+from repro.parallel import CrawlGrid, CrawlTask, run_crawl_grid
 from repro.policies.domain import DomainKnowledgeSelector
 from repro.policies.greedy import GreedyLinkSelector
 
@@ -65,6 +65,8 @@ def run_figure6(
     limits: Tuple[int, ...] = (10, 50),
     n_seeds: int = 2,
     rng_seed: int = 0,
+    workers=1,
+    bus=None,
 ) -> Figure6Result:
     """Regenerate Figure 6.
 
@@ -79,22 +81,31 @@ def run_figure6(
         "greedy-link": GreedyLinkSelector,
         "dm1": lambda: DomainKnowledgeSelector(setup.dm1),
     }
+    tasks = tuple(
+        CrawlTask(label=label, seed_index=index, seeds=tuple(seeds), key=limit)
+        for limit in all_limits
+        for label in policies
+        for index, seeds in enumerate(seed_sets)
+    )
+    grid = CrawlGrid(
+        make_server=lambda task: setup.make_server(limit=task.key),
+        make_selector=lambda task: policies[task.label](),
+        tasks=tasks,
+        rng_seed=rng_seed,
+        crawl_kwargs={"max_rounds": budget},
+    )
+    outcome = run_crawl_grid(grid, workers=workers, bus=bus)
     coverage: Dict[Tuple[str, int], float] = {}
     runs: Dict[Tuple[str, int], PolicyRun] = {}
     size = len(setup.store)
-    for limit in all_limits:
-        for label, factory in policies.items():
-            run: Optional[PolicyRun] = None
-            for index, seeds in enumerate(seed_sets):
-                server = setup.make_server(limit=limit)
-                engine = CrawlerEngine(server, factory(), seed=rng_seed + index)
-                result = engine.crawl(seeds, max_rounds=budget)
-                if run is None:
-                    run = PolicyRun(policy=result.policy)
-                run.results.append(result)
-            assert run is not None
-            runs[(label, limit)] = run
-            coverage[(label, limit)] = run.mean_final_coverage
+    for task, result in zip(tasks, outcome.results):
+        cell = (task.label, task.key)
+        run = runs.get(cell)
+        if run is None:
+            run = runs[cell] = PolicyRun(policy=result.policy)
+        run.results.append(result)
+    for cell, run in runs.items():
+        coverage[cell] = run.mean_final_coverage
     return Figure6Result(
         store_size=size,
         request_budget=budget,

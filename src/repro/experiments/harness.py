@@ -15,8 +15,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.table import RelationalTable
 from repro.core.values import AttributeValue
-from repro.crawler.engine import CrawlerEngine, CrawlResult
+from repro.crawler.engine import CrawlResult
+from repro.parallel import CrawlGrid, CrawlTask, WorkerSpec, run_crawl_grid
 from repro.policies.base import QuerySelector
+from repro.runtime.events import EventBus
 from repro.server.limits import ResultLimitPolicy
 from repro.server.webdb import SimulatedWebDatabase
 
@@ -103,6 +105,25 @@ class PolicyRun:
         return sum(r.communication_rounds for r in self.results) / len(self.results)
 
 
+def group_policy_runs(
+    tasks: Sequence[CrawlTask], results: Sequence[CrawlResult]
+) -> Dict[str, PolicyRun]:
+    """Fold grid results back into per-policy runs, preserving order.
+
+    Results arrive in fixed task order, so each policy's
+    :class:`PolicyRun` holds its crawls in seed-set order — exactly the
+    list the sequential loop would have built.
+    """
+    runs: Dict[str, PolicyRun] = {}
+    for task, result in zip(tasks, results):
+        label = task.label or result.policy
+        run = runs.get(label)
+        if run is None:
+            run = runs[label] = PolicyRun(policy=result.policy)
+        run.results.append(result)
+    return runs
+
+
 def run_policy(
     table: RelationalTable,
     policy_factory: PolicyFactory,
@@ -110,25 +131,34 @@ def run_policy(
     page_size: int = 10,
     limit_policy: Optional[ResultLimitPolicy] = None,
     rng_seed: int = 0,
+    workers: WorkerSpec = 1,
+    bus: Optional[EventBus] = None,
     **crawl_kwargs,
 ) -> PolicyRun:
     """Crawl ``table`` once per seed set and aggregate the results.
 
     ``seeds`` is a sequence of seed-value lists — one crawl per entry;
     each crawl gets a fresh server (fresh communication log) and a fresh
-    selector from the factory.
+    selector from the factory.  ``workers`` fans the crawls out over a
+    process pool (``None``/``"auto"`` = one per CPU); the parallel run
+    is bit-identical to ``workers=1`` because each crawl derives its
+    engine seed as ``rng_seed + index`` either way.
     """
-    run: Optional[PolicyRun] = None
-    for index, seed_values in enumerate(seeds):
-        server = SimulatedWebDatabase(
+    tasks = tuple(
+        CrawlTask(label="", seed_index=index, seeds=tuple(seed_values))
+        for index, seed_values in enumerate(seeds)
+    )
+    grid = CrawlGrid(
+        make_server=lambda task: SimulatedWebDatabase(
             table, page_size=page_size, limit_policy=limit_policy
-        )
-        engine = CrawlerEngine(server, policy_factory(), seed=rng_seed + index)
-        result = engine.crawl(seed_values, **crawl_kwargs)
-        if run is None:
-            run = PolicyRun(policy=result.policy)
-        run.results.append(result)
-    assert run is not None
+        ),
+        make_selector=lambda task: policy_factory(),
+        tasks=tasks,
+        rng_seed=rng_seed,
+        crawl_kwargs=crawl_kwargs,
+    )
+    outcome = run_crawl_grid(grid, workers=workers, bus=bus)
+    [run] = group_policy_runs(tasks, outcome.results).values()
     return run
 
 
@@ -140,23 +170,35 @@ def run_policy_suite(
     page_size: int = 10,
     limit_policy: Optional[ResultLimitPolicy] = None,
     rng_seed: int = 0,
+    workers: WorkerSpec = 1,
+    bus: Optional[EventBus] = None,
     **crawl_kwargs,
 ) -> Dict[str, PolicyRun]:
-    """Run several policies over the same seed sets (paired comparison)."""
+    """Run several policies over the same seed sets (paired comparison).
+
+    The whole (policy × seed-set) grid fans out together through
+    :func:`repro.parallel.run_crawl_grid`, so a 4-policy × 4-seed suite
+    keeps up to 16 workers busy; ``workers=1`` is the legacy sequential
+    path (same task order, same results).
+    """
     rng = random.Random(rng_seed)
     seed_sets = [
         sample_seed_values(table, 1, rng, min_frequency=seed_min_frequency)
         for _ in range(n_seeds)
     ]
-    return {
-        label: run_policy(
-            table,
-            factory,
-            seed_sets,
-            page_size=page_size,
-            limit_policy=limit_policy,
-            rng_seed=rng_seed,
-            **crawl_kwargs,
-        )
-        for label, factory in policies.items()
-    }
+    tasks = tuple(
+        CrawlTask(label=label, seed_index=index, seeds=tuple(seed_values))
+        for label in policies
+        for index, seed_values in enumerate(seed_sets)
+    )
+    grid = CrawlGrid(
+        make_server=lambda task: SimulatedWebDatabase(
+            table, page_size=page_size, limit_policy=limit_policy
+        ),
+        make_selector=lambda task: policies[task.label](),
+        tasks=tasks,
+        rng_seed=rng_seed,
+        crawl_kwargs=crawl_kwargs,
+    )
+    outcome = run_crawl_grid(grid, workers=workers, bus=bus)
+    return group_policy_runs(tasks, outcome.results)

@@ -93,6 +93,8 @@ def run_stability(
     target_coverage: float = 0.8,
     seed: int = 0,
     policies: Optional[Dict[str, type]] = None,
+    workers=1,
+    bus=None,
 ) -> StabilityResult:
     """Measure per-seed cost spread for several policies on one dataset."""
     table = load_dataset(dataset, n_records, seed=seed)
@@ -113,6 +115,8 @@ def run_stability(
             seed_sets,
             rng_seed=seed,
             target_coverage=target_coverage,
+            workers=workers,
+            bus=bus,
         )
         per_policy_costs[label] = [
             result.communication_rounds for result in run.results

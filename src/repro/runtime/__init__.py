@@ -41,6 +41,8 @@ _EXPORTS = {
     "QueryFailed": "repro.runtime.events",
     "RecordsHarvested": "repro.runtime.events",
     "RetryAttempted": "repro.runtime.events",
+    "ExperimentTaskCompleted": "repro.runtime.events",
+    "ExperimentSuiteCompleted": "repro.runtime.events",
     "CheckpointWritten": "repro.runtime.events",
     "CrawlStopped": "repro.runtime.events",
     "EventBus": "repro.runtime.events",

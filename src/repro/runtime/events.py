@@ -193,6 +193,57 @@ class CheckpointWritten(CrawlEvent):
 
 
 @dataclass
+class ExperimentTaskCompleted(CrawlEvent):
+    """One (policy × seed-set) crawl of an experiment grid finished.
+
+    Emitted by :func:`repro.parallel.run_crawl_grid` as results merge
+    back in fixed task order; ``seconds`` is the task's own wall-clock
+    crawl time inside its worker.
+    """
+
+    kind = "task-completed"
+    label: str = ""
+    seed_index: int = 0
+    seconds: float = 0.0
+    rounds: int = 0
+    records: int = 0
+
+    def _body(self) -> dict:
+        return {
+            "label": self.label,
+            "seed_index": self.seed_index,
+            "seconds": round(self.seconds, 6),
+            "rounds": self.rounds,
+            "records": self.records,
+        }
+
+
+@dataclass
+class ExperimentSuiteCompleted(CrawlEvent):
+    """A whole experiment grid finished.
+
+    ``task_seconds`` is the sum of per-task crawl times (what a
+    sequential run would have cost); ``wall_seconds`` is what the
+    fan-out actually took, so ``task_seconds / wall_seconds`` is the
+    realized speedup.
+    """
+
+    kind = "suite-completed"
+    tasks: int = 0
+    workers: int = 0
+    wall_seconds: float = 0.0
+    task_seconds: float = 0.0
+
+    def _body(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "task_seconds": round(self.task_seconds, 6),
+        }
+
+
+@dataclass
 class CrawlStopped(CrawlEvent):
     """The crawl loop exited."""
 

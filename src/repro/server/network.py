@@ -33,12 +33,21 @@ class CommunicationLog:
     A "round" is one page request, matching Definition 2.3.  ``on_round``
     callbacks let experiment harnesses take snapshots at exact round
     counts without threading state through the crawler.
+
+    ``cache_hits`` / ``cache_misses`` count the server's result-ordering
+    LRU cache behaviour (see
+    :class:`~repro.server.webdb.SimulatedWebDatabase`): page 2+ of a
+    query should be a hit, a re-ordered recomputation after eviction a
+    miss — observable here because the cache exists to keep round
+    serving cheap.
     """
 
     rounds: int = 0
     requests: List[RequestRecord] = field(default_factory=list)
     queries_issued: Dict[Query, int] = field(default_factory=dict)
     keep_requests: bool = True
+    cache_hits: int = 0
+    cache_misses: int = 0
     _callbacks: List[Callable[[int], None]] = field(default_factory=list)
 
     def record(self, query: Query, page_number: int, records_returned: int) -> RequestRecord:
@@ -83,3 +92,5 @@ class CommunicationLog:
         self.rounds = 0
         self.requests.clear()
         self.queries_issued.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0

@@ -16,7 +16,8 @@ keep that boundary visible in calling code.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import List, Optional
 
 from repro.core.errors import PaginationError
 from repro.core.query import Query
@@ -45,7 +46,17 @@ class SimulatedWebDatabase:
     interface:
         Defaults to the schema's queriable attributes without a keyword
         box; pass :meth:`QueryInterface.keyword_only` etc. to vary.
+    order_cache_size:
+        Entries kept in the per-query result-ordering LRU cache.  A
+        long crawl issues each query many times (one round per page),
+        so caching the ordered match list is what keeps pagination
+        O(page); the bound keeps memory flat over millions of distinct
+        queries.  Hits and misses are counted on the communication log
+        (``log.cache_hits`` / ``log.cache_misses``).
     """
+
+    #: Default bound on the result-ordering LRU (distinct queries).
+    DEFAULT_ORDER_CACHE_SIZE = 4096
 
     def __init__(
         self,
@@ -55,7 +66,12 @@ class SimulatedWebDatabase:
         report_total: bool = True,
         interface: Optional[QueryInterface] = None,
         keep_request_log: bool = False,
+        order_cache_size: int = DEFAULT_ORDER_CACHE_SIZE,
     ) -> None:
+        if order_cache_size < 1:
+            raise ValueError(
+                f"order_cache_size must be >= 1, got {order_cache_size}"
+            )
         self.table = table
         self.page_size = page_size
         self.limit_policy = limit_policy or ResultLimitPolicy()
@@ -64,7 +80,8 @@ class SimulatedWebDatabase:
             table.schema, name=table.name
         )
         self.log = CommunicationLog(keep_requests=keep_request_log)
-        self._order_cache: Dict[Query, List[int]] = {}
+        self.order_cache_size = order_cache_size
+        self._order_cache: "OrderedDict[Query, List[int]]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # The crawler-facing API
@@ -171,8 +188,21 @@ class SimulatedWebDatabase:
     # Internals
     # ------------------------------------------------------------------
     def _ordered_matches(self, query: Query) -> List[int]:
+        """The query's full ordered match list, LRU-cached.
+
+        Safe to cache and safe to evict: ``limit_policy.order`` is a
+        pure function of (seed, query, match ids), so a recomputed
+        entry is identical to the evicted one — the bound changes
+        memory use, never results.
+        """
         cached = self._order_cache.get(query)
-        if cached is None:
-            cached = self.limit_policy.order(query, self.table.match(query))
-            self._order_cache[query] = cached
-        return cached
+        if cached is not None:
+            self._order_cache.move_to_end(query)
+            self.log.cache_hits += 1
+            return cached
+        self.log.cache_misses += 1
+        ordered = self.limit_policy.order(query, self.table.match(query))
+        self._order_cache[query] = ordered
+        if len(self._order_cache) > self.order_cache_size:
+            self._order_cache.popitem(last=False)
+        return ordered

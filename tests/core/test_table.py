@@ -136,6 +136,37 @@ rows_strategy = st.lists(
 )
 
 
+class TestSortedPostings:
+    """Posting lists stay sorted at insert time — match never re-sorts."""
+
+    def test_out_of_order_inserts_sorted_results(self):
+        table = RelationalTable(schema)
+        for record_id in (5, 1, 9, 3, 7):
+            table.insert(
+                Record.build(
+                    record_id, schema, title="same", publisher=f"p{record_id}"
+                )
+            )
+        assert table.match_equality("title", "same") == [1, 3, 5, 7, 9]
+        assert table.match_keyword("same") == [1, 3, 5, 7, 9]
+
+    def test_ascending_inserts_sorted_results(self):
+        table = RelationalTable(schema)
+        for record_id in range(4):
+            table.insert(Record.build(record_id, schema, title="same"))
+        assert table.match_equality("title", "same") == [0, 1, 2, 3]
+
+    def test_match_returns_detached_copy(self):
+        table = RelationalTable(schema)
+        table.insert(Record.build(1, schema, title="same"))
+        ids = table.match_equality("title", "same")
+        ids.append(999)
+        assert table.match_equality("title", "same") == [1]
+        keywords = table.match_keyword("same")
+        keywords.clear()
+        assert table.match_keyword("same") == [1]
+
+
 @settings(max_examples=40, deadline=None)
 @given(rows_strategy)
 def test_property_inverted_index_consistent(rows):

@@ -147,6 +147,52 @@ class TestPmi:
         assert local.pmi(AV("a", "x"), AV("b", "p")) == -math.inf
 
 
+class TestFrozenViews:
+    """neighbors()/matching_ids() must never expose live internal sets."""
+
+    def test_neighbors_view_is_immutable(self):
+        local = LocalDatabase()
+        local.add(make_record(1, a="x", b="p"))
+        view = local.neighbors(AV("a", "x"))
+        assert view == {AV("b", "p")}
+        with pytest.raises(AttributeError):
+            view.add(AV("b", "q"))
+
+    def test_matching_ids_view_is_immutable(self):
+        local = LocalDatabase()
+        local.add(make_record(1, a="x"))
+        view = local.matching_ids(AV("a", "x"))
+        assert view == {1}
+        with pytest.raises(AttributeError):
+            view.discard(1)
+
+    def test_held_view_detached_from_later_inserts(self):
+        # A policy may hold a view across rounds; G_local must neither
+        # leak into it nor be corruptible through it.
+        local = LocalDatabase()
+        local.add(make_record(1, a="x", b="p"))
+        neighbors_before = local.neighbors(AV("a", "x"))
+        ids_before = local.matching_ids(AV("a", "x"))
+        local.add(make_record(2, a="x", b="q"))
+        assert neighbors_before == {AV("b", "p")}
+        assert ids_before == {1}
+        assert local.neighbors(AV("a", "x")) == {AV("b", "p"), AV("b", "q")}
+        assert local.matching_ids(AV("a", "x")) == {1, 2}
+        assert local.degree(AV("a", "x")) == 2
+
+    def test_unknown_value_empty_views(self):
+        local = LocalDatabase()
+        assert local.neighbors(AV("a", "nope")) == frozenset()
+        assert local.matching_ids(AV("a", "nope")) == frozenset()
+
+    def test_views_compose_with_set_algebra(self):
+        # mmmi intersects neighbor views with plain sets — keep working.
+        local = LocalDatabase()
+        local.add(make_record(1, a="x", b="p", c="m"))
+        queried = {AV("b", "p"), AV("z", "zz")}
+        assert local.neighbors(AV("a", "x")) & queried == {AV("b", "p")}
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.lists(

@@ -1,0 +1,224 @@
+"""Tests for the deterministic parallel experiment executor.
+
+The contract under test is the strongest one :mod:`repro.parallel`
+makes: a parallel run is *bit-identical* to the sequential one — same
+result order, same crawl histories, same coverage curves — because
+every task derives its engine seed as ``rng_seed + seed_index`` and
+results merge in fixed task order.  The equality tests force real
+multi-process pools (explicit ``workers=2``), which ``resolve_workers``
+honours even on a single-CPU machine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.domain import build_domain_table
+from repro.experiments.harness import (
+    group_policy_runs,
+    run_policy,
+    run_policy_suite,
+    sample_seed_values,
+)
+from repro.parallel import (
+    CrawlGrid,
+    CrawlTask,
+    available_workers,
+    parallel_map,
+    parse_workers,
+    resolve_workers,
+    run_crawl_grid,
+)
+from repro.policies import (
+    AdaptiveAttributeSelector,
+    DomainKnowledgeSelector,
+    GreedyLinkSelector,
+    GreedyMmmiSelector,
+)
+from repro.runtime.events import EventBus, RingBufferSink
+from repro.server.flaky import FlakyServer
+from repro.server.webdb import SimulatedWebDatabase
+
+
+def _double(payload, item):
+    return (payload or 0) + item * 2
+
+
+class TestWorkerResolution:
+    def test_parse_auto(self):
+        assert parse_workers("auto") is None
+        assert parse_workers(None) is None
+        assert parse_workers("") is None
+
+    def test_parse_count(self):
+        assert parse_workers("3") == 3
+        assert parse_workers(2) == 2
+
+    def test_parse_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            parse_workers("0")
+        with pytest.raises(ValueError):
+            parse_workers(-2)
+
+    def test_auto_uses_available_cpus(self):
+        assert resolve_workers(None) == available_workers()
+
+    def test_explicit_count_honoured_beyond_cpus(self):
+        # Tests force multi-process runs on small machines this way.
+        assert resolve_workers(available_workers() + 7) == available_workers() + 7
+
+    def test_never_more_workers_than_tasks(self):
+        assert resolve_workers(8, n_tasks=3) == 3
+        assert resolve_workers(8, n_tasks=0) == 1
+
+
+class TestParallelMap:
+    def test_sequential_path(self):
+        assert parallel_map(_double, [3, 1, 2], payload=1, workers=1) == [7, 3, 5]
+
+    def test_results_in_item_order(self):
+        expected = [i * 2 for i in range(12)]
+        assert parallel_map(_double, range(12), workers=2) == expected
+
+    def test_parallel_matches_sequential(self):
+        items = list(range(10))
+        sequential = parallel_map(_double, items, payload=5, workers=1)
+        parallel = parallel_map(_double, items, payload=5, workers=3)
+        assert parallel == sequential
+
+    def test_single_item_runs_inline(self):
+        assert parallel_map(_double, [4], workers=4) == [8]
+
+
+def _grid_for(table, policies, seed_sets, rng_seed=0, **crawl_kwargs):
+    tasks = tuple(
+        CrawlTask(label=label, seed_index=index, seeds=tuple(seeds))
+        for label in policies
+        for index, seeds in enumerate(seed_sets)
+    )
+    return CrawlGrid(
+        make_server=lambda task: SimulatedWebDatabase(table, page_size=5),
+        make_selector=lambda task: policies[task.label](),
+        tasks=tasks,
+        rng_seed=rng_seed,
+        crawl_kwargs=crawl_kwargs,
+    )
+
+
+class TestDeterministicFanOut:
+    """Parallel vs sequential bit-identity, per policy family."""
+
+    @pytest.fixture(scope="class")
+    def seed_sets(self, small_ebay):
+        rng = random.Random(7)
+        return [sample_seed_values(small_ebay, 1, rng) for _ in range(3)]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            GreedyLinkSelector,
+            lambda: GreedyMmmiSelector(switch_coverage=None),
+            AdaptiveAttributeSelector,
+        ],
+        ids=["greedy-link", "mmmi", "adaptive"],
+    )
+    def test_policy_bit_identical(self, small_ebay, seed_sets, factory):
+        kwargs = dict(target_coverage=0.4, page_size=5, rng_seed=7)
+        sequential = run_policy(small_ebay, factory, seed_sets, workers=1, **kwargs)
+        parallel = run_policy(small_ebay, factory, seed_sets, workers=2, **kwargs)
+        assert parallel == sequential
+        for seq, par in zip(sequential.results, parallel.results):
+            assert par.history == seq.history
+            assert par.coverage == seq.coverage
+            assert par.queries_issued == seq.queries_issued
+
+    def test_domain_policy_bit_identical(self, small_ebay, seed_sets):
+        domain_table = build_domain_table(small_ebay)
+        factory = lambda: DomainKnowledgeSelector(domain_table)
+        kwargs = dict(max_rounds=120, page_size=5, rng_seed=7)
+        sequential = run_policy(small_ebay, factory, seed_sets, workers=1, **kwargs)
+        parallel = run_policy(small_ebay, factory, seed_sets, workers=2, **kwargs)
+        assert parallel == sequential
+
+    def test_suite_bit_identical(self, small_ebay):
+        policies = {
+            "greedy-link": GreedyLinkSelector,
+            "mmmi": lambda: GreedyMmmiSelector(switch_coverage=None),
+        }
+        kwargs = dict(n_seeds=2, rng_seed=3, target_coverage=0.4)
+        sequential = run_policy_suite(small_ebay, policies, workers=1, **kwargs)
+        parallel = run_policy_suite(small_ebay, policies, workers=2, **kwargs)
+        assert parallel == sequential
+
+    def test_flaky_retry_grid_bit_identical(self, small_ebay, seed_sets):
+        """Retries inside workers replay the exact sequential streams."""
+        grid = CrawlGrid(
+            make_server=lambda task: FlakyServer(
+                SimulatedWebDatabase(small_ebay, page_size=5),
+                failure_rate=0.2,
+                seed=100 + task.seed_index,
+            ),
+            make_selector=lambda task: GreedyLinkSelector(),
+            tasks=tuple(
+                CrawlTask(label="gl", seed_index=index, seeds=tuple(seeds))
+                for index, seeds in enumerate(seed_sets)
+            ),
+            rng_seed=7,
+            crawl_kwargs={"target_coverage": 0.3},
+            engine_kwargs={"max_retries": 4},
+        )
+        sequential = run_crawl_grid(grid, workers=1)
+        parallel = run_crawl_grid(grid, workers=2)
+        assert parallel.results == sequential.results
+
+
+class TestRunCrawlGrid:
+    def test_results_in_task_order(self, small_ebay):
+        seed_sets = [
+            sample_seed_values(small_ebay, 1, random.Random(5)) for _ in range(2)
+        ]
+        policies = {"a": GreedyLinkSelector, "b": GreedyLinkSelector}
+        grid = _grid_for(small_ebay, policies, seed_sets, target_coverage=0.3)
+        outcome = run_crawl_grid(grid, workers=1)
+        assert [t.label for t in outcome.timings] == ["a", "a", "b", "b"]
+        assert [t.seed_index for t in outcome.timings] == [0, 1, 0, 1]
+        assert set(outcome.by_label()) == {"a", "b"}
+
+    def test_emits_timing_events(self, small_ebay):
+        seed_sets = [sample_seed_values(small_ebay, 1, random.Random(5))]
+        grid = _grid_for(
+            small_ebay, {"gl": GreedyLinkSelector}, seed_sets, target_coverage=0.3
+        )
+        bus = EventBus()
+        sink = bus.attach(RingBufferSink())
+        outcome = run_crawl_grid(grid, workers=1, bus=bus)
+        tasks = sink.of_kind("task-completed")
+        [suite] = sink.of_kind("suite-completed")
+        assert len(tasks) == len(grid.tasks)
+        assert tasks[0].label == "gl"
+        assert tasks[0].rounds == outcome.results[0].communication_rounds
+        assert suite.tasks == len(grid.tasks)
+        assert suite.workers == 1
+        assert suite.wall_seconds >= 0.0
+
+    def test_silent_bus_costs_nothing(self, small_ebay):
+        seed_sets = [sample_seed_values(small_ebay, 1, random.Random(5))]
+        grid = _grid_for(
+            small_ebay, {"gl": GreedyLinkSelector}, seed_sets, target_coverage=0.3
+        )
+        outcome = run_crawl_grid(grid, workers=1, bus=EventBus())
+        assert len(outcome.results) == 1
+
+    def test_group_policy_runs_preserves_seed_order(self, small_ebay):
+        seed_sets = [
+            sample_seed_values(small_ebay, 1, random.Random(5)) for _ in range(3)
+        ]
+        grid = _grid_for(
+            small_ebay, {"gl": GreedyLinkSelector}, seed_sets, target_coverage=0.3
+        )
+        outcome = run_crawl_grid(grid, workers=1)
+        runs = group_policy_runs(grid.tasks, outcome.results)
+        assert list(runs) == ["gl"]
+        assert runs["gl"].results == outcome.results

@@ -116,6 +116,76 @@ class TestXml:
         assert server.rounds == 1
 
 
+class TestOrderCache:
+    """The per-query result-ordering LRU: bounded, counted, harmless."""
+
+    def test_repeat_query_hits_cache(self, books):
+        server = SimulatedWebDatabase(books, page_size=2)
+        query = Query.equality("publisher", "orbit")
+        server.submit(query, 1)
+        server.submit(query, 2)
+        assert server.log.cache_misses == 1
+        assert server.log.cache_hits == 1
+
+    def test_cache_never_exceeds_bound(self, books):
+        server = SimulatedWebDatabase(books, page_size=2, order_cache_size=2)
+        for title in ("alpha", "beta", "gamma", "delta"):
+            server.submit(Query.equality("title", title))
+        assert len(server._order_cache) == 2
+        assert server.log.cache_misses == 4
+
+    def test_lru_keeps_recently_used(self, books):
+        server = SimulatedWebDatabase(books, page_size=2, order_cache_size=2)
+        orbit = Query.equality("publisher", "orbit")
+        mitp = Query.equality("publisher", "mitp")
+        server.submit(orbit)
+        server.submit(mitp)
+        server.submit(orbit)  # refresh orbit: mitp is now oldest
+        server.submit(Query.equality("publisher", "southbank"))  # evicts mitp
+        server.submit(orbit)
+        assert server.log.cache_hits == 2
+        server.submit(mitp)  # evicted — recomputed
+        assert server.log.cache_misses == 4
+
+    def test_eviction_never_changes_results(self, books):
+        # Ranked truncation orders by a pure (seed, query, id) hash, so
+        # a recomputed entry must equal the evicted one exactly.
+        def build(cache_size):
+            return SimulatedWebDatabase(
+                books,
+                page_size=2,
+                order_cache_size=cache_size,
+                limit_policy=ResultLimitPolicy(limit=3, ordering="ranked", seed=5),
+            )
+
+        queries = [
+            Query.equality("publisher", name)
+            for name in ("orbit", "mitp", "southbank", "orbit", "mitp")
+        ]
+        thrashing, roomy = build(1), build(16)
+        for query in queries:
+            a = thrashing.submit(query)
+            b = roomy.submit(query)
+            assert [r.record_id for r in a.records] == [
+                r.record_id for r in b.records
+            ]
+        assert thrashing.log.cache_hits == 0
+        assert roomy.log.cache_hits == 2
+
+    def test_reset_clears_counters(self, books):
+        server = SimulatedWebDatabase(books, page_size=2)
+        query = Query.equality("publisher", "orbit")
+        server.submit(query, 1)
+        server.submit(query, 2)
+        server.log.reset()
+        assert server.log.cache_hits == 0
+        assert server.log.cache_misses == 0
+
+    def test_invalid_cache_size_rejected(self, books):
+        with pytest.raises(ValueError):
+            SimulatedWebDatabase(books, order_cache_size=0)
+
+
 class TestTruth:
     def test_truth_size(self, books):
         assert SimulatedWebDatabase(books).truth_size() == 9

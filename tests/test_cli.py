@@ -112,6 +112,32 @@ class TestExperiment:
         with pytest.raises(SystemExit):
             main(["experiment", "figure99"])
 
+    def test_workers_flag_prints_speedup_table(self):
+        code, text = run_cli(
+            "experiment", "figure3",
+            "--records", "400",
+            "--workers", "2",
+            "--seed", "1",
+        )
+        assert code == 0
+        assert "Parallel experiment timing" in text
+        assert "(2 workers)" in text
+
+    def test_sequential_workers_matches_parallel_output(self):
+        _code, sequential = run_cli(
+            "experiment", "figure4", "--records", "500", "--workers", "1"
+        )
+        _code, parallel = run_cli(
+            "experiment", "figure4", "--records", "500", "--workers", "2"
+        )
+        # Everything except the timing footer is bit-identical.
+        strip = lambda text: text.split("Parallel experiment timing")[0]
+        assert strip(parallel) == strip(sequential)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            main(["experiment", "table1", "--workers", "0"])
+
 
 class TestProfile:
     def test_profile_builtin_dataset(self):
