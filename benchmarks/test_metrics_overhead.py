@@ -1,0 +1,126 @@
+"""Telemetry benchmark: the metrics registry must be nearly free.
+
+The acceptance bar for ``repro.metrics``: feeding a
+:class:`~repro.metrics.TelemetrySink` costs under 5% of a 2,000-query
+crawl's CPU time — while leaving the
+:class:`~repro.crawler.engine.CrawlResult` bit-identical.
+
+Every hot-path event lands in a counter ``inc_key`` or a histogram
+``observe_key`` — a dict lookup plus a float add, O(1) per event with
+no validation or allocation after the first label tuple — so the cost
+is bounded by the event count, not crawl state.
+
+Measuring a ~2% effect by differencing two end-to-end wall-clocks does
+not work on a shared machine: per-run noise here (bursty neighbours,
+frequency throttling) swings legs by tens of percent, swamping the
+signal even with the interleaved-pairs trick ``test_runtime_overhead``
+uses for its much larger 15% budget.  Instead this benchmark records
+the instrumented crawl's exact event stream once, then times the sink
+directly by replaying that stream through ``EventBus.emit`` — the
+identical per-event work the crawl pays — and compares it against
+plain-crawl legs interleaved with the replays.  Both sides are
+CPU-time minima over several legs, so a ratio far from the ceiling
+stays far from it under load.  (Event *construction* is the event
+bus's cost, priced into the durable-runtime budget.)
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit, scaled
+
+from repro.crawler import CrawlerEngine
+from repro.datasets import generate_ebay
+from repro.metrics import TelemetrySink
+from repro.policies import GreedyLinkSelector
+from repro.runtime.events import EventBus, EventSink
+from repro.server import SimulatedWebDatabase
+
+MAX_QUERIES = 2_000
+LEGS = 5  # interleaved (replay, plain-crawl) timing legs
+OVERHEAD_CEILING = 0.05
+
+
+class _RecordingSink(EventSink):
+    """Capture the crawl's event stream for replay."""
+
+    def __init__(self) -> None:
+        self.events = []
+
+    def handle(self, event) -> None:
+        self.events.append(event)
+
+
+def build_engine(table, bus=None):
+    return CrawlerEngine(
+        SimulatedWebDatabase(table, page_size=10),
+        GreedyLinkSelector(),
+        seed=5,
+        bus=bus,
+    )
+
+
+def run_comparison():
+    table = generate_ebay(n_records=scaled(8000), seed=1)
+    seeds = [
+        next(
+            value
+            for value in table.distinct_values("seller")
+            if table.frequency(value) >= 3
+        )
+    ]
+
+    # One instrumented crawl: records the event stream and proves the
+    # sink never steers the crawl.
+    bus = EventBus()
+    recorder = bus.attach(_RecordingSink())
+    bus.attach(TelemetrySink(truth_size=len(table)))
+    instrumented_result = build_engine(table, bus=bus).crawl(
+        seeds, max_queries=MAX_QUERIES
+    )
+
+    def timed_replay():
+        replay_bus = EventBus()
+        replay_bus.attach(TelemetrySink(truth_size=len(table)))
+        start = time.process_time()
+        for event in recorder.events:
+            replay_bus.emit(event)
+        return time.process_time() - start
+
+    def timed_plain_crawl():
+        engine = build_engine(table)
+        start = time.process_time()
+        result = engine.crawl(seeds, max_queries=MAX_QUERIES)
+        return time.process_time() - start, result
+
+    plain_result = None
+    sink_times, crawl_times = [], []
+    timed_replay()  # warm the replay path once
+    for _ in range(LEGS):
+        sink_times.append(timed_replay())
+        elapsed, plain_result = timed_plain_crawl()
+        crawl_times.append(elapsed)
+    return {
+        "events": len(recorder.events),
+        "sink": min(sink_times),
+        "crawl": min(crawl_times),
+        "overhead": min(sink_times) / min(crawl_times),
+        "plain_result": plain_result,
+        "instrumented_result": instrumented_result,
+    }
+
+
+def test_telemetry_overhead_stays_under_5_percent(benchmark):
+    timing = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    overhead = timing["overhead"]
+    emit(
+        f"2k-query GL crawl: {timing['crawl']:.3f}s CPU, telemetry for "
+        f"its {timing['events']} events {timing['sink'] * 1000:.1f}ms "
+        f"-> overhead {overhead:+.1%} (ceiling {OVERHEAD_CEILING:.0%})"
+    )
+    # Telemetry must observe the crawl, never steer it...
+    assert timing["instrumented_result"] == timing["plain_result"]
+    assert timing["plain_result"].queries_issued == MAX_QUERIES
+    # ...and close to free.
+    assert overhead < OVERHEAD_CEILING

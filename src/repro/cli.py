@@ -126,6 +126,22 @@ EXPERIMENTS = {
 }
 
 
+def _add_telemetry_flags(parser, progress: bool = True) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="append live telemetry snapshots here (JSONL, one per "
+             "heartbeat plus a final one)")
+    parser.add_argument(
+        "--prometheus-out", default=None,
+        help="write the final metrics registry here in the Prometheus "
+             "text exposition format")
+    if progress:
+        parser.add_argument(
+            "--progress-every", type=int, default=0,
+            help="print a progress heartbeat every N completed crawl "
+                 "steps (0 = off)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "them only at baseline and suspension")
     crawl.add_argument("--stop-after-steps", type=int, default=None,
                        help="suspend gracefully after N steps (with --checkpoint-dir)")
+    _add_telemetry_flags(crawl)
 
     resume = commands.add_parser(
         "resume", help="resume a checkpointed crawl from its directory"
@@ -180,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="suspend again after N further steps")
     resume.add_argument("--history", default=None,
                         help="write the coverage history CSV here")
+    _add_telemetry_flags(resume)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -193,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
              "'auto' (one per CPU); 1 = the legacy sequential path. "
              "Results are identical at any width.",
     )
+    _add_telemetry_flags(experiment, progress=False)
 
     profile = commands.add_parser(
         "profile", help="probe a source and summarize what it knows"
@@ -252,6 +271,65 @@ def _build_from_setup(setup: dict):
     return table, server, selector
 
 
+def _telemetry_requested(args) -> bool:
+    return bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "prometheus_out", None)
+        or getattr(args, "progress_every", 0)
+    )
+
+
+def _attach_telemetry(args, out, bus, truth_size=None):
+    """Attach a TelemetrySink (+ heartbeat reporter) per the CLI flags.
+
+    Returns ``(telemetry, writer)``; the caller finishes with
+    :func:`_report_telemetry` once the crawl is done.
+    """
+    from repro.metrics import JsonlMetricsWriter, ProgressReporter, TelemetrySink
+
+    telemetry = bus.attach(TelemetrySink(truth_size=truth_size))
+    writer = (
+        JsonlMetricsWriter(args.metrics_out) if args.metrics_out else None
+    )
+    every = getattr(args, "progress_every", 0) or 0
+    bus.attach(
+        ProgressReporter(
+            every=every,
+            stream=out if every else None,
+            telemetry=telemetry,
+            truth_size=truth_size,
+            writer=writer,
+        )
+    )
+    return telemetry, writer
+
+
+def _report_telemetry(args, out, telemetry, writer, server=None) -> None:
+    """Final sampling, exports, and the summary table."""
+    from pathlib import Path
+
+    from repro.metrics import prometheus_text, render_metrics_summary
+
+    if telemetry is None:
+        return
+    if server is not None:
+        telemetry.sample_server(server)
+    if writer is not None:
+        writer.write_snapshot(telemetry.registry, step=None, label="final")
+        writer.close()
+        out.write(
+            f"metrics JSONL: {writer.path} "
+            f"({writer.snapshots_written} snapshots)\n"
+        )
+    if getattr(args, "prometheus_out", None):
+        Path(args.prometheus_out).write_text(
+            prometheus_text(telemetry.registry), encoding="utf-8"
+        )
+        out.write(f"prometheus metrics: {args.prometheus_out}\n")
+    out.write(render_metrics_summary(telemetry.registry))
+    out.write("\n")
+
+
 def _report_result(table, result, args, out) -> None:
     out.write(f"source: {table.name} ({len(table):,} records)\n")
     out.write(
@@ -283,10 +361,20 @@ def _command_crawl(args, out) -> int:
     server = SimulatedWebDatabase(
         table, page_size=args.page_size, limit_policy=limit_policy
     )
+    telemetry = writer = bus = None
+    if _telemetry_requested(args):
+        from repro.runtime.events import EventBus
+
+        bus = EventBus()
+        telemetry, writer = _attach_telemetry(
+            args, out, bus, truth_size=len(table)
+        )
     if args.policy == "practical":
-        engine = build_practical_crawler(server, seed=args.seed)
+        engine = build_practical_crawler(server, seed=args.seed, bus=bus)
     else:
-        engine = CrawlerEngine(server, POLICIES[args.policy](), seed=args.seed)
+        engine = CrawlerEngine(
+            server, POLICIES[args.policy](), seed=args.seed, bus=bus
+        )
     seeds = sample_seed_values(
         table, 1, random.Random(args.seed), min_frequency=2
     )
@@ -298,6 +386,7 @@ def _command_crawl(args, out) -> int:
     )
     out.write(f"seed value: {seeds[0]}\n")
     _report_result(table, result, args, out)
+    _report_telemetry(args, out, telemetry, writer, server=server)
     return 0
 
 
@@ -323,6 +412,11 @@ def _durable_crawl(args, out) -> int:
     table, server, selector = _build_from_setup(setup)
     bus = EventBus()
     metrics = bus.attach(MetricsAggregator())
+    telemetry = writer = None
+    if _telemetry_requested(args):
+        telemetry, writer = _attach_telemetry(
+            args, out, bus, truth_size=len(table)
+        )
     engine = CrawlerEngine(server, selector, seed=args.seed, bus=bus)
     runtime = RuntimeCrawler(
         engine,
@@ -330,6 +424,7 @@ def _durable_crawl(args, out) -> int:
         checkpoint_every=args.checkpoint_every,
         snapshot_every=args.snapshot_every,
         setup=setup,
+        telemetry=telemetry,
     )
     seeds = sample_seed_values(
         table, 1, random.Random(args.seed), min_frequency=2
@@ -352,6 +447,7 @@ def _durable_crawl(args, out) -> int:
         out.write(f"suspended; continue with: repro resume {args.checkpoint_dir}\n")
     out.write(render_runtime_metrics(metrics))
     out.write("\n")
+    _report_telemetry(args, out, telemetry, writer, server=server)
     return 0
 
 
@@ -373,7 +469,14 @@ def _command_resume(args, out) -> int:
     table, server, selector = _build_from_setup(checkpoint.setup)
     bus = EventBus()
     metrics = bus.attach(MetricsAggregator())
-    runtime = RuntimeCrawler.resume(directory, server, selector, bus=bus)
+    telemetry = writer = None
+    if _telemetry_requested(args):
+        telemetry, writer = _attach_telemetry(
+            args, out, bus, truth_size=len(table)
+        )
+    runtime = RuntimeCrawler.resume(
+        directory, server, selector, bus=bus, telemetry=telemetry
+    )
     out.write(
         f"resumed from step {checkpoint.step} "
         f"(+{runtime.engine.steps - checkpoint.step} journaled steps replayed)\n"
@@ -385,6 +488,7 @@ def _command_resume(args, out) -> int:
         out.write(f"suspended; continue with: repro resume {args.checkpoint_dir}\n")
     out.write(render_runtime_metrics(metrics))
     out.write("\n")
+    _report_telemetry(args, out, telemetry, writer, server=server)
     return 0
 
 
@@ -394,6 +498,9 @@ def _command_experiment(args, out) -> int:
 
     bus = EventBus()
     sink = bus.attach(RingBufferSink(capacity=4096))
+    telemetry = writer = None
+    if _telemetry_requested(args):
+        telemetry, writer = _attach_telemetry(args, out, bus)
     workers = parse_workers(getattr(args, "workers", "auto"))
     result = EXPERIMENTS[args.name](args, workers, bus)
     out.write(result.render())
@@ -401,6 +508,7 @@ def _command_experiment(args, out) -> int:
     if any(event.kind == "task-completed" for event in sink.events):
         out.write(render_speedup_table(sink.events))
         out.write("\n")
+    _report_telemetry(args, out, telemetry, writer)
     return 0
 
 

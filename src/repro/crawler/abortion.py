@@ -17,30 +17,50 @@ prober between page fetches.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Tuple
 
 from repro.server.pagination import ResultPage
 
 
 @dataclass
 class PageProgress:
-    """Running tallies the prober maintains while paging through a query."""
+    """Running tallies the prober maintains while paging through a query.
+
+    Besides the cumulative totals, each page's ``(records, new)`` tally
+    is kept in ``page_tallies`` so window-based heuristics can score
+    just the trailing pages (a query fetches at most
+    ``ceil(result_limit / k)`` pages, so the list stays small).
+    """
 
     pages_fetched: int = 0
     records_seen: int = 0
     new_records: int = 0
+    page_tallies: List[Tuple[int, int]] = field(default_factory=list)
 
     def update(self, page_records: int, new_records: int) -> None:
         self.pages_fetched += 1
         self.records_seen += page_records
         self.new_records += new_records
+        self.page_tallies.append((page_records, new_records))
 
     @property
     def duplicate_fraction(self) -> float:
         if self.records_seen == 0:
             return 0.0
         return 1.0 - self.new_records / self.records_seen
+
+    def window_duplicate_fraction(self, pages: int) -> float:
+        """Duplicate fraction over the trailing ``pages`` page tallies."""
+        if pages < 1:
+            return self.duplicate_fraction
+        window = self.page_tallies[-pages:]
+        records = sum(tally[0] for tally in window)
+        if records == 0:
+            return 0.0
+        return 1.0 - sum(tally[1] for tally in window) / records
 
 
 class AbortionPolicy(ABC):
@@ -95,8 +115,11 @@ class TotalCountAbort(AbortionPolicy):
         remaining_records = page.accessible_matches - progress.records_seen
         if remaining_records <= 0:
             return False  # pagination ends naturally
-        page_size = max(len(page.records), 1)
-        remaining_pages = -(-remaining_records // page_size)
+        # Remaining rounds follow from the server's page size k, which
+        # every page carries; inferring k from len(page.records) would
+        # let a short page inflate the page count and skew the decision.
+        page_size = max(page.page_size or len(page.records), 1)
+        remaining_pages = math.ceil(remaining_records / page_size)
         duplicates_seen = progress.records_seen - progress.new_records
         guaranteed_duplicates = max(known_matches - duplicates_seen, 0)
         max_new = max(remaining_records - guaranteed_duplicates, 0)
@@ -105,11 +128,15 @@ class TotalCountAbort(AbortionPolicy):
 
 @dataclass
 class DuplicateFractionAbort(AbortionPolicy):
-    """Heuristic 2 — abort on duplicate-heavy early pages.
+    """Heuristic 2 — abort on duplicate-heavy recent pages.
 
-    Looks at the first ``probe_pages`` pages; once at least that many
-    pages have been fetched, aborts whenever the observed duplicate
-    fraction exceeds ``max_duplicate_fraction``.
+    Once at least ``probe_pages`` pages have been fetched, aborts
+    whenever the duplicate fraction observed over the *trailing*
+    ``probe_pages`` window exceeds ``max_duplicate_fraction``.  The
+    window matters in both directions: scored cumulatively, a
+    duplicate-heavy early probe would be diluted by later fresh pages
+    (never aborting a query that went dry), and a fresh head would mask
+    a tail that has gone all-duplicate.
     """
 
     max_duplicate_fraction: float = 0.9
@@ -120,21 +147,20 @@ class DuplicateFractionAbort(AbortionPolicy):
     ) -> bool:
         if progress.pages_fetched < self.probe_pages:
             return False
-        return progress.duplicate_fraction > self.max_duplicate_fraction
+        return (
+            progress.window_duplicate_fraction(self.probe_pages)
+            > self.max_duplicate_fraction
+        )
 
 
 @dataclass
 class CombinedAbort(AbortionPolicy):
     """Use heuristic 1 when totals are reported, else heuristic 2."""
 
-    total_count: TotalCountAbort = None  # type: ignore[assignment]
-    duplicate_fraction: DuplicateFractionAbort = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.total_count is None:
-            self.total_count = TotalCountAbort()
-        if self.duplicate_fraction is None:
-            self.duplicate_fraction = DuplicateFractionAbort()
+    total_count: TotalCountAbort = field(default_factory=TotalCountAbort)
+    duplicate_fraction: DuplicateFractionAbort = field(
+        default_factory=DuplicateFractionAbort
+    )
 
     def should_abort(
         self, page: ResultPage, progress: PageProgress, known_matches: int

@@ -160,12 +160,25 @@ class LifoFrontier(Frontier):
 
 
 class RandomFrontier(Frontier):
-    """Uniform-random frontier (swap-with-last removal, O(1) amortized)."""
+    """Uniform-random frontier (swap-with-last removal, O(1) amortized).
 
-    def __init__(self, rng: Optional[random.Random] = None) -> None:
+    The RNG is required, not defaulted: an unseeded stream would break
+    the bit-identical-replay guarantee the durable runtime makes for
+    every policy.  Pass the engine's policy RNG (``context.rng``) — the
+    engine checkpoints that stream, so a resumed random crawl draws
+    exactly where the original left off.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        if not isinstance(rng, random.Random):
+            raise TypeError(
+                "RandomFrontier requires an explicit random.Random (the "
+                "engine's seeded stream); an unseeded default would break "
+                "bit-identical replay"
+            )
         super().__init__()
         self._items: list[AttributeValue] = []
-        self._rng = rng or random.Random()
+        self._rng = rng
 
     def _insert(self, value: AttributeValue) -> None:
         self._items.append(value)

@@ -182,7 +182,11 @@ class DatabaseProber:
                 if announce:
                     self.bus.emit(
                         QueryAborted(
-                            query=query, pages_fetched=outcome.pages_fetched
+                            query=query,
+                            pages_fetched=outcome.pages_fetched,
+                            pages_saved=max(
+                                meta.num_pages - meta.page_number, 0
+                            ),
                         ),
                         policy=self.policy,
                     )

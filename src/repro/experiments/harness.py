@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.table import RelationalTable
 from repro.core.values import AttributeValue
 from repro.crawler.engine import CrawlResult
+from repro.metrics.registry import MetricsRegistry
 from repro.parallel import CrawlGrid, CrawlTask, WorkerSpec, run_crawl_grid
 from repro.policies.base import QuerySelector
 from repro.runtime.events import EventBus
@@ -133,6 +134,7 @@ def run_policy(
     rng_seed: int = 0,
     workers: WorkerSpec = 1,
     bus: Optional[EventBus] = None,
+    metrics: Optional[MetricsRegistry] = None,
     **crawl_kwargs,
 ) -> PolicyRun:
     """Crawl ``table`` once per seed set and aggregate the results.
@@ -142,7 +144,9 @@ def run_policy(
     selector from the factory.  ``workers`` fans the crawls out over a
     process pool (``None``/``"auto"`` = one per CPU); the parallel run
     is bit-identical to ``workers=1`` because each crawl derives its
-    engine seed as ``rng_seed + index`` either way.
+    engine seed as ``rng_seed + index`` either way.  ``metrics``
+    (a :class:`~repro.metrics.registry.MetricsRegistry`) receives
+    per-task telemetry merged in fixed task order.
     """
     tasks = tuple(
         CrawlTask(label="", seed_index=index, seeds=tuple(seed_values))
@@ -157,7 +161,7 @@ def run_policy(
         rng_seed=rng_seed,
         crawl_kwargs=crawl_kwargs,
     )
-    outcome = run_crawl_grid(grid, workers=workers, bus=bus)
+    outcome = run_crawl_grid(grid, workers=workers, bus=bus, metrics=metrics)
     [run] = group_policy_runs(tasks, outcome.results).values()
     return run
 
@@ -172,6 +176,7 @@ def run_policy_suite(
     rng_seed: int = 0,
     workers: WorkerSpec = 1,
     bus: Optional[EventBus] = None,
+    metrics: Optional[MetricsRegistry] = None,
     **crawl_kwargs,
 ) -> Dict[str, PolicyRun]:
     """Run several policies over the same seed sets (paired comparison).
@@ -200,5 +205,5 @@ def run_policy_suite(
         rng_seed=rng_seed,
         crawl_kwargs=crawl_kwargs,
     )
-    outcome = run_crawl_grid(grid, workers=workers, bus=bus)
+    outcome = run_crawl_grid(grid, workers=workers, bus=bus, metrics=metrics)
     return group_policy_runs(tasks, outcome.results)

@@ -1,0 +1,238 @@
+"""Metric exporters: Prometheus text, JSONL snapshots, summary table.
+
+Three consumers, three formats:
+
+- :func:`prometheus_text` — the Prometheus exposition format
+  (``# HELP`` / ``# TYPE`` plus one sample line per series, histograms
+  expanded into cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``),
+  ready to serve from a ``/metrics`` endpoint or write next to a run;
+- :class:`JsonlMetricsWriter` — an append-only stream of registry
+  snapshots, one JSON object per line, the shape a dashboard tails
+  during a long crawl (the heartbeat reporter writes one line per
+  beat).  Every line carries ``schema``, ``step``, and a flat
+  ``samples`` list so consumers need no registry code to parse it;
+- :func:`render_metrics_summary` — the end-of-run plain-text table the
+  CLI prints.
+
+Sample values are emitted deterministically: metrics in registration
+order, series sorted by label values.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.metrics.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Version tag stamped on every JSONL line (consumers gate on it).
+JSONL_SCHEMA = "repro-metrics/1"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_text(names, values) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{value}"' for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus exposition format."""
+    lines: List[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for values, value in metric.series():
+                lines.append(
+                    f"{metric.name}"
+                    f"{_label_text(metric.label_names, values)}"
+                    f" {_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for values, series in metric.series():
+                labels = dict(zip(metric.label_names, values))
+                for bound, cumulative in metric.cumulative_buckets(**labels):
+                    bucket_labels = _label_text(
+                        metric.label_names + ("le",),
+                        values + (_format_value(bound),),
+                    )
+                    lines.append(
+                        f"{metric.name}_bucket{bucket_labels} {cumulative}"
+                    )
+                base = _label_text(metric.label_names, values)
+                lines.append(
+                    f"{metric.name}_sum{base} {_format_value(series.sum)}"
+                )
+                lines.append(f"{metric.name}_count{base} {series.total}")
+    return "\n".join(lines) + "\n"
+
+
+def registry_samples(registry: MetricsRegistry) -> List[dict]:
+    """Flatten the registry into JSON-safe sample dicts.
+
+    Counters/gauges produce ``{name, kind, labels, value}``; histograms
+    produce one sample with ``buckets`` (cumulative ``[le, count]``
+    pairs), ``sum``, and ``count`` instead of ``value``.
+    """
+    samples: List[dict] = []
+    for metric in registry:
+        if isinstance(metric, (Counter, Gauge)):
+            for values, value in metric.series():
+                samples.append(
+                    {
+                        "name": metric.name,
+                        "kind": metric.kind,
+                        "labels": dict(zip(metric.label_names, values)),
+                        "value": value,
+                    }
+                )
+        elif isinstance(metric, Histogram):
+            for values, series in metric.series():
+                labels = dict(zip(metric.label_names, values))
+                samples.append(
+                    {
+                        "name": metric.name,
+                        "kind": metric.kind,
+                        "labels": labels,
+                        "buckets": [
+                            ["+Inf" if bound == math.inf else bound, count]
+                            for bound, count in metric.cumulative_buckets(
+                                **labels
+                            )
+                        ],
+                        "sum": series.sum,
+                        "count": series.total,
+                    }
+                )
+    return samples
+
+
+class JsonlMetricsWriter:
+    """Append registry snapshots to a JSONL file, one line per snapshot."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.snapshots_written = 0
+
+    def write_snapshot(
+        self,
+        registry: MetricsRegistry,
+        step: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        line = {
+            "schema": JSONL_SCHEMA,
+            "step": step,
+            "label": label,
+            "samples": registry_samples(registry),
+        }
+        self._handle.write(json.dumps(line, separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.snapshots_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlMetricsWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def validate_metrics_jsonl(path: Union[str, Path]) -> int:
+    """Check a metrics JSONL file against the exporter schema.
+
+    Returns the number of snapshot lines; raises ``ValueError`` with a
+    line-numbered message on the first malformed line.  Used by the CI
+    smoke test and by consumers defending against partial writes.
+    """
+    count = 0
+    with open(path, encoding="utf-8") as handle:
+        for number, text in enumerate(handle, start=1):
+            text = text.strip()
+            if not text:
+                continue
+            try:
+                line = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"line {number}: not JSON ({error})") from error
+            if line.get("schema") != JSONL_SCHEMA:
+                raise ValueError(
+                    f"line {number}: schema {line.get('schema')!r} != "
+                    f"{JSONL_SCHEMA!r}"
+                )
+            samples = line.get("samples")
+            if not isinstance(samples, list):
+                raise ValueError(f"line {number}: samples must be a list")
+            for sample in samples:
+                if not isinstance(sample, dict):
+                    raise ValueError(f"line {number}: sample must be an object")
+                missing = {"name", "kind", "labels"} - set(sample)
+                if missing:
+                    raise ValueError(
+                        f"line {number}: sample missing {sorted(missing)}"
+                    )
+                if sample["kind"] == "histogram":
+                    if "buckets" not in sample or "count" not in sample:
+                        raise ValueError(
+                            f"line {number}: histogram sample needs "
+                            f"buckets+count"
+                        )
+                elif "value" not in sample:
+                    raise ValueError(
+                        f"line {number}: {sample['kind']} sample needs value"
+                    )
+            count += 1
+    return count
+
+
+def render_metrics_summary(registry: MetricsRegistry) -> str:
+    """End-of-run plain-text roll-up of every non-empty metric."""
+    from repro.experiments.report import render_table
+
+    rows: List[list] = []
+    for metric in registry:
+        if isinstance(metric, (Counter, Gauge)):
+            for values, value in metric.series():
+                rows.append(
+                    [
+                        metric.name,
+                        metric.kind,
+                        _label_text(metric.label_names, values) or "-",
+                        round(value, 4),
+                    ]
+                )
+        elif isinstance(metric, Histogram):
+            for values, series in metric.series():
+                mean = series.sum / series.total if series.total else 0.0
+                rows.append(
+                    [
+                        metric.name,
+                        metric.kind,
+                        _label_text(metric.label_names, values) or "-",
+                        f"n={series.total} mean={mean:.4g}",
+                    ]
+                )
+    if not rows:
+        return "no metrics recorded"
+    return render_table(
+        ["metric", "kind", "labels", "value"], rows, title="Crawl telemetry"
+    )

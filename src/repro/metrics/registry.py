@@ -1,0 +1,421 @@
+"""The metric primitives: counters, gauges, histograms, and a registry.
+
+Prometheus-shaped but dependency-free: a metric has a name, a help
+string, a fixed tuple of label names, and one time series per observed
+label-value combination.  Three kinds exist:
+
+- :class:`Counter` — a monotone total (``inc`` only);
+- :class:`Gauge` — a point-in-time value (``set``);
+- :class:`Histogram` — cumulative-bucket observations with a running
+  sum and count (Prometheus ``le`` semantics: each bucket counts
+  observations at or below its bound, plus an implicit ``+Inf``).
+
+A :class:`MetricsRegistry` owns the metrics, hands out get-or-create
+handles, and supports three operations the crawl runtime builds on:
+
+- ``state_dict()`` / ``load_state()`` — JSON-safe snapshots, stored
+  inside crawl checkpoints so a resumed crawl reports continuous
+  totals;
+- ``merge()`` — fold another registry (or snapshot) in: counters and
+  histograms add, gauges last-write-win.  The parallel experiment
+  runner merges per-worker registries in fixed task order, so the
+  merged registry is identical no matter which worker finished first;
+- deterministic iteration — metrics in registration order, series
+  sorted by label values, so exports are byte-stable for a given
+  crawl.
+
+Everything is synchronous and unlocked on purpose: each crawl (and
+each pool worker) owns its registry, and cross-process aggregation
+happens through ``merge`` after the fact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+
+#: A concrete label assignment, ordered like the metric's label names.
+LabelValues = Tuple[str, ...]
+
+#: Default histogram bounds — wide enough for pages-per-query and for
+#: sub-second step latencies alike (powers-of-ish-two, open tail).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+)
+
+
+class MetricError(ReproError):
+    """A metric was declared or used inconsistently."""
+
+
+class Metric:
+    """Base: one named family of labelled series."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+
+    def _key(self, labels: Mapping[str, str]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"{self.name} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    # Deterministic iteration: series sorted by label values.
+    def _sorted_keys(self, values: Dict[LabelValues, object]) -> List[LabelValues]:
+        return sorted(values)
+
+
+class Counter(Metric):
+    """A monotone total, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease")
+        self.inc_key(self._key(labels), amount)
+
+    def inc_key(self, key: LabelValues, amount: float = 1.0) -> None:
+        """Hot-path increment: ``key`` must already match ``label_names``
+        position for position (no validation)."""
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def value_key(self, key: LabelValues) -> float:
+        return self._values.get(key, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def series(self) -> List[Tuple[LabelValues, float]]:
+        return [(key, self._values[key]) for key in self._sorted_keys(self._values)]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"values": [[list(k), v] for k, v in self.series()]}
+
+    def load_state(self, state: dict) -> None:
+        self._values = {tuple(k): v for k, v in state["values"]}
+
+    def merge_state(self, state: dict) -> None:
+        for key, value in state["values"]:
+            key = tuple(key)
+            self._values[key] = self._values.get(key, 0.0) + value
+
+
+class Gauge(Metric):
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labels)
+        self._values: Dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def set_key(self, key: LabelValues, value: float) -> None:
+        """Hot-path set: ``key`` must already match ``label_names``
+        position for position (no validation)."""
+        self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> List[Tuple[LabelValues, float]]:
+        return [(key, self._values[key]) for key in self._sorted_keys(self._values)]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"values": [[list(k), v] for k, v in self.series()]}
+
+    def load_state(self, state: dict) -> None:
+        self._values = {tuple(k): v for k, v in state["values"]}
+
+    def merge_state(self, state: dict) -> None:
+        for key, value in state["values"]:
+            self._values[tuple(key)] = value
+
+
+class _HistogramSeries:
+    """One label combination's cumulative buckets + sum + count."""
+
+    __slots__ = ("counts", "total", "sum")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * n_buckets  # per-bucket (non-cumulative) counts
+        self.total = 0
+        self.sum = 0.0
+
+
+class Histogram(Metric):
+    """Observation buckets with Prometheus ``le`` (at-or-below) bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise MetricError(
+                f"histogram {name} buckets must be strictly increasing"
+            )
+        self.buckets = bounds
+        self._series: Dict[LabelValues, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        self.observe_key(self._key(labels), value)
+
+    def observe_key(self, key: LabelValues, value: float) -> None:
+        """Hot-path observe: ``key`` must already match ``label_names``
+        position for position (no validation)."""
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets) + 1)
+        series.counts[bisect_left(self.buckets, value)] += 1
+        series.total += 1
+        series.sum += value
+
+    def count(self, **labels: str) -> int:
+        series = self._series.get(self._key(labels))
+        return series.total if series else 0
+
+    def sum(self, **labels: str) -> float:
+        series = self._series.get(self._key(labels))
+        return series.sum if series else 0.0
+
+    def mean(self, **labels: str) -> float:
+        series = self._series.get(self._key(labels))
+        if series is None or series.total == 0:
+            return 0.0
+        return series.sum / series.total
+
+    def cumulative_buckets(
+        self, **labels: str
+    ) -> List[Tuple[float, int]]:
+        """``[(le_bound, cumulative_count), ...]`` ending with +Inf."""
+        series = self._series.get(self._key(labels))
+        counts = series.counts if series else [0] * (len(self.buckets) + 1)
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+    def series(self) -> List[Tuple[LabelValues, _HistogramSeries]]:
+        return [(key, self._series[key]) for key in self._sorted_keys(self._series)]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "series": [
+                [list(key), series.counts, series.total, series.sum]
+                for key, series in self.series()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        if tuple(state["buckets"]) != self.buckets:
+            raise MetricError(
+                f"histogram {self.name} bucket mismatch on load"
+            )
+        self._series = {}
+        for key, counts, total, total_sum in state["series"]:
+            series = _HistogramSeries(len(self.buckets) + 1)
+            series.counts = list(counts)
+            series.total = total
+            series.sum = total_sum
+            self._series[tuple(key)] = series
+
+    def merge_state(self, state: dict) -> None:
+        if tuple(state["buckets"]) != self.buckets:
+            raise MetricError(
+                f"histogram {self.name} bucket mismatch on merge"
+            )
+        for key, counts, total, total_sum in state["series"]:
+            key = tuple(key)
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.buckets) + 1
+                )
+            for index, count in enumerate(counts):
+                series.counts[index] += count
+            series.total += total
+            series.sum += total_sum
+
+
+class MetricsRegistry:
+    """Get-or-create ownership of metrics, in registration order."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}  # insertion-ordered
+
+    # ------------------------------------------------------------------
+    # Declaration (idempotent: same name returns the same handle)
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._declare(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Gauge:
+        return self._declare(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            self._check(existing, Histogram, name, labels)
+            if tuple(float(b) for b in buckets) != existing.buckets:  # type: ignore[union-attr]
+                raise MetricError(
+                    f"histogram {name} re-declared with different buckets"
+                )
+            return existing  # type: ignore[return-value]
+        metric = Histogram(name, help, labels, buckets)
+        self._metrics[name] = metric
+        return metric
+
+    def _declare(self, cls, name: str, help: str, labels: Sequence[str]):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            self._check(existing, cls, name, labels)
+            return existing
+        metric = cls(name, help, labels)
+        self._metrics[name] = metric
+        return metric
+
+    @staticmethod
+    def _check(existing: Metric, cls, name: str, labels: Sequence[str]) -> None:
+        if type(existing) is not cls:
+            raise MetricError(
+                f"{name} already registered as a {existing.kind}"
+            )
+        if existing.label_names != tuple(labels):
+            raise MetricError(
+                f"{name} re-declared with labels {tuple(labels)}, "
+                f"was {existing.label_names}"
+            )
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of every metric (checkpoint payload)."""
+        return {
+            "metrics": [
+                {
+                    "name": metric.name,
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "labels": list(metric.label_names),
+                    "state": metric.state_dict(),
+                }
+                for metric in self
+            ]
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot, declaring any missing metrics."""
+        for payload in state["metrics"]:
+            metric = self._restore_handle(payload)
+            metric.load_state(payload["state"])
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its snapshot) into this one.
+
+        Counters and histograms add; gauges take the incoming value.
+        Callers that need determinism merge in a fixed order (the
+        parallel runner merges per-worker registries in task order).
+        """
+        state = other.state_dict() if isinstance(other, MetricsRegistry) else other
+        for payload in state["metrics"]:
+            metric = self._restore_handle(payload)
+            metric.merge_state(payload["state"])
+
+    def _restore_handle(self, payload: dict) -> Metric:
+        name = payload["name"]
+        kind = payload["kind"]
+        labels = tuple(payload["labels"])
+        if kind == "counter":
+            return self.counter(name, payload.get("help", ""), labels)
+        if kind == "gauge":
+            return self.gauge(name, payload.get("help", ""), labels)
+        if kind == "histogram":
+            return self.histogram(
+                name,
+                payload.get("help", ""),
+                labels,
+                payload["state"]["buckets"],
+            )
+        raise MetricError(f"unknown metric kind {kind!r} for {name}")

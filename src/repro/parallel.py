@@ -43,7 +43,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -59,6 +59,8 @@ from typing import (
 
 from repro.core.values import AttributeValue
 from repro.crawler.engine import CrawlerEngine, CrawlResult
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.telemetry import TelemetrySink
 from repro.runtime.events import (
     EventBus,
     ExperimentSuiteCompleted,
@@ -208,6 +210,12 @@ class CrawlGrid:
     rng_seed: int = 0
     crawl_kwargs: Mapping[str, Any] = field(default_factory=dict)
     engine_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    #: Attach a per-task :class:`~repro.metrics.telemetry.TelemetrySink`
+    #: inside each worker and ship its registry state back with the
+    #: result.  Wall-time tracking is disabled in workers so the merged
+    #: registry is identical whether tasks ran sequentially or fanned
+    #: out.  Usually set via ``run_crawl_grid(..., metrics=...)``.
+    collect_metrics: bool = False
 
 
 @dataclass(frozen=True)
@@ -230,6 +238,8 @@ class GridOutcome:
     timings: List[TaskTiming]
     wall_seconds: float
     workers: int
+    #: Merged per-task telemetry (only when metrics collection was on).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def task_seconds(self) -> float:
@@ -244,39 +254,69 @@ class GridOutcome:
         return grouped
 
 
-def _crawl_one(grid: CrawlGrid, index: int) -> Tuple[CrawlResult, float]:
-    """Execute one grid task end to end (runs inside a worker)."""
+def _crawl_one(
+    grid: CrawlGrid, index: int
+) -> Tuple[CrawlResult, float, Optional[dict]]:
+    """Execute one grid task end to end (runs inside a worker).
+
+    Returns ``(result, seconds, metrics_state)`` where ``metrics_state``
+    is the task's telemetry registry snapshot when
+    ``grid.collect_metrics`` is set, else ``None``.
+    """
     task = grid.tasks[index]
     started = time.perf_counter()
     server = grid.make_server(task)
     selector = grid.make_selector(task)
+    engine_kwargs = dict(grid.engine_kwargs)
+    sink: Optional[TelemetrySink] = None
+    if grid.collect_metrics:
+        truth = getattr(server, "truth_size", None)
+        sink = TelemetrySink(
+            truth_size=truth() if callable(truth) else None,
+            track_wall_time=False,
+        )
+        bus = engine_kwargs.get("bus") or EventBus()
+        bus.attach(sink)
+        engine_kwargs["bus"] = bus
     engine = CrawlerEngine(
-        server, selector, seed=grid.rng_seed + task.seed_index, **grid.engine_kwargs
+        server, selector, seed=grid.rng_seed + task.seed_index, **engine_kwargs
     )
     result = engine.crawl(list(task.seeds), **grid.crawl_kwargs)
-    return result, time.perf_counter() - started
+    metrics_state = None
+    if sink is not None:
+        sink.sample_server(server)
+        metrics_state = sink.registry.state_dict()
+    return result, time.perf_counter() - started, metrics_state
 
 
 def run_crawl_grid(
     grid: CrawlGrid,
     workers: WorkerSpec = None,
     bus: Optional[EventBus] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> GridOutcome:
     """Run every task of ``grid`` and merge results in task order.
 
     The parallel outcome is bit-identical to ``workers=1``: same seeds,
     same construction per task, same result order.  Per-task timings
     (and a suite summary) are emitted on ``bus`` when one is supplied.
+
+    Passing ``metrics`` turns on per-task telemetry collection: each
+    worker feeds a private registry and the returned state dicts are
+    merged into ``metrics`` *in fixed task order*, so the merged totals
+    are identical for any worker count.
     """
+    if metrics is not None and not grid.collect_metrics:
+        grid = replace(grid, collect_metrics=True)
     count = resolve_workers(workers, len(grid.tasks))
     started = time.perf_counter()
-    pairs = parallel_map(
+    triples = parallel_map(
         _crawl_one, range(len(grid.tasks)), payload=grid, workers=count
     )
     wall = time.perf_counter() - started
     results: List[CrawlResult] = []
     timings: List[TaskTiming] = []
-    for task, (result, seconds) in zip(grid.tasks, pairs):
+    for task, (result, seconds, metrics_state) in zip(grid.tasks, triples):
         label = task.label or result.policy
         results.append(result)
         timings.append(
@@ -288,12 +328,15 @@ def run_crawl_grid(
                 records=result.records_harvested,
             )
         )
+        if metrics is not None and metrics_state is not None:
+            metrics.merge(metrics_state)
     outcome = GridOutcome(
         tasks=grid.tasks,
         results=results,
         timings=timings,
         wall_seconds=wall,
         workers=count,
+        metrics=metrics,
     )
     if bus is not None and bus.has_sinks:
         for timing in timings:

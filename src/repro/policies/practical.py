@@ -60,6 +60,7 @@ def build_practical_crawler(
     seed: Optional[int] = None,
     min_harvest_rate: float = 1.0,
     use_xml: bool = False,
+    bus=None,
 ) -> "CrawlerEngine":
     """A fully configured crawler for one source.
 
@@ -76,6 +77,8 @@ def build_practical_crawler(
         once they cannot yield this many new records per page.
     use_xml:
         Exercise the XML wire format end to end.
+    bus:
+        Optional :class:`~repro.runtime.events.EventBus` for telemetry.
     """
     # Imported here to keep `repro.policies` importable from the engine
     # (which imports the selector protocol) without a cycle.
@@ -89,5 +92,5 @@ def build_practical_crawler(
     )
     selector = build_practical_selector(domain_table)
     return CrawlerEngine(
-        server, selector, seed=seed, abortion=abortion, use_xml=use_xml
+        server, selector, seed=seed, abortion=abortion, use_xml=use_xml, bus=bus
     )

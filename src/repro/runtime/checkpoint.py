@@ -47,6 +47,9 @@ class CrawlCheckpoint:
     checkpoint_every: int = 100
     snapshot_every: int = 0
     setup: Optional[dict] = None
+    #: Optional :meth:`~repro.metrics.registry.MetricsRegistry.state_dict`
+    #: snapshot, so a resumed crawl's telemetry continues its totals.
+    metrics: Optional[dict] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -57,6 +60,7 @@ class CrawlCheckpoint:
         checkpoint_every: int = 100,
         snapshot_every: int = 0,
         setup: Optional[dict] = None,
+        metrics: Optional[dict] = None,
     ) -> "CrawlCheckpoint":
         """Snapshot a live engine (and its server) into a checkpoint."""
         server = engine.server
@@ -72,6 +76,7 @@ class CrawlCheckpoint:
             checkpoint_every=checkpoint_every,
             snapshot_every=snapshot_every,
             setup=setup,
+            metrics=metrics,
         )
 
     def restore_into(self, engine) -> None:
@@ -87,7 +92,7 @@ class CrawlCheckpoint:
 
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "format": CHECKPOINT_FORMAT,
             "step": self.step,
             "engine": self.engine,
@@ -97,6 +102,9 @@ class CrawlCheckpoint:
             "snapshot_every": self.snapshot_every,
             "setup": self.setup,
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "CrawlCheckpoint":
@@ -109,6 +117,7 @@ class CrawlCheckpoint:
                 checkpoint_every=payload.get("checkpoint_every", 100),
                 snapshot_every=payload.get("snapshot_every", 0),
                 setup=payload.get("setup"),
+                metrics=payload.get("metrics"),
             )
         except KeyError as error:
             raise CheckpointError(

@@ -34,7 +34,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.core.errors import CrawlError
 from repro.crawler.abortion import AbortionPolicy
@@ -45,6 +45,9 @@ from repro.runtime.events import CheckpointWritten, CrawlStopped, EventBus
 from repro.runtime.journal import OutcomeJournal, read_journal
 from repro.runtime.serialize import restore_rng
 from repro.server.flaky import ExponentialBackoff
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.metrics.telemetry import TelemetrySink
 
 PathLike = Union[str, Path]
 
@@ -113,6 +116,13 @@ class RuntimeCrawler:
         Opaque recipe stored inside every checkpoint; the CLI records
         how to rebuild the server/selector so ``repro resume`` works
         from the directory alone.
+    telemetry:
+        Optional :class:`~repro.metrics.telemetry.TelemetrySink`.  The
+        runtime attaches it to the engine's bus (if not already
+        attached), samples server-side gauges at every full snapshot
+        and at crawl stop, and embeds a registry snapshot inside
+        ``checkpoint.json`` so a resumed crawl reports continuous
+        totals.
     """
 
     def __init__(
@@ -122,6 +132,7 @@ class RuntimeCrawler:
         checkpoint_every: int = 100,
         snapshot_every: int = 0,
         setup: Optional[dict] = None,
+        telemetry: Optional["TelemetrySink"] = None,
     ) -> None:
         if checkpoint_every < 0:
             raise CrawlError(
@@ -138,6 +149,9 @@ class RuntimeCrawler:
         self.checkpoint_every = checkpoint_every
         self.snapshot_every = snapshot_every
         self.setup = setup
+        self.telemetry = telemetry
+        if telemetry is not None and telemetry not in engine.bus:
+            engine.bus.attach(telemetry)
         self.checkpoints_written = 0
         self._limits: dict = {}
         self._journal: Optional[OutcomeJournal] = None
@@ -256,6 +270,8 @@ class RuntimeCrawler:
         elif self._journal is not None:
             self._journal.flush()
         result = engine.result(stopped_by)
+        if self.telemetry is not None:
+            self.telemetry.sample_server(engine.server)
         if engine.bus.has_sinks:
             engine.bus.emit(
                 CrawlStopped(
@@ -273,12 +289,17 @@ class RuntimeCrawler:
         assert self.checkpoint_dir is not None
         if self._journal is not None:
             self._journal.flush()
+        metrics = None
+        if self.telemetry is not None:
+            self.telemetry.sample_server(self.engine.server)
+            metrics = self.telemetry.registry.state_dict()
         checkpoint = CrawlCheckpoint.capture(
             self.engine,
             limits=self._limits,
             checkpoint_every=self.checkpoint_every,
             snapshot_every=self.snapshot_every,
             setup=self.setup,
+            metrics=metrics,
         )
         path = self.checkpoint_dir / CHECKPOINT_FILE
         checkpoint.save(path)
@@ -337,6 +358,7 @@ class RuntimeCrawler:
         abortion: Optional[AbortionPolicy] = None,
         backoff: Optional[ExponentialBackoff] = None,
         bus: Optional[EventBus] = None,
+        telemetry: Optional["TelemetrySink"] = None,
     ) -> "RuntimeCrawler":
         """Rebuild a crawl from its checkpoint directory.
 
@@ -348,12 +370,20 @@ class RuntimeCrawler:
         replayed, then the server and retry RNG are fast-forwarded to
         the last journaled instant.  Call :meth:`run` on the returned
         runtime to continue the crawl.
+
+        When ``telemetry`` is given and the checkpoint carries a
+        metrics snapshot, the snapshot is loaded into the sink's
+        registry first, so counters continue from the last full
+        snapshot instead of restarting at zero (journal replay is
+        offline and charges no events).
         """
         directory = Path(checkpoint_dir)
         checkpoint_path = directory / CHECKPOINT_FILE
         if not checkpoint_path.exists():
             raise CheckpointError(f"no checkpoint at {checkpoint_path}")
         checkpoint = CrawlCheckpoint.load(checkpoint_path)
+        if telemetry is not None and checkpoint.metrics is not None:
+            telemetry.registry.load_state(checkpoint.metrics)
         flags = checkpoint.engine.get("flags", {})
         engine = CrawlerEngine(
             server,
@@ -381,6 +411,7 @@ class RuntimeCrawler:
             checkpoint_every=checkpoint.checkpoint_every,
             snapshot_every=checkpoint.snapshot_every,
             setup=checkpoint.setup,
+            telemetry=telemetry,
         )
         runtime._limits = dict(checkpoint.limits)
         return runtime

@@ -102,14 +102,23 @@ class QueryRejected(CrawlEvent):
 
 @dataclass
 class QueryAborted(CrawlEvent):
-    """The abortion policy stopped paying for the query's remaining pages."""
+    """The abortion policy stopped paying for the query's remaining pages.
+
+    ``pages_saved`` is the number of accessible pages the query still
+    had — communication rounds the abort declined to pay.
+    """
 
     kind = "query-aborted"
     query: AnyQuery = None  # type: ignore[assignment]
     pages_fetched: int = 0
+    pages_saved: int = 0
 
     def _body(self) -> dict:
-        return {"query": _query_label(self.query), "pages": self.pages_fetched}
+        return {
+            "query": _query_label(self.query),
+            "pages": self.pages_fetched,
+            "saved": self.pages_saved,
+        }
 
 
 @dataclass
@@ -292,6 +301,9 @@ class EventBus:
     def attach(self, sink: EventSink) -> EventSink:
         self._sinks.append(sink)
         return sink
+
+    def __contains__(self, sink: object) -> bool:
+        return sink in self._sinks
 
     def detach(self, sink: EventSink) -> None:
         self._sinks.remove(sink)

@@ -83,6 +83,8 @@ def _summary_attributes(page: ResultPage) -> str:
         f'data-pages="{page.num_pages}"',
         f'data-accessible="{page.accessible_matches}"',
     ]
+    if page.page_size:
+        parts.append(f'data-page-size="{page.page_size}"')
     if page.total_matches is not None:
         parts.append(f'data-total="{page.total_matches}"')
     query = page.query
@@ -300,6 +302,7 @@ class HtmlResultParser(HTMLParser):
             total_matches=int(total) if total is not None else None,
             accessible_matches=int(summary.get("data-accessible", "0")),
             num_pages=int(summary.get("data-pages", "0")),
+            page_size=int(summary.get("data-page-size", "0")),
         )
 
 

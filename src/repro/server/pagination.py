@@ -40,6 +40,12 @@ class ResultPage:
         will actually serve for this query.
     num_pages:
         Total number of pages available for this query.
+    page_size:
+        ``k`` — the server's records-per-page capacity.  Carried on
+        every page (not inferred from ``len(records)``: the last page
+        of a result is usually short) so consumers like the abortion
+        policy can convert remaining records into remaining rounds;
+        ``0`` means the source did not disclose it.
     """
 
     query: AnyQuery
@@ -48,6 +54,7 @@ class ResultPage:
     total_matches: Optional[int]
     accessible_matches: int
     num_pages: int
+    page_size: int = 0
 
     @property
     def has_next(self) -> bool:
@@ -108,4 +115,5 @@ def paginate(
         total_matches=total if report_total else None,
         accessible_matches=accessible,
         num_pages=num_pages,
+        page_size=page_size,
     )

@@ -41,6 +41,8 @@ def render_page(page: ResultPage) -> str:
     root.set("totalPages", str(page.num_pages))
     root.set("page", str(page.page_number))
     root.set("accessibleResults", str(page.accessible_matches))
+    if page.page_size:
+        root.set("pageSize", str(page.page_size))
     request = ET.SubElement(root, "Request")
     if isinstance(page.query, ConjunctiveQuery):
         for predicate in page.query.predicates:
@@ -107,4 +109,5 @@ def parse_page(document: str) -> ResultPage:
         total_matches=total,
         accessible_matches=int(root.get("accessibleResults", "0")),
         num_pages=int(root.get("totalPages", "0")),
+        page_size=int(root.get("pageSize", "0")),
     )

@@ -119,6 +119,7 @@ class SimulatedWebDatabase:
             total_matches=total if self.report_total else None,
             accessible_matches=accessible,
             num_pages=num_pages,
+            page_size=self.page_size,
         )
         self.log.record(query, page_number, len(records))
         return page

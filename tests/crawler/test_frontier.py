@@ -57,6 +57,16 @@ class TestLifo:
 
 
 class TestRandom:
+    def test_requires_explicit_rng(self):
+        # Regression: an implicit ``random.Random()`` default silently
+        # broke bit-identical replay in the durable runtime.
+        with pytest.raises(TypeError):
+            RandomFrontier()  # no unseeded default any more
+        with pytest.raises(TypeError, match="bit-identical replay"):
+            RandomFrontier(42)  # a bare seed is not a stream
+        with pytest.raises(TypeError, match="random.Random"):
+            RandomFrontier(rng=None)
+
     def test_pops_everything_exactly_once(self):
         frontier = RandomFrontier(random.Random(3))
         values = [AV(f"v{i}") for i in range(20)]

@@ -1,0 +1,136 @@
+"""Exporters: Prometheus text, JSONL snapshots + validator, summary."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    JSONL_SCHEMA,
+    JsonlMetricsWriter,
+    MetricsRegistry,
+    prometheus_text,
+    registry_samples,
+    render_metrics_summary,
+    validate_metrics_jsonl,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("pages_total", "pages paid", labels=("policy",))
+    c.inc(7, policy="bfs")
+    c.inc(3, policy="dfs")
+    reg.gauge("coverage", "live coverage").set(0.625)
+    h = reg.histogram("pages_per_query", "pages", buckets=(1.0, 5.0))
+    h.observe(1)
+    h.observe(9)
+    return reg
+
+
+class TestPrometheusText:
+    def test_format(self, registry):
+        text = prometheus_text(registry)
+        lines = text.splitlines()
+        assert "# HELP pages_total pages paid" in lines
+        assert "# TYPE pages_total counter" in lines
+        assert 'pages_total{policy="bfs"} 7' in lines
+        assert 'pages_total{policy="dfs"} 3' in lines
+        assert "# TYPE coverage gauge" in lines
+        assert "coverage 0.625" in lines
+        # Histogram: cumulative buckets, +Inf, _sum, _count.
+        assert 'pages_per_query_bucket{le="1"} 1' in lines
+        assert 'pages_per_query_bucket{le="5"} 1' in lines
+        assert 'pages_per_query_bucket{le="+Inf"} 2' in lines
+        assert "pages_per_query_sum 10" in lines
+        assert "pages_per_query_count 2" in lines
+        assert text.endswith("\n")
+
+    def test_integers_render_bare(self, registry):
+        assert "7.0" not in prometheus_text(registry)
+
+    def test_deterministic(self, registry):
+        assert prometheus_text(registry) == prometheus_text(registry)
+
+
+class TestRegistrySamples:
+    def test_shapes(self, registry):
+        samples = {s["name"]: s for s in registry_samples(registry)}
+        assert samples["coverage"]["value"] == 0.625
+        hist = samples["pages_per_query"]
+        assert hist["count"] == 2
+        assert hist["sum"] == 10
+        assert hist["buckets"][-1] == ["+Inf", 2]
+
+    def test_json_safe(self, registry):
+        json.dumps(registry_samples(registry))  # must not raise
+
+
+class TestJsonlWriter:
+    def test_write_and_validate(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with JsonlMetricsWriter(path) as writer:
+            writer.write_snapshot(registry, step=10, label="bfs")
+            writer.write_snapshot(registry, step=20, label="bfs")
+            assert writer.snapshots_written == 2
+        assert validate_metrics_jsonl(path) == 2
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["schema"] == JSONL_SCHEMA
+        assert first["step"] == 10
+        assert first["label"] == "bfs"
+
+    def test_append_across_writers(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        for _ in range(2):
+            with JsonlMetricsWriter(path) as writer:
+                writer.write_snapshot(registry)
+        assert validate_metrics_jsonl(path) == 2
+
+
+class TestValidator:
+    def test_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="line 1"):
+            validate_metrics_jsonl(path)
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": "other/9", "samples": []}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            validate_metrics_jsonl(path)
+
+    def test_rejects_sample_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        line = {"schema": JSONL_SCHEMA, "samples": [{"name": "x"}]}
+        path.write_text(json.dumps(line) + "\n")
+        with pytest.raises(ValueError, match="missing"):
+            validate_metrics_jsonl(path)
+
+    def test_rejects_valueless_counter(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        sample = {"name": "x", "kind": "counter", "labels": {}}
+        line = {"schema": JSONL_SCHEMA, "samples": [sample]}
+        path.write_text(json.dumps(line) + "\n")
+        with pytest.raises(ValueError, match="needs value"):
+            validate_metrics_jsonl(path)
+
+    def test_skips_blank_lines(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        with JsonlMetricsWriter(path) as writer:
+            writer.write_snapshot(registry)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n")
+        assert validate_metrics_jsonl(path) == 1
+
+
+class TestSummary:
+    def test_mentions_every_series(self, registry):
+        text = render_metrics_summary(registry)
+        assert "pages_total" in text
+        assert 'policy="bfs"' in text
+        assert "coverage" in text
+        assert "n=2" in text
+
+    def test_empty_registry(self):
+        assert render_metrics_summary(MetricsRegistry()) == "no metrics recorded"

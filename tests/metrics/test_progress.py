@@ -1,0 +1,91 @@
+"""ProgressReporter: heartbeat lines and JSONL snapshots off the bus."""
+
+import io
+
+import pytest
+
+from repro.core import Query
+from repro.metrics import JsonlMetricsWriter, ProgressReporter, TelemetrySink
+from repro.metrics.exporters import validate_metrics_jsonl
+from repro.runtime.events import CrawlStopped, EventBus, RecordsHarvested
+
+QUERY = Query.equality("title", "x")
+
+
+def step_event(step, records=10, rounds=5):
+    return RecordsHarvested(
+        query=QUERY,
+        step=step,
+        new_records=2,
+        pages_fetched=1,
+        records_total=records,
+        rounds=rounds,
+    )
+
+
+class TestHeartbeat:
+    def test_every_n_steps(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        reporter = bus.attach(ProgressReporter(every=2, stream=stream))
+        for step in range(1, 6):
+            bus.emit(step_event(step), policy="bfs")
+        text = stream.getvalue()
+        assert reporter.beats == 2  # steps 2 and 4
+        assert "[bfs] step 2" in text
+        assert "step 3" not in text
+        assert "records 10" in text
+
+    def test_coverage_with_truth_size(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        bus.attach(ProgressReporter(every=1, stream=stream, truth_size=40))
+        bus.emit(step_event(1, records=10), policy="bfs")
+        assert "(25.0%)" in stream.getvalue()
+
+    def test_telemetry_enrichment(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        telemetry = bus.attach(TelemetrySink())
+        bus.attach(ProgressReporter(every=1, stream=stream, telemetry=telemetry))
+        bus.emit(step_event(1), policy="bfs")
+        assert "rolling" in stream.getvalue()
+
+    def test_final_line_on_stop(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        bus.attach(ProgressReporter(every=0, stream=stream))
+        bus.emit(step_event(1), policy="bfs")
+        bus.emit(
+            CrawlStopped(stopped_by="max-rounds", rounds=7, queries=3, records=12),
+            policy="bfs",
+        )
+        text = stream.getvalue()
+        assert "stopped by max-rounds" in text
+        assert "step 1" not in text  # every=0 disables periodic lines
+
+    def test_negative_every_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(every=-1)
+
+
+class TestJsonlStreaming:
+    def test_snapshot_per_beat_plus_final(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        bus = EventBus()
+        telemetry = bus.attach(TelemetrySink())
+        writer = JsonlMetricsWriter(path)
+        bus.attach(
+            ProgressReporter(every=2, telemetry=telemetry, writer=writer)
+        )
+        for step in range(1, 5):
+            bus.emit(step_event(step), policy="bfs")
+        bus.emit(CrawlStopped(stopped_by="frontier-exhausted"), policy="bfs")
+        writer.close()
+        assert validate_metrics_jsonl(path) == 3  # beats at 2, 4 + final
+
+    def test_no_writer_no_files(self, tmp_path):
+        bus = EventBus()
+        bus.attach(ProgressReporter(every=1))
+        bus.emit(step_event(1), policy="bfs")  # silent: no stream, no writer
+        assert list(tmp_path.iterdir()) == []

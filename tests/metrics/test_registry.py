@@ -1,0 +1,194 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import pytest
+
+from repro.metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("jobs_total", labels=("kind",))
+        c.inc(kind="a")
+        c.inc(2, kind="a")
+        c.inc(5, kind="b")
+        assert c.value(kind="a") == 3
+        assert c.value(kind="b") == 5
+        assert c.total == 8
+
+    def test_unlabelled(self):
+        c = Counter("plain_total")
+        c.inc()
+        assert c.value() == 1
+
+    def test_cannot_decrease(self):
+        c = Counter("jobs_total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_wrong_labels_raise(self):
+        c = Counter("jobs_total", labels=("kind",))
+        with pytest.raises(MetricError):
+            c.inc(color="red")
+        with pytest.raises(MetricError):
+            c.value()
+
+    def test_series_sorted_by_label_values(self):
+        c = Counter("jobs_total", labels=("kind",))
+        for kind in ("zeta", "alpha", "mid"):
+            c.inc(kind=kind)
+        assert [key for key, _ in c.series()] == [
+            ("alpha",), ("mid",), ("zeta",)
+        ]
+
+    def test_invalid_name(self):
+        with pytest.raises(MetricError):
+            Counter("bad name")
+        with pytest.raises(MetricError):
+            Counter("")
+
+
+class TestGauge:
+    def test_set_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(4)
+        g.set(2)
+        assert g.value() == 2
+
+    def test_inc(self):
+        g = Gauge("depth")
+        g.inc(3)
+        g.inc(-1)
+        assert g.value() == 2
+
+
+class TestHistogram:
+    def test_le_semantics(self):
+        h = Histogram("latency", buckets=(1.0, 5.0))
+        h.observe(1.0)   # at the bound -> counted in le=1
+        h.observe(3.0)   # -> le=5
+        h.observe(100.0)  # -> +Inf only
+        assert h.cumulative_buckets() == [(1.0, 1), (5.0, 2), (float("inf"), 3)]
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(104.0)
+        assert h.mean() == pytest.approx(104.0 / 3)
+
+    def test_empty_series(self):
+        h = Histogram("latency", buckets=(1.0,))
+        assert h.count() == 0
+        assert h.mean() == 0.0
+        assert h.cumulative_buckets() == [(1.0, 0), (float("inf"), 0)]
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(MetricError):
+            Histogram("latency", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            Histogram("latency", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            Histogram("latency", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", labels=("kind",))
+        b = reg.counter("jobs_total", labels=("kind",))
+        assert a is b
+        assert len(reg) == 1
+        assert "jobs_total" in reg
+        assert reg.get("jobs_total") is a
+
+    def test_kind_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(MetricError):
+            reg.gauge("x_total")
+
+    def test_label_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("a",))
+        with pytest.raises(MetricError):
+            reg.counter("x_total", labels=("b",))
+
+    def test_histogram_bucket_conflict(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_iteration_in_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz_total")
+        reg.gauge("aaa")
+        assert [m.name for m in reg] == ["zzz_total", "aaa"]
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("pages_total", "pages", labels=("policy",))
+    c.inc(7, policy="bfs")
+    c.inc(3, policy="dfs")
+    g = reg.gauge("coverage")
+    g.set(0.5)
+    h = reg.histogram("pages_per_query", buckets=(1.0, 2.0, 5.0))
+    for value in (1, 1, 3, 9):
+        h.observe(value)
+    return reg
+
+
+class TestStateRoundtrip:
+    def test_state_dict_roundtrip(self):
+        reg = populated_registry()
+        restored = MetricsRegistry()
+        restored.load_state(reg.state_dict())
+        assert restored.state_dict() == reg.state_dict()
+
+    def test_state_is_json_safe(self):
+        import json
+
+        state = populated_registry().state_dict()
+        assert json.loads(json.dumps(state)) == state
+
+    def test_histogram_bucket_mismatch_on_load(self):
+        reg = populated_registry()
+        other = MetricsRegistry()
+        other.histogram("pages_per_query", buckets=(10.0,))
+        with pytest.raises(MetricError):
+            other.load_state(reg.state_dict())
+
+
+class TestMerge:
+    def test_counters_add_gauges_overwrite_histograms_add(self):
+        a = populated_registry()
+        b = populated_registry()
+        b.get("coverage").set(0.9)
+        a.merge(b)
+        assert a.get("pages_total").value(policy="bfs") == 14
+        assert a.get("coverage").value() == 0.9
+        assert a.get("pages_per_query").count() == 8
+
+    def test_merge_accepts_snapshot_dict(self):
+        a = MetricsRegistry()
+        a.merge(populated_registry().state_dict())
+        assert a.get("pages_total").value(policy="dfs") == 3
+
+    def test_merge_into_empty_equals_source(self):
+        source = populated_registry()
+        target = MetricsRegistry()
+        target.merge(source)
+        assert target.state_dict() == source.state_dict()
+
+    def test_merge_order_independent_totals(self):
+        # Fixed merge order gives byte-identical snapshots; but totals
+        # are order-independent regardless.
+        parts = [populated_registry() for _ in range(3)]
+        forward = MetricsRegistry()
+        for part in parts:
+            forward.merge(part)
+        backward = MetricsRegistry()
+        for part in reversed(parts):
+            backward.merge(part)
+        assert (
+            forward.get("pages_total").total
+            == backward.get("pages_total").total
+            == 30
+        )

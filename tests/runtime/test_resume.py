@@ -108,6 +108,43 @@ def test_suspend_then_resume_matches(
     assert result == reference_results[policy]
 
 
+def test_random_policy_resume_is_deterministic(tmp_path, flaky_table):
+    """Suspend/resume under RandomSelector is bit-identical.
+
+    The random frontier draws indices from the engine's checkpointed
+    policy RNG (RandomFrontier refuses an implicit unseeded stream), so
+    a resumed random crawl must replay exactly where it left off.
+    """
+    from repro.policies import RandomSelector
+
+    reference = make_engine(flaky_table, RandomSelector()).crawl(
+        seed_values(flaky_table), max_queries=MAX_QUERIES
+    )
+
+    runtime = RuntimeCrawler(
+        make_engine(flaky_table, RandomSelector()),
+        checkpoint_dir=tmp_path,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    partial = runtime.crawl(
+        seed_values(flaky_table),
+        max_queries=MAX_QUERIES,
+        stop_after_steps=SUSPEND_STEPS,
+    )
+    runtime.close()
+    assert partial.stopped_by == "suspended"
+
+    resumed = RuntimeCrawler.resume(
+        tmp_path,
+        make_flaky_server(flaky_table),
+        RandomSelector(),
+        backoff=make_backoff(),
+    )
+    result = resumed.run()
+    resumed.close()
+    assert result == reference
+
+
 @pytest.mark.parametrize("policy", POLICY_KEYS)
 @pytest.mark.parametrize("crash_after", CRASH_STEPS)
 def test_crash_then_resume_matches(
