@@ -1,0 +1,179 @@
+"""Hot-path speedup pin: the interned crawl must be ≥2× the reference.
+
+This PR's tentpole replaces ``DB_local``'s value-keyed dictionaries
+with dense-id interning and array-backed indexes
+(:mod:`repro.core.intern`, :mod:`repro.crawler.localdb`).  The
+pre-refactor implementation is kept verbatim as
+:class:`repro.crawler.reference.ReferenceLocalDatabase`; selectors and
+the engine fall back to the original value-keyed paths when bound to
+it, so a crawl over it is an honest pre-PR baseline running in the
+same process.
+
+Two things are pinned here, per policy configuration:
+
+* **Bit-identity** — the interned crawl issues the same queries in the
+  same order, harvests the same records, and logs the same history
+  points as the reference crawl.  The refactor is an optimization, not
+  a behavior change.
+* **≥2× end-to-end speedup** (``SPEEDUP_FLOOR``) at the default scale,
+  measured as best-of-``PAIRS`` CPU time (``time.process_time`` —
+  immune to wall-clock noise from busy neighbours).  Reduced-scale runs
+  (``REPRO_BENCH_SCALE < 1``, the CI smoke job) use a lower floor
+  because shared fixed costs weigh more in short crawls; the CI job
+  additionally compares the emitted speedups against the committed
+  ``BENCH_hotpath.json`` baseline (see
+  ``scripts/check_bench_regression.py``).
+
+The run also emits a machine-readable ``BENCH_hotpath.json`` (path
+overridable via ``REPRO_BENCH_OUT``) with per-policy timings,
+steps/sec, and peak RSS.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+from conftest import emit, scaled
+
+from repro.crawler.engine import CrawlerEngine
+from repro.crawler.reference import ReferenceLocalDatabase
+from repro.datasets import generate_ebay
+from repro.policies import GreedyLinkSelector, MinMaxMutualInformationSelector
+from repro.server.interface import QueryInterface
+from repro.server.webdb import SimulatedWebDatabase
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+#: Interleaved (reference, interned) timing pairs per policy.
+PAIRS = 3
+#: Required end-to-end speedup at default scale.  Short reduced-scale
+#: crawls amortize the shared server/page-serving cost over fewer
+#: steps, so the smoke floor is lower; the committed-baseline ratio
+#: check in CI covers regressions there.
+SPEEDUP_FLOOR = 2.0 if SCALE >= 1 else 1.4
+
+RECORDS = scaled(12_000)
+TARGET_COVERAGE = 0.95
+PAGE_SIZE = 10
+TABLE_SEED = 1
+ENGINE_SEED = 7
+
+CONFIGS = [
+    ("greedy-link", GreedyLinkSelector),
+    ("mmmi", MinMaxMutualInformationSelector),
+]
+
+_OUT_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_OUT",
+        Path(__file__).resolve().parent.parent / "BENCH_hotpath.json",
+    )
+)
+
+
+def _build(selector_cls, reference: bool):
+    table = generate_ebay(RECORDS, seed=TABLE_SEED)
+    interface = QueryInterface(
+        queriable_attributes=frozenset(
+            a.name for a in table.schema.attributes if a.name != "title"
+        )
+    )
+    server = SimulatedWebDatabase(
+        table=table, interface=interface, page_size=PAGE_SIZE
+    )
+    selector = selector_cls()
+    local_db = (
+        ReferenceLocalDatabase(
+            track_cooccurrence=selector.requires_cooccurrence
+        )
+        if reference
+        else None  # engine builds the interned LocalDatabase
+    )
+    engine = CrawlerEngine(
+        server, selector, seed=ENGINE_SEED, local_db=local_db
+    )
+    seed_value = next(iter(table.distinct_values("seller")))
+    return engine, seed_value
+
+
+def _run(selector_cls, reference: bool):
+    engine, seed_value = _build(selector_cls, reference)
+    start = time.process_time()
+    result = engine.crawl([seed_value], target_coverage=TARGET_COVERAGE)
+    elapsed = time.process_time() - start
+    signature = (
+        result.queries_issued,
+        result.records_harvested,
+        result.communication_rounds,
+        tuple(engine.context.lqueried),
+        tuple(result.history.points),
+    )
+    return elapsed, signature, result
+
+
+def test_hotpath_speedup():
+    report = {
+        "benchmark": "hotpath_speedup",
+        "records": RECORDS,
+        "page_size": PAGE_SIZE,
+        "target_coverage": TARGET_COVERAGE,
+        "scale": SCALE,
+        "pairs": PAIRS,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "policies": {},
+    }
+    lines = []
+    for name, selector_cls in CONFIGS:
+        ref_times, new_times = [], []
+        ref_sig = new_sig = None
+        result = None
+        # Interleave the legs so drift (throttling, allocator growth)
+        # hits both sides equally; keep the min of each side.
+        for _ in range(PAIRS):
+            elapsed, sig, _res = _run(selector_cls, reference=True)
+            ref_times.append(elapsed)
+            ref_sig = sig if ref_sig is None else ref_sig
+            assert sig == ref_sig, "reference crawl is nondeterministic"
+            elapsed, sig, result = _run(selector_cls, reference=False)
+            new_times.append(elapsed)
+            new_sig = sig if new_sig is None else new_sig
+            assert sig == new_sig, "interned crawl is nondeterministic"
+
+        # Bit-identity: same queries in the same order, same records,
+        # same rounds, same history curve.
+        assert new_sig == ref_sig, (
+            f"{name}: interned crawl diverged from the reference "
+            f"(ref={ref_sig[:3]}, interned={new_sig[:3]})"
+        )
+
+        ref_best, new_best = min(ref_times), min(new_times)
+        speedup = ref_best / new_best
+        steps = result.queries_issued
+        report["policies"][name] = {
+            "reference_seconds": round(ref_best, 4),
+            "interned_seconds": round(new_best, 4),
+            "speedup": round(speedup, 3),
+            "queries": steps,
+            "records_harvested": result.records_harvested,
+            "communication_rounds": result.communication_rounds,
+            "steps_per_sec_reference": round(steps / ref_best, 1),
+            "steps_per_sec_interned": round(steps / new_best, 1),
+        }
+        lines.append(
+            f"{name:12s} ref {ref_best:7.3f}s  interned {new_best:7.3f}s  "
+            f"speedup {speedup:4.2f}x  ({steps} queries, "
+            f"{result.records_harvested} records)"
+        )
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{name}: {speedup:.2f}x < required {SPEEDUP_FLOOR}x "
+            f"(ref {ref_best:.3f}s vs interned {new_best:.3f}s)"
+        )
+
+    # ru_maxrss is KiB on Linux; the crawl dominated this process.
+    report["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    _OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    lines.append(f"report written to {_OUT_PATH}")
+    emit("\n".join(lines))

@@ -1,0 +1,81 @@
+"""Guard the hot-path speedup against silent regressions.
+
+Compares a freshly produced ``BENCH_hotpath.json`` (see
+``benchmarks/test_hotpath_speedup.py``) against the committed baseline
+and fails when any policy's *speedup ratio* dropped by more than the
+tolerance.
+
+The speedup ratio — reference seconds over interned seconds, both legs
+measured back-to-back in one process — is the machine-independent
+signal: absolute timings shift with the runner's hardware and load, but
+a genuine hot-path regression shrinks the ratio everywhere.
+
+Usage::
+
+    python scripts/check_bench_regression.py fresh.json baseline.json \
+        [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="just-measured BENCH_hotpath.json")
+    parser.add_argument("baseline", help="committed BENCH_hotpath.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional speedup drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    if fresh.get("scale") != baseline.get("scale"):
+        # Speedup ratios are machine-independent but NOT scale-independent:
+        # shorter crawls amortize the shared server cost over fewer steps,
+        # deflating the ratio.  Compare like with like.
+        print(
+            f"scale mismatch: fresh run at {fresh.get('scale')}, baseline "
+            f"at {baseline.get('scale')} — regenerate the baseline with "
+            f"the same REPRO_BENCH_SCALE"
+        )
+        return 1
+
+    failures = []
+    for policy, base in sorted(baseline["policies"].items()):
+        current = fresh["policies"].get(policy)
+        if current is None:
+            failures.append(f"{policy}: missing from fresh results")
+            continue
+        floor = base["speedup"] * (1.0 - args.tolerance)
+        verdict = "ok" if current["speedup"] >= floor else "REGRESSION"
+        print(
+            f"{policy:12s} baseline {base['speedup']:5.2f}x  "
+            f"fresh {current['speedup']:5.2f}x  "
+            f"floor {floor:5.2f}x  {verdict}"
+        )
+        if current["speedup"] < floor:
+            failures.append(
+                f"{policy}: speedup {current['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x minus "
+                f"{args.tolerance:.0%})"
+            )
+
+    if failures:
+        print("\n".join(["", "hot-path speedup regression:"] + failures))
+        return 1
+    print("hot-path speedup within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -186,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "them only at baseline and suspension")
     crawl.add_argument("--stop-after-steps", type=int, default=None,
                        help="suspend gracefully after N steps (with --checkpoint-dir)")
+    crawl.add_argument("--profile", default=None, metavar="PATH",
+                       help="run the crawl under cProfile: dump raw stats "
+                            "to PATH (readable with pstats/snakeviz) and "
+                            "print the top functions by cumulative time")
     _add_telemetry_flags(crawl)
 
     resume = commands.add_parser(
@@ -344,9 +348,37 @@ def _report_result(table, result, args, out) -> None:
         out.write(f"history written to {args.history}\n")
 
 
+def _profiled_crawl(args, out) -> int:
+    """Run ``repro crawl`` under cProfile and dump the stats to disk.
+
+    The dump is the raw marshalled stats (load with
+    ``pstats.Stats(PATH)`` or any profile viewer); a cumulative-time
+    top-25 is printed to the report stream so the hot path is visible
+    without extra tooling.
+    """
+    import cProfile
+    import pstats
+
+    profile_path = args.profile
+    args.profile = None  # re-entry runs the real crawl
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        code = _command_crawl(args, out)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats("cumulative").print_stats(25)
+        out.write(f"profile stats written to {profile_path}\n")
+    return code
+
+
 def _command_crawl(args, out) -> int:
     import random
 
+    if getattr(args, "profile", None):
+        return _profiled_crawl(args, out)
     if args.checkpoint_dir is not None:
         return _durable_crawl(args, out)
     if args.dataset:

@@ -10,6 +10,13 @@ from repro.core.errors import (
     SchemaError,
     UnsupportedQueryError,
 )
+from repro.core.intern import (
+    StringInterner,
+    ValueInterner,
+    intersect_sorted,
+    pack_pair,
+    unpack_pair,
+)
 from repro.core.query import AnyQuery, ConjunctiveQuery, Query
 from repro.core.records import Record
 from repro.core.schema import Attribute, Schema
@@ -32,6 +39,11 @@ __all__ = [
     "ReproError",
     "Schema",
     "SchemaError",
+    "StringInterner",
     "UnsupportedQueryError",
+    "ValueInterner",
+    "intersect_sorted",
     "normalize",
+    "pack_pair",
+    "unpack_pair",
 ]

@@ -82,6 +82,18 @@ class Query:
             return f"keyword({self.value!r})"
         return f"{self.attribute}={self.value!r}"
 
+    def __getstate__(self) -> dict:
+        # Servers memoize per-table cache keys on query objects (see
+        # SimulatedWebDatabase._order_key); those tags reference the
+        # server and are only valid in-process, so pickle/deepcopy must
+        # shed them.
+        return {
+            k: v for k, v in self.__dict__.items() if k != "_webdb_order_key"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 @dataclass(frozen=True, order=True)
 class ConjunctiveQuery:
@@ -148,6 +160,15 @@ class ConjunctiveQuery:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return " AND ".join(f"{p.attribute}={p.value!r}" for p in self.predicates)
+
+    def __getstate__(self) -> dict:
+        # See Query.__getstate__ — shed in-process server cache tags.
+        return {
+            k: v for k, v in self.__dict__.items() if k != "_webdb_order_key"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
 
 #: Anything the server and prober accept as "a query".

@@ -17,15 +17,22 @@ ids, so the common case is an O(1) append, and the matching methods
 return plain copies instead of re-sorting on every call — the latter
 dominated crawl profiles, since every page request of every query hits
 a posting list.
+
+Both indexes are id-indexed lists behind a
+:class:`~repro.core.intern.ValueInterner` /
+:class:`~repro.core.intern.StringInterner`: each key is hashed once at
+insert (or lookup) to resolve its dense id, and conjunctive matching
+intersects sorted posting arrays with a two-pointer merge instead of
+building sets.
 """
 
 from __future__ import annotations
 
 from bisect import insort
-from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.errors import SchemaError
+from repro.core.intern import StringInterner, ValueInterner, intersect_sorted
 from repro.core.query import AnyQuery, ConjunctiveQuery
 from repro.core.records import Record
 from repro.core.schema import Schema
@@ -60,8 +67,13 @@ class RelationalTable:
         self.schema = schema
         self.name = name
         self._records: Dict[int, Record] = {}
-        self._equality_index: Dict[AttributeValue, List[int]] = defaultdict(list)
-        self._keyword_index: Dict[str, List[int]] = defaultdict(list)
+        self._value_interner = ValueInterner()
+        self._keyword_interner = StringInterner()
+        # Posting lists indexed by interned id, grown in lock-step with
+        # the interners; only insert() assigns ids, so every id has a
+        # non-empty posting list (the table is append-only).
+        self._equality_postings: List[List[int]] = []
+        self._keyword_postings: List[List[int]] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -84,12 +96,20 @@ class RelationalTable:
                     f"{attribute!r}"
                 )
         self._records[record.record_id] = record
-        seen_keywords: set[str] = set()
+        equality = self._equality_postings
+        keywords = self._keyword_postings
+        seen_keywords: set[int] = set()
         for pair in record.attribute_values():
-            _insert_posting(self._equality_index[pair], record.record_id)
-            if pair.value not in seen_keywords:
-                _insert_posting(self._keyword_index[pair.value], record.record_id)
-                seen_keywords.add(pair.value)
+            vid = self._value_interner.intern(pair)
+            if vid == len(equality):
+                equality.append([])
+            _insert_posting(equality[vid], record.record_id)
+            tid = self._keyword_interner.intern(pair.value)
+            if tid not in seen_keywords:
+                seen_keywords.add(tid)
+                if tid == len(keywords):
+                    keywords.append([])
+                _insert_posting(keywords[tid], record.record_id)
 
     def insert_rows(self, rows: Iterable[dict], start_id: int = 0) -> None:
         """Bulk-insert raw ``attribute → value(s)`` dictionaries."""
@@ -126,47 +146,67 @@ class RelationalTable:
 
         This is the vertex set of the table's attribute-value graph.
         """
+        values = self._value_interner.values()
         if attribute is None:
-            return sorted(self._equality_index)
+            return sorted(values)
         key = attribute.strip().lower()
-        return sorted(p for p in self._equality_index if p.attribute == key)
+        return sorted(p for p in values if p.attribute == key)
 
     def num_distinct_values(self) -> int:
         """``|DAV|`` — the AVG's vertex count (Table 2's right column)."""
-        return len(self._equality_index)
+        return len(self._value_interner)
 
     def frequency(self, pair: AttributeValue) -> int:
         """Number of records containing ``pair``."""
-        return len(self._equality_index.get(pair, ()))
+        vid = self._value_interner.lookup(pair)
+        return 0 if vid is None else len(self._equality_postings[vid])
+
+    # ------------------------------------------------------------------
+    # Interned ids — for callers keying caches on this table's values
+    # ------------------------------------------------------------------
+    def value_id(self, pair: AttributeValue) -> Optional[int]:
+        """Dense id of an attribute value, or None if absent."""
+        return self._value_interner.lookup(pair)
+
+    def keyword_id(self, value: str) -> Optional[int]:
+        """Dense id of a (normalized) keyword token, or None if absent."""
+        return self._keyword_interner.lookup(normalize(value))
 
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
     def match_equality(self, attribute: str, value: str) -> List[int]:
         """Record ids matching ``attribute = value``, sorted ascending."""
-        pair = AttributeValue(attribute, value)
-        return list(self._equality_index.get(pair, ()))
+        vid = self._value_interner.lookup(AttributeValue(attribute, value))
+        return [] if vid is None else list(self._equality_postings[vid])
 
     def match_keyword(self, value: str) -> List[int]:
         """Record ids holding ``value`` under *any* attribute, sorted."""
-        return list(self._keyword_index.get(normalize(value), ()))
+        tid = self._keyword_interner.lookup(normalize(value))
+        return [] if tid is None else list(self._keyword_postings[tid])
 
     def match_conjunctive(self, predicates: Sequence[AttributeValue]) -> List[int]:
         """Record ids satisfying *all* predicates, sorted ascending.
 
-        Evaluated by intersecting posting lists smallest-first, so the
-        cost is proportional to the most selective predicate.
+        Evaluated by merging sorted posting arrays smallest-first, so
+        the cost is proportional to the most selective predicate.
         """
-        postings = [self._equality_index.get(pair, []) for pair in predicates]
-        if not postings or any(not p for p in postings):
+        lookup = self._value_interner.lookup
+        postings = []
+        for pair in predicates:
+            vid = lookup(pair)
+            if vid is None:
+                return []
+            postings.append(self._equality_postings[vid])
+        if not postings:
             return []
         postings.sort(key=len)
-        result = set(postings[0])
+        result: Sequence[int] = postings[0]
         for posting in postings[1:]:
-            result.intersection_update(posting)
+            result = intersect_sorted(result, posting)
             if not result:
                 break
-        return sorted(result)
+        return list(result)
 
     def match(self, query: AnyQuery) -> List[int]:
         """Dispatch any query kind to the right index path."""
@@ -182,8 +222,10 @@ class RelationalTable:
         if isinstance(query, ConjunctiveQuery):
             return len(self.match_conjunctive(query.predicates))
         if query.is_keyword:
-            return len(self._keyword_index.get(normalize(query.value), ()))
-        return len(self._equality_index.get(query.as_attribute_value(), ()))
+            tid = self._keyword_interner.lookup(normalize(query.value))
+            return 0 if tid is None else len(self._keyword_postings[tid])
+        vid = self._value_interner.lookup(query.as_attribute_value())
+        return 0 if vid is None else len(self._equality_postings[vid])
 
     # ------------------------------------------------------------------
     # Projection

@@ -14,6 +14,7 @@ from repro.crawler.extractor import Extraction, ResultExtractor
 from repro.crawler.frontier import (
     FifoFrontier,
     Frontier,
+    InternedPriorityFrontier,
     LifoFrontier,
     PriorityFrontier,
     RandomFrontier,
@@ -21,6 +22,7 @@ from repro.crawler.frontier import (
 from repro.crawler.localdb import LocalDatabase
 from repro.crawler.metrics import CoveragePoint, CrawlHistory
 from repro.crawler.prober import DatabaseProber, QueryOutcome
+from repro.crawler.reference import ReferenceLocalDatabase
 
 __all__ = [
     "AbortionPolicy",
@@ -35,6 +37,7 @@ __all__ = [
     "Extraction",
     "FifoFrontier",
     "Frontier",
+    "InternedPriorityFrontier",
     "LifoFrontier",
     "LocalDatabase",
     "NeverAbort",
@@ -42,6 +45,7 @@ __all__ = [
     "PriorityFrontier",
     "QueryOutcome",
     "RandomFrontier",
+    "ReferenceLocalDatabase",
     "ResultExtractor",
     "TotalCountAbort",
     "normalize_seed",

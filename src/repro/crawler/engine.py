@@ -108,6 +108,15 @@ class CrawlerEngine:
     backoff:
         Retry backoff schedule, forwarded to the prober (only relevant
         with ``max_retries > 0``).
+    local_db:
+        Override the ``DB_local`` implementation.  Defaults to the
+        interned :class:`~repro.crawler.localdb.LocalDatabase`; the
+        hot-path benchmark passes
+        :class:`~repro.crawler.reference.ReferenceLocalDatabase` to
+        measure against the pre-interning behaviour (selectors detect
+        the missing interner and fall back to value-keyed scoring).
+        Must be freshly constructed with ``track_cooccurrence``
+        matching the selector's ``requires_cooccurrence``.
     """
 
     def __init__(
@@ -121,6 +130,7 @@ class CrawlerEngine:
         max_retries: int = 0,
         bus: Optional[EventBus] = None,
         backoff: Optional[ExponentialBackoff] = None,
+        local_db=None,
     ) -> None:
         self.server = server
         self.selector = selector
@@ -132,10 +142,15 @@ class CrawlerEngine:
         self.backoff_rng = random.Random(
             seed ^ _BACKOFF_SEED_SALT if seed is not None else None
         )
-        self.local_db = LocalDatabase(
-            track_cooccurrence=selector.requires_cooccurrence
+        self.local_db = (
+            local_db
+            if local_db is not None
+            else LocalDatabase(track_cooccurrence=selector.requires_cooccurrence)
         )
-        self.extractor = ResultExtractor(server.interface)
+        self.extractor = ResultExtractor(
+            server.interface,
+            interner=getattr(self.local_db, "interner", None),
+        )
         self.prober = DatabaseProber(
             server,
             self.extractor,
@@ -158,6 +173,12 @@ class CrawlerEngine:
         )
         selector.bind(self.context)
         self._issued: set[AnyQuery] = set()
+        # Dense-id mirror of context.queried_values (interned databases
+        # only): lets the candidate filter compare ints instead of
+        # hashing AttributeValues.
+        self._queried_ids: Optional[set[int]] = (
+            set() if hasattr(self.local_db, "interner") else None
+        )
         self._started = False
         self._exhausted = False
         self._history = CrawlHistory()
@@ -257,13 +278,28 @@ class CrawlerEngine:
         self.context.lqueried.append(query)
         if value is not None:
             self.context.queried_values.add(value)
+            if self._queried_ids is not None:
+                self._queried_ids.add(self.local_db.intern_value(value))
         if outcome.aborted:
             self._aborted += 1
         if outcome.failed:
             self._failed += 1
-        for candidate in outcome.candidate_values:
-            if candidate not in self.context.queried_values:
-                self.selector.add_candidate(candidate)
+        candidate_ids = outcome.candidate_ids
+        if candidate_ids is not None and self._queried_ids is not None:
+            # Live interned path: candidate_ids mirrors candidate_values
+            # 1:1, so the already-queried filter runs on ints.
+            queried_ids = self._queried_ids
+            values = outcome.candidate_values
+            add_candidate_id = self.selector.add_candidate_id
+            for index, vid in enumerate(candidate_ids):
+                if vid not in queried_ids:
+                    add_candidate_id(vid, values[index])
+        else:
+            # Value path: replayed outcomes (ids are never journaled) and
+            # non-interned databases.
+            for candidate in outcome.candidate_values:
+                if candidate not in self.context.queried_values:
+                    self.selector.add_candidate(candidate)
         self.selector.observe_outcome(outcome)
         if self.keep_outcomes:
             self._outcomes.append(outcome)
@@ -348,6 +384,7 @@ class CrawlerEngine:
         owns when server state is captured.
         """
         from repro.runtime.serialize import (
+            encode_interner,
             encode_query,
             encode_record,
             encode_rng,
@@ -384,6 +421,15 @@ class CrawlerEngine:
             from repro.runtime.journal import encode_outcome
 
             state["outcomes"] = [encode_outcome(o) for o in self._outcomes]
+        interner = getattr(self.local_db, "interner", None)
+        if interner is not None:
+            # The dense id assignment (first-seen order, including
+            # frontier values no record contains).  Restoring it before
+            # the records re-add guarantees a resumed crawl holds the
+            # exact id layout of the original — no crawl decision reads
+            # id values, but keeping them identical makes resumed state
+            # snapshots byte-comparable to the original run's.
+            state["interner"] = encode_interner(interner)
         return state
 
     def load_state(self, state: dict) -> None:
@@ -421,9 +467,8 @@ class CrawlerEngine:
         # lqueried and queried_values live on the shared context: mutate
         # in place so the selector's bound view stays consistent.
         self.context.lqueried.extend(decode_query(q) for q in state["lqueried"])
-        self.context.queried_values.update(
-            decode_value(v) for v in state["queried_values"]
-        )
+        queried_values = [decode_value(v) for v in state["queried_values"]]
+        self.context.queried_values.update(queried_values)
         restore_rng(self.rng, state["rng"])
         restore_rng(self.backoff_rng, state["backoff_rng"])
         self._aborted = state["aborted"]
@@ -432,10 +477,21 @@ class CrawlerEngine:
         self._history = CrawlHistory()
         for rounds, records in state["history"]:
             self._history.append(rounds, records)
-        # Re-adding records in insertion order rebuilds DB_local's graph
-        # (degrees, co-occurrence) exactly as the original crawl did.
+        # Restore the dense id assignment first (older checkpoints and
+        # non-interned databases simply skip this), then re-add records
+        # in insertion order to rebuild DB_local's graph (degrees,
+        # co-occurrence) exactly as the original crawl did.
+        interner_state = state.get("interner")
+        if interner_state is not None and hasattr(self.local_db, "interner"):
+            self.local_db.load_interner_state(interner_state)
         for payload in state["records"]:
             self.local_db.add(decode_record(payload))
+        if self._queried_ids is not None:
+            # The snapshot's queried values are already in the restored
+            # interner, so this assigns no new ids; the sorted snapshot
+            # order keeps any fallback assignment deterministic anyway.
+            intern_value = self.local_db.intern_value
+            self._queried_ids.update(intern_value(v) for v in queried_values)
         self.selector.load_state(state["selector"])
         if "outcomes" in state and self.keep_outcomes:
             from repro.runtime.journal import decode_outcome

@@ -12,8 +12,9 @@ can actually query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.core.intern import ValueInterner
 from repro.core.records import Record
 from repro.core.values import AttributeValue
 from repro.server.interface import QueryInterface
@@ -23,10 +24,21 @@ from repro.server.service import parse_page
 
 @dataclass(frozen=True)
 class Extraction:
-    """What one page yielded: its records and their queriable values."""
+    """What one page yielded: its records and their queriable values.
+
+    ``candidate_ids`` mirrors ``candidate_values`` element for element
+    when the extractor was built with an interner, else None.  Ids are
+    an in-process acceleration only — never serialized.
+    """
 
     records: tuple[Record, ...]
     candidate_values: tuple[AttributeValue, ...]
+    candidate_ids: Optional[tuple[int, ...]] = None
+    #: Per-record interned ids of the *full* clique (every attribute
+    #: value, queriable or not), aligned 1:1 with ``records``.  Lets
+    #: ``DB_local.add`` skip re-hashing the clique it was about to
+    #: intern itself.  None without an interner.
+    clique_ids: Optional[tuple[Tuple[int, ...], ...]] = None
 
 
 class ResultExtractor:
@@ -38,10 +50,24 @@ class ResultExtractor:
         The target's query interface; only values the interface can
         query (directly, or as keywords when a search box exists)
         survive decomposition into the candidate pool.
+    interner:
+        Optional shared :class:`ValueInterner` (``DB_local``'s).  When
+        given, decomposition runs on dense ids with a per-record memo:
+        a result page is mostly records seen before (duplicates are the
+        norm late in a crawl), and a memoized record costs one int
+        lookup instead of re-filtering and re-hashing its clique.
     """
 
-    def __init__(self, interface: QueryInterface) -> None:
+    def __init__(
+        self,
+        interface: QueryInterface,
+        interner: Optional[ValueInterner] = None,
+    ) -> None:
         self.interface = interface
+        self.interner = interner
+        #: record_id → (full-clique ids, queriable ids) — stable:
+        #: records, interface, and id assignment are all append-only.
+        self._record_memo: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
 
     def extract(self, page: Union[ResultPage, str]) -> Extraction:
         """Extract one page — an object, an XML document, or HTML.
@@ -59,6 +85,14 @@ class ResultExtractor:
 
                 page = parse_html_page(page)
         records = page.records
+        if self.interner is not None:
+            values, ids, cliques = self._decompose_interned(records)
+            return Extraction(
+                records=records,
+                candidate_values=tuple(values),
+                candidate_ids=tuple(ids),
+                clique_ids=cliques,
+            )
         candidates = self.decompose(records)
         return Extraction(records=records, candidate_values=tuple(candidates))
 
@@ -68,6 +102,8 @@ class ResultExtractor:
         Returns the distinct queriable attribute values appearing in the
         records, in first-seen order (order matters for BFS/DFS).
         """
+        if self.interner is not None:
+            return self._decompose_interned(records)[0]
         queriable = self.interface.queriable_attributes
         keyword_ok = self.interface.supports_keyword
         seen: dict[AttributeValue, None] = {}
@@ -76,3 +112,44 @@ class ResultExtractor:
                 if pair.attribute in queriable or keyword_ok:
                     seen.setdefault(pair, None)
         return list(seen)
+
+    def _decompose_interned(
+        self, records: Iterable[Record]
+    ) -> Tuple[List[AttributeValue], List[int], Tuple[Tuple[int, ...], ...]]:
+        """Id-indexed decomposition with the per-record memo.
+
+        Produces the same values in the same first-seen order as
+        :meth:`decompose` — the dedupe runs on ids, and ids map 1:1 to
+        values.  Also returns each record's full-clique ids so the
+        local database never re-interns a record the extractor already
+        saw (each attribute value is hashed exactly once, here).
+        """
+        interner = self.interner
+        memo = self._record_memo
+        queriable = self.interface.queriable_attributes
+        keyword_ok = self.interface.supports_keyword
+        seen: set = set()
+        seen_add = seen.add
+        out_ids: List[int] = []
+        cliques: List[Tuple[int, ...]] = []
+        for record in records:
+            record_id = record.record_id
+            entry = memo.get(record_id)
+            if entry is None:
+                intern = interner.intern
+                clique: List[int] = []
+                queriable_ids: List[int] = []
+                for pair in record.attribute_values():
+                    vid = intern(pair)
+                    clique.append(vid)
+                    if keyword_ok or pair.attribute in queriable:
+                        queriable_ids.append(vid)
+                entry = (tuple(clique), tuple(queriable_ids))
+                memo[record_id] = entry
+            cliques.append(entry[0])
+            for vid in entry[1]:
+                if vid not in seen:
+                    seen_add(vid)
+                    out_ids.append(vid)
+        value_of = interner.value
+        return [value_of(vid) for vid in out_ids], out_ids, tuple(cliques)

@@ -198,6 +198,166 @@ class RandomFrontier(Frontier):
         self._items = [decode(item) for item in payload]
 
 
+class InternedPriorityFrontier(Frontier):
+    """Id-native :class:`PriorityFrontier` for interned local databases.
+
+    Same contract and same *serialized state* as
+    :class:`PriorityFrontier`, but every internal structure — seen set,
+    pending set, heap entries — holds dense int ids instead of
+    :class:`AttributeValue` objects, and scoring goes through an
+    id-indexed function (e.g. ``LocalDatabase.degree_id``).  A value is
+    hashed exactly once, at :meth:`push` time, to intern it; every
+    subsequent refresh/pop touch is integer work.
+
+    Determinism: heap entries order by ``(-score, tick)`` and ticks are
+    unique, so the third tuple element is never compared — swapping the
+    value for its id cannot change pop order, and the checkpoint payload
+    (which encodes the values, not the ids) is byte-identical to the
+    value-keyed frontier's.
+
+    Parameters
+    ----------
+    score_id_fn:
+        Score by id.
+    intern_fn:
+        ``AttributeValue -> id``, assigning ids to new values (use
+        ``LocalDatabase.intern_value`` so statistic arrays grow too).
+    lookup_fn:
+        ``AttributeValue -> Optional[id]`` without assigning (refresh
+        must not intern values it will ignore).
+    value_fn:
+        ``id -> AttributeValue`` (the interner's list index).
+    """
+
+    def __init__(
+        self,
+        score_id_fn: Callable[[int], float],
+        intern_fn: Callable[[AttributeValue], int],
+        lookup_fn: Callable[[AttributeValue], Optional[int]],
+        value_fn: Callable[[int], AttributeValue],
+    ) -> None:
+        super().__init__()
+        self._score_id = score_id_fn
+        self._intern = intern_fn
+        self._lookup = lookup_fn
+        self._value_of = value_fn
+        self._heap: list[tuple[float, int, int]] = []
+        self._tick = 0
+        self._seen_ids: set[int] = set()
+        self._pending_ids: set[int] = set()
+
+    # The base class's _seen/_insert/_remove machinery is value-keyed;
+    # this frontier overrides the public surface wholesale instead.
+    def push(self, value: AttributeValue) -> bool:
+        return self.push_id(self._intern(value))
+
+    def push_id(self, vid: int) -> bool:
+        """Id fast path of :meth:`push` for callers already holding ids."""
+        if vid in self._seen_ids:
+            return False
+        self._seen_ids.add(vid)
+        self._pending += 1
+        self._pending_ids.add(vid)
+        self._tick += 1
+        heapq.heappush(self._heap, (-self._score_id(vid), self._tick, vid))
+        return True
+
+    def pop(self) -> Optional[AttributeValue]:
+        if self._pending == 0:
+            return None
+        pending = self._pending_ids
+        heap = self._heap
+        while True:
+            neg_score, _tie, vid = heapq.heappop(heap)
+            if vid not in pending:
+                continue  # out-of-date duplicate of an already-popped value
+            fresh = self._score_id(vid)
+            if fresh > -neg_score:
+                self._tick += 1
+                heapq.heappush(heap, (-fresh, self._tick, vid))
+                continue
+            pending.discard(vid)
+            self._pending -= 1
+            return self._value_of(vid)
+
+    def refresh(self, value: AttributeValue) -> None:
+        """Record that ``value``'s score may have changed (no-op if not pending)."""
+        vid = self._lookup(value)
+        if vid is not None and vid in self._pending_ids:
+            self._tick += 1
+            heapq.heappush(self._heap, (-self._score_id(vid), self._tick, vid))
+
+    def refresh_all(self, values: Iterable[AttributeValue]) -> None:
+        for value in values:
+            self.refresh(value)
+
+    def refresh_id(self, vid: int) -> None:
+        """Id fast path of :meth:`refresh` for callers already holding ids."""
+        if vid in self._pending_ids:
+            self._tick += 1
+            heapq.heappush(self._heap, (-self._score_id(vid), self._tick, vid))
+
+    def __contains__(self, value: AttributeValue) -> bool:
+        vid = self._lookup(value)
+        return vid is not None and vid in self._seen_ids
+
+    def _insert(self, value: AttributeValue) -> None:  # pragma: no cover
+        raise AssertionError("push() is overridden; _insert is unreachable")
+
+    def _remove(self) -> AttributeValue:  # pragma: no cover
+        raise AssertionError("pop() is overridden; _remove is unreachable")
+
+    def _container_state(self, encode: ItemEncoder):  # pragma: no cover
+        raise AssertionError("state_dict() is overridden")
+
+    def _load_container(self, payload, decode: ItemDecoder) -> None:  # pragma: no cover
+        raise AssertionError("load_state() is overridden")
+
+    # ------------------------------------------------------------------
+    # Checkpoint state — same payload as PriorityFrontier, value-encoded
+    # ------------------------------------------------------------------
+    def state_dict(self, encode: Optional[ItemEncoder] = None) -> dict:
+        encode = encode or _default_encode
+        value_of = self._value_of
+        return {
+            "seen": [
+                encode(item)
+                for item in sorted(value_of(vid) for vid in self._seen_ids)
+            ],
+            "pending": self._pending,
+            "container": {
+                "heap": [
+                    [neg_score, tie, encode(value_of(vid))]
+                    for neg_score, tie, vid in self._heap
+                ],
+                "tick": self._tick,
+                "pending": [
+                    encode(item)
+                    for item in sorted(
+                        value_of(vid) for vid in self._pending_ids
+                    )
+                ],
+            },
+        }
+
+    def load_state(
+        self, state: dict, decode: Optional[ItemDecoder] = None
+    ) -> None:
+        decode = decode or _default_decode
+        intern = self._intern
+        self._seen_ids = {intern(decode(item)) for item in state["seen"]}
+        self._pending = state["pending"]
+        container = state["container"]
+        # Heap order depends only on (neg_score, tick) — ticks are unique
+        # — so re-interning the values preserves a valid heap verbatim.
+        self._heap = [
+            (neg_score, tie, intern(decode(value)))
+            for neg_score, tie, value in container["heap"]
+        ]
+        self._tick = container["tick"]
+        self._pending_ids = {intern(decode(value)) for value in container["pending"]}
+
+
 class PriorityFrontier(Frontier):
     """Max-priority frontier over externally changing scores.
 

@@ -9,19 +9,58 @@ All statistics are maintained incrementally as records arrive, so policy
 lookups are O(1) and adding a record costs O(c²) where ``c`` is the
 record's clique size — the same asymptotics as inserting the record's
 clique into ``G_local``.
+
+Internally every statistic is **array-backed and id-indexed**: a
+:class:`~repro.core.intern.ValueInterner` assigns each attribute value a
+dense int id the first time it is seen, frequencies live in an
+``array('I')``, adjacency in int-sets, postings in sorted int arrays,
+and co-occurrence counts in a dict keyed by a packed ``(lo << 32) | hi``
+id pair.  Each value is hashed once per appearance (the intern lookup);
+everything after that is integer arithmetic.  The public API is
+unchanged — it accepts and returns :class:`AttributeValue` — and the
+``*_id`` fast paths let the selectors skip even the single hash when
+they already hold an id.  The pre-interning dict implementation is
+retained verbatim as
+:class:`repro.crawler.reference.ReferenceLocalDatabase` and the
+differential tests pin the two to identical statistics.
+
+Postings (per-value and keyword) are built *lazily*: :meth:`add` only
+logs the record's interned ids, and the inverted lists materialize on
+first read, catching up over the log.  Policies that never consult
+postings — GL reads frequencies and degrees only — therefore never pay
+for them, while posting-heavy workloads (conjunctive crawls, untracked
+PMI) pay exactly the eager cost, amortized.  Laziness is invisible in
+results: every accessor flushes before reading.
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set
+from array import array
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
+from repro.core.intern import (
+    PAIR_SHIFT,
+    StringInterner,
+    ValueInterner,
+    intersect_sorted,
+)
 from repro.core.records import Record
 from repro.core.values import AttributeValue
 
-#: Shared empty view returned for unknown keys (no per-call allocation).
+#: Shared empty views returned for unknown keys (no per-call allocation).
 _EMPTY_VIEW: frozenset = frozenset()
+_EMPTY_IDS: Set[int] = frozenset()  # type: ignore[assignment]
+_EMPTY_POSTING: array = array("q")
 
 
 class LocalDatabase:
@@ -33,42 +72,128 @@ class LocalDatabase:
         Maintain pairwise co-occurrence counts (needed by MMMI).  Off by
         default since the quadratic-in-clique bookkeeping is wasted on
         policies that never consult it.
+    interner:
+        Share an existing :class:`ValueInterner` (e.g. one restored from
+        a checkpoint).  A fresh one is built by default.
     """
 
-    def __init__(self, track_cooccurrence: bool = False) -> None:
+    def __init__(
+        self,
+        track_cooccurrence: bool = False,
+        interner: Optional[ValueInterner] = None,
+    ) -> None:
         self._records: Dict[int, Record] = {}
-        self._frequency: Dict[AttributeValue, int] = defaultdict(int)
-        self._neighbors: Dict[AttributeValue, Set[AttributeValue]] = defaultdict(set)
-        self._postings: Dict[AttributeValue, Set[int]] = defaultdict(set)
-        self._keyword_postings: Dict[str, Set[int]] = defaultdict(set)
+        #: Dense value ↔ id map shared with the frontier and selectors.
+        self.interner = interner if interner is not None else ValueInterner()
+        self._tokens = StringInterner()
+        # Id-indexed statistic arrays, grown in lock-step with the
+        # interner by _ensure().  A value interned through a shared
+        # interner but never seen in a record keeps zero statistics,
+        # exactly like an absent key did in the dict implementation.
+        self._freq = array("I")
+        self._neighbor_sets: List[Set[int]] = []
+        # Lazy inverted indexes: add() appends to the logs; the first
+        # accessor that needs a posting list drains them (see
+        # _flush_postings / _flush_keywords).
+        self._posting_lists: List[array] = []
+        self._dirty_postings: Set[int] = set()
+        self._posting_log: List[tuple] = []  # (record_id, interned ids)
+        self._kw_postings: List[array] = []
+        self._record_log: List[Record] = []  # insertion order
+        self._kw_upto = 0  # records folded into the keyword index
+        self._num_distinct = 0
         self.track_cooccurrence = track_cooccurrence
-        self._cooccurrence: Dict[frozenset, int] = defaultdict(int)
+        self._cooccurrence: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern_value(self, value: AttributeValue) -> int:
+        """The value's dense id, assigning one (and growing stats) if new."""
+        vid = self.interner.intern(value)
+        if vid >= len(self._freq):
+            self._ensure(vid)
+        return vid
+
+    def value_id(self, value: AttributeValue) -> Optional[int]:
+        """The value's id, or None if it was never interned here."""
+        return self.interner.lookup(value)
+
+    def _ensure(self, vid: int) -> None:
+        """Grow the id-indexed arrays to cover ``vid``."""
+        while len(self._freq) <= vid:
+            self._freq.append(0)
+            self._neighbor_sets.append(set())
+            self._posting_lists.append(array("q"))
+
+    def load_interner_state(self, payload) -> None:
+        """Restore a checkpointed id assignment (before re-adding records).
+
+        Gives the empty database the original run's exact id layout, so
+        values first seen as frontier candidates (not in any record)
+        keep their original ids after a resume.
+        """
+        if self._records:
+            raise ValueError("load_interner_state requires an empty database")
+        self.interner.load_state(payload)
+        if len(self.interner):
+            self._ensure(len(self.interner) - 1)
 
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
-    def add(self, record: Record) -> bool:
+    def add(self, record: Record, ids: Optional[Sequence[int]] = None) -> bool:
         """Store a harvested record; returns False for duplicates.
 
         Duplicate detection is by record id — the simulated sources give
         every record a stable id, playing the role of the URL / ASIN a
         real extractor would dedupe on.
+
+        ``ids`` may carry the record's full clique pre-interned (in
+        ``record.attribute_values()`` order) by a caller sharing this
+        database's interner — the extractor's per-record memo — so the
+        clique is hashed once per crawl, not once per module.
         """
-        if record.record_id in self._records:
+        record_id = record.record_id
+        records = self._records
+        if record_id in records:
             return False
-        self._records[record.record_id] = record
-        clique = record.attribute_values()
-        for pair in clique:
-            self._frequency[pair] += 1
-            self._postings[pair].add(record.record_id)
-            self._keyword_postings[pair.value].add(record.record_id)
-        for i in range(len(clique)):
-            for j in range(i + 1, len(clique)):
-                u, v = clique[i], clique[j]
-                self._neighbors[u].add(v)
-                self._neighbors[v].add(u)
-                if self.track_cooccurrence:
-                    self._cooccurrence[frozenset((u, v))] += 1
+        records[record_id] = record
+        self._record_log.append(record)
+        interner = self.interner
+        if ids is None:
+            intern = interner.intern
+            ids = [intern(pair) for pair in record.attribute_values()]
+        freq = self._freq
+        if len(freq) < len(interner):
+            self._ensure(len(interner) - 1)
+
+        bumped = 0
+        for vid in ids:
+            count = freq[vid]
+            if count == 0:
+                bumped += 1
+            freq[vid] = count + 1
+        if bumped:
+            self._num_distinct += bumped
+        self._posting_log.append((record_id, ids))
+
+        if self.track_cooccurrence:
+            cooc = self._cooccurrence
+            n = len(ids)
+            for i in range(n):
+                u = ids[i]
+                for j in range(i + 1, n):
+                    v = ids[j]
+                    key = (u << PAIR_SHIFT) | v if u < v else (v << PAIR_SHIFT) | u
+                    cooc[key] = cooc.get(key, 0) + 1
+        # Clique edges: each vertex unions the whole clique (a C-speed
+        # bulk op) and drops itself, instead of O(c²) Python-level adds.
+        neighbors = self._neighbor_sets
+        for u in ids:
+            mine = neighbors[u]
+            mine.update(ids)
+            mine.discard(u)
         return True
 
     def add_all(self, records: Iterable[Record]) -> int:
@@ -95,12 +220,25 @@ class LocalDatabase:
     # ------------------------------------------------------------------
     def frequency(self, value: AttributeValue) -> int:
         """``num(value, DB_local)`` — matched records harvested so far."""
-        return self._frequency.get(value, 0)
+        vid = self.interner.lookup(value)
+        return 0 if vid is None or vid >= len(self._freq) else self._freq[vid]
+
+    def frequency_id(self, vid: int) -> int:
+        """Id fast path of :meth:`frequency`."""
+        return self._freq[vid] if vid < len(self._freq) else 0
 
     def degree(self, value: AttributeValue) -> int:
         """Degree of ``value`` in the local AVG ``G_local``."""
-        neighbors = self._neighbors.get(value)
-        return 0 if neighbors is None else len(neighbors)
+        vid = self.interner.lookup(value)
+        if vid is None or vid >= len(self._neighbor_sets):
+            return 0
+        return len(self._neighbor_sets[vid])
+
+    def degree_id(self, vid: int) -> int:
+        """Id fast path of :meth:`degree`."""
+        if vid < len(self._neighbor_sets):
+            return len(self._neighbor_sets[vid])
+        return 0
 
     def neighbors(self, value: AttributeValue) -> FrozenSet[AttributeValue]:
         """The value's neighbours in ``G_local`` (a copy-safe view).
@@ -109,36 +247,140 @@ class LocalDatabase:
         callers can keep, compare, or combine it without any way of
         corrupting ``G_local``'s adjacency.
         """
-        neighbors = self._neighbors.get(value)
-        return frozenset(neighbors) if neighbors else _EMPTY_VIEW
+        vid = self.interner.lookup(value)
+        if vid is None or vid >= len(self._neighbor_sets):
+            return _EMPTY_VIEW
+        ids = self._neighbor_sets[vid]
+        if not ids:
+            return _EMPTY_VIEW
+        decode = self.interner.value
+        return frozenset(decode(n) for n in ids)
+
+    def neighbor_id_set(self, vid: int) -> Set[int]:
+        """The value's neighbour ids — the **live internal set**.
+
+        Zero-copy by design: the MMMI recompute intersects every
+        candidate's neighbourhood against the queried set, and copying a
+        hub's thousands of neighbours per candidate would dominate the
+        pass.  Callers must treat it as read-only.
+        """
+        if vid < len(self._neighbor_sets):
+            return self._neighbor_sets[vid]
+        return _EMPTY_IDS
 
     def matching_ids(self, value: AttributeValue) -> FrozenSet[int]:
         """Ids of local records containing ``value`` (a copy-safe view)."""
-        ids = self._postings.get(value)
-        return frozenset(ids) if ids else _EMPTY_VIEW
+        vid = self.interner.lookup(value)
+        if vid is None:
+            return _EMPTY_VIEW
+        if self._posting_log:
+            self._flush_postings()
+        if vid >= len(self._posting_lists):
+            return _EMPTY_VIEW
+        plist = self._posting_lists[vid]
+        return frozenset(plist) if plist else _EMPTY_VIEW
 
     def keyword_frequency(self, value: str) -> int:
         """Local records holding ``value`` under *any* attribute."""
-        ids = self._keyword_postings.get(value)
-        return 0 if ids is None else len(ids)
+        if self._kw_upto < len(self._record_log):
+            self._flush_keywords()
+        tid = self._tokens.lookup(value)
+        if tid is None or tid >= len(self._kw_postings):
+            return 0
+        return len(self._kw_postings[tid])
+
+    # ------------------------------------------------------------------
+    # Postings — lazily materialized inverted indexes
+    # ------------------------------------------------------------------
+    def _flush_postings(self) -> None:
+        """Fold the logged (record, ids) entries into the posting lists.
+
+        add() only logs; the fold runs on first read, so policies that
+        never consult postings never pay for them.  Amortized cost for
+        posting-heavy workloads equals the eager cost: each logged entry
+        is folded exactly once.
+        """
+        postings = self._posting_lists
+        dirty = self._dirty_postings
+        for record_id, ids in self._posting_log:
+            for vid in ids:
+                plist = postings[vid]
+                if plist and record_id < plist[-1]:
+                    dirty.add(vid)
+                plist.append(record_id)
+        self._posting_log.clear()
+
+    def _flush_keywords(self) -> None:
+        """Fold records added since the last keyword read into the index."""
+        intern = self._tokens.intern
+        kw_postings = self._kw_postings
+        for record in self._record_log[self._kw_upto:]:
+            record_id = record.record_id
+            seen_tokens: Set[int] = set()
+            for pair in record.attribute_values():
+                tid = intern(pair.value)
+                if tid not in seen_tokens:
+                    seen_tokens.add(tid)
+                    while len(kw_postings) <= tid:
+                        kw_postings.append(array("q"))
+                    kw_postings[tid].append(record_id)
+        self._kw_upto = len(self._record_log)
+
+    def _sorted_posting(self, vid: int) -> array:
+        """The value's posting list, ascending (lazily re-sorted).
+
+        Harvest order is not id order (ranked sources, random
+        frontiers), so appends mark the list dirty and the sort is paid
+        once per read burst instead of once per insert.
+        """
+        if self._posting_log:
+            self._flush_postings()
+        if vid >= len(self._posting_lists):
+            return _EMPTY_POSTING
+        plist = self._posting_lists[vid]
+        if vid in self._dirty_postings:
+            self._posting_lists[vid] = plist = array("q", sorted(plist))
+            self._dirty_postings.discard(vid)
+        return plist
 
     def conjunctive_matching_ids(self, predicates) -> Set[int]:
         """Local records satisfying every predicate (posting intersection)."""
-        postings = [self._postings.get(pair) for pair in predicates]
+        return set(self._conjunctive_match(predicates))
+
+    def conjunctive_frequency(self, predicates) -> int:
+        """``num(q, DB_local)`` for a conjunctive query."""
+        return len(self._conjunctive_match(predicates))
+
+    def conjunctive_frequency_ids(self, vids: Sequence[int]) -> int:
+        """Id fast path of :meth:`conjunctive_frequency`."""
+        return len(self._intersect_ids(vids))
+
+    def _conjunctive_match(self, predicates) -> Sequence[int]:
+        lookup = self.interner.lookup
+        vids = []
+        for pair in predicates:
+            vid = lookup(pair)
+            if vid is None:
+                return _EMPTY_POSTING
+            vids.append(vid)
+        return self._intersect_ids(vids)
+
+    def _intersect_ids(self, vids: Sequence[int]) -> Sequence[int]:
+        """Sorted-array merge intersection, most-selective-first."""
+        postings = [self._sorted_posting(vid) for vid in vids]
         if not postings or any(not p for p in postings):
-            return set()
+            return _EMPTY_POSTING
         postings.sort(key=len)
-        result = set(postings[0])
+        result: Sequence[int] = postings[0]
         for posting in postings[1:]:
-            result &= posting
+            result = intersect_sorted(result, posting)
             if not result:
                 break
         return result
 
-    def conjunctive_frequency(self, predicates) -> int:
-        """``num(q, DB_local)`` for a conjunctive query."""
-        return len(self.conjunctive_matching_ids(predicates))
-
+    # ------------------------------------------------------------------
+    # Co-occurrence and PMI
+    # ------------------------------------------------------------------
     def cooccurrence(self, u: AttributeValue, v: AttributeValue) -> int:
         """Records of ``DB_local`` containing both values.
 
@@ -146,16 +388,20 @@ class LocalDatabase:
         falls back to intersecting posting lists.  A value co-occurs
         with itself in every record containing it.
         """
-        if u == v:
-            return self._frequency.get(u, 0)
-        if self.track_cooccurrence:
-            return self._cooccurrence.get(frozenset((u, v)), 0)
-        a, b = self._postings.get(u), self._postings.get(v)
-        if not a or not b:
+        lookup = self.interner.lookup
+        uid, vid = lookup(u), lookup(v)
+        if uid is None or vid is None:
             return 0
-        if len(a) > len(b):
-            a, b = b, a
-        return sum(1 for record_id in a if record_id in b)
+        return self.cooccurrence_ids(uid, vid)
+
+    def cooccurrence_ids(self, u: int, v: int) -> int:
+        """Id fast path of :meth:`cooccurrence`."""
+        if u == v:
+            return self.frequency_id(u)
+        if self.track_cooccurrence:
+            key = (u << PAIR_SHIFT) | v if u < v else (v << PAIR_SHIFT) | u
+            return self._cooccurrence.get(key, 0)
+        return len(intersect_sorted(self._sorted_posting(u), self._sorted_posting(v)))
 
     def pmi(self, u: AttributeValue, v: AttributeValue) -> float:
         """Pointwise mutual information ``ln P(u,v) / (P(u) P(v))``.
@@ -164,25 +410,100 @@ class LocalDatabase:
         values never co-occur locally, and ``-inf`` when either value is
         unseen (no evidence of dependency).
         """
+        lookup = self.interner.lookup
+        uid, vid = lookup(u), lookup(v)
+        if uid is None or vid is None:
+            return -math.inf
+        return self.pmi_ids(uid, vid)
+
+    def pmi_ids(self, u: int, v: int) -> float:
+        """Id fast path of :meth:`pmi`."""
         n = len(self._records)
         if n == 0:
             return -math.inf
-        joint = self.cooccurrence(u, v)
+        joint = self.cooccurrence_ids(u, v)
         if joint == 0:
             return -math.inf
-        fu, fv = self._frequency.get(u, 0), self._frequency.get(v, 0)
-        return math.log(joint * n / (fu * fv))
+        return math.log(joint * n / (self._freq[u] * self._freq[v]))
 
+    def dependency_score_ids(
+        self, vid: int, queried_ids: Set[int], use_max: bool = True
+    ) -> float:
+        """Definition 3.1's ``s(q_i)`` over interned ids.
+
+        The max (or mean) finite PMI of ``vid`` against the members of
+        ``queried_ids`` it co-occurs with; ``-inf`` when it co-occurs
+        with none.  Bit-for-bit equal to aggregating
+        :meth:`pmi_ids` pairwise — same arithmetic in the same order —
+        with the per-pair call overhead inlined away: this is the MMMI
+        batch recompute's inner loop.
+        """
+        queried_neighbors = self._neighbor_sets[vid] & queried_ids
+        if not queried_neighbors:
+            return -math.inf
+        n = len(self._records)
+        if n == 0:
+            return -math.inf
+        freq = self._freq
+        fu = freq[vid]
+        log = math.log
+        best = -math.inf
+        total = 0.0
+        count = 0
+        if self.track_cooccurrence:
+            cooc_get = self._cooccurrence.get
+            for v in queried_neighbors:
+                key = (vid << PAIR_SHIFT) | v if vid < v else (v << PAIR_SHIFT) | vid
+                joint = cooc_get(key, 0)
+                if joint == 0:
+                    continue
+                p = log(joint * n / (fu * freq[v]))
+                if p > best:
+                    best = p
+                total += p
+                count += 1
+        else:
+            pmi_ids = self.pmi_ids
+            for v in queried_neighbors:
+                p = pmi_ids(vid, v)
+                if p == -math.inf:
+                    continue
+                if p > best:
+                    best = p
+                total += p
+                count += 1
+        if use_max:
+            return best
+        if count == 0:
+            return -math.inf
+        return total / count
+
+    # ------------------------------------------------------------------
+    # Vocabulary
+    # ------------------------------------------------------------------
     def distinct_values(self) -> List[AttributeValue]:
-        """Every attribute value seen locally (vertices of ``G_local``)."""
-        return sorted(self._frequency)
+        """Every attribute value seen locally (vertices of ``G_local``).
+
+        A shared interner may hold ids for values no harvested record
+        contains (seeds, frontier candidates); those are *not* vertices
+        of ``G_local`` and are filtered by frequency.
+        """
+        values = self.interner.values()
+        return sorted(
+            values[vid] for vid, count in enumerate(self._freq) if count
+        )
 
     def num_distinct_values(self) -> int:
-        return len(self._frequency)
+        return self._num_distinct
 
     def values_of_attribute(self, attribute: str) -> List[AttributeValue]:
         key = attribute.strip().lower()
-        return sorted(v for v in self._frequency if v.attribute == key)
+        values = self.interner.values()
+        return sorted(
+            values[vid]
+            for vid, count in enumerate(self._freq)
+            if count and values[vid].attribute == key
+        )
 
     # ------------------------------------------------------------------
     # Export

@@ -53,6 +53,11 @@ class QueryOutcome:
     records_returned: int = 0
     new_records: List[Record] = field(default_factory=list)
     candidate_values: List[AttributeValue] = field(default_factory=list)
+    #: Interned ids mirroring ``candidate_values`` 1:1 when the
+    #: extractor shares ``DB_local``'s interner, else None.  In-process
+    #: acceleration only: never journaled, and replayed outcomes carry
+    #: None (consumers must treat the values as authoritative).
+    candidate_ids: Optional[List[int]] = None
     total_matches: Optional[int] = None
     accessible_matches: int = 0
     aborted: bool = False
@@ -161,9 +166,25 @@ class DatabaseProber:
             outcome.records_returned += len(page.records)
             outcome.total_matches = meta.total_matches
             outcome.accessible_matches = meta.accessible_matches
-            new_here = [r for r in page.records if self.local_db.add(r)]
+            clique_ids = page.clique_ids
+            if clique_ids is not None:
+                # Interned DB_local: hand over the ids the extractor
+                # already computed so add() skips re-hashing the clique.
+                add = self.local_db.add
+                new_here = [
+                    r
+                    for r, ids in zip(page.records, clique_ids)
+                    if add(r, ids)
+                ]
+            else:
+                new_here = [r for r in page.records if self.local_db.add(r)]
             outcome.new_records.extend(new_here)
             outcome.candidate_values.extend(page.candidate_values)
+            if page.candidate_ids is not None:
+                if outcome.candidate_ids is None:
+                    outcome.candidate_ids = list(page.candidate_ids)
+                else:
+                    outcome.candidate_ids.extend(page.candidate_ids)
             progress.update(len(page.records), len(new_here))
             if announce:
                 self.bus.emit(

@@ -52,6 +52,13 @@ class QuerySelector(ABC):
     def add_candidate(self, value: AttributeValue) -> None:
         """Offer a newly discovered attribute value for future querying."""
 
+    def add_candidate_id(self, vid: int, value: AttributeValue) -> None:
+        """Id-accompanied :meth:`add_candidate` (``vid`` interned in the
+        bound local database).  Selectors with id-native frontiers
+        override this to skip re-hashing the value; the default ignores
+        the id."""
+        self.add_candidate(value)
+
     @abstractmethod
     def next_query(self) -> Optional[AttributeValue]:
         """Select the next attribute value to visit, or None when exhausted."""

@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.core.values import AttributeValue
 from repro.crawler.context import CrawlerContext
-from repro.crawler.frontier import PriorityFrontier
+from repro.crawler.frontier import InternedPriorityFrontier, PriorityFrontier
 from repro.crawler.prober import QueryOutcome
 from repro.policies.base import QuerySelector
 
@@ -35,25 +35,63 @@ class _PrioritySelector(QuerySelector):
     so ``observe_outcome`` refreshes exactly those frontier entries —
     keeping the priority frontier's view of ``G_local`` current without
     rescoring the whole frontier.
+
+    When the bound local database exposes an interner (the default
+    :class:`~repro.crawler.localdb.LocalDatabase`), the frontier runs on
+    dense int ids and the id-indexed score arrays; a database without
+    one (e.g. the differential
+    :class:`~repro.crawler.reference.ReferenceLocalDatabase`) gets the
+    original value-keyed frontier.  Pop order is identical either way —
+    the benchmark's bit-identity assertion depends on it.
     """
 
     def _score(self, value: AttributeValue) -> float:
         raise NotImplementedError
 
+    def _score_id_fn(self, local):
+        """Id-indexed score function over an interned local database."""
+        raise NotImplementedError
+
     def bind(self, context: CrawlerContext) -> None:
         super().bind(context)
-        self._frontier = PriorityFrontier(self._score)
+        local = context.local_db
+        if hasattr(local, "interner"):
+            self._frontier = InternedPriorityFrontier(
+                self._score_id_fn(local),
+                local.intern_value,
+                local.value_id,
+                local.interner.value,
+            )
+        else:
+            self._frontier = PriorityFrontier(self._score)
 
     def add_candidate(self, value: AttributeValue) -> None:
         self._require_context()
         self._frontier.push(value)
+
+    def add_candidate_id(self, vid: int, value: AttributeValue) -> None:
+        self._require_context()
+        frontier = self._frontier
+        if isinstance(frontier, InternedPriorityFrontier):
+            frontier.push_id(vid)
+        else:
+            frontier.push(value)
 
     def next_query(self) -> Optional[AttributeValue]:
         self._require_context()
         return self._frontier.pop()
 
     def observe_outcome(self, outcome: QueryOutcome) -> None:
-        self._frontier.refresh_all(outcome.candidate_values)
+        frontier = self._frontier
+        candidate_ids = outcome.candidate_ids
+        if candidate_ids is not None and isinstance(
+            frontier, InternedPriorityFrontier
+        ):
+            refresh_id = frontier.refresh_id
+            for vid in candidate_ids:
+                refresh_id(vid)
+        else:
+            frontier.refresh_all(outcome.candidate_values)
 
     def state_dict(self) -> dict:
         return {"frontier": self._frontier.state_dict()}
@@ -75,6 +113,10 @@ class GreedyLinkSelector(_PrioritySelector):
     def _score(self, value: AttributeValue) -> float:
         return float(self._require_context().local_db.degree(value))
 
+    def _score_id_fn(self, local):
+        degree_id = local.degree_id
+        return lambda vid: float(degree_id(vid))
+
 
 class GreedyFrequencySelector(_PrioritySelector):
     """Ablation variant: rank candidates by local match count instead."""
@@ -85,3 +127,7 @@ class GreedyFrequencySelector(_PrioritySelector):
 
     def _score(self, value: AttributeValue) -> float:
         return float(self._require_context().local_db.frequency(value))
+
+    def _score_id_fn(self, local):
+        frequency_id = local.frequency_id
+        return lambda vid: float(frequency_id(vid))

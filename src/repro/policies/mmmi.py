@@ -184,15 +184,64 @@ class MinMaxMutualInformationSelector(QuerySelector):
         ``self._ordered`` is consumed from the tail, so it is stored
         descending: the *last* element is the best (lowest-score)
         candidate.
+
+        An interned local database gets the id-indexed pass below; any
+        other database falls back to the public value-keyed API.  Both
+        produce the same ordering: scores are identical arithmetic and
+        the final tie-break key is the :class:`AttributeValue` itself
+        (ids are first-seen order, not lexicographic, so they must never
+        leak into the sort key).
         """
         context = self._require_context()
         local = context.local_db
+        if hasattr(local, "interner"):
+            self._ordered = self._order_interned(local, context)
+        else:
+            def sort_key(value: AttributeValue):
+                degree = local.degree(value) if self.tie_break_degree else 0
+                # Descending score first (tail = smallest); among equals,
+                # ascending degree (tail = largest degree).
+                return (-self.selection_score(value), degree, value)
 
-        def sort_key(value: AttributeValue):
-            degree = local.degree(value) if self.tie_break_degree else 0
-            # Descending score first (tail = smallest); among equals,
-            # ascending degree (tail = largest degree).
-            return (-self.selection_score(value), degree, value)
-
-        self._ordered = sorted(self._candidates, key=sort_key)
+            self._ordered = sorted(self._candidates, key=sort_key)
         self._since_recompute = 0
+
+    def _order_interned(self, local, context) -> List[AttributeValue]:
+        """The batch recompute on dense ids — the MMMI hot loop.
+
+        One interner lookup per queried value and one per candidate;
+        after that the neighbourhood intersections, PMI reads, and
+        degree reads are all integer-indexed.  ``neighbor_id_set``
+        returns the live adjacency set, so the intersection allocates
+        only the (small) result.
+        """
+        lookup = local.value_id
+        queried_ids = {
+            vid
+            for vid in map(lookup, context.queried_values)
+            if vid is not None
+        }
+        dependency_score = local.dependency_score_ids
+        degree_id = local.degree_id
+        use_max = self.aggregate == "max"
+        weight = self.popularity_weight
+        tie_break = self.tie_break_degree
+        log1p = math.log1p
+        neg_inf = -math.inf
+        keyed = []
+        for value in self._candidates:
+            vid = lookup(value)
+            if vid is None:
+                # Never seen in a harvested record: no neighbours, no
+                # degree — fully independent, judged at score 0.
+                keyed.append((0.0, 0, value))
+                continue
+            score = dependency_score(vid, queried_ids, use_max)
+            if score == neg_inf:
+                score = 0.0  # independent; judged on popularity alone
+            degree = degree_id(vid)
+            if weight:
+                score -= weight * log1p(degree)
+            keyed.append((-score, degree if tie_break else 0, value))
+        keyed.sort()
+        return [value for _neg_score, _degree, value in keyed]

@@ -52,6 +52,29 @@ def decode_combo(payload: Sequence[Sequence[str]]) -> Combo:
 
 
 # ----------------------------------------------------------------------
+# Interner state (see repro.core.intern)
+# ----------------------------------------------------------------------
+def encode_interner(interner) -> List[List[str]]:
+    """``ValueInterner`` → its full id assignment, id order.
+
+    Checkpointed so a resumed crawl rebuilds the exact dense-id layout
+    of the original run, including ids assigned to frontier values that
+    never appeared in a harvested record.
+    """
+    return interner.state_dict()
+
+
+def decode_interner(payload, interner) -> None:
+    """Restore an assignment captured by :func:`encode_interner`."""
+    try:
+        interner.load_state(payload)
+    except (TypeError, ValueError, IndexError) as error:
+        raise SerializationError(
+            f"not an interner payload: {payload!r}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
 # Queries
 # ----------------------------------------------------------------------
 def encode_query(query: AnyQuery) -> dict:

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.core.errors import PaginationError
-from repro.core.query import Query
+from repro.core.query import ConjunctiveQuery, Query
 from repro.core.table import RelationalTable
 from repro.server.interface import QueryInterface
 from repro.server.limits import ResultLimitPolicy
@@ -81,7 +81,10 @@ class SimulatedWebDatabase:
         )
         self.log = CommunicationLog(keep_requests=keep_request_log)
         self.order_cache_size = order_cache_size
-        self._order_cache: "OrderedDict[Query, List[int]]" = OrderedDict()
+        # Keyed by interned id (see _order_key), not by the Query itself,
+        # so lookups on the pagination hot path cost an int hash instead
+        # of re-hashing the query's strings on every page request.
+        self._order_cache: "OrderedDict[Any, List[int]]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # The crawler-facing API
@@ -188,6 +191,49 @@ class SimulatedWebDatabase:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _order_key(self, query) -> Any:
+        """The query's cache key — its interned id on this server's table.
+
+        Equality queries key by the value's dense id (a plain int),
+        keyword queries by ``("k", token id)``, conjunctions by
+        ``("c", id tuple)``; queries over values the table has never
+        seen fall back to ``("q", query)``, *not* to a shared sentinel —
+        collapsing all unknown-value queries onto one key would alias
+        their (empty) cache entries and corrupt the hit/miss telemetry.
+
+        The computed key is memoized on the query object itself (tagged
+        with this server, since ids are per-table), so every later page
+        request of the same query object skips string hashing entirely.
+        Key equivalence classes coincide with query equality, so cache
+        hits, misses, and evictions are exactly those of a query-keyed
+        cache.
+        """
+        memo = query.__dict__.get("_webdb_order_key")
+        if memo is not None and memo[0] is self:
+            return memo[1]
+        key: Any
+        if isinstance(query, ConjunctiveQuery):
+            value_id = self.table.value_id
+            vids = []
+            for pair in query.predicates:
+                vid = value_id(pair)
+                if vid is None:
+                    vids = None
+                    break
+                vids.append(vid)
+            key = ("c", tuple(vids)) if vids is not None else ("q", query)
+        elif query.is_keyword:
+            tid = self.table.keyword_id(query.value)
+            key = ("k", tid) if tid is not None else ("q", query)
+        else:
+            vid = self.table.value_id(query.as_attribute_value())
+            key = vid if vid is not None else ("q", query)
+        # Frozen dataclasses still carry a __dict__; writing there skips
+        # the frozen guard without mutating any compared field.  Pickle
+        # and deepcopy drop the memo (see Query.__getstate__).
+        query.__dict__["_webdb_order_key"] = (self, key)
+        return key
+
     def _ordered_matches(self, query: Query) -> List[int]:
         """The query's full ordered match list, LRU-cached.
 
@@ -196,14 +242,16 @@ class SimulatedWebDatabase:
         entry is identical to the evicted one — the bound changes
         memory use, never results.
         """
-        cached = self._order_cache.get(query)
+        cache = self._order_cache
+        key = self._order_key(query)
+        cached = cache.get(key)
         if cached is not None:
-            self._order_cache.move_to_end(query)
+            cache.move_to_end(key)
             self.log.cache_hits += 1
             return cached
         self.log.cache_misses += 1
         ordered = self.limit_policy.order(query, self.table.match(query))
-        self._order_cache[query] = ordered
-        if len(self._order_cache) > self.order_cache_size:
-            self._order_cache.popitem(last=False)
+        cache[key] = ordered
+        if len(cache) > self.order_cache_size:
+            cache.popitem(last=False)
         return ordered

@@ -1,0 +1,142 @@
+"""Unit tests for the dense interning layer (repro.core.intern)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttributeValue,
+    StringInterner,
+    ValueInterner,
+    intersect_sorted,
+    pack_pair,
+    unpack_pair,
+)
+from repro.core.intern import MAX_ID, PAIR_SHIFT
+
+
+def AV(attribute, value):
+    return AttributeValue(attribute, value)
+
+
+class TestValueInterner:
+    def test_ids_are_dense_first_seen_order(self):
+        interner = ValueInterner()
+        assert interner.intern(AV("a", "x")) == 0
+        assert interner.intern(AV("a", "y")) == 1
+        assert interner.intern(AV("b", "x")) == 2
+        # Re-interning returns the existing id.
+        assert interner.intern(AV("a", "x")) == 0
+        assert len(interner) == 3
+
+    def test_lookup_does_not_assign(self):
+        interner = ValueInterner()
+        assert interner.lookup(AV("a", "x")) is None
+        assert len(interner) == 0
+        vid = interner.intern(AV("a", "x"))
+        assert interner.lookup(AV("a", "x")) == vid
+
+    def test_value_is_inverse_of_intern(self):
+        interner = ValueInterner()
+        pairs = [AV("a", f"v{i}") for i in range(20)]
+        ids = [interner.intern(p) for p in pairs]
+        assert [interner.value(vid) for vid in ids] == pairs
+        assert interner.values() == pairs
+
+    def test_contains(self):
+        interner = ValueInterner()
+        interner.intern(AV("a", "x"))
+        assert AV("a", "x") in interner
+        assert AV("a", "y") not in interner
+
+    def test_state_roundtrip_preserves_assignment(self):
+        interner = ValueInterner()
+        for i in range(10):
+            interner.intern(AV("attr", f"v{i}"))
+        payload = interner.state_dict()
+
+        restored = ValueInterner()
+        restored.load_state(payload)
+        assert len(restored) == len(interner)
+        for vid in range(len(interner)):
+            assert restored.value(vid) == interner.value(vid)
+        # Restored interner keeps assigning past the loaded ids.
+        assert restored.intern(AV("attr", "new")) == len(interner)
+
+    def test_load_state_replaces_existing(self):
+        interner = ValueInterner()
+        interner.intern(AV("old", "old"))
+        interner.load_state([["a", "x"], ["a", "y"]])
+        assert interner.lookup(AV("old", "old")) is None
+        assert interner.lookup(AV("a", "x")) == 0
+        assert interner.lookup(AV("a", "y")) == 1
+
+
+class TestStringInterner:
+    def test_dense_ids_and_roundtrip(self):
+        interner = StringInterner()
+        assert interner.intern("alpha") == 0
+        assert interner.intern("beta") == 1
+        assert interner.intern("alpha") == 0
+        assert interner.token(1) == "beta"
+        assert "beta" in interner and "gamma" not in interner
+
+        restored = StringInterner()
+        restored.load_state(interner.state_dict())
+        assert restored.lookup("beta") == 1
+        assert len(restored) == 2
+
+
+class TestPackPair:
+    def test_symmetric(self):
+        assert pack_pair(3, 9) == pack_pair(9, 3)
+
+    def test_distinct_pairs_distinct_keys(self):
+        keys = {
+            pack_pair(u, v)
+            for u in range(20)
+            for v in range(20)
+            if u < v
+        }
+        assert len(keys) == 20 * 19 // 2
+
+    def test_unpack_inverts(self):
+        key = pack_pair(7, 2)
+        assert unpack_pair(key) == (2, 7)
+
+    def test_max_id_boundary(self):
+        key = pack_pair(MAX_ID, 0)
+        assert unpack_pair(key) == (0, MAX_ID)
+        assert key == MAX_ID  # 0 in the high bits, MAX_ID low
+
+    @given(
+        u=st.integers(min_value=0, max_value=MAX_ID),
+        v=st.integers(min_value=0, max_value=MAX_ID),
+    )
+    def test_pack_unpack_property(self, u, v):
+        lo, hi = unpack_pair(pack_pair(u, v))
+        assert (lo, hi) == (min(u, v), max(u, v))
+        assert pack_pair(u, v) == pack_pair(v, u)
+        assert pack_pair(u, v) >> PAIR_SHIFT == min(u, v)
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        assert intersect_sorted([1, 3, 5, 7], [2, 3, 4, 7, 9]) == [3, 7]
+
+    def test_disjoint_and_empty(self):
+        assert intersect_sorted([1, 2], [3, 4]) == []
+        assert intersect_sorted([], [1, 2]) == []
+        assert intersect_sorted([1, 2], []) == []
+
+    def test_identical(self):
+        assert intersect_sorted([1, 2, 3], [1, 2, 3]) == [1, 2, 3]
+
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=50), unique=True),
+        b=st.lists(st.integers(min_value=0, max_value=50), unique=True),
+    )
+    def test_matches_set_intersection(self, a, b):
+        a, b = sorted(a), sorted(b)
+        assert intersect_sorted(a, b) == sorted(set(a) & set(b))

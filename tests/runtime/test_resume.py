@@ -299,6 +299,54 @@ def test_durable_crawl_emits_lifecycle_events(
     assert steps == sorted(steps)
 
 
+@pytest.mark.parametrize("policy", POLICY_KEYS)
+def test_resumed_journal_is_bit_identical(
+    tmp_path, policy, flaky_table, ebay_domain_table, reference_results
+):
+    """Mid-run checkpoint + resume must rewrite history *exactly*.
+
+    An uninterrupted durable crawl and a suspended-then-resumed crawl
+    must leave byte-for-byte identical ``journal.jsonl`` files: the
+    resumed engine replays the journal, restores the interner/RNG/
+    frontier state, and continues producing entries indistinguishable
+    from the run that never stopped.  This pins the dense-interner
+    checkpoint state — a drifted id assignment after resume would show
+    up as diverging outcomes in the journal tail.
+    """
+    straight_dir = tmp_path / "straight"
+    resumed_dir = tmp_path / "resumed"
+
+    runtime = RuntimeCrawler(
+        build_engine(policy, flaky_table, ebay_domain_table),
+        checkpoint_dir=straight_dir,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    straight = runtime.crawl(seed_values(flaky_table), max_queries=MAX_QUERIES)
+    runtime.close()
+
+    runtime = RuntimeCrawler(
+        build_engine(policy, flaky_table, ebay_domain_table),
+        checkpoint_dir=resumed_dir,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+    partial = runtime.crawl(
+        seed_values(flaky_table),
+        max_queries=MAX_QUERIES,
+        stop_after_steps=SUSPEND_STEPS,
+    )
+    runtime.close()
+    assert partial.stopped_by == "suspended"
+    resumed = resume_and_finish(
+        resumed_dir, policy, flaky_table, ebay_domain_table
+    )
+
+    assert straight == reference_results[policy]
+    assert resumed == reference_results[policy]
+    straight_journal = (straight_dir / "journal.jsonl").read_bytes()
+    resumed_journal = (resumed_dir / "journal.jsonl").read_bytes()
+    assert straight_journal == resumed_journal
+
+
 def test_resume_requires_a_checkpoint(tmp_path, flaky_table, ebay_domain_table):
     selector = FLAKY_POLICIES["greedy-link"]({})
     with pytest.raises(CheckpointError):
