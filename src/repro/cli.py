@@ -75,55 +75,92 @@ POLICIES: Dict[str, Callable] = {
     "practical": None,  # resolved specially (engine-level bundle)
 }
 
-#: Experiment drivers.  Each entry takes ``(args, workers, bus)``;
-#: drivers with no independent grid to fan out ignore the last two.
+#: Experiment drivers.  Each entry takes ``(args, workers, bus, trace,
+#: timings)``; drivers with no independent grid to fan out ignore the
+#: trailing arguments.  ``trace``/``timings`` only reach the drivers in
+#: :data:`TRACEABLE_EXPERIMENTS`.
 EXPERIMENTS = {
-    "table1": lambda args, workers, bus: run_table1(
+    "table1": lambda args, workers, bus, trace, timings: run_table1(
         seed=args.seed, workers=workers
     ),
-    "table2": lambda args, workers, bus: run_table2(
+    "table2": lambda args, workers, bus, trace, timings: run_table2(
         n_records=args.records, seed=args.seed
     ),
-    "figure2": lambda args, workers, bus: run_figure2(
+    "figure2": lambda args, workers, bus, trace, timings: run_figure2(
         n_records=args.records or 4000, seed=args.seed
     ),
-    "figure3": lambda args, workers, bus: run_figure3(
+    "figure3": lambda args, workers, bus, trace, timings: run_figure3(
         n_records=args.records or 3000, n_seeds=2, seed=args.seed,
-        workers=workers, bus=bus,
+        workers=workers, bus=bus, trace=trace, trace_timings=timings,
     ),
-    "figure4": lambda args, workers, bus: run_figure4(
+    "figure4": lambda args, workers, bus, trace, timings: run_figure4(
         n_records=args.records or 4000, n_seeds=2, seed=args.seed,
-        workers=workers, bus=bus,
+        workers=workers, bus=bus, trace=trace, trace_timings=timings,
     ),
-    "figure5": lambda args, workers, bus: run_figure5(
-        rng_seed=args.seed, workers=workers, bus=bus
+    "figure5": lambda args, workers, bus, trace, timings: run_figure5(
+        rng_seed=args.seed, workers=workers, bus=bus,
+        trace=trace, trace_timings=timings,
     ),
-    "figure6": lambda args, workers, bus: run_figure6(
-        rng_seed=args.seed, workers=workers, bus=bus
+    "figure6": lambda args, workers, bus, trace, timings: run_figure6(
+        rng_seed=args.seed, workers=workers, bus=bus,
+        trace=trace, trace_timings=timings,
     ),
-    "size": lambda args, workers, bus: run_size_estimation(rng_seed=args.seed),
-    "ablation-greedy-signal": lambda args, workers, bus: run_greedy_signal_ablation(
-        n_records=args.records or 3000, seed=args.seed,
-        workers=workers, bus=bus,
-    ),
-    "ablation-mmmi": lambda args, workers, bus: run_mmmi_ablation(
-        n_records=args.records or 4000, seed=args.seed,
-        workers=workers, bus=bus,
-    ),
-    "ablation-smoothing": lambda args, workers, bus: run_smoothing_ablation(
-        rng_seed=args.seed, workers=workers
-    ),
-    "ablation-abortion": lambda args, workers, bus: run_abortion_ablation(
-        n_records=args.records or 4000, seed=args.seed, workers=workers
-    ),
-    "keyword-interface": lambda args, workers, bus: run_keyword_interface(
+    "size": lambda args, workers, bus, trace, timings: run_size_estimation(
         rng_seed=args.seed
     ),
-    "stability": lambda args, workers, bus: run_stability(
+    "ablation-greedy-signal":
+        lambda args, workers, bus, trace, timings: run_greedy_signal_ablation(
+            n_records=args.records or 3000, seed=args.seed,
+            workers=workers, bus=bus, trace=trace, trace_timings=timings,
+        ),
+    "ablation-mmmi": lambda args, workers, bus, trace, timings: run_mmmi_ablation(
+        n_records=args.records or 4000, seed=args.seed,
+        workers=workers, bus=bus, trace=trace, trace_timings=timings,
+    ),
+    "ablation-smoothing":
+        lambda args, workers, bus, trace, timings: run_smoothing_ablation(
+            rng_seed=args.seed, workers=workers
+        ),
+    "ablation-abortion":
+        lambda args, workers, bus, trace, timings: run_abortion_ablation(
+            n_records=args.records or 4000, seed=args.seed, workers=workers
+        ),
+    "keyword-interface":
+        lambda args, workers, bus, trace, timings: run_keyword_interface(
+            rng_seed=args.seed
+        ),
+    "stability": lambda args, workers, bus, trace, timings: run_stability(
         n_records=args.records or 2000, seed=args.seed,
-        workers=workers, bus=bus,
+        workers=workers, bus=bus, trace=trace, trace_timings=timings,
     ),
 }
+
+
+#: Experiments whose drivers accept ``trace=`` (span tracing fans out
+#: through :func:`repro.parallel.run_crawl_grid` in these).
+TRACEABLE_EXPERIMENTS = frozenset(
+    {
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6",
+        "ablation-greedy-signal",
+        "ablation-mmmi",
+        "stability",
+    }
+)
+
+
+def _add_trace_flags(parser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a causal span trace here (span JSONL, schema "
+             "repro-trace/1; inspect with 'repro trace summarize')")
+    parser.add_argument(
+        "--trace-canonical", action="store_true",
+        help="omit wall/CPU timings from the trace so the file is "
+             "byte-identical across runs, worker counts, and "
+             "crash/resume splits")
 
 
 def _add_telemetry_flags(parser, progress: bool = True) -> None:
@@ -191,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "to PATH (readable with pstats/snakeviz) and "
                             "print the top functions by cumulative time")
     _add_telemetry_flags(crawl)
+    _add_trace_flags(crawl)
 
     resume = commands.add_parser(
         "resume", help="resume a checkpointed crawl from its directory"
@@ -202,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--history", default=None,
                         help="write the coverage history CSV here")
     _add_telemetry_flags(resume)
+    _add_trace_flags(resume)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -216,6 +255,36 @@ def build_parser() -> argparse.ArgumentParser:
              "Results are identical at any width.",
     )
     _add_telemetry_flags(experiment, progress=False)
+    _add_trace_flags(experiment)
+
+    trace = commands.add_parser(
+        "trace", help="inspect span traces written with --trace-out"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_commands.add_parser(
+        "summarize", help="phase breakdown, cost totals, expensive queries"
+    )
+    summarize.add_argument("trace", help="a span-JSONL trace file")
+    summarize.add_argument("--top", type=int, default=10,
+                           help="how many expensive queries to list")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary as JSON instead of text")
+    summarize.add_argument("--critical-paths", action="store_true",
+                           help="also list the dominant root-to-leaf paths")
+    export = trace_commands.add_parser(
+        "export", help="convert a trace for external viewers"
+    )
+    export.add_argument("trace", help="a span-JSONL trace file")
+    export.add_argument("--chrome", metavar="PATH",
+                        help="write Trace Event Format JSON here "
+                             "(chrome://tracing, ui.perfetto.dev)")
+    export.add_argument("--folded", metavar="PATH",
+                        help="write flamegraph folded stacks here")
+    diff = trace_commands.add_parser(
+        "diff", help="compare two traces' summaries side by side"
+    )
+    diff.add_argument("trace_a", help="baseline span-JSONL trace")
+    diff.add_argument("trace_b", help="comparison span-JSONL trace")
 
     profile = commands.add_parser(
         "profile", help="probe a source and summarize what it knows"
@@ -286,8 +355,8 @@ def _telemetry_requested(args) -> bool:
 def _attach_telemetry(args, out, bus, truth_size=None):
     """Attach a TelemetrySink (+ heartbeat reporter) per the CLI flags.
 
-    Returns ``(telemetry, writer)``; the caller finishes with
-    :func:`_report_telemetry` once the crawl is done.
+    Returns ``(telemetry, writer, reporter)``; the caller finishes
+    with :func:`_report_telemetry` once the crawl is done.
     """
     from repro.metrics import JsonlMetricsWriter, ProgressReporter, TelemetrySink
 
@@ -296,7 +365,7 @@ def _attach_telemetry(args, out, bus, truth_size=None):
         JsonlMetricsWriter(args.metrics_out) if args.metrics_out else None
     )
     every = getattr(args, "progress_every", 0) or 0
-    bus.attach(
+    reporter = bus.attach(
         ProgressReporter(
             every=every,
             stream=out if every else None,
@@ -305,10 +374,12 @@ def _attach_telemetry(args, out, bus, truth_size=None):
             writer=writer,
         )
     )
-    return telemetry, writer
+    return telemetry, writer, reporter
 
 
-def _report_telemetry(args, out, telemetry, writer, server=None) -> None:
+def _report_telemetry(
+    args, out, telemetry, writer, reporter=None, server=None
+) -> None:
     """Final sampling, exports, and the summary table."""
     from pathlib import Path
 
@@ -316,6 +387,8 @@ def _report_telemetry(args, out, telemetry, writer, server=None) -> None:
 
     if telemetry is None:
         return
+    if reporter is not None:
+        reporter.close()
     if server is not None:
         telemetry.sample_server(server)
     if writer is not None:
@@ -332,6 +405,30 @@ def _report_telemetry(args, out, telemetry, writer, server=None) -> None:
         out.write(f"prometheus metrics: {args.prometheus_out}\n")
     out.write(render_metrics_summary(telemetry.registry))
     out.write("\n")
+
+
+def _attach_trace(args, bus, fresh: bool = True):
+    """Attach a TraceSink per the ``--trace-out`` flags (or return None)."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.trace import TraceSink
+
+    return bus.attach(
+        TraceSink(
+            args.trace_out,
+            include_timings=not getattr(args, "trace_canonical", False),
+            fresh=fresh,
+        )
+    )
+
+
+def _report_trace(out, tracer) -> None:
+    if tracer is None:
+        return
+    tracer.close()
+    out.write(
+        f"trace written: {tracer.path} ({tracer.spans_written} spans)\n"
+    )
 
 
 def _report_result(table, result, args, out) -> None:
@@ -393,14 +490,16 @@ def _command_crawl(args, out) -> int:
     server = SimulatedWebDatabase(
         table, page_size=args.page_size, limit_policy=limit_policy
     )
-    telemetry = writer = bus = None
-    if _telemetry_requested(args):
+    telemetry = writer = reporter = bus = tracer = None
+    if _telemetry_requested(args) or args.trace_out:
         from repro.runtime.events import EventBus
 
         bus = EventBus()
-        telemetry, writer = _attach_telemetry(
-            args, out, bus, truth_size=len(table)
-        )
+        if _telemetry_requested(args):
+            telemetry, writer, reporter = _attach_telemetry(
+                args, out, bus, truth_size=len(table)
+            )
+        tracer = _attach_trace(args, bus)
     if args.policy == "practical":
         engine = build_practical_crawler(server, seed=args.seed, bus=bus)
     else:
@@ -418,7 +517,8 @@ def _command_crawl(args, out) -> int:
     )
     out.write(f"seed value: {seeds[0]}\n")
     _report_result(table, result, args, out)
-    _report_telemetry(args, out, telemetry, writer, server=server)
+    _report_trace(out, tracer)
+    _report_telemetry(args, out, telemetry, writer, reporter, server=server)
     return 0
 
 
@@ -444,11 +544,12 @@ def _durable_crawl(args, out) -> int:
     table, server, selector = _build_from_setup(setup)
     bus = EventBus()
     metrics = bus.attach(MetricsAggregator())
-    telemetry = writer = None
+    telemetry = writer = reporter = None
     if _telemetry_requested(args):
-        telemetry, writer = _attach_telemetry(
+        telemetry, writer, reporter = _attach_telemetry(
             args, out, bus, truth_size=len(table)
         )
+    tracer = _attach_trace(args, bus)
     engine = CrawlerEngine(server, selector, seed=args.seed, bus=bus)
     runtime = RuntimeCrawler(
         engine,
@@ -457,6 +558,7 @@ def _durable_crawl(args, out) -> int:
         snapshot_every=args.snapshot_every,
         setup=setup,
         telemetry=telemetry,
+        trace=tracer,
     )
     seeds = sample_seed_values(
         table, 1, random.Random(args.seed), min_frequency=2
@@ -477,9 +579,10 @@ def _durable_crawl(args, out) -> int:
     )
     if result.stopped_by == "suspended":
         out.write(f"suspended; continue with: repro resume {args.checkpoint_dir}\n")
+    _report_trace(out, tracer)
     out.write(render_runtime_metrics(metrics))
     out.write("\n")
-    _report_telemetry(args, out, telemetry, writer, server=server)
+    _report_telemetry(args, out, telemetry, writer, reporter, server=server)
     return 0
 
 
@@ -501,13 +604,15 @@ def _command_resume(args, out) -> int:
     table, server, selector = _build_from_setup(checkpoint.setup)
     bus = EventBus()
     metrics = bus.attach(MetricsAggregator())
-    telemetry = writer = None
+    telemetry = writer = reporter = None
     if _telemetry_requested(args):
-        telemetry, writer = _attach_telemetry(
+        telemetry, writer, reporter = _attach_telemetry(
             args, out, bus, truth_size=len(table)
         )
+    tracer = _attach_trace(args, bus, fresh=False)
     runtime = RuntimeCrawler.resume(
-        directory, server, selector, bus=bus, telemetry=telemetry
+        directory, server, selector, bus=bus, telemetry=telemetry,
+        trace=tracer,
     )
     out.write(
         f"resumed from step {checkpoint.step} "
@@ -518,9 +623,10 @@ def _command_resume(args, out) -> int:
     _report_result(table, result, args, out)
     if result.stopped_by == "suspended":
         out.write(f"suspended; continue with: repro resume {args.checkpoint_dir}\n")
+    _report_trace(out, tracer)
     out.write(render_runtime_metrics(metrics))
     out.write("\n")
-    _report_telemetry(args, out, telemetry, writer, server=server)
+    _report_telemetry(args, out, telemetry, writer, reporter, server=server)
     return 0
 
 
@@ -528,19 +634,103 @@ def _command_experiment(args, out) -> int:
     from repro.analysis.reports import render_speedup_table
     from repro.runtime.events import EventBus, RingBufferSink
 
+    if args.trace_out and args.name not in TRACEABLE_EXPERIMENTS:
+        out.write(
+            f"experiment {args.name} does not fan out through the crawl "
+            f"grid; --trace-out supports: "
+            f"{', '.join(sorted(TRACEABLE_EXPERIMENTS))}\n"
+        )
+        return 2
     bus = EventBus()
     sink = bus.attach(RingBufferSink(capacity=4096))
-    telemetry = writer = None
+    telemetry = writer = reporter = None
     if _telemetry_requested(args):
-        telemetry, writer = _attach_telemetry(args, out, bus)
+        telemetry, writer, reporter = _attach_telemetry(args, out, bus)
     workers = parse_workers(getattr(args, "workers", "auto"))
-    result = EXPERIMENTS[args.name](args, workers, bus)
+    result = EXPERIMENTS[args.name](
+        args, workers, bus, args.trace_out, not args.trace_canonical
+    )
     out.write(result.render())
     out.write("\n")
+    if args.trace_out:
+        from repro.trace import validate_trace_jsonl
+
+        spans = validate_trace_jsonl(args.trace_out)
+        out.write(f"trace written: {args.trace_out} ({spans} spans)\n")
     if any(event.kind == "task-completed" for event in sink.events):
         out.write(render_speedup_table(sink.events))
         out.write("\n")
-    _report_telemetry(args, out, telemetry, writer)
+    if sink.dropped:
+        out.write(
+            f"event ring buffer overflowed: {sink.dropped} events dropped "
+            f"(capacity {sink.capacity})\n"
+        )
+    _report_telemetry(args, out, telemetry, writer, reporter)
+    return 0
+
+
+def _command_trace(args, out) -> int:
+    """``repro trace summarize|export|diff`` — span-trace inspection."""
+    import json
+
+    from repro.trace import (
+        critical_paths,
+        diff_summaries,
+        folded_stacks,
+        load_trace,
+        render_diff,
+        render_summary,
+        summarize,
+        write_chrome,
+    )
+
+    if args.trace_command == "summarize":
+        trace = load_trace(args.trace)
+        summary = summarize(trace, top=args.top)
+        if args.json:
+            out.write(json.dumps(summary, indent=2, sort_keys=True))
+            out.write("\n")
+        else:
+            out.write(render_summary(summary))
+            out.write("\n")
+        if args.critical_paths:
+            out.write("\ncritical paths (dominant root-to-leaf):\n")
+            for entry in critical_paths(trace, top=args.top):
+                out.write(
+                    f"  {entry['count']:>5}x  {entry['path']}  "
+                    f"({entry['rounds']} rounds"
+                    + (
+                        f", {entry['wall_s']:.4f} s"
+                        if entry["wall_s"]
+                        else ""
+                    )
+                    + ")\n"
+                )
+        return 0
+    if args.trace_command == "export":
+        if not args.chrome and not args.folded:
+            out.write("nothing to export: pass --chrome and/or --folded\n")
+            return 2
+        trace = load_trace(args.trace)
+        if args.chrome:
+            events = write_chrome(trace, args.chrome)
+            out.write(
+                f"chrome trace: {args.chrome} ({events} events; load in "
+                f"chrome://tracing or ui.perfetto.dev)\n"
+            )
+        if args.folded:
+            lines = folded_stacks(trace)
+            with open(args.folded, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+            out.write(f"folded stacks: {args.folded} ({len(lines)} stacks)\n")
+        return 0
+    # diff
+    summary_a = summarize(load_trace(args.trace_a))
+    summary_b = summarize(load_trace(args.trace_b))
+    diff = diff_summaries(summary_a, summary_b)
+    out.write(render_diff(diff, label_a=args.trace_a, label_b=args.trace_b))
+    out.write("\n")
     return 0
 
 
@@ -579,6 +769,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "crawl": _command_crawl,
         "resume": _command_resume,
         "experiment": _command_experiment,
+        "trace": _command_trace,
         "profile": _command_profile,
     }[args.command]
     return handler(args, out)

@@ -20,6 +20,7 @@ Stopping criteria (any combination; first to fire wins):
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -33,7 +34,13 @@ from repro.crawler.localdb import LocalDatabase
 from repro.crawler.metrics import CrawlHistory
 from repro.crawler.prober import DatabaseProber, QueryOutcome
 from repro.policies.base import QuerySelector
-from repro.runtime.events import CrawlStopped, EventBus, RecordsHarvested
+from repro.runtime.events import (
+    CrawlStopped,
+    EventBus,
+    PhaseCompleted,
+    RecordsHarvested,
+    StepStarted,
+)
 from repro.server.flaky import ExponentialBackoff
 from repro.server.webdb import SimulatedWebDatabase
 
@@ -220,8 +227,31 @@ class CrawlerEngine:
         """
         if not self._started:
             raise CrawlError("call prepare() (or crawl()) before step()")
+        tracing = self.bus.has_tracers
+        if tracing:
+            step_no = self._steps + 1
+            policy = self.selector.name
+            self.bus.emit(StepStarted(step=step_no), policy=policy)
+            if self.selector._trace_emit is None:
+                # Lazily armed on the first traced live step so journal
+                # replay (which also drives next_query/observe_outcome)
+                # never emits phases for work the crawl already paid for.
+                self.selector.set_trace_emitter(self._emit_selector_phase)
         while True:
+            if tracing:
+                wall0 = time.perf_counter()
+                cpu0 = time.process_time()
             proposal = self.selector.next_query()
+            if tracing:
+                self.bus.emit(
+                    PhaseCompleted(
+                        step=step_no,
+                        phase="select",
+                        seconds=time.perf_counter() - wall0,
+                        cpu_seconds=time.process_time() - cpu0,
+                    ),
+                    policy=policy,
+                )
             if proposal is None:
                 self._exhausted = True
                 return None
@@ -236,7 +266,38 @@ class CrawlerEngine:
                 self._rejected += 1
                 continue
 
+            if tracing:
+                if outcome.pages_fetched:
+                    detail = {"pages": outcome.pages_fetched}
+                    if outcome.total_matches is not None:
+                        detail["matches"] = outcome.total_matches
+                    self.bus.emit(
+                        PhaseCompleted(
+                            step=step_no,
+                            phase="extract",
+                            seconds=self.prober.last_extract_wall,
+                            cpu_seconds=self.prober.last_extract_cpu,
+                            detail=detail,
+                        ),
+                        policy=policy,
+                    )
+                wall0 = time.perf_counter()
+                cpu0 = time.process_time()
             self._apply_outcome(value, query, outcome, self.server.rounds)
+            if tracing:
+                self.bus.emit(
+                    PhaseCompleted(
+                        step=step_no,
+                        phase="decompose",
+                        seconds=time.perf_counter() - wall0,
+                        cpu_seconds=time.process_time() - cpu0,
+                        detail={
+                            "candidates": len(outcome.candidate_values),
+                            "new_records": len(outcome.new_records),
+                        },
+                    ),
+                    policy=policy,
+                )
             if self.bus.has_sinks:
                 self.bus.emit(
                     RecordsHarvested(
@@ -250,6 +311,31 @@ class CrawlerEngine:
                     policy=self.selector.name,
                 )
             return outcome
+
+    def _emit_selector_phase(
+        self,
+        phase: str,
+        seconds: float,
+        cpu_seconds: float,
+        detail: Optional[dict] = None,
+    ) -> None:
+        """Selector-internal phase hook (see QuerySelector.set_trace_emitter).
+
+        ``_steps`` is only incremented at the very end of
+        ``_apply_outcome``, so ``_steps + 1`` names the in-flight step
+        everywhere a selector can run — scoring inside ``next_query``
+        and frontier refresh inside ``observe_outcome`` alike.
+        """
+        self.bus.emit(
+            PhaseCompleted(
+                step=self._steps + 1,
+                phase=phase,
+                seconds=seconds,
+                cpu_seconds=cpu_seconds,
+                detail=detail or {},
+            ),
+            policy=self.selector.name,
+        )
 
     def _formulate(
         self, proposal

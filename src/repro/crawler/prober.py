@@ -10,6 +10,7 @@ for the next page.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -126,6 +127,11 @@ class DatabaseProber:
         self.backoff = backoff
         self.retry_rng = retry_rng
         self.policy = policy
+        # Per-execute() extraction timings, read by the engine to emit
+        # the "extract" trace phase.  Only accumulated while a tracing
+        # sink is attached (bus.has_tracers).
+        self.last_extract_wall = 0.0
+        self.last_extract_cpu = 0.0
 
     def execute(self, query: AnyQuery) -> QueryOutcome:
         """Run ``query`` to completion (or abortion) and return the outcome.
@@ -139,6 +145,10 @@ class DatabaseProber:
         progress = PageProgress()
         page_number = 1
         announce = self.bus.has_sinks
+        tracing = self.bus.has_tracers
+        if tracing:
+            self.last_extract_wall = 0.0
+            self.last_extract_cpu = 0.0
         if announce:
             self.bus.emit(QueryIssued(query=query), policy=self.policy)
         while True:
@@ -161,7 +171,14 @@ class DatabaseProber:
                         policy=self.policy,
                     )
                 return outcome
-            page = self.extractor.extract(meta)
+            if tracing:
+                wall0 = time.perf_counter()
+                cpu0 = time.process_time()
+                page = self.extractor.extract(meta)
+                self.last_extract_wall += time.perf_counter() - wall0
+                self.last_extract_cpu += time.process_time() - cpu0
+            else:
+                page = self.extractor.extract(meta)
             outcome.pages_fetched += 1
             outcome.records_returned += len(page.records)
             outcome.total_matches = meta.total_matches

@@ -62,7 +62,8 @@ class GreedySignalResult:
 
 
 def run_greedy_signal_ablation(
-    n_records: int = 5000, n_seeds: int = 3, seed: int = 2, workers=1, bus=None
+    n_records: int = 5000, n_seeds: int = 3, seed: int = 2, workers=1,
+    bus=None, trace=None, trace_timings=True,
 ) -> GreedySignalResult:
     """Degree vs frequency vs oracle on the DBLP database."""
     table = load_dataset("dblp", n_records, seed=seed)
@@ -78,6 +79,8 @@ def run_greedy_signal_ablation(
         target_coverage=0.9,
         workers=workers,
         bus=bus,
+        trace=trace,
+        trace_timings=trace_timings,
     )
     series = {
         label: run.mean_cost_at(COVERAGE_LEVELS, len(table))
@@ -112,6 +115,8 @@ def run_mmmi_ablation(
     target_coverage: float = 0.97,
     workers=1,
     bus=None,
+    trace=None,
+    trace_timings=True,
 ) -> MmmiAblationResult:
     """Switch point / aggregate / popularity-blending variants."""
     table = generate_ebay(n_records, seed=seed)
@@ -130,6 +135,7 @@ def run_mmmi_ablation(
     runs = run_policy_suite(
         table, variants, n_seeds=n_seeds, rng_seed=seed,
         target_coverage=target_coverage, workers=workers, bus=bus,
+        trace=trace, trace_timings=trace_timings,
     )
     return MmmiAblationResult(
         database_size=len(table),

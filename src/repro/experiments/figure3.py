@@ -113,6 +113,8 @@ def run_figure3(
     page_size: int = 10,
     workers=1,
     bus=None,
+    trace=None,
+    trace_timings=True,
 ) -> Figure3Result:
     """Regenerate Figure 3 (all four panels by default).
 
@@ -135,6 +137,9 @@ def run_figure3(
             target_coverage=max_level,
             workers=workers,
             bus=bus,
+            trace=trace,
+            trace_timings=trace_timings,
+            trace_append=bool(panels),
         )
         series = {
             label: run.mean_cost_at(levels, len(table))

@@ -69,6 +69,8 @@ def run_figure4(
     popularity_weight: float = 1.0,
     workers=1,
     bus=None,
+    trace=None,
+    trace_timings=True,
 ) -> Figure4Result:
     """Regenerate Figure 4 on the eBay dataset.
 
@@ -95,6 +97,8 @@ def run_figure4(
         target_coverage=target_coverage,
         workers=workers,
         bus=bus,
+        trace=trace,
+        trace_timings=trace_timings,
     )
     return Figure4Result(
         dataset=dataset,

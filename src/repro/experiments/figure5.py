@@ -72,6 +72,8 @@ def run_figure5(
     rng_seed: int = 0,
     workers=1,
     bus=None,
+    trace=None,
+    trace_timings=True,
 ) -> Figure5Result:
     """Regenerate Figure 5 (builds a default :class:`AmazonSetup` if needed)."""
     setup = setup or build_amazon_setup()
@@ -97,7 +99,10 @@ def run_figure5(
         rng_seed=rng_seed,
         crawl_kwargs={"max_rounds": budget},
     )
-    outcome = run_crawl_grid(grid, workers=workers, bus=bus)
+    outcome = run_crawl_grid(
+        grid, workers=workers, bus=bus,
+        trace=trace, trace_timings=trace_timings,
+    )
     runs: Dict[str, PolicyRun] = group_policy_runs(tasks, outcome.results)
 
     size = len(setup.store)

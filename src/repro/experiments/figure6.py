@@ -67,6 +67,8 @@ def run_figure6(
     rng_seed: int = 0,
     workers=1,
     bus=None,
+    trace=None,
+    trace_timings=True,
 ) -> Figure6Result:
     """Regenerate Figure 6.
 
@@ -94,7 +96,10 @@ def run_figure6(
         rng_seed=rng_seed,
         crawl_kwargs={"max_rounds": budget},
     )
-    outcome = run_crawl_grid(grid, workers=workers, bus=bus)
+    outcome = run_crawl_grid(
+        grid, workers=workers, bus=bus,
+        trace=trace, trace_timings=trace_timings,
+    )
     coverage: Dict[Tuple[str, int], float] = {}
     runs: Dict[Tuple[str, int], PolicyRun] = {}
     size = len(setup.store)

@@ -135,6 +135,9 @@ def run_policy(
     workers: WorkerSpec = 1,
     bus: Optional[EventBus] = None,
     metrics: Optional[MetricsRegistry] = None,
+    trace: Optional[str] = None,
+    trace_timings: bool = True,
+    trace_append: bool = False,
     **crawl_kwargs,
 ) -> PolicyRun:
     """Crawl ``table`` once per seed set and aggregate the results.
@@ -161,7 +164,15 @@ def run_policy(
         rng_seed=rng_seed,
         crawl_kwargs=crawl_kwargs,
     )
-    outcome = run_crawl_grid(grid, workers=workers, bus=bus, metrics=metrics)
+    outcome = run_crawl_grid(
+        grid,
+        workers=workers,
+        bus=bus,
+        metrics=metrics,
+        trace=trace,
+        trace_timings=trace_timings,
+        trace_append=trace_append,
+    )
     [run] = group_policy_runs(tasks, outcome.results).values()
     return run
 
@@ -177,6 +188,9 @@ def run_policy_suite(
     workers: WorkerSpec = 1,
     bus: Optional[EventBus] = None,
     metrics: Optional[MetricsRegistry] = None,
+    trace: Optional[str] = None,
+    trace_timings: bool = True,
+    trace_append: bool = False,
     **crawl_kwargs,
 ) -> Dict[str, PolicyRun]:
     """Run several policies over the same seed sets (paired comparison).
@@ -205,5 +219,13 @@ def run_policy_suite(
         rng_seed=rng_seed,
         crawl_kwargs=crawl_kwargs,
     )
-    outcome = run_crawl_grid(grid, workers=workers, bus=bus, metrics=metrics)
+    outcome = run_crawl_grid(
+        grid,
+        workers=workers,
+        bus=bus,
+        metrics=metrics,
+        trace=trace,
+        trace_timings=trace_timings,
+        trace_append=trace_append,
+    )
     return group_policy_runs(tasks, outcome.results)

@@ -95,6 +95,8 @@ def run_stability(
     policies: Optional[Dict[str, type]] = None,
     workers=1,
     bus=None,
+    trace=None,
+    trace_timings=True,
 ) -> StabilityResult:
     """Measure per-seed cost spread for several policies on one dataset."""
     table = load_dataset(dataset, n_records, seed=seed)
@@ -117,6 +119,9 @@ def run_stability(
             target_coverage=target_coverage,
             workers=workers,
             bus=bus,
+            trace=trace,
+            trace_timings=trace_timings,
+            trace_append=bool(per_policy_costs),
         )
         per_policy_costs[label] = [
             result.communication_rounds for result in run.results

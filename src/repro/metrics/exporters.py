@@ -39,11 +39,27 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash first (it introduces the other escapes), then double
+    quote and newline — otherwise a policy name like ``a"b`` or a
+    query value containing ``\\n`` corrupts the scrape line.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_text(names, values) -> str:
     if not names:
         return ""
     pairs = ",".join(
-        f'{name}="{value}"' for name, value in zip(names, values)
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
     )
     return "{" + pairs + "}"
 

@@ -71,15 +71,72 @@ class ProgressReporter(EventSink):
         self.writer = writer
         self._clock = clock
         self._started_at = clock()
+        #: Wall seconds accumulated by prior runs of a resumed crawl.
+        #: Seeded lazily from the registry's ``crawl_elapsed_seconds``
+        #: gauge (restored from the checkpoint *after* this sink is
+        #: attached), so a resumed crawl reports cumulative elapsed
+        #: time instead of restarting from zero.
+        self._elapsed_offset: Optional[float] = None
         self.beats = 0
+        self._last_step: Optional[int] = None
+        self._last_policy: Optional[str] = None
+        self._last_snapshot_step: Optional[int] = None
+        self._final_written = False
 
     # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Cumulative crawl wall seconds, including pre-resume runs."""
+        if self._elapsed_offset is None:
+            self._elapsed_offset = 0.0
+            if self.telemetry is not None:
+                gauge = getattr(self.telemetry, "elapsed_gauge", None)
+                if gauge is not None:
+                    self._elapsed_offset = gauge.value()
+        elapsed = self._elapsed_offset + self._clock() - self._started_at
+        if self.telemetry is not None:
+            gauge = getattr(self.telemetry, "elapsed_gauge", None)
+            if gauge is not None:
+                gauge.set(round(elapsed, 3))
+        return elapsed
+
     def handle(self, event: CrawlEvent) -> None:
         if isinstance(event, RecordsHarvested):
+            self._last_step = event.step
+            self._last_policy = event.policy
+            if self.telemetry is not None:
+                # Publish per step (not per beat): a suspension
+                # checkpoint snapshots the registry before the final
+                # CrawlStopped, and must carry current elapsed time.
+                self.elapsed()
             if self.every and event.step % self.every == 0:
                 self._beat(event)
         elif isinstance(event, CrawlStopped):
             self._final(event)
+
+    def close(self) -> None:
+        """Flush the closing snapshot if the crawl ended without one.
+
+        A crawl that stops between heartbeats (last step not a multiple
+        of ``every``) and never delivers ``CrawlStopped`` to this sink —
+        crash, plain ``engine.step()`` driving, early detach — would
+        otherwise leave the JSONL stream ending at the last heartbeat.
+        Safe to call twice; a no-op when the final snapshot was written.
+        """
+        if self._final_written:
+            return
+        self._final_written = True
+        self.elapsed()  # publish cumulative elapsed for the checkpoint
+        if (
+            self.writer is not None
+            and self.telemetry is not None
+            and self._last_step is not None
+            and self._last_step != self._last_snapshot_step
+        ):
+            self.writer.write_snapshot(
+                self.telemetry.registry,
+                step=self._last_step,
+                label=self._last_policy or "?",
+            )
 
     def _beat(self, event: RecordsHarvested) -> None:
         self.beats += 1
@@ -91,21 +148,24 @@ class ProgressReporter(EventSink):
                 f"rounds {event.rounds:,}",
             ]
             parts.extend(self._telemetry_text(policy))
-            parts.append(f"{self._clock() - self._started_at:.1f}s")
+            parts.append(f"{self.elapsed():.1f}s")
             self.stream.write(" | ".join(parts) + "\n")
         if self.writer is not None and self.telemetry is not None:
+            self._last_snapshot_step = event.step
             self.writer.write_snapshot(
                 self.telemetry.registry, step=event.step, label=policy
             )
 
     def _final(self, event: CrawlStopped) -> None:
+        self._final_written = True
         policy = event.policy or "?"
+        elapsed = self.elapsed()
         if self.stream is not None:
             self.stream.write(
                 f"[{policy}] stopped by {event.stopped_by}: "
                 f"{self._records_text(event.records)}, "
                 f"{event.rounds:,} rounds, {event.queries:,} queries, "
-                f"{self._clock() - self._started_at:.1f}s\n"
+                f"{elapsed:.1f}s\n"
             )
         if self.writer is not None and self.telemetry is not None:
             self.writer.write_snapshot(

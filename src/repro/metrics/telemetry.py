@@ -201,6 +201,10 @@ class TelemetrySink(EventSink):
             "New records per page over the trailing query window",
             labels=("policy",),
         )
+        self.elapsed_gauge = declare.gauge(
+            "crawl_elapsed_seconds",
+            "Cumulative crawl wall-clock seconds (carries across resume)",
+        )
         self.cache_hits = declare.gauge(
             "crawl_order_cache_hits", "Server result-ordering LRU cache hits"
         )

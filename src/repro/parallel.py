@@ -216,6 +216,14 @@ class CrawlGrid:
     #: registry is identical whether tasks ran sequentially or fanned
     #: out.  Usually set via ``run_crawl_grid(..., metrics=...)``.
     collect_metrics: bool = False
+    #: Attach a per-task :class:`~repro.trace.sink.TraceSink` inside
+    #: each worker and ship its span lines back for fixed-task-order
+    #: merging.  Usually set via ``run_crawl_grid(..., trace=...)``.
+    collect_trace: bool = False
+    #: Whether worker trace spans carry wall/CPU timings.  Off for
+    #: canonical (byte-comparable across worker counts *and* runs)
+    #: traces; span ids/attrs are deterministic either way.
+    trace_timings: bool = True
 
 
 @dataclass(frozen=True)
@@ -240,6 +248,10 @@ class GridOutcome:
     workers: int
     #: Merged per-task telemetry (only when metrics collection was on).
     metrics: Optional[MetricsRegistry] = None
+    #: Path of the merged span-JSONL trace and its span count (only
+    #: when trace collection was on).
+    trace_path: Optional[str] = None
+    trace_spans: int = 0
 
     @property
     def task_seconds(self) -> float:
@@ -256,12 +268,13 @@ class GridOutcome:
 
 def _crawl_one(
     grid: CrawlGrid, index: int
-) -> Tuple[CrawlResult, float, Optional[dict]]:
+) -> Tuple[CrawlResult, float, Optional[dict], Optional[List[str]]]:
     """Execute one grid task end to end (runs inside a worker).
 
-    Returns ``(result, seconds, metrics_state)`` where ``metrics_state``
-    is the task's telemetry registry snapshot when
-    ``grid.collect_metrics`` is set, else ``None``.
+    Returns ``(result, seconds, metrics_state, trace_lines)`` where
+    ``metrics_state`` is the task's telemetry registry snapshot when
+    ``grid.collect_metrics`` is set, and ``trace_lines`` the task's
+    span-JSONL lines when ``grid.collect_trace`` is set.
     """
     task = grid.tasks[index]
     started = time.perf_counter()
@@ -269,6 +282,7 @@ def _crawl_one(
     selector = grid.make_selector(task)
     engine_kwargs = dict(grid.engine_kwargs)
     sink: Optional[TelemetrySink] = None
+    tracer = None
     if grid.collect_metrics:
         truth = getattr(server, "truth_size", None)
         sink = TelemetrySink(
@@ -278,6 +292,13 @@ def _crawl_one(
         bus = engine_kwargs.get("bus") or EventBus()
         bus.attach(sink)
         engine_kwargs["bus"] = bus
+    if grid.collect_trace:
+        from repro.trace.sink import TraceSink
+
+        tracer = TraceSink(path=None, include_timings=grid.trace_timings)
+        bus = engine_kwargs.get("bus") or EventBus()
+        bus.attach(tracer)
+        engine_kwargs["bus"] = bus
     engine = CrawlerEngine(
         server, selector, seed=grid.rng_seed + task.seed_index, **engine_kwargs
     )
@@ -286,7 +307,8 @@ def _crawl_one(
     if sink is not None:
         sink.sample_server(server)
         metrics_state = sink.registry.state_dict()
-    return result, time.perf_counter() - started, metrics_state
+    trace_lines = tracer.collected if tracer is not None else None
+    return result, time.perf_counter() - started, metrics_state, trace_lines
 
 
 def run_crawl_grid(
@@ -294,6 +316,9 @@ def run_crawl_grid(
     workers: WorkerSpec = None,
     bus: Optional[EventBus] = None,
     metrics: Optional[MetricsRegistry] = None,
+    trace: Optional[Union[str, "os.PathLike"]] = None,
+    trace_timings: bool = True,
+    trace_append: bool = False,
 ) -> GridOutcome:
     """Run every task of ``grid`` and merge results in task order.
 
@@ -305,18 +330,31 @@ def run_crawl_grid(
     worker feeds a private registry and the returned state dicts are
     merged into ``metrics`` *in fixed task order*, so the merged totals
     are identical for any worker count.
+
+    Passing ``trace`` (a path) turns on per-task span tracing: each
+    worker's :class:`~repro.trace.sink.TraceSink` collects span lines
+    and the merged ``repro-trace/1`` file is written in fixed task
+    order — identical structure at any worker count, and byte-identical
+    when ``trace_timings`` is off.
     """
     if metrics is not None and not grid.collect_metrics:
         grid = replace(grid, collect_metrics=True)
+    if trace is not None and (
+        not grid.collect_trace or grid.trace_timings != trace_timings
+    ):
+        grid = replace(grid, collect_trace=True, trace_timings=trace_timings)
     count = resolve_workers(workers, len(grid.tasks))
     started = time.perf_counter()
-    triples = parallel_map(
+    rows = parallel_map(
         _crawl_one, range(len(grid.tasks)), payload=grid, workers=count
     )
     wall = time.perf_counter() - started
     results: List[CrawlResult] = []
     timings: List[TaskTiming] = []
-    for task, (result, seconds, metrics_state) in zip(grid.tasks, triples):
+    trace_tasks: List[Tuple[str, int, List[str]]] = []
+    for task, (result, seconds, metrics_state, trace_lines) in zip(
+        grid.tasks, rows
+    ):
         label = task.label or result.policy
         results.append(result)
         timings.append(
@@ -330,6 +368,13 @@ def run_crawl_grid(
         )
         if metrics is not None and metrics_state is not None:
             metrics.merge(metrics_state)
+        if trace is not None and trace_lines is not None:
+            trace_tasks.append((label, task.seed_index, trace_lines))
+    trace_spans = 0
+    if trace is not None:
+        from repro.trace.sink import write_trace
+
+        trace_spans = write_trace(trace, trace_tasks, append=trace_append)
     outcome = GridOutcome(
         tasks=grid.tasks,
         results=results,
@@ -337,6 +382,8 @@ def run_crawl_grid(
         wall_seconds=wall,
         workers=count,
         metrics=metrics,
+        trace_path=str(trace) if trace is not None else None,
+        trace_spans=trace_spans,
     )
     if bus is not None and bus.has_sinks:
         for timing in timings:

@@ -36,6 +36,12 @@ class QuerySelector(ABC):
     #: Whether the policy reads LocalDatabase.cooccurrence / pmi.
     requires_cooccurrence = False
 
+    #: Trace hook installed by the engine when a tracing sink is
+    #: attached (see :meth:`set_trace_emitter`).  ``None`` in untraced
+    #: crawls and during journal replay, so selector-internal phases
+    #: (scoring, frontier refresh) cost nothing unless observed.
+    _trace_emit = None
+
     def __init__(self) -> None:
         self.context: Optional[CrawlerContext] = None
 
@@ -65,6 +71,18 @@ class QuerySelector(ABC):
 
     def observe_outcome(self, outcome: QueryOutcome) -> None:
         """Hook invoked after each executed query (default: no-op)."""
+
+    def set_trace_emitter(self, emit) -> None:
+        """Install (or clear, with ``None``) the phase-trace callback.
+
+        ``emit(phase, seconds, cpu_seconds, detail)`` reports one timed
+        selector-internal phase — e.g. ``"score"`` when a statistics
+        table is recomputed, ``"frontier-refresh"`` when priorities are
+        rebuilt — to the tracing layer.  The engine installs it lazily
+        on the first traced live step; replayed steps never see it, so
+        traces only contain phases that actually executed.
+        """
+        self._trace_emit = emit
 
     # ------------------------------------------------------------------
     # Durable-runtime protocol (see repro.runtime)

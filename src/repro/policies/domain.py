@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from collections import defaultdict
 from typing import Dict, Optional
 
@@ -214,8 +215,21 @@ class DomainKnowledgeSelector(QuerySelector):
     # ------------------------------------------------------------------
     def next_query(self) -> Optional[AttributeValue]:
         context = self._require_context()
+        emit = self._trace_emit
+        if emit is not None:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
         qdb_value = self._peek_qdb()
         qdt_value = self._peek_qdt()
+        if emit is not None:
+            # The lazy-heap freshen is DM's scoring work (Section 4.4):
+            # re-keying stale harvest rates until the top is current.
+            emit(
+                "score",
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+                {"qdb": len(self._qdb_heap), "qdt": len(self._qdt_heap)},
+            )
         if qdb_value is None and qdt_value is None:
             return None
         if qdt_value is None:

@@ -19,6 +19,7 @@ pull them apart.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.core.values import AttributeValue
@@ -82,16 +83,29 @@ class _PrioritySelector(QuerySelector):
         return self._frontier.pop()
 
     def observe_outcome(self, outcome: QueryOutcome) -> None:
+        emit = self._trace_emit
+        if emit is not None:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
         frontier = self._frontier
         candidate_ids = outcome.candidate_ids
         if candidate_ids is not None and isinstance(
             frontier, InternedPriorityFrontier
         ):
+            refreshed = len(candidate_ids)
             refresh_id = frontier.refresh_id
             for vid in candidate_ids:
                 refresh_id(vid)
         else:
+            refreshed = len(outcome.candidate_values)
             frontier.refresh_all(outcome.candidate_values)
+        if emit is not None:
+            emit(
+                "frontier-refresh",
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+                {"refreshed": refreshed},
+            )
 
     def state_dict(self) -> dict:
         return {"frontier": self._frontier.state_dict()}

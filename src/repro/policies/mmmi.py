@@ -25,6 +25,7 @@ already queried can contribute to its max.
 from __future__ import annotations
 
 import math
+import time
 from typing import List, Optional
 
 from repro.core.errors import CrawlError
@@ -192,6 +193,10 @@ class MinMaxMutualInformationSelector(QuerySelector):
         (ids are first-seen order, not lexicographic, so they must never
         leak into the sort key).
         """
+        emit = self._trace_emit
+        if emit is not None:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
         context = self._require_context()
         local = context.local_db
         if hasattr(local, "interner"):
@@ -205,6 +210,13 @@ class MinMaxMutualInformationSelector(QuerySelector):
 
             self._ordered = sorted(self._candidates, key=sort_key)
         self._since_recompute = 0
+        if emit is not None:
+            emit(
+                "score",
+                time.perf_counter() - wall0,
+                time.process_time() - cpu0,
+                {"candidates": len(self._ordered)},
+            )
 
     def _order_interned(self, local, context) -> List[AttributeValue]:
         """The batch recompute on dense ids — the MMMI hot loop.

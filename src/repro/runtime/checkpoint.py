@@ -50,6 +50,10 @@ class CrawlCheckpoint:
     #: Optional :meth:`~repro.metrics.registry.MetricsRegistry.state_dict`
     #: snapshot, so a resumed crawl's telemetry continues its totals.
     metrics: Optional[dict] = None
+    #: Optional :meth:`~repro.trace.sink.TraceSink.state_dict` snapshot
+    #: (next span seq, last rounds horizon), so ``repro resume``
+    #: continues a trace seamlessly even without the trace file.
+    trace: Optional[dict] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -61,6 +65,7 @@ class CrawlCheckpoint:
         snapshot_every: int = 0,
         setup: Optional[dict] = None,
         metrics: Optional[dict] = None,
+        trace: Optional[dict] = None,
     ) -> "CrawlCheckpoint":
         """Snapshot a live engine (and its server) into a checkpoint."""
         server = engine.server
@@ -77,6 +82,7 @@ class CrawlCheckpoint:
             snapshot_every=snapshot_every,
             setup=setup,
             metrics=metrics,
+            trace=trace,
         )
 
     def restore_into(self, engine) -> None:
@@ -104,6 +110,8 @@ class CrawlCheckpoint:
         }
         if self.metrics is not None:
             payload["metrics"] = self.metrics
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
     @classmethod
@@ -118,6 +126,7 @@ class CrawlCheckpoint:
                 snapshot_every=payload.get("snapshot_every", 0),
                 setup=payload.get("setup"),
                 metrics=payload.get("metrics"),
+                trace=payload.get("trace"),
             )
         except KeyError as error:
             raise CheckpointError(

@@ -48,6 +48,7 @@ from repro.server.flaky import ExponentialBackoff
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.metrics.telemetry import TelemetrySink
+    from repro.trace.sink import TraceSink
 
 PathLike = Union[str, Path]
 
@@ -123,6 +124,13 @@ class RuntimeCrawler:
         and at crawl stop, and embeds a registry snapshot inside
         ``checkpoint.json`` so a resumed crawl reports continuous
         totals.
+    trace:
+        Optional :class:`~repro.trace.sink.TraceSink`.  Attached to the
+        engine's bus (if not already attached) — which switches the
+        engine/prober/selector phase instrumentation on — and its
+        continuation state (next span seq, rounds horizon) is embedded
+        in every full snapshot so a resumed crawl's trace file picks up
+        exactly where the original left off.
     """
 
     def __init__(
@@ -133,6 +141,7 @@ class RuntimeCrawler:
         snapshot_every: int = 0,
         setup: Optional[dict] = None,
         telemetry: Optional["TelemetrySink"] = None,
+        trace: Optional["TraceSink"] = None,
     ) -> None:
         if checkpoint_every < 0:
             raise CrawlError(
@@ -152,6 +161,13 @@ class RuntimeCrawler:
         self.telemetry = telemetry
         if telemetry is not None and telemetry not in engine.bus:
             engine.bus.attach(telemetry)
+        self.trace = trace
+        if trace is not None:
+            # Durable crawls flush the trace at every step so its
+            # durable horizon never falls behind the journal's.
+            trace.step_flush = True
+            if trace not in engine.bus:
+                engine.bus.attach(trace)
         self.checkpoints_written = 0
         self._limits: dict = {}
         self._journal: Optional[OutcomeJournal] = None
@@ -293,6 +309,9 @@ class RuntimeCrawler:
         if self.telemetry is not None:
             self.telemetry.sample_server(self.engine.server)
             metrics = self.telemetry.registry.state_dict()
+        trace_state = (
+            self.trace.state_dict() if self.trace is not None else None
+        )
         checkpoint = CrawlCheckpoint.capture(
             self.engine,
             limits=self._limits,
@@ -300,6 +319,7 @@ class RuntimeCrawler:
             snapshot_every=self.snapshot_every,
             setup=self.setup,
             metrics=metrics,
+            trace=trace_state,
         )
         path = self.checkpoint_dir / CHECKPOINT_FILE
         checkpoint.save(path)
@@ -359,6 +379,7 @@ class RuntimeCrawler:
         backoff: Optional[ExponentialBackoff] = None,
         bus: Optional[EventBus] = None,
         telemetry: Optional["TelemetrySink"] = None,
+        trace: Optional["TraceSink"] = None,
     ) -> "RuntimeCrawler":
         """Rebuild a crawl from its checkpoint directory.
 
@@ -376,6 +397,15 @@ class RuntimeCrawler:
         registry first, so counters continue from the last full
         snapshot instead of restarting at zero (journal replay is
         offline and charges no events).
+
+        When ``trace`` is given (a :class:`~repro.trace.sink.TraceSink`
+        built with ``fresh=False``), the sink is aligned to the
+        recovered crawl position: spans the crashed run wrote past the
+        journal's durable horizon are truncated away and the span
+        sequence continues where the survivors end, so the resumed
+        trace file ends up byte-identical to an uninterrupted run's.
+        Replayed steps emit no phases — their spans already survive in
+        the file.
         """
         directory = Path(checkpoint_dir)
         checkpoint_path = directory / CHECKPOINT_FILE
@@ -405,6 +435,15 @@ class RuntimeCrawler:
             engine.server.load_runtime_state(last.server)
             if last.backoff_rng is not None:
                 restore_rng(engine.backoff_rng, last.backoff_rng)
+        if trace is not None:
+            # Align after replay: engine.steps is the recovered horizon,
+            # and the server's round counter seeds the per-step
+            # rounds-cost deltas of the steps still to run.
+            trace.align(
+                step=engine.steps,
+                rounds=engine.server.rounds,
+                state=checkpoint.trace,
+            )
         runtime = cls(
             engine,
             checkpoint_dir=directory,
@@ -412,6 +451,7 @@ class RuntimeCrawler:
             snapshot_every=checkpoint.snapshot_every,
             setup=checkpoint.setup,
             telemetry=telemetry,
+            trace=trace,
         )
         runtime._limits = dict(checkpoint.limits)
         return runtime

@@ -253,6 +253,49 @@ class ExperimentSuiteCompleted(CrawlEvent):
 
 
 @dataclass
+class StepStarted(CrawlEvent):
+    """A query–harvest–decompose step is beginning.
+
+    Emitted by the engine only when a tracer is listening
+    (:attr:`EventBus.has_tracers`); ``step`` is the 1-based number the
+    step will carry in its :class:`RecordsHarvested` event.
+    """
+
+    kind = "step-started"
+    step: int = 0
+
+    def _body(self) -> dict:
+        return {"step": self.step}
+
+
+@dataclass
+class PhaseCompleted(CrawlEvent):
+    """One timed crawl phase finished (tracing instrumentation).
+
+    Emitted by the engine (``select``, ``extract``, ``decompose``), and
+    by selectors via their trace emitter (``score`` during MMMI/DM
+    scoring, ``frontier-refresh`` during decomposition) — only when a
+    tracer is attached.  ``detail`` carries deterministic counts;
+    ``seconds``/``cpu_seconds`` are wall/CPU durations and are kept out
+    of any canonical (byte-comparable) trace payload by the trace
+    sink.
+    """
+
+    kind = "phase-completed"
+    step: int = 0
+    phase: str = ""
+    seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    detail: dict = field(default_factory=dict)
+
+    def _body(self) -> dict:
+        body = {"step": self.step, "phase": self.phase}
+        if self.detail:
+            body["detail"] = dict(self.detail)
+        return body
+
+
+@dataclass
 class CrawlStopped(CrawlEvent):
     """The crawl loop exited."""
 
@@ -277,6 +320,14 @@ class CrawlStopped(CrawlEvent):
 class EventSink:
     """Anything that consumes crawl events."""
 
+    #: Set by tracing sinks (:class:`repro.trace.TraceSink`).  While at
+    #: least one attached sink wants phases, the engine, prober, and
+    #: selectors emit the extra :class:`StepStarted` /
+    #: :class:`PhaseCompleted` instrumentation events (and pay for the
+    #: clock reads they carry); with none attached that work is skipped
+    #: entirely.
+    wants_phases = False
+
     def handle(self, event: CrawlEvent) -> None:  # pragma: no cover - protocol
         raise NotImplementedError
 
@@ -293,13 +344,21 @@ class EventBus:
 
     def __init__(self) -> None:
         self._sinks: List[EventSink] = []
+        self._tracers = 0
 
     @property
     def has_sinks(self) -> bool:
         return bool(self._sinks)
 
+    @property
+    def has_tracers(self) -> bool:
+        """At least one attached sink wants phase instrumentation."""
+        return self._tracers > 0
+
     def attach(self, sink: EventSink) -> EventSink:
         self._sinks.append(sink)
+        if sink.wants_phases:
+            self._tracers += 1
         return sink
 
     def __contains__(self, sink: object) -> bool:
@@ -307,6 +366,8 @@ class EventBus:
 
     def detach(self, sink: EventSink) -> None:
         self._sinks.remove(sink)
+        if sink.wants_phases:
+            self._tracers -= 1
 
     def emit(
         self,
@@ -329,14 +390,24 @@ class EventBus:
 
 
 class RingBufferSink(EventSink):
-    """Keep the last ``capacity`` events in memory."""
+    """Keep the last ``capacity`` events in memory.
+
+    Once the buffer is full every new event silently evicts the oldest;
+    :attr:`dropped` counts those evictions so consumers can tell a
+    complete event history from a truncated one.
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
         self._buffer: Deque[CrawlEvent] = deque(maxlen=capacity)
+        #: Events evicted because the buffer was at capacity.
+        self.dropped = 0
 
     def handle(self, event: CrawlEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
         self._buffer.append(event)
 
     @property

@@ -1,0 +1,334 @@
+"""Trace analysis: phase breakdowns, expensive queries, critical paths.
+
+Everything here consumes a parsed :class:`~repro.trace.spans.Trace`.
+Wall/CPU figures only appear when the trace was written with timings;
+canonical traces still get the structural analyses (rounds, pages,
+harvest rates, critical paths by round cost).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.spans import Trace
+
+def build_trees(spans: List[dict]) -> List[Tuple[dict, Dict[str, List[dict]]]]:
+    """Group one task's spans into ``(root, children_by_id)`` trees."""
+    trees: List[Tuple[dict, Dict[str, List[dict]]]] = []
+    children: Dict[str, List[dict]] = {}
+    root: Optional[dict] = None
+    for span in spans:
+        if span["parent"] is None:
+            if root is not None:
+                trees.append((root, children))
+            root = span
+            children = {}
+        else:
+            children.setdefault(span["parent"], []).append(span)
+    if root is not None:
+        trees.append((root, children))
+    return trees
+
+
+def span_wall(span: dict) -> Optional[float]:
+    timings = span.get("t")
+    return timings.get("ws") if timings else None
+
+
+def span_cpu(span: dict) -> Optional[float]:
+    timings = span.get("t")
+    return timings.get("cs") if timings else None
+
+
+def span_rounds(span: dict) -> int:
+    """Communication rounds this span itself paid (not its children).
+
+    A retry pays for the failed request itself (one round) plus its
+    charged backoff delay.
+    """
+    if span["name"] == "fetch":
+        return 1
+    if span["name"] == "retry":
+        return 1 + int(span["attrs"].get("delay_rounds", 0))
+    return 0
+
+
+def subtree_weight(
+    span: dict, children: Dict[str, List[dict]]
+) -> Tuple[float, int]:
+    """``(wall_seconds, rounds)`` of a span's whole subtree."""
+    wall = span_wall(span) or 0.0
+    rounds = span_rounds(span)
+    child_wall = 0.0
+    for child in children.get(span["id"], ()):
+        w, r = subtree_weight(child, children)
+        child_wall += w
+        rounds += r
+    # A parent's own measured wall already covers its children; only
+    # unmeasured parents inherit the sum.
+    if span_wall(span) is None:
+        wall = child_wall
+    return wall, rounds
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def summarize(trace: Trace, top: int = 10) -> dict:
+    """Roll a trace up into a JSON-safe summary dict."""
+    phases: Dict[str, dict] = {}
+    steps = 0
+    exhausted = 0
+    totals = {"rounds": 0, "pages": 0, "records": 0, "new": 0, "dup": 0}
+    policies: Dict[str, int] = {}
+    expensive: List[dict] = []
+    timed = False
+    for task in trace.tasks:
+        for span in task.spans:
+            name = span["name"]
+            entry = phases.setdefault(
+                name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            entry["count"] += 1
+            wall = span_wall(span)
+            if wall is not None:
+                timed = True
+                entry["wall_s"] += wall
+                entry["cpu_s"] += span_cpu(span) or 0.0
+            if name != "step":
+                continue
+            attrs = span["attrs"]
+            policy = attrs.get("policy")
+            if policy:
+                policies[policy] = policies.get(policy, 0) + 1
+            if attrs.get("exhausted"):
+                exhausted += 1
+                continue
+            steps += 1
+            for key in totals:
+                totals[key] += attrs.get(key, 0)
+            expensive.append(
+                {
+                    "task": task.label,
+                    "step": span["step"],
+                    "query": attrs.get("query", "?"),
+                    "rounds": attrs.get("rounds", 0),
+                    "pages": attrs.get("pages", 0),
+                    "new": attrs.get("new", 0),
+                    "harvest_rate": attrs.get("harvest_rate", 0.0),
+                    "wall_s": wall,
+                }
+            )
+    expensive.sort(
+        key=lambda q: (-q["rounds"], -q["pages"], q["step"], q["query"])
+    )
+    for entry in phases.values():
+        entry["wall_s"] = round(entry["wall_s"], 6)
+        entry["cpu_s"] = round(entry["cpu_s"], 6)
+    pages = totals["pages"]
+    return {
+        "schema": trace.header.get("schema"),
+        "tasks": len(trace.tasks),
+        "steps": steps,
+        "exhausted_steps": exhausted,
+        "policies": dict(sorted(policies.items())),
+        "totals": dict(totals),
+        "harvest_rate": round(totals["new"] / pages, 6) if pages else 0.0,
+        "timed": timed,
+        "phases": {name: phases[name] for name in sorted(phases)},
+        "top_queries": expensive[:top],
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable summary text for ``repro trace summarize``."""
+    lines = [
+        f"trace: {summary['tasks']} task(s), {summary['steps']} steps"
+        + (
+            f" (+{summary['exhausted_steps']} exhausted)"
+            if summary["exhausted_steps"]
+            else ""
+        ),
+    ]
+    if summary["policies"]:
+        policy_bits = ", ".join(
+            f"{name}: {count}" for name, count in summary["policies"].items()
+        )
+        lines.append(f"policies: {policy_bits}")
+    totals = summary["totals"]
+    lines.append(
+        f"cost: {totals['rounds']} rounds, {totals['pages']} pages, "
+        f"{totals['new']} new / {totals['dup']} duplicate records "
+        f"(harvest rate {summary['harvest_rate']:.4f})"
+    )
+    lines.append("")
+    lines.append("phase breakdown:")
+    header = f"  {'phase':<18}{'count':>8}"
+    if summary["timed"]:
+        header += f"{'wall (s)':>12}{'cpu (s)':>12}"
+    lines.append(header)
+    for name, entry in summary["phases"].items():
+        row = f"  {name:<18}{entry['count']:>8}"
+        if summary["timed"]:
+            row += f"{entry['wall_s']:>12.4f}{entry['cpu_s']:>12.4f}"
+        lines.append(row)
+    if summary["top_queries"]:
+        lines.append("")
+        lines.append("most expensive queries (by rounds):")
+        for q in summary["top_queries"]:
+            task = f"[{q['task']}] " if q["task"] else ""
+            wall = (
+                f", {q['wall_s'] * 1e3:.2f} ms"
+                if q.get("wall_s") is not None
+                else ""
+            )
+            lines.append(
+                f"  {task}step {q['step']:>4}  {q['query']}: "
+                f"{q['rounds']} rounds, {q['pages']} pages, "
+                f"{q['new']} new (hr {q['harvest_rate']:.3f}{wall})"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Critical paths and folded stacks
+# ----------------------------------------------------------------------
+def critical_paths(trace: Trace, top: int = 10) -> List[dict]:
+    """Dominant root-to-leaf paths across all step trees.
+
+    For every step the heaviest child is followed recursively (by wall
+    time when the trace is timed, else by round cost); identical path
+    signatures aggregate.  The result is sorted by total weight — the
+    crawl's critical path is the top entry.
+    """
+    aggregate: Dict[str, dict] = {}
+    for task in trace.tasks:
+        for root, children in build_trees(task.spans):
+            names = [root["name"]]
+            wall_total, rounds_total = subtree_weight(root, children)
+            node = root
+            while True:
+                kids = children.get(node["id"])
+                if not kids:
+                    break
+                node = max(
+                    kids,
+                    key=lambda s: (
+                        subtree_weight(s, children),
+                        -s["seq"],
+                    ),
+                )
+                names.append(node["name"])
+            signature = ";".join(names)
+            entry = aggregate.setdefault(
+                signature,
+                {"path": signature, "count": 0, "wall_s": 0.0, "rounds": 0},
+            )
+            entry["count"] += 1
+            entry["wall_s"] += wall_total
+            entry["rounds"] += rounds_total
+    paths = sorted(
+        aggregate.values(),
+        key=lambda e: (-e["wall_s"], -e["rounds"], e["path"]),
+    )
+    for entry in paths:
+        entry["wall_s"] = round(entry["wall_s"], 6)
+    return paths[:top]
+
+
+def folded_stacks(trace: Trace) -> List[str]:
+    """Flamegraph-ready folded stacks (``a;b;c <value>`` lines).
+
+    Values are self-time in microseconds when the trace is timed,
+    otherwise self round cost; zero-valued stacks are dropped.
+    """
+    buckets: Dict[str, int] = {}
+    for task in trace.tasks:
+        prefix = f"{task.label};" if task.label else ""
+        for root, children in build_trees(task.spans):
+            _fold(root, children, prefix + "crawl", buckets)
+    return [
+        f"{stack} {value}"
+        for stack, value in sorted(buckets.items())
+        if value > 0
+    ]
+
+
+def _fold(
+    span: dict,
+    children: Dict[str, List[dict]],
+    prefix: str,
+    buckets: Dict[str, int],
+) -> None:
+    stack = f"{prefix};{span['name']}"
+    wall = span_wall(span)
+    kids = children.get(span["id"], ())
+    if wall is not None:
+        child_wall = sum((span_wall(k) or 0.0) for k in kids)
+        self_us = int(max(wall - child_wall, 0.0) * 1e6)
+    else:
+        self_us = span_rounds(span)
+    buckets[stack] = buckets.get(stack, 0) + self_us
+    for child in kids:
+        _fold(child, children, stack, buckets)
+
+
+# ----------------------------------------------------------------------
+# Diff
+# ----------------------------------------------------------------------
+def diff_summaries(a: dict, b: dict) -> dict:
+    """Structural comparison of two trace summaries."""
+    names = sorted(set(a["phases"]) | set(b["phases"]))
+    phases = {}
+    for name in names:
+        pa = a["phases"].get(name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+        pb = b["phases"].get(name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+        phases[name] = {
+            "count": (pa["count"], pb["count"]),
+            "wall_s": (pa["wall_s"], pb["wall_s"]),
+        }
+    keys = ("rounds", "pages", "new", "dup")
+    return {
+        "steps": (a["steps"], b["steps"]),
+        "totals": {
+            key: (a["totals"][key], b["totals"][key]) for key in keys
+        },
+        "harvest_rate": (a["harvest_rate"], b["harvest_rate"]),
+        "phases": phases,
+    }
+
+
+def render_diff(diff: dict, label_a: str = "A", label_b: str = "B") -> str:
+    """Human-readable diff text for ``repro trace diff``."""
+
+    def delta(pair) -> str:
+        va, vb = pair
+        change = vb - va
+        sign = "+" if change >= 0 else ""
+        if isinstance(change, float):
+            return f"{sign}{change:.4f}"
+        return f"{sign}{change}"
+
+    lines = [f"{'':<18}{label_a:>14}{label_b:>14}{'delta':>12}"]
+    lines.append(
+        f"{'steps':<18}{diff['steps'][0]:>14}{diff['steps'][1]:>14}"
+        f"{delta(diff['steps']):>12}"
+    )
+    for key, pair in diff["totals"].items():
+        lines.append(
+            f"{key:<18}{pair[0]:>14}{pair[1]:>14}{delta(pair):>12}"
+        )
+    hr = diff["harvest_rate"]
+    lines.append(
+        f"{'harvest_rate':<18}{hr[0]:>14.4f}{hr[1]:>14.4f}{delta(hr):>12}"
+    )
+    lines.append("")
+    lines.append("per-phase (count | wall s):")
+    for name, entry in diff["phases"].items():
+        ca, cb = entry["count"]
+        wa, wb = entry["wall_s"]
+        lines.append(
+            f"  {name:<16}{ca:>7} → {cb:<7}  "
+            f"{wa:>10.4f} → {wb:<10.4f} ({delta(entry['wall_s'])} s)"
+        )
+    return "\n".join(lines)

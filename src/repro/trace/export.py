@@ -1,0 +1,113 @@
+"""Chrome / Perfetto trace-event export.
+
+Converts a span-JSONL trace into the Trace Event Format JSON that
+``chrome://tracing`` and https://ui.perfetto.dev load directly: one
+``"X"`` (complete) event per span, one process row per grid task.
+
+Span JSONL carries durations, not absolute timestamps (timestamps are
+wall-clock and would break determinism), so the exporter synthesizes a
+timeline: steps are laid out back to back per task, and within a step
+each span starts where its previous sibling ended.  Durations come
+from the ``"t"`` wall timings when the trace has them; canonical
+traces fall back to round cost (1 ms per communication round) so the
+shape of the crawl is still visible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.trace.analyze import build_trees, span_rounds, span_wall
+from repro.trace.spans import Trace
+
+PathLike = Union[str, Path]
+
+#: Synthetic duration scale for untimed traces: one round = 1 ms.
+_US_PER_ROUND = 1000
+
+
+def _duration_us(
+    span: dict, children: Dict[str, List[dict]], cache: Dict[str, int]
+) -> int:
+    """Microsecond duration: own wall, else children + round cost, min 1."""
+    cached = cache.get(span["id"])
+    if cached is not None:
+        return cached
+    child_total = sum(
+        _duration_us(child, children, cache)
+        for child in children.get(span["id"], ())
+    )
+    wall = span_wall(span)
+    if wall is not None:
+        duration = max(int(wall * 1e6), child_total, 1)
+    else:
+        duration = max(span_rounds(span) * _US_PER_ROUND + child_total, 1)
+    cache[span["id"]] = duration
+    return duration
+
+
+def to_chrome(trace: Trace) -> dict:
+    """Build the Trace Event Format payload for a parsed trace."""
+    events: List[dict] = []
+    for pid, task in enumerate(trace.tasks):
+        name = task.label or "crawl"
+        if task.seed_index is not None:
+            name = f"{name} (seed {task.seed_index})"
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        cursor = 0
+        for root, children in build_trees(task.spans):
+            cache: Dict[str, int] = {}
+            _duration_us(root, children, cache)
+            _emit(root, children, cache, cursor, pid, events)
+            cursor += cache[root["id"]]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _emit(
+    span: dict,
+    children: Dict[str, List[dict]],
+    cache: Dict[str, int],
+    start_us: int,
+    pid: int,
+    events: List[dict],
+) -> None:
+    name = span["name"]
+    if name == "submit" and "query" in span["attrs"]:
+        name = f"submit {span['attrs']['query']}"
+    elif name == "step":
+        name = f"step {span['step']}"
+    events.append(
+        {
+            "ph": "X",
+            "name": name,
+            "cat": "crawl",
+            "ts": start_us,
+            "dur": cache[span["id"]],
+            "pid": pid,
+            "tid": 0,
+            "args": dict(span["attrs"]),
+        }
+    )
+    cursor = start_us
+    for child in children.get(span["id"], ()):
+        _emit(child, children, cache, cursor, pid, events)
+        cursor += cache[child["id"]]
+
+
+def write_chrome(trace: Trace, path: PathLike) -> int:
+    """Write the Chrome trace JSON; returns the event count."""
+    payload = to_chrome(trace)
+    Path(path).write_text(
+        json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+    )
+    return len(payload["traceEvents"])

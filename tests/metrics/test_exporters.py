@@ -52,6 +52,52 @@ class TestPrometheusText:
     def test_deterministic(self, registry):
         assert prometheus_text(registry) == prometheus_text(registry)
 
+    def test_hostile_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits_total", "hits", labels=("policy",))
+        counter.inc(1, policy='back\\slash')
+        counter.inc(2, policy='quo"te')
+        counter.inc(3, policy='new\nline')
+        text = prometheus_text(reg)
+        assert 'hits_total{policy="back\\\\slash"} 1' in text
+        assert 'hits_total{policy="quo\\"te"} 2' in text
+        assert 'hits_total{policy="new\\nline"} 3' in text
+        # The exposition stays one sample per line: no raw newline leaks.
+        for line in text.splitlines():
+            assert line.startswith(("#", "hits_total{"))
+
+    def test_hostile_label_values_round_trip(self):
+        """Escaped values parse back to the originals."""
+        import re
+
+        hostile = ['back\\slash', 'quo"te', 'new\nline', 'all\\"\n']
+        reg = MetricsRegistry()
+        counter = reg.counter("hits_total", "hits", labels=("policy",))
+        for index, value in enumerate(hostile):
+            counter.inc(index + 1, policy=value)
+
+        def unescape(value):
+            out, i = [], 0
+            while i < len(value):
+                if value[i] == "\\" and i + 1 < len(value):
+                    out.append(
+                        {"n": "\n", '"': '"', "\\": "\\"}[value[i + 1]]
+                    )
+                    i += 2
+                else:
+                    out.append(value[i])
+                    i += 1
+            return "".join(out)
+
+        parsed = {}
+        for line in prometheus_text(reg).splitlines():
+            match = re.match(r'hits_total\{policy="(.*)"\} (\d+)', line)
+            if match:
+                parsed[unescape(match.group(1))] = int(match.group(2))
+        assert parsed == {
+            value: index + 1 for index, value in enumerate(hostile)
+        }
+
 
 class TestRegistrySamples:
     def test_shapes(self, registry):

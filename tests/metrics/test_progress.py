@@ -89,3 +89,116 @@ class TestJsonlStreaming:
         bus.attach(ProgressReporter(every=1))
         bus.emit(step_event(1), policy="bfs")  # silent: no stream, no writer
         assert list(tmp_path.iterdir()) == []
+
+    def test_close_flushes_missed_final_snapshot(self, tmp_path):
+        """Crawl dies between heartbeats with no CrawlStopped: the JSONL
+        stream must still end with a snapshot of the last step."""
+        import json
+
+        path = tmp_path / "metrics.jsonl"
+        bus = EventBus()
+        telemetry = bus.attach(TelemetrySink())
+        writer = JsonlMetricsWriter(path)
+        reporter = bus.attach(
+            ProgressReporter(every=2, telemetry=telemetry, writer=writer)
+        )
+        for step in range(1, 6):  # last beat at 4; step 5 unsnapshotted
+            bus.emit(step_event(step), policy="bfs")
+        reporter.close()
+        writer.close()
+        assert validate_metrics_jsonl(path) == 3  # beats at 2, 4 + closing
+        last = json.loads(path.read_text().splitlines()[-1])
+        assert last["step"] == 5
+
+    def test_close_is_idempotent_and_skips_duplicates(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        bus = EventBus()
+        telemetry = bus.attach(TelemetrySink())
+        writer = JsonlMetricsWriter(path)
+        reporter = bus.attach(
+            ProgressReporter(every=2, telemetry=telemetry, writer=writer)
+        )
+        bus.emit(step_event(2), policy="bfs")  # beat covers the last step
+        reporter.close()
+        reporter.close()
+        writer.close()
+        assert validate_metrics_jsonl(path) == 1  # no duplicate snapshot
+
+    def test_close_after_stop_is_a_noop(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        bus = EventBus()
+        telemetry = bus.attach(TelemetrySink())
+        writer = JsonlMetricsWriter(path)
+        reporter = bus.attach(
+            ProgressReporter(every=2, telemetry=telemetry, writer=writer)
+        )
+        bus.emit(step_event(1), policy="bfs")
+        bus.emit(CrawlStopped(stopped_by="max-rounds"), policy="bfs")
+        reporter.close()
+        writer.close()
+        assert validate_metrics_jsonl(path) == 1  # the final snapshot only
+
+
+class TestElapsedAcrossResume:
+    def fake_clock(self, start=100.0):
+        state = {"now": start}
+
+        def clock():
+            return state["now"]
+
+        return state, clock
+
+    def test_elapsed_accumulates_into_gauge(self):
+        state, clock = self.fake_clock()
+        bus = EventBus()
+        telemetry = bus.attach(TelemetrySink())
+        bus.attach(
+            ProgressReporter(every=1, telemetry=telemetry, clock=clock)
+        )
+        state["now"] += 30.0
+        bus.emit(step_event(1), policy="bfs")
+        assert telemetry.elapsed_gauge.value() == 30.0
+
+    def test_resumed_reporter_continues_from_offset(self):
+        """A resumed crawl's registry restores the elapsed gauge; the
+        fresh reporter must add to it instead of starting from zero."""
+        state, clock = self.fake_clock()
+        bus = EventBus()
+        telemetry = bus.attach(TelemetrySink())
+        stream = io.StringIO()
+        bus.attach(
+            ProgressReporter(
+                every=1, stream=stream, telemetry=telemetry, clock=clock
+            )
+        )
+        # Simulate the resume sequence: sink attached first, then the
+        # checkpointed registry state (elapsed included) loaded onto it.
+        telemetry.registry.load_state(
+            _registry_state_with_elapsed(telemetry, 120.0)
+        )
+        state["now"] += 5.0
+        bus.emit(step_event(1), policy="bfs")
+        assert telemetry.elapsed_gauge.value() == 125.0
+        assert "125.0s" in stream.getvalue()
+
+    def test_fresh_crawl_starts_from_zero(self):
+        state, clock = self.fake_clock()
+        bus = EventBus()
+        telemetry = bus.attach(TelemetrySink())
+        stream = io.StringIO()
+        bus.attach(
+            ProgressReporter(
+                every=1, stream=stream, telemetry=telemetry, clock=clock
+            )
+        )
+        state["now"] += 2.0
+        bus.emit(step_event(1), policy="bfs")
+        assert "2.0s" in stream.getvalue()
+
+
+def _registry_state_with_elapsed(telemetry, seconds):
+    """Checkpoint-shaped registry state carrying a prior elapsed total."""
+    telemetry.elapsed_gauge.set(seconds)
+    state = telemetry.registry.state_dict()
+    telemetry.elapsed_gauge.set(0.0)  # back to the pre-restore value
+    return state

@@ -109,6 +109,16 @@ class TestRingBufferSink:
         with pytest.raises(ValueError):
             RingBufferSink(capacity=0)
 
+    def test_dropped_counts_evictions(self):
+        ring = RingBufferSink(capacity=3)
+        for step in range(3):
+            ring.handle(RecordsHarvested(query=Q, step=step))
+        assert ring.dropped == 0
+        for step in range(3, 8):
+            ring.handle(RecordsHarvested(query=Q, step=step))
+        assert ring.dropped == 5
+        assert len(ring) == 3  # still full, history truncated
+
 
 class TestJsonlEventSink:
     def test_writes_one_json_line_per_event(self, tmp_path):

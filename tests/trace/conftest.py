@@ -1,0 +1,70 @@
+"""Shared scaffold for the trace tests.
+
+Reuses the hostile flaky configuration from the runtime tests (10%
+transient failures, retries, charged jittered backoff) so the trace
+determinism assertions cover retry/backoff spans too.  Canonical mode
+(``include_timings=False``) is used everywhere bytes are compared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.ebay import generate_ebay
+from repro.policies import (
+    BreadthFirstSelector,
+    GreedyLinkSelector,
+    MinMaxMutualInformationSelector,
+)
+from repro.runtime.crawler import RuntimeCrawler
+from repro.runtime.events import EventBus
+from repro.trace import TraceSink
+
+from tests.runtime.conftest import (  # noqa: F401  (re-exported helpers)
+    MAX_QUERIES,
+    make_backoff,
+    make_engine,
+    make_flaky_server,
+    seed_values,
+)
+
+#: The acceptance-criteria policies: naive, GL, and MMMI.
+TRACE_POLICIES = {
+    "naive": BreadthFirstSelector,
+    "greedy-link": GreedyLinkSelector,
+    "mmmi": lambda: MinMaxMutualInformationSelector(batch_size=5),
+}
+
+
+@pytest.fixture(scope="session")
+def flaky_table():
+    return generate_ebay(n_records=400, seed=1)
+
+
+def traced_crawl(policy, table, trace_path, checkpoint_dir=None, bus=None):
+    """One durable crawl with a canonical TraceSink attached."""
+    bus = bus or EventBus()
+    tracer = bus.attach(TraceSink(trace_path, include_timings=False))
+    engine = make_engine(table, TRACE_POLICIES[policy](), bus=bus)
+    runtime = RuntimeCrawler(
+        engine,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=10,
+        trace=tracer,
+    )
+    result = runtime.crawl(seed_values(table), max_queries=MAX_QUERIES)
+    runtime.close()
+    tracer.close()
+    return result
+
+
+@pytest.fixture(scope="session")
+def reference_traces(flaky_table, tmp_path_factory):
+    """Uninterrupted traced crawls — ground truth (bytes + result)."""
+    root = tmp_path_factory.mktemp("reference-traces")
+    reference = {}
+    for policy in TRACE_POLICIES:
+        path = root / f"{policy}.trace.jsonl"
+        result = traced_crawl(policy, flaky_table, path)
+        reference[policy] = (path.read_bytes(), result)
+    return reference

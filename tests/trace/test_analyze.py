@@ -1,0 +1,110 @@
+"""Trace analysis: summaries agree with the crawl's own accounting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace import (
+    critical_paths,
+    diff_summaries,
+    folded_stacks,
+    load_trace,
+    render_diff,
+    render_summary,
+    summarize,
+)
+
+from tests.trace.conftest import traced_crawl
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory, flaky_table):
+    path = tmp_path_factory.mktemp("analyze") / "trace.jsonl"
+    result = traced_crawl("greedy-link", flaky_table, path)
+    return load_trace(path), result
+
+
+class TestSummarize:
+    def test_totals_match_crawl_result(self, traced):
+        trace, result = traced
+        summary = summarize(trace)
+        assert summary["steps"] == result.queries_issued
+        assert summary["totals"]["rounds"] == result.communication_rounds
+        assert summary["totals"]["new"] == result.records_harvested
+        assert summary["policies"] == {"greedy-link": result.queries_issued}
+
+    def test_canonical_trace_is_untimed(self, traced):
+        trace, _ = traced
+        summary = summarize(trace)
+        assert summary["timed"] is False
+        assert summary["phases"]["step"]["wall_s"] == 0.0
+
+    def test_top_queries_sorted_by_rounds(self, traced):
+        trace, _ = traced
+        top = summarize(trace, top=5)["top_queries"]
+        assert len(top) == 5
+        rounds = [q["rounds"] for q in top]
+        assert rounds == sorted(rounds, reverse=True)
+
+    def test_summary_is_json_safe(self, traced):
+        trace, _ = traced
+        json.dumps(summarize(trace))
+
+    def test_render_mentions_phases(self, traced):
+        trace, _ = traced
+        text = render_summary(summarize(trace))
+        for phase in ("select", "submit", "fetch", "extract", "decompose"):
+            assert phase in text
+
+
+class TestCriticalPaths:
+    def test_paths_start_at_step(self, traced):
+        trace, _ = traced
+        paths = critical_paths(trace)
+        assert paths
+        for entry in paths:
+            assert entry["path"].startswith("step")
+            assert entry["count"] > 0
+
+    def test_counts_cover_every_step_tree(self, traced):
+        trace, result = traced
+        paths = critical_paths(trace, top=100)
+        assert sum(p["count"] for p in paths) >= result.queries_issued
+
+
+class TestFoldedStacks:
+    def test_line_format(self, traced):
+        trace, _ = traced
+        lines = folded_stacks(trace)
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert stack.startswith("crawl;step")
+            assert int(value) > 0
+
+    def test_round_costs_fold_to_total(self, traced):
+        """Untimed traces fold self round cost; fetch+retry = rounds."""
+        trace, result = traced
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in folded_stacks(trace))
+        assert total == result.communication_rounds
+
+
+class TestDiff:
+    def test_self_diff_is_zero(self, traced):
+        trace, _ = traced
+        summary = summarize(trace)
+        diff = diff_summaries(summary, summary)
+        assert diff["steps"][0] == diff["steps"][1]
+        text = render_diff(diff, "a", "b")
+        assert "+0" in text
+
+    def test_diff_against_shorter_crawl(self, traced, tmp_path, flaky_table):
+        trace, _ = traced
+        other_path = tmp_path / "naive.jsonl"
+        traced_crawl("naive", flaky_table, other_path)
+        other = summarize(load_trace(other_path))
+        diff = diff_summaries(summarize(trace), other)
+        assert diff["totals"]["rounds"][1] == other["totals"]["rounds"]
+        render_diff(diff, "gl", "naive")

@@ -1,0 +1,130 @@
+"""Trace determinism — the acceptance tests for ``repro.trace``.
+
+A canonical trace (no wall timings) must be byte-identical:
+
+- across repeated runs of the same crawl,
+- across a crash/resume split at an arbitrary step, and
+- across any worker count of the parallel experiment grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import CrawlGrid, CrawlTask, run_crawl_grid
+from repro.runtime.crawler import RuntimeCrawler
+from repro.runtime.events import CrashAfterSteps, EventBus, SimulatedCrash
+from repro.server.webdb import SimulatedWebDatabase
+from repro.trace import TraceSink, load_trace
+
+from tests.trace.conftest import (
+    MAX_QUERIES,
+    TRACE_POLICIES,
+    make_backoff,
+    make_engine,
+    make_flaky_server,
+    seed_values,
+    traced_crawl,
+)
+
+POLICY_KEYS = sorted(TRACE_POLICIES)
+CRASH_STEPS = (3, 13, 27)
+
+
+@pytest.mark.parametrize("policy", POLICY_KEYS)
+def test_rerun_is_byte_identical(
+    tmp_path, policy, flaky_table, reference_traces
+):
+    reference_bytes, reference_result = reference_traces[policy]
+    path = tmp_path / "again.jsonl"
+    result = traced_crawl(policy, flaky_table, path)
+    assert result == reference_result
+    assert path.read_bytes() == reference_bytes
+
+
+@pytest.mark.parametrize("policy", POLICY_KEYS)
+def test_tracing_never_steers_the_crawl(policy, flaky_table, reference_traces):
+    """Same crawl without a sink attached — identical CrawlResult."""
+    _, reference_result = reference_traces[policy]
+    engine = make_engine(flaky_table, TRACE_POLICIES[policy]())
+    result = engine.crawl(seed_values(flaky_table), max_queries=MAX_QUERIES)
+    assert result == reference_result
+
+
+@pytest.mark.parametrize("policy", POLICY_KEYS)
+@pytest.mark.parametrize("crash_after", CRASH_STEPS)
+def test_crash_resume_trace_is_byte_identical(
+    tmp_path, policy, crash_after, flaky_table, reference_traces
+):
+    """Kill the crawl mid-step; the resumed trace file must converge."""
+    reference_bytes, reference_result = reference_traces[policy]
+    trace_path = tmp_path / "crashed.jsonl"
+
+    bus = EventBus()
+    bus.attach(CrashAfterSteps(crash_after))
+    tracer = bus.attach(TraceSink(trace_path, include_timings=False))
+    runtime = RuntimeCrawler(
+        make_engine(flaky_table, TRACE_POLICIES[policy](), bus=bus),
+        checkpoint_dir=tmp_path,
+        checkpoint_every=10,
+        trace=tracer,
+    )
+    with pytest.raises(SimulatedCrash):
+        runtime.crawl(seed_values(flaky_table), max_queries=MAX_QUERIES)
+    runtime.close()
+    tracer.close()
+
+    resumed_tracer = TraceSink(trace_path, include_timings=False, fresh=False)
+    resumed = RuntimeCrawler.resume(
+        tmp_path,
+        make_flaky_server(flaky_table),
+        TRACE_POLICIES[policy](),
+        backoff=make_backoff(),
+        trace=resumed_tracer,
+    )
+    result = resumed.run()
+    resumed.close()
+    resumed_tracer.close()
+
+    assert result == reference_result
+    assert trace_path.read_bytes() == reference_bytes
+
+
+def _policy_grid(table):
+    tasks = tuple(
+        CrawlTask(label=label, seed_index=index, seeds=tuple(seed_values(table)))
+        for label in POLICY_KEYS
+        for index in range(2)
+    )
+    return CrawlGrid(
+        make_server=lambda task: SimulatedWebDatabase(table, page_size=10),
+        make_selector=lambda task: TRACE_POLICIES[task.label](),
+        tasks=tasks,
+        rng_seed=0,
+        crawl_kwargs={"max_queries": 30},
+    )
+
+
+def test_grid_trace_identical_at_any_worker_count(tmp_path, flaky_table):
+    sequential = tmp_path / "w1.jsonl"
+    parallel = tmp_path / "w4.jsonl"
+    outcome_1 = run_crawl_grid(
+        _policy_grid(flaky_table),
+        workers=1,
+        trace=sequential,
+        trace_timings=False,
+    )
+    outcome_4 = run_crawl_grid(
+        _policy_grid(flaky_table),
+        workers=4,
+        trace=parallel,
+        trace_timings=False,
+    )
+    assert outcome_1.results == outcome_4.results
+    assert outcome_1.trace_spans == outcome_4.trace_spans > 0
+    assert sequential.read_bytes() == parallel.read_bytes()
+    trace = load_trace(parallel)
+    assert len(trace.tasks) == 6
+    assert [task.label for task in trace.tasks] == sorted(
+        POLICY_KEYS * 2, key=POLICY_KEYS.index
+    )

@@ -1,0 +1,119 @@
+"""Chrome/Perfetto export: structural validation of the event JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.parallel import CrawlGrid, CrawlTask, run_crawl_grid
+from repro.server.webdb import SimulatedWebDatabase
+from repro.trace import load_trace, to_chrome, write_chrome
+
+from tests.trace.conftest import TRACE_POLICIES, seed_values, traced_crawl
+
+
+@pytest.fixture(scope="module")
+def chrome(tmp_path_factory, flaky_table):
+    path = tmp_path_factory.mktemp("export") / "trace.jsonl"
+    traced_crawl("greedy-link", flaky_table, path)
+    trace = load_trace(path)
+    return trace, to_chrome(trace)
+
+
+class TestTraceEventFormat:
+    def test_top_level_shape(self, chrome):
+        _, payload = chrome
+        assert set(payload) == {"traceEvents", "displayTimeUnit"}
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["traceEvents"]
+
+    def test_one_complete_event_per_span(self, chrome):
+        trace, payload = chrome
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(trace.spans)
+
+    def test_complete_events_carry_required_fields(self, chrome):
+        _, payload = chrome
+        for event in payload["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            assert event["cat"] == "crawl"
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+            assert event["pid"] == 0 and event["tid"] == 0
+            assert event["name"]
+
+    def test_process_metadata_present(self, chrome):
+        _, payload = chrome
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "process_name"
+
+    def test_children_nest_within_parents(self, chrome):
+        """Every child interval lies inside its parent's interval."""
+        trace, payload = chrome
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        by_id = {
+            span["id"]: event
+            for span, event in zip(trace.spans, complete)
+        }
+        for span in trace.spans:
+            if span["parent"] is None:
+                continue
+            child = by_id[span["id"]]
+            parent = by_id[span["parent"]]
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_steps_are_laid_out_back_to_back(self, chrome):
+        trace, payload = chrome
+        roots = [
+            event
+            for span, event in zip(
+                trace.spans,
+                [e for e in payload["traceEvents"] if e["ph"] == "X"],
+            )
+            if span["parent"] is None
+        ]
+        cursor = 0
+        for event in roots:
+            assert event["ts"] == cursor
+            cursor += event["dur"]
+
+    def test_payload_is_json_serializable(self, chrome):
+        _, payload = chrome
+        json.dumps(payload)
+
+
+class TestWriteChrome:
+    def test_writes_loadable_json(self, chrome, tmp_path):
+        trace, payload = chrome
+        out = tmp_path / "chrome.json"
+        events = write_chrome(trace, out)
+        assert events == len(payload["traceEvents"])
+        assert json.loads(out.read_text()) == payload
+
+    def test_grid_trace_gets_one_process_per_task(self, tmp_path, flaky_table):
+        trace_path = tmp_path / "grid.jsonl"
+        tasks = tuple(
+            CrawlTask(
+                label=label, seed_index=0, seeds=tuple(seed_values(flaky_table))
+            )
+            for label in sorted(TRACE_POLICIES)
+        )
+        grid = CrawlGrid(
+            make_server=lambda task: SimulatedWebDatabase(
+                flaky_table, page_size=10
+            ),
+            make_selector=lambda task: TRACE_POLICIES[task.label](),
+            tasks=tasks,
+            rng_seed=0,
+            crawl_kwargs={"max_queries": 10},
+        )
+        run_crawl_grid(grid, workers=1, trace=trace_path, trace_timings=False)
+        payload = to_chrome(load_trace(trace_path))
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert [e["pid"] for e in meta] == [0, 1, 2]
+        names = [e["args"]["name"] for e in meta]
+        assert names == [f"{label} (seed 0)" for label in sorted(TRACE_POLICIES)]
