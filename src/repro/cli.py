@@ -201,6 +201,15 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--dataset", choices=dataset_names(),
                         help="generate-and-crawl a built-in dataset")
     source.add_argument("--table", help="crawl a saved table (JSON)")
+    source.add_argument("--remote", metavar="URL",
+                        help="crawl a source served by 'repro serve' at this "
+                             "base URL (http://host:port)")
+    crawl.add_argument("--remote-source", default=None, metavar="NAME",
+                       help="source name on the remote service (default: its "
+                            "only mounted source)")
+    crawl.add_argument("--pipeline-depth", type=int, default=2,
+                       help="pages kept in flight ahead of extraction on the "
+                            "remote lane (0 disables pipelining)")
     crawl.add_argument("--records", type=int, default=0)
     crawl.add_argument("--policy", choices=sorted(POLICIES), default="greedy-link")
     crawl.add_argument("--page-size", type=int, default=10)
@@ -285,6 +294,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("trace_a", help="baseline span-JSONL trace")
     diff.add_argument("trace_b", help="comparison span-JSONL trace")
+
+    serve = commands.add_parser(
+        "serve", help="serve simulated sources over HTTP"
+    )
+    serve.add_argument("--dataset", action="append", choices=dataset_names(),
+                       help="mount a built-in dataset (repeatable)")
+    serve.add_argument("--table", action="append", metavar="PATH",
+                       help="mount a saved table JSON (repeatable)")
+    serve.add_argument("--records", type=int, default=0,
+                       help="record count for --dataset sources "
+                            "(0 = registry default)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--page-size", type=int, default=10)
+    serve.add_argument("--result-limit", type=int, default=None)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 = pick a free one)")
+    serve.add_argument("--rate-limit", type=int, default=0,
+                       help="max requests per client per window "
+                            "(0 = unlimited)")
+    serve.add_argument("--rate-window", type=float, default=1.0,
+                       help="rate-limit window in seconds")
+    serve.add_argument("--ban-after", type=int, default=0,
+                       help="consecutive violations before a temporary ban "
+                            "(0 = never ban)")
+    serve.add_argument("--ban-seconds", type=float, default=30.0)
+    serve.add_argument("--no-truth", action="store_true",
+                       help="seal the /truth/* routes (no ground-truth "
+                            "leakage to clients)")
+    serve.add_argument("--threaded", action="store_true",
+                       help="use the http.server threaded fallback instead "
+                            "of the asyncio front end")
+
+    loadtest = commands.add_parser(
+        "loadtest", help="drive concurrent sessions against a service"
+    )
+    loadtest.add_argument("url", help="service base URL (http://host:port)")
+    loadtest.add_argument("--source", default=None,
+                          help="source name (default: first mounted)")
+    loadtest.add_argument("--sessions", type=int, default=500)
+    loadtest.add_argument("--queries", type=int, default=2,
+                          help="queries issued per session")
+    loadtest.add_argument("--value-pool", type=int, default=64,
+                          help="distinct probe values sampled from the "
+                               "service")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--timeout", type=float, default=30.0)
+    loadtest.add_argument("--bench-out", default=None, metavar="PATH",
+                          help="write BENCH_net.json (regression-gate shape) "
+                               "here")
 
     profile = commands.add_parser(
         "profile", help="probe a source and summarize what it knows"
@@ -431,13 +490,27 @@ def _report_trace(out, tracer) -> None:
     )
 
 
-def _report_result(table, result, args, out) -> None:
-    out.write(f"source: {table.name} ({len(table):,} records)\n")
+def _report_result(table, result, args, out, server=None) -> None:
+    if table is not None:
+        out.write(f"source: {table.name} ({len(table):,} records)\n")
+    elif server is not None:
+        out.write(
+            f"source: {server.name} ({server.truth_size():,} records, "
+            f"remote at {server.base_url})\n"
+        )
     out.write(
         f"{result.policy}: {result.records_harvested:,} records "
         f"({result.coverage:.1%}) in {result.communication_rounds:,} rounds, "
         f"{result.queries_issued:,} queries, stopped by {result.stopped_by}\n"
     )
+    log = getattr(server, "log", None)
+    if log is not None and log.record_wall_times and log.wall_times:
+        total = log.total_wall_time
+        mean_ms = total / len(log.wall_times) * 1e3
+        out.write(
+            f"wire time: {total:.3f}s over {len(log.wall_times):,} rounds "
+            f"(mean {mean_ms:.1f}ms/round)\n"
+        )
     if result.aborted_queries:
         out.write(f"aborted queries: {result.aborted_queries}\n")
     if args.history:
@@ -471,11 +544,61 @@ def _profiled_crawl(args, out) -> int:
     return code
 
 
+def _remote_crawl(args, out) -> int:
+    """``repro crawl --remote URL``: the same crawl over the wire.
+
+    Seeds come from the service's ``/truth/seeds`` route, which runs
+    the identical :func:`sample_seed_values` the in-process path runs
+    — so a remote crawl with the same seed discovers the byte-identical
+    record set in the same number of communication rounds.
+    """
+    from repro.net import RemoteWebDatabase
+
+    if args.checkpoint_dir is not None:
+        out.write("--checkpoint-dir requires a local source\n")
+        return 2
+    if args.policy == "practical":
+        out.write("--remote does not support the practical bundle\n")
+        return 2
+    telemetry = writer = reporter = bus = tracer = None
+    if _telemetry_requested(args) or args.trace_out:
+        from repro.runtime.events import EventBus
+
+        bus = EventBus()
+        tracer = _attach_trace(args, bus)
+    with RemoteWebDatabase(
+        args.remote,
+        source=args.remote_source,
+        pipeline_depth=args.pipeline_depth,
+    ) as server:
+        if _telemetry_requested(args):
+            telemetry, writer, reporter = _attach_telemetry(
+                args, out, bus, truth_size=server.truth_size()
+            )
+        engine = CrawlerEngine(
+            server, POLICIES[args.policy](), seed=args.seed, bus=bus
+        )
+        seeds = server.truth_seeds(1, seed=args.seed, min_frequency=2)
+        result = engine.crawl(
+            seeds,
+            target_coverage=args.target,
+            max_rounds=args.max_rounds,
+            max_queries=args.max_queries,
+        )
+        out.write(f"seed value: {seeds[0]}\n")
+        _report_result(None, result, args, out, server=server)
+        _report_trace(out, tracer)
+        _report_telemetry(args, out, telemetry, writer, reporter)
+    return 0
+
+
 def _command_crawl(args, out) -> int:
     import random
 
     if getattr(args, "profile", None):
         return _profiled_crawl(args, out)
+    if getattr(args, "remote", None):
+        return _remote_crawl(args, out)
     if args.checkpoint_dir is not None:
         return _durable_crawl(args, out)
     if args.dataset:
@@ -759,6 +882,117 @@ def _command_profile(args, out) -> int:
     return 0
 
 
+def _build_served_sources(args):
+    """Mount tables as SimulatedWebDatabase instances for ``serve``."""
+    from pathlib import Path
+
+    limit_policy = (
+        ResultLimitPolicy(limit=args.result_limit, ordering="ranked")
+        if args.result_limit
+        else None
+    )
+    sources = {}
+    for name in args.dataset or []:
+        table = load_dataset(name, args.records, seed=args.seed)
+        sources[name] = SimulatedWebDatabase(
+            table, page_size=args.page_size, limit_policy=limit_policy
+        )
+    for path in args.table or []:
+        table = io.load_table(path)
+        name = table.name or Path(path).stem
+        sources[name] = SimulatedWebDatabase(
+            table, page_size=args.page_size, limit_policy=limit_policy
+        )
+    return sources
+
+
+def _command_serve(args, out) -> int:
+    import asyncio
+
+    from repro.metrics import MetricsRegistry
+    from repro.net import AsyncSourceServer, SourceService
+    from repro.net.server import ThreadedSourceServer
+    from repro.server.limits import RateLimiter
+
+    sources = _build_served_sources(args)
+    if not sources:
+        out.write("nothing to serve: pass --dataset and/or --table\n")
+        return 2
+    limiter = (
+        RateLimiter(
+            args.rate_limit,
+            args.rate_window,
+            ban_after=args.ban_after,
+            ban_seconds=args.ban_seconds,
+        )
+        if args.rate_limit
+        else None
+    )
+    service = SourceService(
+        sources,
+        rate_limiter=limiter,
+        registry=MetricsRegistry(),
+        expose_truth=not args.no_truth,
+    )
+
+    def announce(url: str) -> None:
+        out.write(f"serving {len(sources)} source(s) at {url}\n")
+        for name in sorted(sources):
+            out.write(f"  {url}/sources/{name}/query\n")
+        out.write("metrics at /metrics; stop with Ctrl-C\n")
+        if hasattr(out, "flush"):
+            out.flush()
+
+    if args.threaded:
+        server = ThreadedSourceServer(service, host=args.host, port=args.port)
+        announce(server.url)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+        return 0
+
+    async def run() -> None:
+        server = AsyncSourceServer(service, host=args.host, port=args.port)
+        await server.start()
+        announce(server.url)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        out.write("shutting down\n")
+    return 0
+
+
+def _command_loadtest(args, out) -> int:
+    from repro.metrics import MetricsRegistry
+    from repro.net import run_loadtest, write_bench
+
+    registry = MetricsRegistry()
+    report = run_loadtest(
+        args.url,
+        args.source,
+        sessions=args.sessions,
+        queries_per_session=args.queries,
+        value_pool=args.value_pool,
+        seed=args.seed,
+        timeout=args.timeout,
+        registry=registry,
+    )
+    out.write(report.summary())
+    out.write("\n")
+    if args.bench_out:
+        write_bench(report, args.bench_out)
+        out.write(f"bench written to {args.bench_out}\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -771,6 +1005,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "experiment": _command_experiment,
         "trace": _command_trace,
         "profile": _command_profile,
+        "serve": _command_serve,
+        "loadtest": _command_loadtest,
     }[args.command]
     return handler(args, out)
 

@@ -237,6 +237,34 @@ class Histogram(Metric):
             return 0.0
         return series.sum / series.total
 
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the containing bucket, Prometheus
+        ``histogram_quantile`` style.  Observations in the open +Inf
+        bucket clamp to the highest finite bound (there is no upper
+        edge to interpolate towards); an empty series returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        series = self._series.get(self._key(labels))
+        if series is None or series.total == 0:
+            return 0.0
+        rank = q * series.total
+        running = 0
+        for index, count in enumerate(series.counts):
+            if count == 0:
+                continue
+            if running + count >= rank:
+                if index >= len(self.buckets):
+                    return self.buckets[-1]
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                fraction = (rank - running) / count
+                return lower + (upper - lower) * fraction
+            running += count
+        return self.buckets[-1]
+
     def cumulative_buckets(
         self, **labels: str
     ) -> List[Tuple[float, int]]:

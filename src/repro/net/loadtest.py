@@ -1,0 +1,469 @@
+"""Load-test harness for the HTTP front end.
+
+Drives hundreds-to-thousands of concurrent crawl sessions against one
+running service process and reports throughput plus latency
+percentiles.  Each session owns one keep-alive connection and a
+distinct ``X-Client-Id``, issues a stream of single-predicate queries
+drawn from the service's own value pool (``/truth/sample``), and pages
+through every result page — the same access pattern a fleet of
+independent crawlers would produce.
+
+Two legs run back-to-back in one process, mirroring the hot-path
+benchmark's methodology:
+
+1. a **serial** calibration leg — one session, measuring the
+   single-client request rate this machine/service pair can sustain;
+2. the **concurrent** leg — ``sessions`` simultaneous sessions.
+
+The ratio of concurrent to serial throughput (``concurrency_speedup``)
+is the machine-independent signal committed to ``BENCH_net.json``:
+absolute request rates shift with hardware, but a genuine concurrency
+regression (lock contention in the service, head-of-line blocking in
+the event loop) shrinks the ratio everywhere.  The file matches the
+shape ``scripts/check_bench_regression.py`` gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlencode, urlsplit
+
+from repro.core.errors import ReproError
+from repro.metrics import MetricsRegistry
+
+#: Histogram buckets for load-test latency (seconds).
+_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class LoadTestError(ReproError):
+    """The harness could not run (bad URL, no sources, no values)."""
+
+
+@dataclass
+class LoadTestReport:
+    """Everything one load-test run measured."""
+
+    url: str
+    source: str
+    sessions: int
+    queries_per_session: int
+    requests: int = 0
+    records: int = 0
+    errors: int = 0
+    rate_limited: int = 0
+    wall_seconds: float = 0.0
+    requests_per_sec: float = 0.0
+    serial_requests_per_sec: float = 0.0
+    concurrency_speedup: float = 0.0
+    latency_mean: float = 0.0
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    latency_max: float = 0.0
+    #: Raw per-request latencies (seconds); dropped from the JSON report.
+    samples: List[float] = field(default_factory=list, repr=False)
+
+    def finalize(self) -> None:
+        """Fill the derived fields from the raw samples."""
+        if self.wall_seconds > 0:
+            self.requests_per_sec = round(self.requests / self.wall_seconds, 1)
+        if self.serial_requests_per_sec > 0 and self.requests_per_sec > 0:
+            self.concurrency_speedup = round(
+                self.requests_per_sec / self.serial_requests_per_sec, 3
+            )
+        if self.samples:
+            ordered = sorted(self.samples)
+            self.latency_mean = round(sum(ordered) / len(ordered), 6)
+            self.latency_p50 = round(_percentile(ordered, 0.50), 6)
+            self.latency_p95 = round(_percentile(ordered, 0.95), 6)
+            self.latency_p99 = round(_percentile(ordered, 0.99), 6)
+            self.latency_max = round(ordered[-1], 6)
+
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        payload.pop("samples")
+        return payload
+
+    def summary(self) -> str:
+        """Human-oriented multi-line summary for the CLI."""
+        lines = [
+            f"loadtest {self.url} source={self.source}",
+            (
+                f"  sessions={self.sessions} "
+                f"queries/session={self.queries_per_session} "
+                f"requests={self.requests} records={self.records}"
+            ),
+            (
+                f"  wall={self.wall_seconds:.2f}s "
+                f"throughput={self.requests_per_sec:.1f} req/s "
+                f"(serial {self.serial_requests_per_sec:.1f} req/s, "
+                f"speedup {self.concurrency_speedup:.2f}x)"
+            ),
+            (
+                f"  latency mean={self.latency_mean * 1e3:.2f}ms "
+                f"p50={self.latency_p50 * 1e3:.2f}ms "
+                f"p95={self.latency_p95 * 1e3:.2f}ms "
+                f"p99={self.latency_p99 * 1e3:.2f}ms "
+                f"max={self.latency_max * 1e3:.2f}ms"
+            ),
+            f"  errors={self.errors} rate_limited={self.rate_limited}",
+        ]
+        return "\n".join(lines)
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the ceil(q*n)-th order statistic."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+# ----------------------------------------------------------------------
+# Minimal async HTTP/1.1 session (one keep-alive connection)
+# ----------------------------------------------------------------------
+class _Session:
+    """One load-generating client: one connection, one client id."""
+
+    def __init__(self, host: str, port: int, client_id: str) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def get(self, target: str) -> Tuple[int, Dict[str, str], bytes]:
+        if self.writer is None:
+            await self._connect()
+        assert self.reader is not None and self.writer is not None
+        try:
+            self.writer.write(
+                (
+                    f"GET {target} HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    f"X-Client-Id: {self.client_id}\r\n"
+                    f"Connection: keep-alive\r\n\r\n"
+                ).encode("latin-1")
+            )
+            await self.writer.drain()
+            status_line = await self.reader.readline()
+            if not status_line:
+                raise ConnectionResetError("connection closed")
+            status = int(status_line.split(None, 2)[1])
+            headers: Dict[str, str] = {}
+            while True:
+                line = await self.reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _sep, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            body = await self.reader.readexactly(length) if length else b""
+            if headers.get("connection", "").lower() == "close":
+                self.close()
+            return status, headers, body
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            self.close()
+            raise
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+        self.reader = self.writer = None
+
+
+async def _get_json(session: _Session, target: str) -> dict:
+    status, _headers, body = await session.get(target)
+    if status != 200:
+        raise LoadTestError(f"GET {target} → {status}: {body[:200]!r}")
+    return json.loads(body.decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+async def _run_session(
+    host: str,
+    port: int,
+    source: str,
+    client_id: str,
+    values: Sequence[Tuple[str, str]],
+    queries: Sequence[int],
+    report: LoadTestReport,
+    samples: List[float],
+    timeout: float,
+    registry: Optional[MetricsRegistry],
+) -> None:
+    """One session: issue each assigned query, page through all pages."""
+    session = _Session(host, port, client_id)
+    histogram = (
+        registry.histogram(
+            "net_loadtest_request_seconds",
+            "Load-test request latency.",
+            buckets=_BUCKETS,
+        )
+        if registry is not None
+        else None
+    )
+    try:
+        for value_index in queries:
+            attribute, value = values[value_index % len(values)]
+            page, pages = 1, 1
+            while page <= pages:
+                target = (
+                    f"/sources/{source}/query?"
+                    + urlencode(
+                        [
+                            ("a", attribute),
+                            ("v", value),
+                            ("page", str(page)),
+                            ("format", "json"),
+                        ]
+                    )
+                )
+                started = time.perf_counter()
+                try:
+                    status, headers, body = await asyncio.wait_for(
+                        session.get(target), timeout=timeout
+                    )
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                    TimeoutError,
+                    asyncio.IncompleteReadError,
+                ):
+                    report.errors += 1
+                    break
+                elapsed = time.perf_counter() - started
+                if status == 429:
+                    report.rate_limited += 1
+                    try:
+                        delay = float(headers.get("retry-after", "1"))
+                    except ValueError:
+                        delay = 1.0
+                    await asyncio.sleep(min(delay, timeout))
+                    continue
+                samples.append(elapsed)
+                if histogram is not None:
+                    histogram.observe(elapsed)
+                report.requests += 1
+                if status != 200:
+                    report.errors += 1
+                    break
+                payload = json.loads(body.decode("utf-8"))
+                report.records += len(payload.get("records", ()))
+                pages = int(payload.get("pages", 1))
+                page += 1
+    finally:
+        session.close()
+
+
+async def _run(
+    url: str,
+    source: Optional[str],
+    sessions: int,
+    queries_per_session: int,
+    value_pool: int,
+    seed: int,
+    timeout: float,
+    registry: Optional[MetricsRegistry],
+) -> LoadTestReport:
+    split = urlsplit(url)
+    if split.scheme != "http" or not split.hostname:
+        raise LoadTestError(f"url must be http://host[:port], got {url!r}")
+    host, port = split.hostname, split.port or 80
+    driver = _Session(host, port, "loadtest-driver")
+    try:
+        if source is None:
+            listing = await _get_json(driver, "/sources")
+            names = [item["name"] for item in listing.get("sources", [])]
+            if not names:
+                raise LoadTestError(f"service at {url} mounts no sources")
+            source = names[0]
+        sample = await _get_json(
+            driver,
+            f"/sources/{source}/truth/sample?"
+            + urlencode({"n": value_pool, "seed": seed}),
+        )
+        values: List[Tuple[str, str]] = [
+            (a, v) for a, v in sample.get("values", [])
+        ]
+        if not values:
+            raise LoadTestError(
+                f"source {source!r} yielded no probe values "
+                f"(is the service running with expose_truth=True?)"
+            )
+    finally:
+        driver.close()
+
+    report = LoadTestReport(
+        url=url,
+        source=source,
+        sessions=sessions,
+        queries_per_session=queries_per_session,
+    )
+
+    # Leg 1: serial calibration — one session, a small query budget.
+    serial_samples: List[float] = []
+    serial_report = LoadTestReport(
+        url=url, source=source, sessions=1, queries_per_session=0
+    )
+    serial_queries = list(range(min(len(values), max(4, value_pool // 8))))
+    serial_start = time.perf_counter()
+    await _run_session(
+        host,
+        port,
+        source,
+        "loadtest-serial",
+        values,
+        serial_queries,
+        serial_report,
+        serial_samples,
+        timeout,
+        None,
+    )
+    serial_wall = time.perf_counter() - serial_start
+    if serial_wall > 0 and serial_report.requests:
+        report.serial_requests_per_sec = round(
+            serial_report.requests / serial_wall, 1
+        )
+
+    # Leg 2: the concurrent fleet.
+    samples: List[float] = []
+    tasks = []
+    started = time.perf_counter()
+    for index in range(sessions):
+        assigned = [
+            index * queries_per_session + j
+            for j in range(queries_per_session)
+        ]
+        tasks.append(
+            _run_session(
+                host,
+                port,
+                source,
+                f"session-{index}",
+                values,
+                assigned,
+                report,
+                samples,
+                timeout,
+                registry,
+            )
+        )
+    await asyncio.gather(*tasks)
+    report.wall_seconds = round(time.perf_counter() - started, 3)
+    report.samples = samples
+    report.finalize()
+    if registry is not None:
+        quantiles = registry.gauge(
+            "net_loadtest_latency_seconds",
+            "Load-test latency percentiles.",
+            labels=("quantile",),
+        )
+        quantiles.set_key(("0.5",), report.latency_p50)
+        quantiles.set_key(("0.95",), report.latency_p95)
+        quantiles.set_key(("0.99",), report.latency_p99)
+    return report
+
+
+def run_loadtest(
+    url: str,
+    source: Optional[str] = None,
+    *,
+    sessions: int = 500,
+    queries_per_session: int = 2,
+    value_pool: int = 64,
+    seed: int = 0,
+    timeout: float = 30.0,
+    registry: Optional[MetricsRegistry] = None,
+) -> LoadTestReport:
+    """Run the full load test (serial leg + concurrent leg) and report.
+
+    Parameters mirror the ``repro loadtest`` CLI verb: ``sessions``
+    concurrent clients, each issuing ``queries_per_session`` queries
+    drawn from a ``value_pool``-value probe sample, paging through all
+    result pages.  All sessions run on one event loop inside this call
+    — no threads, no subprocesses.
+    """
+    if sessions < 1:
+        raise LoadTestError("sessions must be >= 1")
+    if queries_per_session < 1:
+        raise LoadTestError("queries_per_session must be >= 1")
+    return asyncio.run(
+        _run(
+            url,
+            source,
+            sessions,
+            queries_per_session,
+            value_pool,
+            seed,
+            timeout,
+            registry,
+        )
+    )
+
+
+def write_bench(
+    report: LoadTestReport, path, *, scale: float = 1.0
+) -> dict:
+    """Write ``BENCH_net.json`` in the regression-gate shape.
+
+    ``scripts/check_bench_regression.py`` reads ``scale`` and
+    ``policies.<name>.speedup``; the gated ratio here is
+    ``concurrency_speedup`` (concurrent over serial throughput), which
+    is machine-independent the same way the hot-path speedup is.
+    """
+    payload = {
+        "benchmark": "net_loadtest",
+        "scale": scale,
+        "sessions": report.sessions,
+        "queries_per_session": report.queries_per_session,
+        "policies": {
+            "loadtest": {
+                "speedup": report.concurrency_speedup,
+                "requests": report.requests,
+                "records": report.records,
+                "errors": report.errors,
+                "rate_limited": report.rate_limited,
+                "wall_seconds": report.wall_seconds,
+                "requests_per_sec": report.requests_per_sec,
+                "serial_requests_per_sec": report.serial_requests_per_sec,
+                "latency_mean": report.latency_mean,
+                "latency_p50": report.latency_p50,
+                "latency_p95": report.latency_p95,
+                "latency_p99": report.latency_p99,
+                "latency_max": report.latency_max,
+            }
+        },
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    return payload

@@ -1,0 +1,669 @@
+"""The asyncio HTTP front end serving simulated sources.
+
+Layering:
+
+- :class:`SourceService` is the transport-free core: one method turns
+  ``(method, target, headers, client)`` into a status/headers/body
+  triple, charging communication rounds on the mounted
+  :class:`~repro.server.webdb.SimulatedWebDatabase` instances, applying
+  the per-client :class:`~repro.server.limits.RateLimiter`, and feeding
+  a :class:`~repro.metrics.MetricsRegistry`;
+- :class:`AsyncSourceServer` speaks HTTP/1.1 over
+  :func:`asyncio.start_server` (stdlib only): keep-alive connections,
+  per-connection read timeouts, graceful shutdown that closes every
+  open socket and cancels every handler task;
+- :class:`ThreadedSourceServer` is the :mod:`http.server` fallback for
+  environments where an event loop is unavailable (or already owned by
+  someone else) — it shares the exact same :class:`SourceService`
+  handler, whose single lock makes the threaded path safe;
+- :class:`ServerThread` runs an :class:`AsyncSourceServer` on a
+  background thread, which is how tests and the load-test harness get
+  a live service inside one process.
+
+Politeness: when the rate limiter denies a request the response is
+``429 Too Many Requests`` with a ``Retry-After`` header equal to the
+limiter's actual reset time (rounded up to whole seconds, minimum 1,
+as the HTTP header is integer-valued) — and the exact float is carried
+in the JSON body as ``retryAfter`` for clients that can honor it more
+precisely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.core.errors import PaginationError, UnsupportedQueryError
+from repro.metrics import MetricsRegistry, prometheus_text
+from repro.net.protocol import (
+    FORMATS,
+    ProtocolError,
+    SourceDescriptor,
+    decode_query_params,
+    error_json,
+    render_page_json,
+)
+from repro.server.limits import RateLimiter
+from repro.server.service import render_page
+
+#: Histogram bounds tuned for localhost-to-LAN request latencies.
+LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class Response:
+    """One HTTP response, transport-agnostic."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def json(cls, payload, status: int = 200) -> "Response":
+        return cls(
+            status,
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+        )
+
+    @classmethod
+    def error(
+        cls, status: int, code: str, message: str, **extra
+    ) -> "Response":
+        return cls(status, error_json(code, message, **extra).encode("utf-8"))
+
+
+class SourceService:
+    """Routes requests onto mounted simulated sources.
+
+    Parameters
+    ----------
+    sources:
+        ``name -> SimulatedWebDatabase``; names appear in URLs, so keep
+        them URL-friendly (the CLI uses dataset names).
+    rate_limiter:
+        Per-client request quota applied to the ``query`` route only
+        (politeness governs queries, not metadata probes).  ``None``
+        admits everything.
+    registry:
+        Telemetry registry behind ``/metrics``; a private one is
+        created when omitted.
+    expose_truth:
+        Serve the ``truth/*`` ground-truth routes (experiment harnesses
+        and the load-test driver need them; a hardened deployment
+        seals them).
+    """
+
+    def __init__(
+        self,
+        sources: Mapping[str, object],
+        rate_limiter: Optional[RateLimiter] = None,
+        registry: Optional[MetricsRegistry] = None,
+        expose_truth: bool = True,
+    ) -> None:
+        if not sources:
+            raise ValueError("at least one source must be mounted")
+        self.sources = dict(sources)
+        self.rate_limiter = rate_limiter
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.expose_truth = expose_truth
+        # One lock serializes source access: SimulatedWebDatabase's
+        # order cache and communication log are not thread-safe, and
+        # the threaded fallback (plus /metrics sampling) may hit them
+        # from many threads at once.  The asyncio server is
+        # single-threaded, where this lock is uncontended.
+        self._lock = threading.RLock()
+        self._requests = self.registry.counter(
+            "net_server_requests_total",
+            "HTTP requests served, by route and status.",
+            labels=("route", "status"),
+        )
+        self._latency = self.registry.histogram(
+            "net_server_request_seconds",
+            "Service-side request handling latency.",
+            labels=("route",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self._rate_limited = self.registry.counter(
+            "net_server_rate_limited_total",
+            "Query requests denied by the rate limiter.",
+            labels=("banned",),
+        )
+        self._rounds = self.registry.gauge(
+            "net_server_rounds_total",
+            "Communication rounds charged per mounted source.",
+            labels=("source",),
+        )
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        target: str,
+        headers: Mapping[str, str],
+        client: str,
+    ) -> Response:
+        """Serve one request; never raises."""
+        started = time.perf_counter()
+        route = "other"
+        try:
+            route, response = self._dispatch(method, target, headers, client)
+        except Exception as error:  # noqa: BLE001 - the wire gets a 500
+            response = Response.error(500, "internal", f"{type(error).__name__}: {error}")
+        self._requests.inc_key((route, str(response.status)))
+        self._latency.observe_key((route,), time.perf_counter() - started)
+        return response
+
+    def _dispatch(
+        self,
+        method: str,
+        target: str,
+        headers: Mapping[str, str],
+        client: str,
+    ) -> Tuple[str, Response]:
+        if method not in ("GET", "HEAD"):
+            return "other", Response.error(
+                405, "method-not-allowed", f"{method} is not supported"
+            )
+        split = urlsplit(target)
+        path = unquote(split.path)
+        params = parse_qs(split.query, keep_blank_values=True)
+        if path in ("/", ""):
+            return "index", self._index()
+        if path == "/healthz":
+            return "healthz", Response.json({"ok": True})
+        if path == "/metrics":
+            return "metrics", self._metrics()
+        if path == "/sources":
+            return "sources", self._source_list()
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 2 and parts[0] == "sources":
+            name = parts[1]
+            source = self.sources.get(name)
+            if source is None:
+                return "meta", Response.error(
+                    404, "not-found", f"no source named {name!r}"
+                )
+            tail = parts[2:]
+            if tail == ["meta"]:
+                return "meta", Response.json(
+                    SourceDescriptor.for_source(name, source).to_json()
+                )
+            if tail == ["query"]:
+                return "query", self._query(
+                    name, source, params, headers, client
+                )
+            if tail and tail[0] == "truth":
+                if not self.expose_truth:
+                    return "truth", Response.error(
+                        404, "not-found", "truth routes are sealed"
+                    )
+                return "truth", self._truth(source, tail[1:], params)
+        return "other", Response.error(404, "not-found", f"no route for {path}")
+
+    # ------------------------------------------------------------------
+    def _index(self) -> Response:
+        return Response.json(
+            {
+                "service": "repro-net/1",
+                "sources": sorted(self.sources),
+                "routes": [
+                    "/healthz",
+                    "/metrics",
+                    "/sources",
+                    "/sources/<name>/meta",
+                    "/sources/<name>/query",
+                ],
+            }
+        )
+
+    def _source_list(self) -> Response:
+        with self._lock:
+            payload = {
+                "sources": [
+                    SourceDescriptor.for_source(name, source).to_json()
+                    for name, source in sorted(self.sources.items())
+                ]
+            }
+        return Response.json(payload)
+
+    def _metrics(self) -> Response:
+        with self._lock:
+            for name, source in sorted(self.sources.items()):
+                self._rounds.set_key((name,), source.rounds)
+            text = prometheus_text(self.registry)
+        return Response(
+            200,
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _query(
+        self,
+        name: str,
+        source,
+        params: Mapping[str, List[str]],
+        headers: Mapping[str, str],
+        client: str,
+    ) -> Response:
+        if self.rate_limiter is not None:
+            key = headers.get("x-client-id") or client
+            decision = self.rate_limiter.check(f"{name}:{key}")
+            if not decision.allowed:
+                self._rate_limited.inc_key((str(decision.banned).lower(),))
+                response = Response.error(
+                    429,
+                    "rate-limited",
+                    (
+                        "temporarily banned"
+                        if decision.banned
+                        else "request quota exceeded"
+                    ),
+                    retryAfter=round(decision.retry_after, 6),
+                    banned=decision.banned,
+                )
+                response.headers.append(
+                    # The header is integer-valued (RFC 9110); round up
+                    # so honoring it always lands after the reset.
+                    ("Retry-After", str(max(1, math.ceil(decision.retry_after))))
+                )
+                return response
+        try:
+            query = decode_query_params(params)
+        except ProtocolError as error:
+            return Response.error(400, "bad-request", str(error))
+        except (ValueError, KeyError) as error:
+            return Response.error(400, "bad-request", str(error))
+        try:
+            page_number = int(params.get("page", ["1"])[0])
+        except ValueError:
+            return Response.error(400, "bad-request", "page must be an integer")
+        format = params.get("format", ["json"])[0]
+        if format not in FORMATS:
+            return Response.error(
+                400, "bad-request", f"format must be one of {FORMATS}"
+            )
+        try:
+            with self._lock:
+                page = source.submit(query, page_number)
+        except UnsupportedQueryError as error:
+            return Response.error(400, "unsupported-query", str(error))
+        except PaginationError as error:
+            # The round was charged (the client had to ask to find
+            # out), exactly like the in-process lane.
+            return Response.error(404, "page-out-of-range", str(error))
+        if format == "xml":
+            return Response(
+                200,
+                render_page(page).encode("utf-8"),
+                content_type="application/xml; charset=utf-8",
+            )
+        return Response(200, render_page_json(page).encode("utf-8"))
+
+    def _truth(
+        self, source, tail: List[str], params: Mapping[str, List[str]]
+    ) -> Response:
+        if tail == ["size"]:
+            with self._lock:
+                return Response.json({"size": source.truth_size()})
+        if tail in (["seeds"], ["sample"]):
+            try:
+                count = int(params.get("n", ["1"])[0])
+                seed = int(params.get("seed", ["0"])[0])
+                min_frequency = int(params.get("min_frequency", ["1"])[0])
+            except ValueError:
+                return Response.error(
+                    400, "bad-request", "n/seed/min_frequency must be integers"
+                )
+            count = max(1, min(count, 10_000))
+            with self._lock:
+                if tail == ["seeds"]:
+                    # Mirrors the in-process lane exactly: CLI crawls
+                    # draw seeds with sample_seed_values, so a remote
+                    # crawl at the same seed starts identically.
+                    from repro.experiments.harness import sample_seed_values
+
+                    values = sample_seed_values(
+                        source.table,
+                        count,
+                        random.Random(seed),
+                        min_frequency=min_frequency,
+                    )
+                else:
+                    rng = random.Random(seed)
+                    queriable = set(source.table.schema.queriable)
+                    pool = [
+                        pair
+                        for pair in source.table.distinct_values()
+                        if pair.attribute in queriable
+                    ]
+                    rng.shuffle(pool)
+                    values = pool[:count]
+            return Response.json(
+                {"values": [[v.attribute, v.value] for v in values]}
+            )
+        return Response.error(
+            404, "not-found", f"no truth route for {'/'.join(tail)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# asyncio transport
+# ----------------------------------------------------------------------
+class AsyncSourceServer:
+    """HTTP/1.1 over ``asyncio.start_server`` — stdlib only.
+
+    Supports GET/HEAD with keep-alive.  ``close()`` is graceful and
+    complete: the listening socket stops, every open connection is
+    closed, and every per-connection task is awaited — the "no leaked
+    tasks/sockets" guarantee the CI smoke job asserts.
+    """
+
+    MAX_REQUEST_LINE = 16 * 1024
+    MAX_HEADER_BYTES = 64 * 1024
+
+    def __init__(
+        self,
+        service: SourceService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout: float = 30.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.idle_timeout = idle_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._active = service.registry.gauge(
+            "net_server_active_connections",
+            "Open client connections right now.",
+        )
+        self.requests_served = 0
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+        # Closing the writers unblocks their handler coroutines; give
+        # the loop a tick to let them finish and deregister.
+        for _ in range(10):
+            if not self._connections:
+                break
+            await asyncio.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        self._active.set_key((), len(self._connections))
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else str(peer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers = request
+                response = self.service.handle(method, target, headers, client)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                self._write_response(
+                    writer, response, head_only=(method == "HEAD"),
+                    keep_alive=keep_alive,
+                )
+                await writer.drain()
+                self.requests_served += 1
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.TimeoutError,
+            TimeoutError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            self._active.set_key((), len(self._connections))
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str]]]:
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.idle_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            return None
+        if not line:
+            return None
+        if len(line) > self.MAX_REQUEST_LINE:
+            return None
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        total = 0
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > self.MAX_HEADER_BYTES:
+                return None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        head_only: bool,
+        keep_alive: bool,
+    ) -> None:
+        reason = _STATUS_REASONS.get(response.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in response.headers:
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head if head_only else head + response.body)
+
+
+# ----------------------------------------------------------------------
+# http.server fallback (threads, no event loop)
+# ----------------------------------------------------------------------
+class ThreadedSourceServer:
+    """The same service over ``http.server.ThreadingHTTPServer``.
+
+    One thread per connection; :class:`SourceService`'s lock keeps the
+    mounted sources consistent.  Useful where the process cannot own an
+    event loop; the asyncio front end is the primary lane.
+    """
+
+    def __init__(
+        self, service: SourceService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        outer = service
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _serve(self, head_only: bool) -> None:
+                headers = {
+                    name.lower(): value for name, value in self.headers.items()
+                }
+                response = outer.handle(
+                    self.command, self.path, headers, self.client_address[0]
+                )
+                self.send_response(response.status)
+                self.send_header("Content-Type", response.content_type)
+                self.send_header("Content-Length", str(len(response.body)))
+                for name, value in response.headers:
+                    self.send_header(name, value)
+                self.end_headers()
+                if not head_only:
+                    self.wfile.write(response.body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                self._serve(head_only=False)
+
+            def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+                self._serve(head_only=True)
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self.host, self.port = self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+
+
+# ----------------------------------------------------------------------
+# Background-thread wrapper around the asyncio server
+# ----------------------------------------------------------------------
+class ServerThread:
+    """Run an :class:`AsyncSourceServer` on a dedicated thread.
+
+    ``start()`` blocks until the socket is bound and returns the base
+    URL; ``stop()`` shuts the server down cleanly and joins the
+    thread.  Context-manager friendly::
+
+        with ServerThread(service) as url:
+            crawl(RemoteWebDatabase(url))
+    """
+
+    def __init__(
+        self,
+        service: SourceService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.server = AsyncSourceServer(service, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> str:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to bind: {self._startup_error}"
+            ) from self._startup_error
+        return self.server.url
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as error:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.close())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

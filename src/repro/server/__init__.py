@@ -14,7 +14,12 @@ from repro.server.html import (
     render_html_page,
 )
 from repro.server.interface import QueryInterface
-from repro.server.limits import ORDERINGS, ResultLimitPolicy
+from repro.server.limits import (
+    ORDERINGS,
+    RateLimitDecision,
+    RateLimiter,
+    ResultLimitPolicy,
+)
 from repro.server.network import CommunicationLog, RequestRecord
 from repro.server.pagination import ResultPage, page_count, paginate
 from repro.server.service import parse_page, render_page
@@ -27,6 +32,8 @@ __all__ = [
     "ORDERINGS",
     "PermanentServerFailure",
     "QueryInterface",
+    "RateLimitDecision",
+    "RateLimiter",
     "RequestRecord",
     "ResultLimitPolicy",
     "ResultPage",

@@ -1,18 +1,28 @@
-"""Result-size limit policies (Section 5.4).
+"""Result-size limit and request-rate policies.
 
 Most web databases cap how many results of a query can actually be
 retrieved — Amazon's web service stops at 3,200 records; Yahoo! Autos
 "may claim 5000 matches" yet serve only the first 20 pages.  The cap
 interacts with *which* records are served: a site returns its top-ranked
 matches, not a uniform sample.  A :class:`ResultLimitPolicy` bundles the
-cap with the ranking used to choose the accessible prefix.
+cap with the ranking used to choose the accessible prefix (Section 5.4).
+
+Real sources also throttle *how fast* clients may ask: the
+:class:`RateLimiter` enforces a per-client sliding-window request quota
+with optional temporary bans for clients that keep hammering a closed
+window.  The network front end (:mod:`repro.net.server`) consults it
+per query request and converts denials into HTTP 429 responses whose
+``Retry-After`` equals the limiter's actual reset time.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
+import time
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.core.errors import QueryError
 from repro.core.query import AnyQuery, ConjunctiveQuery
@@ -80,3 +90,122 @@ class ResultLimitPolicy:
         if self.limit is None:
             return n_matches
         return min(n_matches, self.limit)
+
+
+@dataclass(frozen=True)
+class RateLimitDecision:
+    """Outcome of one admission check.
+
+    ``retry_after`` is the number of seconds after which the *same*
+    request is guaranteed to be admitted (the limiter's actual reset
+    time, not a guess): the moment the oldest in-window request falls
+    out of the window, or the moment a ban expires.  0.0 when allowed.
+    """
+
+    allowed: bool
+    retry_after: float = 0.0
+    banned: bool = False
+
+
+class RateLimiter:
+    """Per-client sliding-window request quota with temporary bans.
+
+    A client may make at most ``max_requests`` requests in any
+    ``window_seconds``-long interval.  A denied request does not count
+    against the window (a polite client retrying after ``retry_after``
+    is not penalized for having asked), but each denial counts as a
+    *violation*; ``ban_after`` consecutive violations earn the client a
+    ``ban_seconds`` ban, during which every request is denied with the
+    ban's remaining time as ``retry_after``.  An admitted request
+    resets the violation count — only sustained hammering escalates.
+
+    All state is guarded by one lock: the asyncio front end is
+    single-threaded but the threaded fallback (and tests) hit the
+    limiter from many threads at once.
+
+    ``clock`` is injectable (monotonic seconds) so tests can step time
+    exactly; production uses :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        max_requests: int,
+        window_seconds: float,
+        ban_after: int = 0,
+        ban_seconds: float = 0.0,
+        clock=time.monotonic,
+    ) -> None:
+        if max_requests < 1:
+            raise QueryError(f"max_requests must be >= 1, got {max_requests}")
+        if window_seconds <= 0:
+            raise QueryError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        if ban_after > 0 and ban_seconds <= 0:
+            raise QueryError("ban_after requires ban_seconds > 0")
+        self.max_requests = max_requests
+        self.window_seconds = window_seconds
+        self.ban_after = ban_after
+        self.ban_seconds = ban_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._windows: Dict[str, Deque[float]] = {}
+        self._violations: Dict[str, int] = {}
+        self._banned_until: Dict[str, float] = {}
+        self.denials = 0
+        self.bans_issued = 0
+
+    def check(self, client: str) -> RateLimitDecision:
+        """Admit or deny one request from ``client`` right now."""
+        with self._lock:
+            now = self._clock()
+            banned_until = self._banned_until.get(client)
+            if banned_until is not None:
+                if now < banned_until:
+                    self.denials += 1
+                    return RateLimitDecision(
+                        allowed=False,
+                        retry_after=banned_until - now,
+                        banned=True,
+                    )
+                # Ban expired: the client starts from a clean slate.
+                del self._banned_until[client]
+                self._windows.pop(client, None)
+                self._violations.pop(client, None)
+            window = self._windows.get(client)
+            if window is None:
+                window = self._windows[client] = deque()
+            horizon = now - self.window_seconds
+            while window and window[0] <= horizon:
+                window.popleft()
+            if len(window) < self.max_requests:
+                window.append(now)
+                self._violations.pop(client, None)
+                return RateLimitDecision(allowed=True)
+            self.denials += 1
+            retry_after = window[0] + self.window_seconds - now
+            if self.ban_after > 0:
+                violations = self._violations.get(client, 0) + 1
+                self._violations[client] = violations
+                if violations >= self.ban_after:
+                    self.bans_issued += 1
+                    self._banned_until[client] = now + self.ban_seconds
+                    self._violations.pop(client, None)
+                    return RateLimitDecision(
+                        allowed=False,
+                        retry_after=self.ban_seconds,
+                        banned=True,
+                    )
+            return RateLimitDecision(allowed=False, retry_after=retry_after)
+
+    def reset(self, client: Optional[str] = None) -> None:
+        """Forget one client's state (or everyone's, with no argument)."""
+        with self._lock:
+            if client is None:
+                self._windows.clear()
+                self._violations.clear()
+                self._banned_until.clear()
+            else:
+                self._windows.pop(client, None)
+                self._violations.pop(client, None)
+                self._banned_until.pop(client, None)

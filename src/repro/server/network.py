@@ -24,6 +24,10 @@ class RequestRecord:
     page_number: int
     records_returned: int
     new_records: Optional[int] = None  # filled in by the crawler, if known
+    #: Wire latency of this request in seconds, when the transport
+    #: measured one (the network lane does; the in-process lane has no
+    #: wire).  Observational only — never part of canonical state.
+    wall_time: Optional[float] = None
 
 
 @dataclass
@@ -40,6 +44,13 @@ class CommunicationLog:
     query should be a hit, a re-ordered recomputation after eviction a
     miss — observable here because the cache exists to keep round
     serving cheap.
+
+    With ``record_wall_times`` enabled (off by default; the network
+    lane turns it on) each recorded round may carry its wire latency in
+    seconds, letting a remote crawl attribute wall time per query.
+    Wall times are observational only: they are excluded from runtime
+    snapshots, so canonical state — and hence resume byte-identity —
+    never depends on them.
     """
 
     rounds: int = 0
@@ -48,18 +59,49 @@ class CommunicationLog:
     keep_requests: bool = True
     cache_hits: int = 0
     cache_misses: int = 0
+    record_wall_times: bool = False
+    wall_times: List[float] = field(default_factory=list)
     _callbacks: List[Callable[[int], None]] = field(default_factory=list)
 
-    def record(self, query: Query, page_number: int, records_returned: int) -> RequestRecord:
-        """Log one page request and advance the round counter."""
+    def record(
+        self,
+        query: Query,
+        page_number: int,
+        records_returned: int,
+        wall_time: Optional[float] = None,
+    ) -> RequestRecord:
+        """Log one page request and advance the round counter.
+
+        ``wall_time`` is the request's wire latency in seconds; it is
+        kept only when ``record_wall_times`` is on.
+        """
         self.rounds += 1
-        entry = RequestRecord(self.rounds, query, page_number, records_returned)
+        if not self.record_wall_times:
+            wall_time = None
+        entry = RequestRecord(
+            self.rounds, query, page_number, records_returned, wall_time=wall_time
+        )
+        if wall_time is not None:
+            self.wall_times.append(wall_time)
         if self.keep_requests:
             self.requests.append(entry)
         self.queries_issued[query] = self.queries_issued.get(query, 0) + 1
         for callback in self._callbacks:
             callback(self.rounds)
         return entry
+
+    @property
+    def total_wall_time(self) -> float:
+        """Total recorded wire time in seconds (0.0 when not recording)."""
+        return sum(self.wall_times)
+
+    def wall_time_for(self, query: Query) -> float:
+        """Wire seconds attributed to ``query`` (needs ``keep_requests``)."""
+        return sum(
+            entry.wall_time
+            for entry in self.requests
+            if entry.query == query and entry.wall_time is not None
+        )
 
     def on_round(self, callback: Callable[[int], None]) -> None:
         """Register a callback invoked with the round number after each round."""
@@ -94,3 +136,4 @@ class CommunicationLog:
         self.queries_issued.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.wall_times.clear()

@@ -11,6 +11,7 @@ Python object handed through a back door.
 
 from __future__ import annotations
 
+import re
 import xml.etree.ElementTree as ET
 from typing import Optional
 
@@ -18,6 +19,27 @@ from repro.core.query import AnyQuery, ConjunctiveQuery, Query
 from repro.core.records import Record
 from repro.core.values import AttributeValue
 from repro.server.pagination import ResultPage
+
+#: Attribute names usable directly as XML element tags.  Anything else
+#: (embedded whitespace, ``<``/``&``, a leading digit, a colon, ...)
+#: would serialize into a document no parser accepts — ElementTree
+#: escapes text and attribute *values* but writes tags verbatim — so
+#: such names are rendered as ``<Field name="...">`` instead.
+_SAFE_TAG = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+#: Characters XML 1.0 cannot carry at all, even escaped: everything
+#: below 0x20 except tab/newline/carriage-return, plus the two
+#: permanently-unassigned sentinels.  ElementTree happily *writes*
+#: them, producing a document ``fromstring`` then rejects — a crawl
+#: over the wire would die on the response.  They are replaced with
+#: U+FFFD before serialization (value normalization collapses all
+#: legitimate whitespace first, so real dataset values never hit this).
+_XML_INVALID = re.compile("[\x00-\x08\x0b\x0c\x0e-\x1f￾￿]")
+
+
+def _xml_safe(text: str) -> str:
+    """Replace characters XML 1.0 cannot represent with U+FFFD."""
+    return _XML_INVALID.sub("�", text)
 
 
 def render_page(page: ResultPage) -> str:
@@ -49,21 +71,33 @@ def render_page(page: ResultPage) -> str:
             ET.SubElement(
                 request,
                 "Predicate",
-                attribute=predicate.attribute,
-                value=predicate.value,
+                attribute=_xml_safe(predicate.attribute),
+                value=_xml_safe(predicate.value),
             )
     else:
         if page.query.attribute is not None:
-            request.set("attribute", page.query.attribute)
-        request.set("value", page.query.value)
+            request.set("attribute", _xml_safe(page.query.attribute))
+        request.set("value", _xml_safe(page.query.value))
     for record in page.records:
         item = ET.SubElement(root, "Item", id=str(record.record_id))
         # Field order is preserved (not sorted): the extractor's
         # decomposition order — and hence BFS/DFS behaviour — must be
         # identical whether results arrive as objects or as XML.
         for attribute, values in record.fields.items():
-            for value in values:
-                ET.SubElement(item, attribute).text = value
+            if _SAFE_TAG.match(attribute):
+                for value in values:
+                    ET.SubElement(item, attribute).text = _xml_safe(value)
+            else:
+                # Attribute names that are not valid XML tags travel as
+                # <Field name="..."> (names are attribute values there,
+                # which ElementTree escapes correctly).  "Field" cannot
+                # collide with a real attribute: record attribute names
+                # are lowercased at construction.
+                for value in values:
+                    field = ET.SubElement(
+                        item, "Field", name=_xml_safe(attribute)
+                    )
+                    field.text = _xml_safe(value)
     return ET.tostring(root, encoding="unicode")
 
 
@@ -98,7 +132,11 @@ def parse_page(document: str) -> ResultPage:
     for item in root.findall("Item"):
         fields: dict[str, list[str]] = {}
         for child in item:
-            fields.setdefault(child.tag, []).append(child.text or "")
+            if child.tag == "Field":
+                name = child.get("name", "")
+            else:
+                name = child.tag
+            fields.setdefault(name, []).append(child.text or "")
         records.append(
             Record(int(item.get("id", "0")), {k: tuple(v) for k, v in fields.items()})
         )

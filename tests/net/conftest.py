@@ -1,0 +1,34 @@
+"""Shared fixtures for the network lane: one live service per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.metrics import MetricsRegistry
+from repro.net import ServerThread, SourceService
+from repro.server import SimulatedWebDatabase
+
+
+@pytest.fixture(scope="session")
+def imdb_table():
+    return load_dataset("imdb", 800, seed=1)
+
+
+@pytest.fixture()
+def service(imdb_table, books):
+    """A fresh service per test (sources carry per-crawl round state)."""
+    return SourceService(
+        {
+            "imdb": SimulatedWebDatabase(imdb_table, page_size=10),
+            "books": SimulatedWebDatabase(books, page_size=2),
+        },
+        registry=MetricsRegistry(),
+    )
+
+
+@pytest.fixture()
+def served(service):
+    """(url, service) with a live asyncio server on a background thread."""
+    with ServerThread(service) as url:
+        yield url, service

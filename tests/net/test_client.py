@@ -1,0 +1,196 @@
+"""Tests for RemoteWebDatabase: surface parity, pipelining, politeness."""
+
+import pytest
+
+from repro.core import Query
+from repro.core.errors import PaginationError, UnsupportedQueryError
+from repro.metrics import MetricsRegistry
+from repro.net import RemoteSourceError, RemoteWebDatabase, ServerThread, SourceService
+from repro.server import (
+    PermanentServerFailure,
+    RateLimiter,
+    SimulatedWebDatabase,
+)
+
+
+@pytest.fixture()
+def remote(served):
+    url, _service = served
+    with RemoteWebDatabase(url, source="books") as client:
+        yield client
+
+
+class TestSurfaceParity:
+    def test_interface_and_page_size(self, remote, books):
+        local = SimulatedWebDatabase(books, page_size=2)
+        assert remote.page_size == local.page_size
+        assert remote.interface == local.interface
+        assert remote.truth_size() == len(books)
+
+    def test_pages_match_in_process(self, remote, books):
+        local = SimulatedWebDatabase(books, page_size=2)
+        query = Query.equality("publisher", "orbit")
+        for page_number in (1, 2):
+            assert remote.submit(query, page_number) == local.submit(
+                query, page_number
+            )
+
+    def test_xml_format_matches_too(self, served, books):
+        url, _service = served
+        local = SimulatedWebDatabase(books, page_size=2)
+        query = Query.equality("publisher", "orbit")
+        with RemoteWebDatabase(url, source="books", format="xml") as client:
+            assert client.submit(query) == local.submit(query)
+
+    def test_unsupported_query_raises_without_a_round(self, remote):
+        with pytest.raises(UnsupportedQueryError):
+            remote.submit(Query.equality("price", "10"))
+        assert remote.rounds == 0
+
+    def test_page_out_of_range_charges_the_round(self, remote):
+        with pytest.raises(PaginationError):
+            remote.submit(Query.equality("publisher", "orbit"), 99)
+        assert remote.rounds == 1
+
+    def test_source_required_when_many_mounted(self, served):
+        url, _service = served
+        with pytest.raises(RemoteSourceError, match="2 sources"):
+            RemoteWebDatabase(url)
+
+    def test_unknown_source_rejected(self, served):
+        url, _service = served
+        with pytest.raises(RemoteSourceError):
+            RemoteWebDatabase(url, source="ghost")
+
+    def test_runtime_state_roundtrip(self, remote):
+        remote.submit(Query.equality("publisher", "orbit"))
+        state = remote.runtime_state()
+        assert state == {"rounds": 1}
+        remote.load_runtime_state({"rounds": 41})
+        assert remote.rounds == 41
+
+
+class TestRoundAccounting:
+    def test_rounds_count_consumed_pages_only(self, served):
+        url, service = served
+        with RemoteWebDatabase(
+            url, source="books", pipeline_depth=3
+        ) as client:
+            query = Query.equality("publisher", "orbit")
+            page = client.submit(query)  # schedules prefetch of page 2
+            assert page.num_pages == 2
+            # Switch to a different query without consuming page 2.
+            client.submit(Query.equality("publisher", "mitp"))
+            assert client.rounds == 2
+        # The server saw the speculative fetch; the client's log did not.
+        assert service.sources["books"].rounds == 3
+
+    def test_pipelined_walk_matches_serial_rounds(self, served, books):
+        url, _service = served
+        local = SimulatedWebDatabase(books, page_size=2)
+        query = Query.equality("publisher", "orbit")
+        expected = []
+        page_number = 1
+        while True:
+            page = local.submit(query, page_number)
+            expected.append(page)
+            if not page.has_next:
+                break
+            page_number += 1
+        with RemoteWebDatabase(
+            url, source="books", pipeline_depth=2
+        ) as client:
+            got = [client.submit(query, n + 1) for n in range(len(expected))]
+            assert got == expected
+            assert client.rounds == local.rounds
+
+    def test_wall_times_recorded_per_round(self, remote):
+        remote.submit(Query.equality("publisher", "orbit"))
+        remote.submit(Query.equality("publisher", "orbit"), 2)
+        assert len(remote.log.wall_times) == 2
+        assert remote.log.total_wall_time > 0.0
+
+
+class TestPoliteness:
+    def test_retry_after_honored_then_succeeds(self, books):
+        limiter = RateLimiter(max_requests=2, window_seconds=0.2)
+        service = SourceService(
+            {"books": SimulatedWebDatabase(books, page_size=2)},
+            rate_limiter=limiter,
+        )
+        registry = MetricsRegistry()
+        with ServerThread(service) as url:
+            with RemoteWebDatabase(
+                url, source="books", pipeline_depth=0, registry=registry
+            ) as client:
+                query = Query.equality("publisher", "orbit")
+                assert client.submit(query, 1).page_number == 1
+                assert client.submit(query, 2).page_number == 2
+                # Third request trips the limiter; the client sleeps out
+                # the (sub-second) window and retries to success.
+                assert client.submit(query, 1).page_number == 1
+        assert registry.get("net_client_retries_total").total >= 1
+
+    def test_retries_exhausted_is_permanent_failure(self, books):
+        limiter = RateLimiter(max_requests=1, window_seconds=30.0)
+        service = SourceService(
+            {"books": SimulatedWebDatabase(books, page_size=2)},
+            rate_limiter=limiter,
+        )
+        with ServerThread(service) as url:
+            with RemoteWebDatabase(
+                url,
+                source="books",
+                pipeline_depth=0,
+                max_retries=1,
+                retry_after_cap=0.05,
+            ) as client:
+                query = Query.equality("publisher", "orbit")
+                client.submit(query, 1)
+                with pytest.raises(PermanentServerFailure):
+                    client.submit(query, 2)
+
+    def test_dead_server_is_permanent_failure(self, books):
+        service = SourceService(
+            {"books": SimulatedWebDatabase(books, page_size=2)}
+        )
+        thread = ServerThread(service)
+        url = thread.start()
+        client = RemoteWebDatabase(
+            url,
+            source="books",
+            max_retries=1,
+            backoff_base=0.01,
+            timeout=2.0,
+        )
+        thread.stop()  # the service goes away mid-crawl
+        try:
+            with pytest.raises(PermanentServerFailure):
+                client.submit(Query.equality("publisher", "orbit"))
+        finally:
+            client.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_blocks_submit(self, served):
+        url, _service = served
+        client = RemoteWebDatabase(url, source="books")
+        client.submit(Query.equality("publisher", "orbit"))
+        client.close()
+        client.close()
+        with pytest.raises(RemoteSourceError):
+            client.submit(Query.equality("publisher", "orbit"))
+
+    def test_connections_are_reused(self, served):
+        url, _service = served
+        with RemoteWebDatabase(
+            url, source="books", pipeline_depth=0
+        ) as client:
+            for page in (1, 2, 1, 2):
+                client.submit(Query.equality("publisher", "orbit"), page)
+            # Meta + truth_size + 4 pages over at most 1 pooled conn.
+            assert client._pool.opened <= 2
+
+    def test_bad_url_rejected_early(self):
+        with pytest.raises(ValueError):
+            RemoteWebDatabase("ftp://example.org")

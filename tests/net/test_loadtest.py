@@ -1,0 +1,109 @@
+"""Tests for the load-test harness and its regression-gate output."""
+
+import json
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.net import run_loadtest, write_bench
+from repro.net.loadtest import LoadTestError, _percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [float(n) for n in range(1, 101)]
+        assert _percentile(samples, 0.50) == 50.0
+        assert _percentile(samples, 0.95) == 95.0
+        assert _percentile(samples, 0.99) == 99.0
+        assert _percentile(samples, 1.0) == 100.0
+
+    def test_small_and_empty(self):
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([3.0], 0.99) == 3.0
+
+
+class TestHarness:
+    def test_fifty_sessions_report(self, served):
+        url, service = served
+        registry = MetricsRegistry()
+        report = run_loadtest(
+            url,
+            "imdb",
+            sessions=50,
+            queries_per_session=2,
+            value_pool=32,
+            registry=registry,
+        )
+        assert report.sessions == 50
+        assert report.requests >= 100  # ≥1 page per query
+        assert report.errors == 0
+        assert report.wall_seconds > 0
+        assert report.requests_per_sec > 0
+        assert 0 < report.latency_p50 <= report.latency_p95
+        assert report.latency_p95 <= report.latency_p99 <= report.latency_max
+        assert len(report.samples) == report.requests
+        # Latency percentiles land in the registry for scraping.
+        gauge = registry.get("net_loadtest_latency_seconds")
+        assert gauge.value(quantile="0.95") == report.latency_p95
+        # The service really served that traffic (the serial
+        # calibration leg adds a few rounds on top).
+        assert service.sources["imdb"].rounds >= report.requests
+
+    def test_sessions_are_isolated_clients(self, served):
+        url, _service = served
+        report = run_loadtest(
+            url, "imdb", sessions=8, queries_per_session=1, value_pool=8
+        )
+        assert report.requests >= 8
+
+    def test_defaults_to_first_source(self, served):
+        url, _service = served
+        report = run_loadtest(url, sessions=2, queries_per_session=1)
+        assert report.source == "books"
+
+    def test_validation(self, served):
+        url, _service = served
+        with pytest.raises(LoadTestError):
+            run_loadtest(url, sessions=0)
+        with pytest.raises(LoadTestError):
+            run_loadtest("nonsense://x")
+
+
+class TestBenchOutput:
+    def test_gate_compatible_shape(self, served, tmp_path):
+        url, _service = served
+        report = run_loadtest(
+            url, "imdb", sessions=10, queries_per_session=1, value_pool=8
+        )
+        path = tmp_path / "BENCH_net.json"
+        payload = write_bench(report, path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["scale"] == 1.0
+        policy = on_disk["policies"]["loadtest"]
+        assert policy["speedup"] == report.concurrency_speedup
+        assert policy["latency_p99"] == report.latency_p99
+
+    def test_regression_script_accepts_it(self, served, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        url, _service = served
+        report = run_loadtest(
+            url, "imdb", sessions=10, queries_per_session=1, value_pool=8
+        )
+        path = tmp_path / "BENCH_net.json"
+        write_bench(report, path)
+        script = (
+            Path(__file__).resolve().parents[2]
+            / "scripts"
+            / "check_bench_regression.py"
+        )
+        # A file gates cleanly against itself: shape is compatible.
+        done = subprocess.run(
+            [sys.executable, str(script), str(path), str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert done.returncode == 0, done.stdout + done.stderr

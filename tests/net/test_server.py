@@ -1,0 +1,306 @@
+"""Tests for the HTTP front end: routing, wire formats, limits, transport."""
+
+import json
+import threading
+import urllib.request
+from urllib.error import HTTPError
+from urllib.parse import urlencode
+
+import pytest
+
+from repro.core import Query
+from repro.metrics import MetricsRegistry
+from repro.net import ServerThread, SourceService
+from repro.net.protocol import parse_page_json
+from repro.net.server import ThreadedSourceServer
+from repro.server import RateLimiter, SimulatedWebDatabase, parse_page
+
+
+def get(service, target, headers=None, client="t"):
+    return service.handle("GET", target, headers or {}, client)
+
+
+def body_json(response):
+    return json.loads(response.body.decode("utf-8"))
+
+
+class TestRouting:
+    def test_index_lists_sources(self, service):
+        response = get(service, "/")
+        assert response.status == 200
+        assert body_json(response)["sources"] == ["books", "imdb"]
+
+    def test_healthz(self, service):
+        assert body_json(get(service, "/healthz")) == {"ok": True}
+
+    def test_unknown_route_404(self, service):
+        response = get(service, "/nope")
+        assert response.status == 404
+        assert body_json(response)["error"] == "not-found"
+
+    def test_unknown_source_404(self, service):
+        assert get(service, "/sources/ghost/query?a=x&v=y").status == 404
+
+    def test_method_not_allowed(self, service):
+        response = service.handle("POST", "/healthz", {}, "t")
+        assert response.status == 405
+
+    def test_meta_descriptor(self, service):
+        payload = body_json(get(service, "/sources/books/meta"))
+        assert payload["name"] == "books"
+        assert payload["pageSize"] == 2
+        assert "price" not in payload["interface"]["queriable"]
+
+    def test_handle_never_raises(self, imdb_table):
+        class Broken(SimulatedWebDatabase):
+            def submit(self, query, page_number=1):
+                raise RuntimeError("boom")
+
+        service = SourceService({"b": Broken(imdb_table)})
+        response = get(service, "/sources/b/query?a=genre&v=drama")
+        assert response.status == 500
+        assert body_json(response)["error"] == "internal"
+
+
+class TestQueryRoute:
+    def test_json_page_matches_in_process(self, service, books):
+        source = SimulatedWebDatabase(books, page_size=2)
+        expected = source.submit(Query.equality("publisher", "orbit"), 2)
+        response = get(
+            service,
+            "/sources/books/query?" + urlencode(
+                [("a", "publisher"), ("v", "orbit"), ("page", "2")]
+            ),
+        )
+        assert response.status == 200
+        assert parse_page_json(response.body.decode("utf-8")) == expected
+
+    def test_xml_page_matches_in_process(self, service, books):
+        source = SimulatedWebDatabase(books, page_size=2)
+        expected = source.submit(Query.equality("publisher", "orbit"))
+        response = get(
+            service,
+            "/sources/books/query?a=publisher&v=orbit&format=xml",
+        )
+        assert response.status == 200
+        assert response.content_type.startswith("application/xml")
+        assert parse_page(response.body.decode("utf-8")) == expected
+
+    def test_unsupported_query_400_costs_no_round(self, service):
+        before = service.sources["books"].rounds
+        response = get(service, "/sources/books/query?a=price&v=10")
+        assert response.status == 400
+        assert body_json(response)["error"] == "unsupported-query"
+        assert service.sources["books"].rounds == before
+
+    def test_page_out_of_range_404_costs_a_round(self, service):
+        before = service.sources["books"].rounds
+        response = get(
+            service, "/sources/books/query?a=publisher&v=orbit&page=99"
+        )
+        assert response.status == 404
+        assert body_json(response)["error"] == "page-out-of-range"
+        assert service.sources["books"].rounds == before + 1
+
+    def test_bad_params_400(self, service):
+        assert get(service, "/sources/books/query").status == 400
+        assert get(
+            service, "/sources/books/query?a=publisher&v=orbit&page=x"
+        ).status == 400
+        assert get(
+            service, "/sources/books/query?a=publisher&v=orbit&format=csv"
+        ).status == 400
+
+    def test_rounds_accumulate(self, service):
+        get(service, "/sources/books/query?a=publisher&v=orbit")
+        get(service, "/sources/books/query?a=publisher&v=orbit&page=2")
+        assert service.sources["books"].rounds == 2
+
+
+class TestRateLimiting:
+    def fake_clock(self):
+        state = {"now": 0.0}
+
+        def clock():
+            return state["now"]
+
+        return state, clock
+
+    def make_service(self, books, **limiter_kwargs):
+        state, clock = self.fake_clock()
+        limiter = RateLimiter(clock=clock, **limiter_kwargs)
+        service = SourceService(
+            {"books": SimulatedWebDatabase(books, page_size=2)},
+            rate_limiter=limiter,
+        )
+        return service, state
+
+    def test_429_with_retry_after(self, books):
+        service, state = self.make_service(
+            books, max_requests=2, window_seconds=10.0
+        )
+        target = "/sources/books/query?a=publisher&v=orbit"
+        assert get(service, target).status == 200
+        state["now"] = 1.0
+        assert get(service, target).status == 200
+        state["now"] = 4.0
+        denied = get(service, target)
+        assert denied.status == 429
+        payload = body_json(denied)
+        assert payload["error"] == "rate-limited"
+        # The exact reset: the oldest admitted request (t=0) leaves the
+        # 10s window at t=10, so 6 seconds from now (t=4).
+        assert payload["retryAfter"] == pytest.approx(6.0)
+        assert ("Retry-After", "6") in denied.headers
+
+    def test_clients_are_independent(self, books):
+        service, _state = self.make_service(
+            books, max_requests=1, window_seconds=10.0
+        )
+        target = "/sources/books/query?a=publisher&v=orbit"
+        assert get(service, target, client="a").status == 200
+        assert get(service, target, client="b").status == 200
+        assert get(service, target, client="a").status == 429
+
+    def test_x_client_id_overrides_peer(self, books):
+        service, _state = self.make_service(
+            books, max_requests=1, window_seconds=10.0
+        )
+        target = "/sources/books/query?a=publisher&v=orbit"
+        headers = {"x-client-id": "same"}
+        assert get(service, target, headers, client="a").status == 200
+        assert get(service, target, headers, client="b").status == 429
+
+    def test_metadata_routes_not_limited(self, books):
+        service, _state = self.make_service(
+            books, max_requests=1, window_seconds=10.0
+        )
+        get(service, "/sources/books/query?a=publisher&v=orbit")
+        assert get(service, "/sources/books/meta").status == 200
+        assert get(service, "/healthz").status == 200
+
+
+class TestTruthRoutes:
+    def test_size(self, service, books):
+        payload = body_json(get(service, "/sources/books/truth/size"))
+        assert payload["size"] == len(books)
+
+    def test_seeds_mirror_sample_seed_values(self, service, books):
+        import random
+
+        from repro.experiments.harness import sample_seed_values
+
+        expected = sample_seed_values(
+            books, 2, random.Random(7), min_frequency=2
+        )
+        payload = body_json(
+            get(service, "/sources/books/truth/seeds?n=2&seed=7&min_frequency=2")
+        )
+        assert payload["values"] == [[v.attribute, v.value] for v in expected]
+
+    def test_sample_is_deterministic_and_queriable(self, service, books):
+        a = body_json(get(service, "/sources/books/truth/sample?n=5&seed=3"))
+        b = body_json(get(service, "/sources/books/truth/sample?n=5&seed=3"))
+        assert a == b
+        assert all(attr != "price" for attr, _value in a["values"])
+
+    def test_sealed_when_truth_not_exposed(self, books):
+        service = SourceService(
+            {"books": SimulatedWebDatabase(books, page_size=2)},
+            expose_truth=False,
+        )
+        assert get(service, "/sources/books/truth/size").status == 404
+        # The crawl surface stays open.
+        assert get(service, "/sources/books/meta").status == 200
+
+
+class TestMetricsRoute:
+    def test_prometheus_text_with_rounds(self, service):
+        get(service, "/sources/books/query?a=publisher&v=orbit")
+        response = get(service, "/metrics")
+        assert response.status == 200
+        text = response.body.decode("utf-8")
+        assert "net_server_requests_total" in text
+        assert 'net_server_rounds_total{source="books"} 1' in text
+
+
+class TestAsyncTransport:
+    def test_keep_alive_serves_many_requests_per_connection(self, served):
+        url, service = served
+        import http.client
+
+        host = url.split("//")[1]
+        connection = http.client.HTTPConnection(host, timeout=10)
+        try:
+            for page in (1, 2, 1):
+                connection.request(
+                    "GET",
+                    f"/sources/books/query?a=publisher&v=orbit&page={page}",
+                )
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+        assert service.sources["books"].rounds == 3
+
+    def test_404_and_parallel_clients(self, served):
+        url, _service = served
+
+        def fetch(path):
+            try:
+                with urllib.request.urlopen(url + path, timeout=10) as r:
+                    return r.status
+            except HTTPError as error:
+                return error.code
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda p=path: results.append(fetch(p))
+            )
+            for path in ["/healthz", "/sources", "/ghost", "/healthz"]
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(results) == [200, 200, 200, 404]
+
+    def test_clean_shutdown_releases_port(self, service):
+        thread = ServerThread(service)
+        url = thread.start()
+        host, port = url.split("//")[1].split(":")
+        thread.stop()
+        # The port must be rebindable immediately (no leaked listener).
+        import socket
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            probe.bind((host, int(port)))
+        finally:
+            probe.close()
+
+
+class TestThreadedFallback:
+    def test_same_handler_same_answers(self, service, books):
+        from repro.core import Query
+
+        expected = SimulatedWebDatabase(books, page_size=2).submit(
+            Query.equality("publisher", "orbit")
+        )
+        server = ThreadedSourceServer(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                server.url + "/sources/books/query?a=publisher&v=orbit",
+                timeout=10,
+            ) as response:
+                assert response.status == 200
+                page = parse_page_json(response.read().decode("utf-8"))
+            assert page == expected
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)

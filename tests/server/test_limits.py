@@ -60,3 +60,178 @@ class TestOrdering:
         a = ResultLimitPolicy(ordering="ranked", seed=1).order(self.query, ids)
         b = ResultLimitPolicy(ordering="ranked", seed=2).order(self.query, ids)
         assert a != b
+
+
+# ----------------------------------------------------------------------
+# RateLimiter: the sliding-window client quota behind the HTTP service.
+# ----------------------------------------------------------------------
+from repro.server import RateLimiter  # noqa: E402
+
+
+def stepped_limiter(**kwargs):
+    """A limiter on a hand-cranked clock; returns (limiter, state)."""
+    state = {"now": 0.0}
+    limiter = RateLimiter(clock=lambda: state["now"], **kwargs)
+    return limiter, state
+
+
+class TestRateLimiterValidation:
+    def test_bad_max_requests(self):
+        with pytest.raises(QueryError):
+            RateLimiter(max_requests=0, window_seconds=1.0)
+
+    def test_bad_window(self):
+        with pytest.raises(QueryError):
+            RateLimiter(max_requests=1, window_seconds=0.0)
+
+    def test_ban_needs_duration(self):
+        with pytest.raises(QueryError):
+            RateLimiter(max_requests=1, window_seconds=1.0, ban_after=3)
+
+
+class TestSlidingWindow:
+    def test_admits_up_to_quota(self):
+        limiter, _state = stepped_limiter(max_requests=3, window_seconds=10.0)
+        assert all(limiter.check("c").allowed for _ in range(3))
+        assert not limiter.check("c").allowed
+
+    def test_window_boundary_is_exclusive(self):
+        """A request exactly window_seconds after the oldest is admitted."""
+        limiter, state = stepped_limiter(max_requests=1, window_seconds=10.0)
+        assert limiter.check("c").allowed
+        state["now"] = 9.999
+        assert not limiter.check("c").allowed
+        state["now"] = 10.0
+        assert limiter.check("c").allowed
+
+    def test_retry_after_is_the_actual_reset_time(self):
+        limiter, state = stepped_limiter(max_requests=2, window_seconds=10.0)
+        limiter.check("c")          # t=0, oldest in window
+        state["now"] = 3.0
+        limiter.check("c")          # t=3
+        state["now"] = 4.0
+        decision = limiter.check("c")
+        assert not decision.allowed
+        # Oldest (t=0) leaves the window at t=10 → 6s from now (t=4).
+        assert decision.retry_after == pytest.approx(6.0)
+        # Waiting exactly that long is guaranteed to be admitted.
+        state["now"] += decision.retry_after
+        assert limiter.check("c").allowed
+
+    def test_denied_requests_do_not_extend_the_window(self):
+        limiter, state = stepped_limiter(max_requests=1, window_seconds=10.0)
+        limiter.check("c")  # t=0
+        for t in (2.0, 4.0, 6.0, 8.0):
+            state["now"] = t
+            assert not limiter.check("c").allowed
+        state["now"] = 10.0  # only the t=0 admission counted
+        assert limiter.check("c").allowed
+
+    def test_clients_do_not_share_windows(self):
+        limiter, _state = stepped_limiter(max_requests=1, window_seconds=10.0)
+        assert limiter.check("a").allowed
+        assert limiter.check("b").allowed
+        assert not limiter.check("a").allowed
+        assert limiter.check("c").allowed
+
+    def test_denials_counted(self):
+        limiter, _state = stepped_limiter(max_requests=1, window_seconds=10.0)
+        limiter.check("c")
+        limiter.check("c")
+        limiter.check("c")
+        assert limiter.denials == 2
+
+
+class TestBans:
+    def make(self):
+        return stepped_limiter(
+            max_requests=1, window_seconds=10.0, ban_after=3, ban_seconds=60.0
+        )
+
+    def test_consecutive_violations_escalate_to_ban(self):
+        limiter, _state = self.make()
+        limiter.check("c")  # admitted
+        first = limiter.check("c")
+        second = limiter.check("c")
+        third = limiter.check("c")
+        assert not first.banned and not second.banned
+        assert third.banned
+        assert third.retry_after == pytest.approx(60.0)
+        assert limiter.bans_issued == 1
+
+    def test_banned_client_sees_remaining_ban_time(self):
+        limiter, state = self.make()
+        limiter.check("c")
+        for _ in range(3):
+            limiter.check("c")  # third denial issues the ban at t=0
+        state["now"] = 45.0
+        decision = limiter.check("c")
+        assert decision.banned
+        assert decision.retry_after == pytest.approx(15.0)
+
+    def test_ban_expiry_restores_a_clean_slate(self):
+        limiter, state = self.make()
+        limiter.check("c")
+        for _ in range(3):
+            limiter.check("c")
+        state["now"] = 60.0  # ban (issued at t=0) has just expired
+        decision = limiter.check("c")
+        assert decision.allowed
+
+    def test_admission_resets_the_violation_streak(self):
+        limiter, state = self.make()
+        limiter.check("c")           # t=0 admitted
+        limiter.check("c")           # violation 1
+        limiter.check("c")           # violation 2
+        state["now"] = 10.0
+        assert limiter.check("c").allowed  # streak broken
+        limiter.check("c")           # violation 1 again — no ban
+        decision = limiter.check("c")
+        assert not decision.banned
+        assert limiter.bans_issued == 0
+
+    def test_other_clients_unaffected_by_a_ban(self):
+        limiter, _state = self.make()
+        limiter.check("c")
+        for _ in range(3):
+            limiter.check("c")
+        assert limiter.check("d").allowed
+
+
+class TestRateLimiterConcurrency:
+    def test_quota_holds_under_concurrent_clients(self):
+        """Hammer one limiter from many threads; the window never
+        admits more than max_requests per client."""
+        import threading
+
+        limiter = RateLimiter(max_requests=50, window_seconds=60.0)
+        admitted = {"a": 0, "b": 0}
+        lock = threading.Lock()
+
+        def hammer(client):
+            for _ in range(100):
+                if limiter.check(client).allowed:
+                    with lock:
+                        admitted[client] += 1
+
+        threads = [
+            threading.Thread(target=hammer, args=(client,))
+            for client in ("a", "b")
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert admitted["a"] == 50
+        assert admitted["b"] == 50
+        assert limiter.denials == 2 * (400 - 50)
+
+    def test_reset_forgets_state(self):
+        limiter, _state = stepped_limiter(max_requests=1, window_seconds=10.0)
+        limiter.check("c")
+        assert not limiter.check("c").allowed
+        limiter.reset("c")
+        assert limiter.check("c").allowed
+        limiter.reset()
+        assert limiter.check("c").allowed

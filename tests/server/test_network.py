@@ -49,3 +49,53 @@ def test_reset_clears_counters_keeps_callbacks():
     assert log.distinct_queries == 0
     log.record(Query.keyword("x"), 1, 0)
     assert seen == [1, 1]
+
+
+# ----------------------------------------------------------------------
+# Optional per-round wall-time recording (off by default: the canonical
+# deterministic state must never absorb wall-clock noise).
+# ----------------------------------------------------------------------
+def test_wall_times_off_by_default():
+    log = CommunicationLog()
+    entry = log.record(Query.keyword("x"), 1, 2, wall_time=0.25)
+    assert log.wall_times == []
+    assert entry.wall_time is None
+    assert log.total_wall_time == 0.0
+
+
+def test_wall_times_recorded_when_enabled():
+    log = CommunicationLog(record_wall_times=True)
+    log.record(Query.keyword("x"), 1, 2, wall_time=0.25)
+    log.record(Query.keyword("x"), 2, 2, wall_time=0.5)
+    log.record(Query.keyword("y"), 1, 0)  # no timing supplied
+    assert log.wall_times == [0.25, 0.5]
+    assert log.total_wall_time == 0.75
+
+
+def test_wall_time_attribution_per_query():
+    log = CommunicationLog(record_wall_times=True)
+    log.record(Query.keyword("x"), 1, 2, wall_time=0.25)
+    log.record(Query.keyword("y"), 1, 2, wall_time=1.0)
+    log.record(Query.keyword("x"), 2, 2, wall_time=0.5)
+    assert log.wall_time_for(Query.keyword("x")) == 0.75
+    assert log.wall_time_for(Query.keyword("y")) == 1.0
+    assert log.wall_time_for(Query.keyword("z")) == 0.0
+
+
+def test_wall_times_cleared_on_reset():
+    log = CommunicationLog(record_wall_times=True)
+    log.record(Query.keyword("x"), 1, 2, wall_time=0.25)
+    log.reset()
+    assert log.wall_times == []
+    assert log.total_wall_time == 0.0
+
+
+def test_wall_times_never_reach_canonical_runtime_state(books_server):
+    """webdb runtime snapshots carry rounds only — wall times are
+    telemetry, not canonical crawl state."""
+    books_server.log.record_wall_times = True
+    books_server.submit(Query.equality("publisher", "orbit"))
+    state = books_server.runtime_state()
+    assert "wall_times" not in str(state)
+    restored_rounds = state["rounds"]
+    assert restored_rounds == 1

@@ -162,3 +162,66 @@ class TestProfile:
         )
         assert code == 0
         assert "adaptive-attribute" in text
+
+
+class TestNetworkLane:
+    """The serve/loadtest verbs and crawl --remote."""
+
+    @pytest.fixture()
+    def live_service(self):
+        from repro.datasets import load_dataset
+        from repro.net import ServerThread, SourceService
+        from repro.server import SimulatedWebDatabase
+
+        table = load_dataset("imdb", 800, seed=1)
+        service = SourceService(
+            {"imdb": SimulatedWebDatabase(table, page_size=10)}
+        )
+        with ServerThread(service) as url:
+            yield url
+
+    def test_serve_requires_a_source(self):
+        code, text = run_cli("serve")
+        assert code == 2
+        assert "nothing to serve" in text
+
+    def test_remote_crawl_matches_local_crawl(self, live_service):
+        local_code, local_text = run_cli(
+            "crawl", "--dataset", "imdb", "--records", "800",
+            "--target", "0.6", "--seed", "1",
+        )
+        remote_code, remote_text = run_cli(
+            "crawl", "--remote", live_service,
+            "--target", "0.6", "--seed", "1",
+        )
+        assert local_code == 0 and remote_code == 0
+        # Same seed line, same result line (rounds, queries, records).
+        local_lines = local_text.splitlines()
+        remote_lines = remote_text.splitlines()
+        assert remote_lines[0] == local_lines[0]  # seed value: ...
+        result = [l for l in local_lines if l.startswith("greedy-link")]
+        assert [l for l in remote_lines if l.startswith("greedy-link")] == result
+        assert any(l.startswith("wire time:") for l in remote_lines)
+
+    def test_remote_crawl_rejects_checkpointing(self, live_service, tmp_path):
+        code, text = run_cli(
+            "crawl", "--remote", live_service,
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        )
+        assert code == 2
+        assert "local source" in text
+
+    def test_loadtest_reports_and_writes_bench(self, live_service, tmp_path):
+        bench = tmp_path / "BENCH_net.json"
+        code, text = run_cli(
+            "loadtest", live_service,
+            "--sessions", "20", "--queries", "1",
+            "--value-pool", "16", "--bench-out", str(bench),
+        )
+        assert code == 0
+        assert "p95=" in text and "p99=" in text
+        assert "throughput=" in text
+        import json
+
+        payload = json.loads(bench.read_text())
+        assert "speedup" in payload["policies"]["loadtest"]
