@@ -236,6 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the crawl under cProfile: dump raw stats "
                             "to PATH (readable with pstats/snakeviz) and "
                             "print the top functions by cumulative time")
+    crawl.add_argument("--profile-top", type=int, default=25, metavar="N",
+                       help="with --profile: how many functions the printed "
+                            "cumulative-time summary lists (default 25)")
     _add_telemetry_flags(crawl)
     _add_trace_flags(crawl)
 
@@ -437,7 +440,7 @@ def _attach_telemetry(args, out, bus, truth_size=None):
 
 
 def _report_telemetry(
-    args, out, telemetry, writer, reporter=None, server=None
+    args, out, telemetry, writer, reporter=None, server=None, selector=None
 ) -> None:
     """Final sampling, exports, and the summary table."""
     from pathlib import Path
@@ -450,6 +453,8 @@ def _report_telemetry(
         reporter.close()
     if server is not None:
         telemetry.sample_server(server)
+    if selector is not None:
+        telemetry.sample_selector(selector)
     if writer is not None:
         writer.write_snapshot(telemetry.registry, step=None, label="final")
         writer.close()
@@ -523,13 +528,14 @@ def _profiled_crawl(args, out) -> int:
 
     The dump is the raw marshalled stats (load with
     ``pstats.Stats(PATH)`` or any profile viewer); a cumulative-time
-    top-25 is printed to the report stream so the hot path is visible
-    without extra tooling.
+    top-``--profile-top`` summary (default 25 functions) is printed to
+    the report stream so the hot path is visible without extra tooling.
     """
     import cProfile
     import pstats
 
     profile_path = args.profile
+    top = max(int(getattr(args, "profile_top", 25) or 0), 1)
     args.profile = None  # re-entry runs the real crawl
     profiler = cProfile.Profile()
     profiler.enable()
@@ -539,7 +545,7 @@ def _profiled_crawl(args, out) -> int:
         profiler.disable()
         profiler.dump_stats(profile_path)
         stats = pstats.Stats(profiler, stream=out)
-        stats.sort_stats("cumulative").print_stats(25)
+        stats.sort_stats("cumulative").print_stats(top)
         out.write(f"profile stats written to {profile_path}\n")
     return code
 
@@ -588,7 +594,9 @@ def _remote_crawl(args, out) -> int:
         out.write(f"seed value: {seeds[0]}\n")
         _report_result(None, result, args, out, server=server)
         _report_trace(out, tracer)
-        _report_telemetry(args, out, telemetry, writer, reporter)
+        _report_telemetry(
+            args, out, telemetry, writer, reporter, selector=engine.selector
+        )
     return 0
 
 
@@ -641,7 +649,10 @@ def _command_crawl(args, out) -> int:
     out.write(f"seed value: {seeds[0]}\n")
     _report_result(table, result, args, out)
     _report_trace(out, tracer)
-    _report_telemetry(args, out, telemetry, writer, reporter, server=server)
+    _report_telemetry(
+        args, out, telemetry, writer, reporter, server=server,
+        selector=engine.selector,
+    )
     return 0
 
 
@@ -705,7 +716,10 @@ def _durable_crawl(args, out) -> int:
     _report_trace(out, tracer)
     out.write(render_runtime_metrics(metrics))
     out.write("\n")
-    _report_telemetry(args, out, telemetry, writer, reporter, server=server)
+    _report_telemetry(
+        args, out, telemetry, writer, reporter, server=server,
+        selector=selector,
+    )
     return 0
 
 
@@ -749,7 +763,10 @@ def _command_resume(args, out) -> int:
     _report_trace(out, tracer)
     out.write(render_runtime_metrics(metrics))
     out.write("\n")
-    _report_telemetry(args, out, telemetry, writer, reporter, server=server)
+    _report_telemetry(
+        args, out, telemetry, writer, reporter, server=server,
+        selector=selector,
+    )
     return 0
 
 

@@ -14,7 +14,7 @@ import heapq
 import random
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.core.values import AttributeValue
 
@@ -199,7 +199,7 @@ class RandomFrontier(Frontier):
 
 
 class InternedPriorityFrontier(Frontier):
-    """Id-native :class:`PriorityFrontier` for interned local databases.
+    """Id-native, incrementally rescored :class:`PriorityFrontier`.
 
     Same contract and same *serialized state* as
     :class:`PriorityFrontier`, but every internal structure — seen set,
@@ -209,11 +209,39 @@ class InternedPriorityFrontier(Frontier):
     hashed exactly once, at :meth:`push` time, to intern it; every
     subsequent refresh/pop touch is integer work.
 
+    **Incremental rescoring.**  :meth:`refresh_id` no longer scores and
+    pushes eagerly; it only marks the id *dirty* (insertion-ordered,
+    deduplicated).  The dirty set drains at the next :meth:`pop` (or
+    :meth:`state_dict`): each dirty id is rescored — through
+    ``batch_score_fn`` in one call when provided — and re-pushed **only
+    if its score actually changed** since its last push.  Both halves
+    preserve the eager frontier's pop order exactly:
+
+    - *Deferral* keeps the push sequence: between a refresh and the next
+      pop nothing else pushes, so draining in mark order assigns ticks
+      in the same relative order the eager pushes would have.
+    - *Skipping an unchanged push* is unobservable: among duplicate
+      entries of one id at equal score the earliest tick pops first, so
+      the redundant later push never wins — for this id or any tie.
+
+    The invariant callers must keep (and the shipped greedy policies do
+    keep, by refreshing every id an outcome touched): **every score
+    change is announced via refresh before the next pop**.  Two guards
+    back the invariant: the pop-time recheck (below) reinserts any
+    stale-low entry it uncovers, and each flush re-verifies the heap
+    head, correcting up to ``rescore_head`` stale entries.  As an escape
+    hatch, ``full_rescore_every=N`` rescans the *entire* pending set on
+    every Nth flush (dirty ids first, in mark order, so the push order
+    is unchanged when the invariant holds); the differential tests run
+    incremental-vs-``full_rescore_every=1`` step-history identity.
+
     Determinism: heap entries order by ``(-score, tick)`` and ticks are
     unique, so the third tuple element is never compared — swapping the
     value for its id cannot change pop order, and the checkpoint payload
-    (which encodes the values, not the ids) is byte-identical to the
-    value-keyed frontier's.
+    (which encodes the values, not the ids) matches the value-keyed
+    frontier's schema.  ``state_dict`` flushes first: a checkpoint
+    performs exactly the pushes the next pop would have, in the same
+    order, so observing a crawl cannot perturb it.
 
     Parameters
     ----------
@@ -227,6 +255,14 @@ class InternedPriorityFrontier(Frontier):
         must not intern values it will ignore).
     value_fn:
         ``id -> AttributeValue`` (the interner's list index).
+    batch_score_fn:
+        Optional ``ids -> [score, ...]`` scoring a whole dirty set in
+        one call (see :mod:`repro.policies.vectorized`); falls back to
+        per-id ``score_id_fn`` when None.
+    full_rescore_every:
+        Rescore every pending id on each Nth flush (0 = never).
+    rescore_head:
+        Stale heap-head entries corrected per flush (0 disables).
     """
 
     def __init__(
@@ -235,16 +271,33 @@ class InternedPriorityFrontier(Frontier):
         intern_fn: Callable[[AttributeValue], int],
         lookup_fn: Callable[[AttributeValue], Optional[int]],
         value_fn: Callable[[int], AttributeValue],
+        batch_score_fn: Optional[Callable[[Sequence[int]], Sequence[float]]] = None,
+        full_rescore_every: int = 0,
+        rescore_head: int = 8,
     ) -> None:
         super().__init__()
         self._score_id = score_id_fn
         self._intern = intern_fn
         self._lookup = lookup_fn
         self._value_of = value_fn
+        self._batch_score = batch_score_fn
+        self._full_rescore_every = full_rescore_every
+        self._rescore_head = rescore_head
         self._heap: list[tuple[float, int, int]] = []
         self._tick = 0
         self._seen_ids: set[int] = set()
         self._pending_ids: set[int] = set()
+        #: Insertion-ordered dirty ids awaiting rescore, with a set mirror
+        #: for O(1) dedup.
+        self._dirty: list[int] = []
+        self._dirty_set: set[int] = set()
+        #: Last score pushed per pending id — the flush's "did it change"
+        #: test.  Entries leave when the id pops.
+        self._last_pushed: dict[int, float] = {}
+        self._flushes = 0
+        #: Monotonic counters surfaced as repro.metrics telemetry:
+        #: ids marked dirty, ids actually rescored, flush passes.
+        self.stats = {"dirty_total": 0, "rescored_total": 0, "flushes": 0}
 
     # The base class's _seen/_insert/_remove machinery is value-keyed;
     # this frontier overrides the public surface wholesale instead.
@@ -258,13 +311,70 @@ class InternedPriorityFrontier(Frontier):
         self._seen_ids.add(vid)
         self._pending += 1
         self._pending_ids.add(vid)
+        score = self._score_id(vid)
+        self._last_pushed[vid] = score
         self._tick += 1
-        heapq.heappush(self._heap, (-self._score_id(vid), self._tick, vid))
+        heapq.heappush(self._heap, (-score, self._tick, vid))
         return True
+
+    def _flush(self) -> None:
+        """Drain the dirty set into the heap (see class docstring)."""
+        self._flushes += 1
+        stats = self.stats
+        stats["flushes"] += 1
+        dirty = self._dirty
+        every = self._full_rescore_every
+        if every > 0 and self._flushes % every == 0:
+            # Escape hatch: dirty ids first in mark order (keeping the
+            # incremental push order), then the untouched remainder.
+            ids = dirty + sorted(self._pending_ids - self._dirty_set)
+        else:
+            ids = dirty
+        if ids:
+            stats["dirty_total"] += len(dirty)
+            stats["rescored_total"] += len(ids)
+            if self._batch_score is not None:
+                scores = self._batch_score(ids)
+            else:
+                score_id = self._score_id
+                scores = [score_id(vid) for vid in ids]
+            last = self._last_pushed
+            heap = self._heap
+            pending = self._pending_ids
+            for vid, score in zip(ids, scores):
+                if vid not in pending or score == last.get(vid):
+                    continue
+                last[vid] = score
+                self._tick += 1
+                heapq.heappush(heap, (-score, self._tick, vid))
+            self._dirty = []
+            self._dirty_set.clear()
+        head = self._rescore_head
+        if head:
+            heap = self._heap
+            pending = self._pending_ids
+            score_id = self._score_id
+            corrected = 0
+            while heap and corrected < head:
+                neg_score, _tie, vid = heap[0]
+                if vid not in pending:
+                    heapq.heappop(heap)  # prune a dead duplicate
+                    corrected += 1
+                    continue
+                fresh = score_id(vid)
+                if fresh <= -neg_score:
+                    break  # the head is current — nothing hides above it
+                heapq.heappop(heap)
+                self._last_pushed[vid] = fresh
+                self._tick += 1
+                heapq.heappush(heap, (-fresh, self._tick, vid))
+                corrected += 1
 
     def pop(self) -> Optional[AttributeValue]:
         if self._pending == 0:
             return None
+        if self._dirty or self._full_rescore_every or self._rescore_head:
+            self._flush()
         pending = self._pending_ids
         heap = self._heap
         while True:
@@ -273,29 +383,32 @@ class InternedPriorityFrontier(Frontier):
                 continue  # out-of-date duplicate of an already-popped value
             fresh = self._score_id(vid)
             if fresh > -neg_score:
+                # Grew without a refresh (invariant breach — the recheck
+                # is the backstop): reinsert at the correct rank.
+                self._last_pushed[vid] = fresh
                 self._tick += 1
                 heapq.heappush(heap, (-fresh, self._tick, vid))
                 continue
             pending.discard(vid)
+            self._last_pushed.pop(vid, None)
             self._pending -= 1
             return self._value_of(vid)
 
     def refresh(self, value: AttributeValue) -> None:
         """Record that ``value``'s score may have changed (no-op if not pending)."""
         vid = self._lookup(value)
-        if vid is not None and vid in self._pending_ids:
-            self._tick += 1
-            heapq.heappush(self._heap, (-self._score_id(vid), self._tick, vid))
+        if vid is not None:
+            self.refresh_id(vid)
 
     def refresh_all(self, values: Iterable[AttributeValue]) -> None:
         for value in values:
             self.refresh(value)
 
     def refresh_id(self, vid: int) -> None:
-        """Id fast path of :meth:`refresh` for callers already holding ids."""
-        if vid in self._pending_ids:
-            self._tick += 1
-            heapq.heappush(self._heap, (-self._score_id(vid), self._tick, vid))
+        """Id fast path of :meth:`refresh`: mark dirty, rescore at next pop."""
+        if vid in self._pending_ids and vid not in self._dirty_set:
+            self._dirty_set.add(vid)
+            self._dirty.append(vid)
 
     def __contains__(self, value: AttributeValue) -> bool:
         vid = self._lookup(value)
@@ -317,6 +430,10 @@ class InternedPriorityFrontier(Frontier):
     # Checkpoint state — same payload as PriorityFrontier, value-encoded
     # ------------------------------------------------------------------
     def state_dict(self, encode: Optional[ItemEncoder] = None) -> dict:
+        # Drain the dirty set first: the flush performs exactly the
+        # pushes the next pop would have, in the same order, so the
+        # snapshot is self-consistent and taking it perturbs nothing.
+        self._flush()
         encode = encode or _default_encode
         value_of = self._value_of
         return {
@@ -356,6 +473,22 @@ class InternedPriorityFrontier(Frontier):
         ]
         self._tick = container["tick"]
         self._pending_ids = {intern(decode(value)) for value in container["pending"]}
+        # The pushed-score map is not serialized (the payload stays
+        # schema-compatible with PriorityFrontier): rebuild it as each
+        # pending id's best heap entry.  Scores only grow between pushes
+        # for the shipped policies, so "best" is "last pushed".
+        self._dirty = []
+        self._dirty_set = set()
+        last: dict[int, float] = {}
+        pending = self._pending_ids
+        for neg_score, _tie, vid in self._heap:
+            if vid in pending:
+                score = -neg_score
+                prev = last.get(vid)
+                if prev is None or score > prev:
+                    last[vid] = score
+        self._last_pushed = last
+        self._flushes = 0
 
 
 class PriorityFrontier(Frontier):

@@ -12,10 +12,12 @@ clique into ``G_local``.
 
 Internally every statistic is **array-backed and id-indexed**: a
 :class:`~repro.core.intern.ValueInterner` assigns each attribute value a
-dense int id the first time it is seen, frequencies live in an
-``array('I')``, adjacency in int-sets, postings in sorted int arrays,
-and co-occurrence counts in a dict keyed by a packed ``(lo << 32) | hi``
-id pair.  Each value is hashed once per appearance (the intern lookup);
+dense int id the first time it is seen, frequencies and degrees live in
+``array('I')`` columns, adjacency in int-sets, postings in sorted int
+arrays, and co-occurrence counts in symmetric per-vertex rows
+(``_cooc_rows[u][v]``) so a single dict indexes every partner of a
+vertex — the layout the vectorized MMMI recompute iterates
+queried-major.  Each value is hashed once per appearance (the intern lookup);
 everything after that is integer arithmetic.  The public API is
 unchanged — it accepts and returns :class:`AttributeValue` — and the
 ``*_id`` fast paths let the selectors skip even the single hash when
@@ -49,7 +51,6 @@ from typing import (
 )
 
 from repro.core.intern import (
-    PAIR_SHIFT,
     StringInterner,
     ValueInterner,
     intersect_sorted,
@@ -61,6 +62,7 @@ from repro.core.values import AttributeValue
 _EMPTY_VIEW: frozenset = frozenset()
 _EMPTY_IDS: Set[int] = frozenset()  # type: ignore[assignment]
 _EMPTY_POSTING: array = array("q")
+_EMPTY_ROW: Dict[int, int] = {}
 
 
 class LocalDatabase:
@@ -91,6 +93,10 @@ class LocalDatabase:
         # interner but never seen in a record keeps zero statistics,
         # exactly like an absent key did in the dict implementation.
         self._freq = array("I")
+        #: Incremental degree column: _deg[vid] == len(_neighbor_sets[vid])
+        #: at all times, so degree reads never touch the (larger) sets and
+        #: batch scorers can gather degrees straight from the buffer.
+        self._deg = array("I")
         self._neighbor_sets: List[Set[int]] = []
         # Lazy inverted indexes: add() appends to the logs; the first
         # accessor that needs a posting list drains them (see
@@ -103,7 +109,10 @@ class LocalDatabase:
         self._kw_upto = 0  # records folded into the keyword index
         self._num_distinct = 0
         self.track_cooccurrence = track_cooccurrence
-        self._cooccurrence: Dict[int, int] = {}
+        # Symmetric per-vertex co-occurrence rows: _cooc_rows[u][v] ==
+        # _cooc_rows[v][u] == #records containing both u and v (u != v).
+        # Grown only when tracking (the rows would be dead weight for GL).
+        self._cooc_rows: List[Dict[int, int]] = []
 
     # ------------------------------------------------------------------
     # Interning
@@ -120,11 +129,17 @@ class LocalDatabase:
         return self.interner.lookup(value)
 
     def _ensure(self, vid: int) -> None:
-        """Grow the id-indexed arrays to cover ``vid``."""
-        while len(self._freq) <= vid:
-            self._freq.append(0)
-            self._neighbor_sets.append(set())
-            self._posting_lists.append(array("q"))
+        """Grow the id-indexed arrays to cover ``vid`` (batched)."""
+        grow = vid + 1 - len(self._freq)
+        if grow <= 0:
+            return
+        zeros = bytes(grow * self._freq.itemsize)
+        self._freq.frombytes(zeros)
+        self._deg.frombytes(zeros)
+        self._neighbor_sets.extend(set() for _ in range(grow))
+        self._posting_lists.extend(array("q") for _ in range(grow))
+        if self.track_cooccurrence:
+            self._cooc_rows.extend({} for _ in range(grow))
 
     def load_interner_state(self, payload) -> None:
         """Restore a checkpointed id assignment (before re-adding records).
@@ -179,21 +194,25 @@ class LocalDatabase:
         self._posting_log.append((record_id, ids))
 
         if self.track_cooccurrence:
-            cooc = self._cooccurrence
+            rows = self._cooc_rows
             n = len(ids)
             for i in range(n):
                 u = ids[i]
+                row_u = rows[u]
                 for j in range(i + 1, n):
                     v = ids[j]
-                    key = (u << PAIR_SHIFT) | v if u < v else (v << PAIR_SHIFT) | u
-                    cooc[key] = cooc.get(key, 0) + 1
+                    count = row_u.get(v, 0) + 1
+                    row_u[v] = count
+                    rows[v][u] = count
         # Clique edges: each vertex unions the whole clique (a C-speed
         # bulk op) and drops itself, instead of O(c²) Python-level adds.
         neighbors = self._neighbor_sets
+        deg = self._deg
         for u in ids:
             mine = neighbors[u]
             mine.update(ids)
             mine.discard(u)
+            deg[u] = len(mine)
         return True
 
     def add_all(self, records: Iterable[Record]) -> int:
@@ -227,17 +246,30 @@ class LocalDatabase:
         """Id fast path of :meth:`frequency`."""
         return self._freq[vid] if vid < len(self._freq) else 0
 
+    def frequency_column(self) -> array:
+        """The live id-indexed frequency column (read-only contract).
+
+        Batch scorers wrap this buffer in a numpy view; it must never be
+        mutated from outside and must be re-fetched after any ``add`` or
+        ``intern_value`` (growth may reallocate the buffer).
+        """
+        return self._freq
+
+    def degree_column(self) -> array:
+        """The live id-indexed degree column (read-only contract)."""
+        return self._deg
+
     def degree(self, value: AttributeValue) -> int:
         """Degree of ``value`` in the local AVG ``G_local``."""
         vid = self.interner.lookup(value)
-        if vid is None or vid >= len(self._neighbor_sets):
+        if vid is None or vid >= len(self._deg):
             return 0
-        return len(self._neighbor_sets[vid])
+        return self._deg[vid]
 
     def degree_id(self, vid: int) -> int:
         """Id fast path of :meth:`degree`."""
-        if vid < len(self._neighbor_sets):
-            return len(self._neighbor_sets[vid])
+        if vid < len(self._deg):
+            return self._deg[vid]
         return 0
 
     def neighbors(self, value: AttributeValue) -> FrozenSet[AttributeValue]:
@@ -399,9 +431,22 @@ class LocalDatabase:
         if u == v:
             return self.frequency_id(u)
         if self.track_cooccurrence:
-            key = (u << PAIR_SHIFT) | v if u < v else (v << PAIR_SHIFT) | u
-            return self._cooccurrence.get(key, 0)
+            if u < len(self._cooc_rows):
+                return self._cooc_rows[u].get(v, 0)
+            return 0
         return len(intersect_sorted(self._sorted_posting(u), self._sorted_posting(v)))
+
+    def cooc_row(self, vid: int) -> Dict[int, int]:
+        """The vertex's **live** co-occurrence row ``{partner: joint}``.
+
+        Zero-copy by design, like :meth:`neighbor_id_set`: the vectorized
+        MMMI recompute bulk-loads each issued query's partners and joint
+        counts straight out of the row.  Callers must treat it as
+        read-only.  Empty unless ``track_cooccurrence`` is on.
+        """
+        if vid < len(self._cooc_rows):
+            return self._cooc_rows[vid]
+        return _EMPTY_ROW
 
     def pmi(self, u: AttributeValue, v: AttributeValue) -> float:
         """Pointwise mutual information ``ln P(u,v) / (P(u) P(v))``.
@@ -451,10 +496,9 @@ class LocalDatabase:
         total = 0.0
         count = 0
         if self.track_cooccurrence:
-            cooc_get = self._cooccurrence.get
+            row_get = self._cooc_rows[vid].get
             for v in queried_neighbors:
-                key = (vid << PAIR_SHIFT) | v if vid < v else (v << PAIR_SHIFT) | vid
-                joint = cooc_get(key, 0)
+                joint = row_get(v, 0)
                 if joint == 0:
                     continue
                 p = log(joint * n / (fu * freq[v]))

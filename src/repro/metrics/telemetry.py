@@ -232,6 +232,23 @@ class TelemetrySink(EventSink):
             "Crawl loop exits, by stopping criterion",
             labels=("policy", "stopped_by"),
         )
+        self.frontier_rescored = declare.counter(
+            "frontier_rescored_total",
+            "Frontier entries rescored by incremental dirty-set flushes",
+            labels=("policy",),
+        )
+        self.frontier_dirty = declare.counter(
+            "frontier_dirty_total",
+            "Frontier entries marked dirty by query decompositions",
+            labels=("policy",),
+        )
+        self.frontier_pending = declare.gauge(
+            "frontier_pending", "Candidate values awaiting issuance"
+        )
+        self.grid_shm_bytes = declare.gauge(
+            "grid_shm_bytes",
+            "Bytes of shared-memory table payloads backing experiment grids",
+        )
         self.task_seconds = declare.counter(
             "experiment_task_seconds_total",
             "Summed per-task crawl seconds of experiment grids",
@@ -338,3 +355,23 @@ class TelemetrySink(EventSink):
         if hits + misses:
             self.cache_hit_ratio.set(hits / (hits + misses))
         self.rounds_gauge.set(server.rounds)
+
+    def sample_selector(self, selector, policy: Optional[str] = None) -> None:
+        """Pull selector-side frontier counters (incremental rescoring).
+
+        ``selector`` is anything exposing
+        :meth:`~repro.policies.base.QuerySelector.frontier_stats`; the
+        call is a no-op for selectors without an incremental frontier.
+        The stats are lifetime totals for one selector, and a selector
+        serves exactly one crawl, so folding them in once at crawl end
+        (next to :meth:`sample_server`) keeps the counters cumulative
+        and mergeable across grid workers.
+        """
+        stats_fn = getattr(selector, "frontier_stats", None)
+        stats = stats_fn() if callable(stats_fn) else None
+        if not stats:
+            return
+        key = (policy or getattr(selector, "name", None) or "?",)
+        self.frontier_rescored.inc_key(key, stats.get("rescored_total", 0))
+        self.frontier_dirty.inc_key(key, stats.get("dirty_total", 0))
+        self.frontier_pending.set_key((), stats.get("pending", 0))

@@ -224,6 +224,13 @@ class CrawlGrid:
     #: canonical (byte-comparable across worker counts *and* runs)
     #: traces; span ids/attrs are deterministic either way.
     trace_timings: bool = True
+    #: Shared-memory payloads (e.g.
+    #: :class:`~repro.core.shmtable.SharedTableHandle`) the grid's
+    #: factories attach to inside workers.  The grid runner only
+    #: accounts for them (the ``grid_shm_bytes`` gauge); creating and
+    #: unlinking the blocks is the grid builder's job — see
+    #: :func:`repro.experiments.harness.run_policy_suite`.
+    shared_payloads: Tuple[Any, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -306,6 +313,7 @@ def _crawl_one(
     metrics_state = None
     if sink is not None:
         sink.sample_server(server)
+        sink.sample_selector(selector, policy=result.policy)
         metrics_state = sink.registry.state_dict()
     trace_lines = tracer.collected if tracer is not None else None
     return result, time.perf_counter() - started, metrics_state, trace_lines
@@ -370,6 +378,18 @@ def run_crawl_grid(
             metrics.merge(metrics_state)
         if trace is not None and trace_lines is not None:
             trace_tasks.append((label, task.seed_index, trace_lines))
+    if metrics is not None and grid.shared_payloads:
+        metrics.gauge(
+            "grid_shm_bytes",
+            "Bytes of shared-memory table payloads backing experiment grids",
+        ).set(
+            float(
+                sum(
+                    getattr(payload, "nbytes", 0)
+                    for payload in grid.shared_payloads
+                )
+            )
+        )
     trace_spans = 0
     if trace is not None:
         from repro.trace.sink import write_trace

@@ -120,6 +120,18 @@ class QuerySelector(ABC):
         """
         return 0
 
+    def frontier_stats(self) -> Optional[dict]:
+        """Incremental-frontier counters for telemetry, or None.
+
+        Selectors running an
+        :class:`~repro.crawler.frontier.InternedPriorityFrontier` report
+        its ``stats`` dict (``dirty_total``, ``rescored_total``,
+        ``flushes``) plus ``pending``;
+        :meth:`repro.metrics.telemetry.TelemetrySink.sample_selector`
+        folds them into the registry.
+        """
+        return None
+
     def _require_context(self) -> CrawlerContext:
         if self.context is None:
             raise RuntimeError(f"{type(self).__name__} used before bind()")

@@ -24,13 +24,15 @@ already queried can contribute to its max.
 
 from __future__ import annotations
 
+import heapq
 import math
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.errors import CrawlError
 from repro.core.values import AttributeValue
 from repro.crawler.prober import QueryOutcome
+from repro.policies import vectorized
 from repro.policies.base import QuerySelector
 
 AGGREGATES = ("max", "mean")
@@ -53,6 +55,14 @@ class MinMaxMutualInformationSelector(QuerySelector):
         with no co-occurrence at all (score ``-inf``) — prefer higher
         local degree, keeping GL's productivity signal as a secondary
         key.
+    use_vectorized:
+        ``None`` (default) auto-selects the numpy queried-major kernel
+        (:func:`repro.policies.vectorized.mmmi_best_ratios`) when the
+        platform and configuration support it (``aggregate="max"`` on a
+        co-occurrence-tracking interned database); ``False`` forces the
+        scalar recompute; ``True`` requires the kernel and raises at
+        bind time if it cannot run.  Both paths are bit-identical (see
+        the differential suite).
     """
 
     requires_cooccurrence = True
@@ -63,6 +73,7 @@ class MinMaxMutualInformationSelector(QuerySelector):
         aggregate: str = "max",
         tie_break_degree: bool = True,
         popularity_weight: float = 1.0,
+        use_vectorized: Optional[bool] = None,
     ) -> None:
         super().__init__()
         if batch_size < 1:
@@ -75,7 +86,12 @@ class MinMaxMutualInformationSelector(QuerySelector):
         self.aggregate = aggregate
         self.tie_break_degree = tie_break_degree
         self.popularity_weight = popularity_weight
-        self._candidates: set[AttributeValue] = set()
+        self.use_vectorized = use_vectorized
+        # Candidate values mapped to their cached interned id (None
+        # until the value is first seen in a harvested record); dict
+        # order is insertion order but never influences selection — the
+        # recompute's final key ends on the AttributeValue itself.
+        self._candidates: Dict[AttributeValue, Optional[int]] = {}
         self._ordered: List[AttributeValue] = []
         self._since_recompute = 0
 
@@ -83,21 +99,46 @@ class MinMaxMutualInformationSelector(QuerySelector):
     def name(self) -> str:
         return "mmmi"
 
+    def bind(self, context) -> None:
+        super().bind(context)
+        if self.use_vectorized is True and not (
+            self.aggregate == "max"
+            and vectorized.supports_mmmi(context.local_db)
+        ):
+            raise CrawlError(
+                "MinMaxMutualInformationSelector(use_vectorized=True) "
+                "requires aggregate='max', a co-occurrence-tracking "
+                "interned database, and numpy"
+            )
+
     # ------------------------------------------------------------------
     def add_candidate(self, value: AttributeValue) -> None:
         context = self._require_context()
         if value in context.queried_values:
             return
-        self._candidates.add(value)
+        if value not in self._candidates:
+            self._candidates[value] = None
+
+    def add_candidate_id(self, vid: int, value: AttributeValue) -> None:
+        """Id-accompanied add: cache the interned id for the recompute.
+
+        The engine has already filtered already-queried ids, but the
+        value guard is kept so direct callers get :meth:`add_candidate`
+        semantics exactly.
+        """
+        context = self._require_context()
+        if value in context.queried_values:
+            return
+        self._candidates[value] = vid
 
     def next_query(self) -> Optional[AttributeValue]:
-        context = self._require_context()
+        self._require_context()
         if not self._ordered or self._since_recompute >= self.batch_size:
             self._recompute()
         while self._ordered:
             value = self._ordered.pop()
             if value in self._candidates:
-                self._candidates.discard(value)
+                del self._candidates[value]
                 self._since_recompute += 1
                 return value
         # The ordered list went stale and empty; one recompute may still
@@ -106,7 +147,7 @@ class MinMaxMutualInformationSelector(QuerySelector):
         if not self._ordered:
             return None
         value = self._ordered.pop()
-        self._candidates.discard(value)
+        self._candidates.pop(value, None)
         self._since_recompute += 1
         return value
 
@@ -127,7 +168,11 @@ class MinMaxMutualInformationSelector(QuerySelector):
     def load_state(self, state: dict) -> None:
         from repro.runtime.serialize import decode_value
 
-        self._candidates = {decode_value(v) for v in state["candidates"]}
+        # Ids are not serialized (the payload predates the cache and
+        # stays schema-stable); they re-resolve at the next recompute.
+        self._candidates = dict.fromkeys(
+            decode_value(v) for v in state["candidates"]
+        )
         self._ordered = [decode_value(v) for v in state["ordered"]]
         self._since_recompute = state["since_recompute"]
 
@@ -221,11 +266,18 @@ class MinMaxMutualInformationSelector(QuerySelector):
     def _order_interned(self, local, context) -> List[AttributeValue]:
         """The batch recompute on dense ids — the MMMI hot loop.
 
-        One interner lookup per queried value and one per candidate;
-        after that the neighbourhood intersections, PMI reads, and
-        degree reads are all integer-indexed.  ``neighbor_id_set``
-        returns the live adjacency set, so the intersection allocates
-        only the (small) result.
+        One interner lookup per queried value; candidate ids are cached
+        at discovery (:meth:`add_candidate_id`), so candidates hash only
+        until first resolved.  With numpy present and ``aggregate="max"``
+        the per-candidate dependency maxes run queried-major through
+        :func:`repro.policies.vectorized.mmmi_best_ratios`; the scalar
+        fallback iterates candidate-major over the same pairs.  Both
+        produce identical keys (see :mod:`repro.policies.vectorized` for
+        the exactness argument), and only the top ``batch_size`` keys
+        can be consumed before the next recompute, so a bounded
+        ``heapq.nlargest`` replaces the full sort — keys are unique
+        (final tie-break is the value itself), making the selection
+        independent of candidate iteration order.
         """
         lookup = local.value_id
         queried_ids = {
@@ -233,27 +285,65 @@ class MinMaxMutualInformationSelector(QuerySelector):
             for vid in map(lookup, context.queried_values)
             if vid is not None
         }
-        dependency_score = local.dependency_score_ids
-        degree_id = local.degree_id
+        candidates = self._candidates
+        for value, vid in candidates.items():
+            if vid is None:
+                vid = lookup(value)
+                if vid is not None:
+                    candidates[value] = vid
         use_max = self.aggregate == "max"
         weight = self.popularity_weight
         tie_break = self.tie_break_degree
+        degree_id = local.degree_id
+        log = math.log
         log1p = math.log1p
         neg_inf = -math.inf
         keyed = []
-        for value in self._candidates:
-            vid = lookup(value)
-            if vid is None:
-                # Never seen in a harvested record: no neighbours, no
-                # degree — fully independent, judged at score 0.
-                keyed.append((0.0, 0, value))
-                continue
-            score = dependency_score(vid, queried_ids, use_max)
-            if score == neg_inf:
-                score = 0.0  # independent; judged on popularity alone
-            degree = degree_id(vid)
-            if weight:
-                score -= weight * log1p(degree)
-            keyed.append((-score, degree if tie_break else 0, value))
-        keyed.sort()
-        return [value for _neg_score, _degree, value in keyed]
+        use_vec = (
+            self.use_vectorized is not False
+            and use_max
+            and vectorized.supports_mmmi(local)
+        )
+        if use_vec:
+            pairs = [
+                (value, vid)
+                for value, vid in candidates.items()
+                if vid is not None
+            ]
+            ratios = vectorized.mmmi_best_ratios(
+                local, queried_ids, [vid for _value, vid in pairs]
+            )
+            for (value, vid), ratio in zip(pairs, ratios):
+                # log(max ratio) == max(log ratio): one scalar math.log
+                # per candidate keeps libm bit-identity with the scalar
+                # path.  Ratio 0 is the no-co-occurrence sentinel.
+                score = log(ratio) if ratio > 0.0 else 0.0
+                degree = degree_id(vid)
+                if weight:
+                    score -= weight * log1p(degree)
+                keyed.append((-score, degree if tie_break else 0, value))
+            for value, vid in candidates.items():
+                if vid is None:
+                    # Never seen in a harvested record: no neighbours, no
+                    # degree — fully independent, judged at score 0.
+                    keyed.append((0.0, 0, value))
+        else:
+            dependency_score = local.dependency_score_ids
+            for value, vid in candidates.items():
+                if vid is None:
+                    keyed.append((0.0, 0, value))
+                    continue
+                score = dependency_score(vid, queried_ids, use_max)
+                if score == neg_inf:
+                    score = 0.0  # independent; judged on popularity alone
+                degree = degree_id(vid)
+                if weight:
+                    score -= weight * log1p(degree)
+                keyed.append((-score, degree if tie_break else 0, value))
+        take = self.batch_size
+        if len(keyed) <= take:
+            keyed.sort()
+            return [value for _neg_score, _degree, value in keyed]
+        top = heapq.nlargest(take, keyed)
+        top.reverse()  # ascending; consumed best-first from the tail
+        return [value for _neg_score, _degree, value in top]

@@ -181,3 +181,70 @@ class TestSampleServer:
         a = TelemetrySink(registry=reg)
         b = TelemetrySink(registry=reg)
         assert a.registry is b.registry is reg
+
+
+class TestSampleSelector:
+    class FakeSelector:
+        name = "greedy-link"
+
+        def __init__(self, stats):
+            self._stats = stats
+
+        def frontier_stats(self):
+            return self._stats
+
+    def test_folds_frontier_counters(self):
+        sink = TelemetrySink()
+        sink.sample_selector(
+            self.FakeSelector(
+                {"pending": 42, "dirty_total": 7, "rescored_total": 9}
+            )
+        )
+        assert sink.frontier_rescored.value(policy="greedy-link") == 9
+        assert sink.frontier_dirty.value(policy="greedy-link") == 7
+        assert sink.frontier_pending.value() == 42
+
+    def test_explicit_policy_label_wins(self):
+        sink = TelemetrySink()
+        sink.sample_selector(
+            self.FakeSelector({"dirty_total": 1, "rescored_total": 1}),
+            policy="gl-tuned",
+        )
+        assert sink.frontier_rescored.value(policy="gl-tuned") == 1
+        assert sink.frontier_rescored.value(policy="greedy-link") == 0
+
+    def test_counters_accumulate_across_crawls(self):
+        """One sink, many grid tasks: lifetime totals must sum."""
+        sink = TelemetrySink()
+        for _ in range(3):
+            sink.sample_selector(
+                self.FakeSelector({"dirty_total": 2, "rescored_total": 5})
+            )
+        assert sink.frontier_rescored.value(policy="greedy-link") == 15
+        assert sink.frontier_dirty.value(policy="greedy-link") == 6
+
+    def test_noop_without_frontier_stats(self):
+        sink = TelemetrySink()
+        sink.sample_selector(object())  # e.g. MMMI: no interned frontier
+        sink.sample_selector(self.FakeSelector(None))  # stats disabled
+        assert sink.frontier_rescored.value(policy="?") == 0
+
+    def test_prometheus_round_trip(self):
+        """The new counters must survive the text exposition format."""
+        from repro.metrics.exporters import prometheus_text
+
+        sink = TelemetrySink()
+        sink.sample_selector(
+            self.FakeSelector(
+                {"pending": 4, "dirty_total": 3, "rescored_total": 8}
+            )
+        )
+        sink.grid_shm_bytes.set(267256.0)
+        text = prometheus_text(sink.registry)
+        assert "# TYPE frontier_rescored_total counter" in text
+        assert 'frontier_rescored_total{policy="greedy-link"} 8' in text
+        assert 'frontier_dirty_total{policy="greedy-link"} 3' in text
+        assert "# TYPE frontier_pending gauge" in text
+        assert "frontier_pending 4" in text
+        assert "# TYPE grid_shm_bytes gauge" in text
+        assert "grid_shm_bytes 267256" in text

@@ -1,0 +1,247 @@
+"""Differential tests: vectorized scoring must match the scalar path bit for bit.
+
+The numpy kernels in :mod:`repro.policies.vectorized` are pure
+accelerators — every selection decision they feed must be *identical*
+to the pure-python loops they replace, or parallel/accelerated runs
+stop being reproductions of the paper's sequential crawls.  These tests
+pin that contract two ways:
+
+- **Crawl-level**: full crawls with ``use_vectorized=True`` vs ``False``
+  produce equal :class:`~repro.crawler.engine.CrawlResult`\\ s (same
+  query sequence, same step history, same coverage).
+- **Kernel-level**: the batch scorers and :func:`mmmi_best_ratios`
+  reproduce the scalar arithmetic exactly — including the zero
+  frequency, empty-queried-set, no-co-occurrence, and id-past-column
+  edges where the guards (not the arithmetic) decide the answer.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import AttributeValue, CrawlError
+from repro.crawler import CrawlerEngine, LocalDatabase
+from repro.policies import (
+    GreedyFrequencySelector,
+    GreedyLinkSelector,
+    MinMaxMutualInformationSelector,
+)
+from repro.policies import vectorized
+from repro.server import SimulatedWebDatabase
+from tests.conftest import make_record
+
+needs_numpy = pytest.mark.skipif(
+    not vectorized.available(), reason="numpy kernels unavailable"
+)
+
+
+def AV(attribute, value):
+    return AttributeValue(attribute, value)
+
+
+def crawl_signature(table, selector, max_queries=45):
+    """One deterministic crawl; the full result doubles as the signature."""
+    server = SimulatedWebDatabase(table, page_size=10)
+    engine = CrawlerEngine(server, selector, seed=11)
+    seed_value = next(
+        value
+        for value in table.distinct_values("seller")
+        if table.frequency(value) >= 3
+    )
+    result = engine.crawl([seed_value], max_queries=max_queries)
+    return result, list(engine.context.lqueried)
+
+
+@needs_numpy
+class TestCrawlLevelIdentity:
+    @pytest.mark.parametrize(
+        "factory", [GreedyLinkSelector, GreedyFrequencySelector]
+    )
+    def test_priority_selectors_match_scalar(self, small_ebay, factory):
+        fast, fast_q = crawl_signature(small_ebay, factory(use_vectorized=True))
+        slow, slow_q = crawl_signature(small_ebay, factory(use_vectorized=False))
+        assert fast_q == slow_q
+        assert fast == slow
+
+    def test_mmmi_matches_scalar(self, small_ebay):
+        fast, fast_q = crawl_signature(
+            small_ebay, MinMaxMutualInformationSelector(use_vectorized=True)
+        )
+        slow, slow_q = crawl_signature(
+            small_ebay, MinMaxMutualInformationSelector(use_vectorized=False)
+        )
+        assert fast_q == slow_q
+        assert fast == slow
+
+    def test_mmmi_small_batch_matches_scalar(self, small_ebay):
+        """Frequent recomputes stress the queried-major scatter path."""
+        fast, _ = crawl_signature(
+            small_ebay,
+            MinMaxMutualInformationSelector(batch_size=5, use_vectorized=True),
+        )
+        slow, _ = crawl_signature(
+            small_ebay,
+            MinMaxMutualInformationSelector(batch_size=5, use_vectorized=False),
+        )
+        assert fast == slow
+
+
+class TestVectorizedValidation:
+    def test_mean_aggregate_rejects_forced_vectorized(self, small_ebay):
+        """The kernel only reproduces ``max``; forcing it on ``mean`` fails."""
+        selector = MinMaxMutualInformationSelector(
+            aggregate="mean", use_vectorized=True
+        )
+        server = SimulatedWebDatabase(small_ebay, page_size=10)
+        with pytest.raises(CrawlError):
+            CrawlerEngine(server, selector, seed=11)
+
+    def test_mean_aggregate_auto_stays_scalar(self, small_ebay):
+        """``use_vectorized=None`` silently keeps mean on the scalar path."""
+        result, _ = crawl_signature(
+            small_ebay,
+            MinMaxMutualInformationSelector(aggregate="mean"),
+            max_queries=20,
+        )
+        assert result.queries_issued > 0
+
+
+def correlated_local():
+    """A tiny tracked database with known co-occurrence structure."""
+    local = LocalDatabase(track_cooccurrence=True)
+    records = [
+        make_record(1, a="lead", b="paired", c="x"),
+        make_record(2, a="lead", b="paired", c="y"),
+        make_record(3, a="lead", b="paired", c="x"),
+        make_record(4, a="lead2", b="paired", c="y"),
+        make_record(5, a="lead2", b="zzz", c="x"),
+        make_record(6, a="other", b="free", c="y"),
+        make_record(7, a="other2", b="free", c="x"),
+    ]
+    for record in records:
+        local.add(record)
+    return local
+
+
+@needs_numpy
+class TestMMMIKernelEdges:
+    def scalar_bits(self, local, queried_ids, cand_ids):
+        """The scalar reference: exp of dependency_score_ids per candidate."""
+        out = []
+        for vid in cand_ids:
+            score = local.dependency_score_ids(vid, set(queried_ids), use_max=True)
+            out.append(0.0 if score == -math.inf else math.exp(score))
+        return out
+
+    def test_matches_scalar_log_bit_for_bit(self):
+        local = correlated_local()
+        queried = [
+            local.value_id(AV("a", "lead")),
+            local.value_id(AV("a", "lead2")),
+        ]
+        cands = [
+            local.value_id(AV("b", "paired")),
+            local.value_id(AV("b", "free")),
+            local.value_id(AV("b", "zzz")),
+            local.value_id(AV("c", "x")),
+        ]
+        best = vectorized.mmmi_best_ratios(local, queried, cands)
+        for vid, ratio in zip(cands, best):
+            scalar = local.dependency_score_ids(vid, set(queried), use_max=True)
+            if ratio == 0.0:
+                assert scalar == -math.inf
+            else:
+                # Same bits: the scalar path is log(joint*n/(fu*fv)) over
+                # ints; the kernel maximizes the exact ratios first.
+                assert math.log(ratio) == scalar
+
+    def test_no_cooccurrence_scores_zero(self):
+        local = correlated_local()
+        queried = [local.value_id(AV("a", "lead"))]
+        cands = [local.value_id(AV("b", "free"))]
+        assert vectorized.mmmi_best_ratios(local, queried, cands) == [0.0]
+
+    def test_empty_queried_set(self):
+        local = correlated_local()
+        cands = [local.value_id(AV("b", "paired"))]
+        assert vectorized.mmmi_best_ratios(local, [], cands) == [0.0]
+
+    def test_empty_candidates(self):
+        local = correlated_local()
+        queried = [local.value_id(AV("a", "lead"))]
+        assert vectorized.mmmi_best_ratios(local, queried, []) == []
+
+    def test_empty_database(self):
+        local = LocalDatabase(track_cooccurrence=True)
+        assert vectorized.mmmi_best_ratios(local, [0], [1]) == [0.0]
+
+    def test_queried_id_past_column_end_is_skipped(self):
+        local = correlated_local()
+        queried = [local.value_id(AV("a", "lead")), 10_000]
+        cands = [local.value_id(AV("b", "paired"))]
+        with_garbage = vectorized.mmmi_best_ratios(local, queried, cands)
+        clean = vectorized.mmmi_best_ratios(local, queried[:1], cands)
+        assert with_garbage == clean
+
+    def test_interned_but_unseen_query_is_harmless(self):
+        """A vid interned without statistics behaves like frequency 0."""
+        local = correlated_local()
+        ghost = local.intern_value(AV("a", "never-harvested"))
+        queried = [local.value_id(AV("a", "lead")), ghost]
+        cands = [local.value_id(AV("b", "paired"))]
+        assert vectorized.mmmi_best_ratios(local, queried, cands) == (
+            vectorized.mmmi_best_ratios(local, queried[:1], cands)
+        )
+
+
+@needs_numpy
+class TestColumnScorerEdges:
+    @pytest.mark.parametrize(
+        "make_scorer, scalar_name",
+        [
+            (vectorized.degree_batch_scorer, "degree_id"),
+            (vectorized.frequency_batch_scorer, "frequency_id"),
+        ],
+    )
+    def test_matches_scalar_loop(self, make_scorer, scalar_name):
+        local = correlated_local()
+        scorer = make_scorer(local)
+        assert scorer is not None
+        scalar = getattr(local, scalar_name)
+        ids = list(range(len(local.interner)))
+        random.Random(3).shuffle(ids)
+        assert scorer(ids) == [float(scalar(vid)) for vid in ids]
+
+    @pytest.mark.parametrize(
+        "make_scorer",
+        [vectorized.degree_batch_scorer, vectorized.frequency_batch_scorer],
+    )
+    def test_ids_past_column_end_score_zero(self, make_scorer):
+        local = correlated_local()
+        scorer = make_scorer(local)
+        in_range = local.value_id(AV("b", "paired"))
+        scores = scorer([in_range, 10_000])
+        assert scores[1] == 0.0
+        assert scores[0] == scorer([in_range])[0]
+
+    @pytest.mark.parametrize(
+        "make_scorer",
+        [vectorized.degree_batch_scorer, vectorized.frequency_batch_scorer],
+    )
+    def test_empty_database_and_empty_batch(self, make_scorer):
+        local = LocalDatabase(track_cooccurrence=True)
+        scorer = make_scorer(local)
+        assert scorer([]) == []
+        assert scorer([0, 5]) == [0.0, 0.0]
+
+    def test_scorer_sees_live_column_growth(self):
+        """Columns may reallocate on add; the scorer must re-fetch."""
+        local = LocalDatabase(track_cooccurrence=True)
+        scorer = vectorized.frequency_batch_scorer(local)
+        local.add(make_record(1, a="v"))
+        vid = local.value_id(AV("a", "v"))
+        assert scorer([vid]) == [1.0]
+        for i in range(2, 200):
+            local.add(make_record(i, a="v", b=f"pad{i}"))
+        assert scorer([vid]) == [float(local.frequency_id(vid))]

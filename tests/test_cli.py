@@ -225,3 +225,51 @@ class TestNetworkLane:
 
         payload = json.loads(bench.read_text())
         assert "speedup" in payload["policies"]["loadtest"]
+
+
+class TestCrawlProfiling:
+    def _profiled(self, tmp_path, *extra):
+        profile_path = tmp_path / "crawl.prof"
+        code, text = run_cli(
+            "crawl",
+            "--dataset", "ebay",
+            "--records", "300",
+            "--policy", "greedy-link",
+            "--max-rounds", "80",
+            "--profile", str(profile_path),
+            *extra,
+        )
+        assert code == 0
+        assert profile_path.exists()
+        return text
+
+    @staticmethod
+    def _summary_rows(text):
+        """Rows of the printed cProfile table (between header and footer)."""
+        lines = text.splitlines()
+        start = next(
+            i for i, line in enumerate(lines) if line.lstrip().startswith("ncalls")
+        )
+        rows = []
+        for line in lines[start + 1:]:
+            if not line.strip():
+                break
+            rows.append(line)
+        return rows
+
+    def test_profile_top_limits_the_summary(self, tmp_path):
+        text = self._profiled(tmp_path, "--profile-top", "5")
+        assert "cumulative" in text
+        assert len(self._summary_rows(text)) == 5
+        assert "profile stats written to" in text
+
+    def test_profile_top_defaults_to_25(self, tmp_path):
+        text = self._profiled(tmp_path)
+        assert len(self._summary_rows(text)) == 25
+
+    def test_profile_dump_is_loadable(self, tmp_path):
+        import pstats
+
+        self._profiled(tmp_path, "--profile-top", "1")
+        stats = pstats.Stats(str(tmp_path / "crawl.prof"))
+        assert stats.total_calls > 0
