@@ -49,6 +49,13 @@ from repro.experiments import (
     run_table2,
 )
 from repro.experiments.harness import sample_seed_values
+from repro.fleet import (
+    FLEET_SCHEDULERS,
+    FleetConfig,
+    compare_fleet,
+    fleet_bench_payload,
+    run_fleet,
+)
 from repro.parallel import parse_workers
 from repro.policies import (
     AdaptiveAttributeSelector,
@@ -348,6 +355,58 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write BENCH_net.json (regression-gate shape) "
                                "here")
 
+    fleet = commands.add_parser(
+        "fleet",
+        help="crawl many sources under one shared round budget",
+    )
+    fleet.add_argument("--sources", type=int, default=50,
+                       help="fleet size (number of generated sources)")
+    fleet.add_argument("--budget", type=int, default=200,
+                       help="total communication rounds across the fleet")
+    fleet.add_argument("--scheduler", choices=FLEET_SCHEDULERS,
+                       default="greedy")
+    fleet.add_argument("--workers", default="1",
+                       help="process count or 'auto' (results are "
+                            "identical at any width)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--scale", type=float, default=1.0,
+                       help="source-size multiplier (count is unchanged)")
+    fleet.add_argument("--shards", type=int, default=8,
+                       help="plan partitions (part of the result, "
+                            "not the worker count)")
+    fleet.add_argument("--page-size", type=int, default=10,
+                       help="base page size k; sources draw k/2..5k")
+    fleet.add_argument("--cooldown", type=float, default=2.0,
+                       help="per-source politeness cooldown in virtual "
+                            "seconds (= rounds); 0 disables")
+    fleet.add_argument("--burst", type=int, default=1,
+                       help="steps allowed per cooldown window")
+    fleet.add_argument("--max-step-rounds", type=int, default=4,
+                       help="hard per-step round cap (page cap, no "
+                            "retries) backing the budget guarantee")
+    fleet.add_argument("--fairness-every", type=int, default=None,
+                       help="starvation bound for --scheduler fair "
+                            "(default: shard sources x step cap)")
+    fleet.add_argument("--top", type=int, default=10,
+                       help="sources listed in the report")
+    fleet.add_argument("--compare", action="store_true",
+                       help="run greedy, rr, and fair on the same plan")
+    fleet.add_argument("--bench-out", default=None, metavar="PATH",
+                       help="with --compare: write BENCH_fleet.json "
+                            "(regression-gate shape) here")
+    fleet.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="save the allocation state here")
+    fleet.add_argument("--resume", default=None, metavar="PATH",
+                       help="continue from a fleet checkpoint")
+    fleet.add_argument("--stop-after-rounds", type=int, default=None,
+                       help="pause after roughly this many global rounds "
+                            "(use with --checkpoint, then --resume)")
+    fleet.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write one repro-trace/1 'schedule' span "
+                            "per allocation decision")
+    fleet.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write a repro-metrics/1 snapshot here")
+
     profile = commands.add_parser(
         "profile", help="probe a source and summarize what it knows"
     )
@@ -404,6 +463,72 @@ def _build_from_setup(setup: dict):
     )
     selector = POLICIES[setup["policy"]]()
     return table, server, selector
+
+
+def _command_fleet(args, out) -> int:
+    import json as _json
+
+    from repro.metrics.exporters import JsonlMetricsWriter
+    from repro.metrics.registry import MetricsRegistry
+
+    config = FleetConfig(
+        n_sources=args.sources,
+        budget=args.budget,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        scale=args.scale,
+        page_size=args.page_size,
+        max_step_rounds=args.max_step_rounds,
+        cooldown_rounds=args.cooldown,
+        burst=args.burst,
+        fairness_every=args.fairness_every,
+        shards=args.shards,
+    )
+    workers = args.workers
+    if args.compare:
+        results = compare_fleet(config, workers=workers)
+        for name in FLEET_SCHEDULERS:
+            result = results[name]
+            out.write(
+                f"{name:8s} {result.total_records:8d} records  "
+                f"{result.coverage:6.1%} coverage  "
+                f"{result.rounds_used:6d}/{result.budget} rounds  "
+                f"{result.cooldown_waits} waits\n"
+            )
+        baseline = results["rr"].total_records
+        if baseline:
+            for name in ("greedy", "fair"):
+                ratio = results[name].total_records / baseline
+                out.write(f"{name} vs rr: {ratio:.3f}x records at budget\n")
+        if args.bench_out:
+            payload = fleet_bench_payload(results, scale=args.scale)
+            with open(args.bench_out, "w", encoding="utf-8") as handle:
+                _json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            out.write(f"bench written to {args.bench_out}\n")
+        return 0
+
+    registry = MetricsRegistry() if args.metrics_out else None
+    result = run_fleet(
+        config,
+        workers=workers,
+        stop_after_rounds=args.stop_after_rounds,
+        checkpoint_path=args.checkpoint,
+        resume_from=args.resume,
+        trace_path=args.trace_out,
+        metrics=registry,
+    )
+    out.write(result.render(top=args.top) + "\n")
+    if args.checkpoint:
+        out.write(f"checkpoint written to {args.checkpoint}\n")
+    if args.trace_out:
+        out.write(f"trace written to {args.trace_out}\n")
+    if args.metrics_out:
+        with JsonlMetricsWriter(args.metrics_out) as writer:
+            writer.write_snapshot(registry, step=result.rounds_used,
+                                  label="fleet")
+        out.write(f"metrics written to {args.metrics_out}\n")
+    return 0
 
 
 def _telemetry_requested(args) -> bool:
@@ -1021,6 +1146,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "resume": _command_resume,
         "experiment": _command_experiment,
         "trace": _command_trace,
+        "fleet": _command_fleet,
         "profile": _command_profile,
         "serve": _command_serve,
         "loadtest": _command_loadtest,

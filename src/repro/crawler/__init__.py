@@ -5,6 +5,7 @@ from repro.crawler.abortion import (
     CombinedAbort,
     DuplicateFractionAbort,
     NeverAbort,
+    PageCapAbort,
     PageProgress,
     TotalCountAbort,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "LifoFrontier",
     "LocalDatabase",
     "NeverAbort",
+    "PageCapAbort",
     "PageProgress",
     "PriorityFrontier",
     "QueryOutcome",

@@ -154,6 +154,32 @@ class DuplicateFractionAbort(AbortionPolicy):
 
 
 @dataclass
+class PageCapAbort(AbortionPolicy):
+    """Hard cap on pages fetched per query, regardless of productivity.
+
+    Not one of the paper's heuristics — this is a *budget* device: with
+    ``max_pages=c`` (and no retries), one engine step charges at most
+    ``c`` communication rounds, which is exactly the per-step bound the
+    warehouse/fleet schedulers need to guarantee a shared round budget
+    is never exceeded (their ``max_step_rounds``).  Compose it with a
+    paper heuristic via :class:`CombinedAbort`-style wrapping when both
+    behaviours are wanted; on its own it never aborts *early*, only at
+    the cap.
+    """
+
+    max_pages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_pages < 1:
+            raise ValueError(f"max_pages must be >= 1, got {self.max_pages}")
+
+    def should_abort(
+        self, page: ResultPage, progress: PageProgress, known_matches: int
+    ) -> bool:
+        return progress.pages_fetched >= self.max_pages
+
+
+@dataclass
 class CombinedAbort(AbortionPolicy):
     """Use heuristic 1 when totals are reported, else heuristic 2."""
 

@@ -1,0 +1,63 @@
+"""Fleet crawling: one round budget over hundreds-to-thousands of sources.
+
+The cross-source analogue of the paper's per-source query selection:
+instead of asking "which query next?" inside one source, the fleet
+scheduler asks "which *source* deserves the next query?" — greedy on
+exploration-adjusted marginal harvest rate, round-robin fair share, or
+greedy under an explicit starvation guarantee — subject to per-source
+politeness cooldowns over deterministic simulated time.
+
+- :mod:`repro.fleet.sources` — deterministic heterogeneous fleet plans
+  (heavy-tailed sizes, mixed datasets, mixed GL/GF/MMMI/DM policies);
+- :mod:`repro.fleet.scheduler` — polite fleet schedulers built on the
+  warehouse budget loop + the server lane's ``RateLimiter``;
+- :mod:`repro.fleet.driver` — sharded parallel execution with
+  fixed-order merge (bit-identical at any worker count), mid-run
+  checkpoint/resume, metrics/trace/bench outputs.
+"""
+
+from repro.fleet.driver import (
+    FleetConfig,
+    FleetPlan,
+    FleetResult,
+    compare_fleet,
+    fleet_bench_payload,
+    plan_shards,
+    run_fleet,
+)
+from repro.fleet.scheduler import (
+    FLEET_SCHEDULERS,
+    FleetClock,
+    PoliteGreedyFleet,
+    PoliteRoundRobinFleet,
+    make_fleet_scheduler,
+)
+from repro.fleet.sources import (
+    FLEET_POLICIES,
+    SourceSpec,
+    build_fleet,
+    build_source,
+    plan_fleet,
+    source_seeds,
+)
+
+__all__ = [
+    "FLEET_POLICIES",
+    "FLEET_SCHEDULERS",
+    "FleetClock",
+    "FleetConfig",
+    "FleetPlan",
+    "FleetResult",
+    "PoliteGreedyFleet",
+    "PoliteRoundRobinFleet",
+    "SourceSpec",
+    "build_fleet",
+    "build_source",
+    "compare_fleet",
+    "fleet_bench_payload",
+    "make_fleet_scheduler",
+    "plan_fleet",
+    "plan_shards",
+    "run_fleet",
+    "source_seeds",
+]

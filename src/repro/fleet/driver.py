@@ -1,0 +1,431 @@
+"""The fleet experiment driver: shard, run, merge — deterministically.
+
+A fleet run spends one global round budget over N sources.  To scale to
+thousands of sources the driver partitions the fleet into ``shards``
+(a *plan* parameter, independent of worker count), gives each shard a
+deterministic slice of the budget, runs each shard's polite scheduler
+as one task of :func:`repro.parallel.parallel_map`, and merges shard
+outputs in fixed shard order.  Because the shard plan, budget split,
+and every in-shard decision are pure functions of the
+:class:`FleetConfig`, the merged :class:`FleetResult` — and the trace
+and metrics files derived from it — are bit-identical at any
+``--workers`` count.
+
+Determinism contract (what "bit-identical" means here):
+
+1. ``plan_fleet(config)`` fixes specs, shard assignment (round-robin by
+   source index), and per-shard budgets (proportional split, remainder
+   to the lowest-indexed shards) before any work starts.
+2. A shard task is a pure function of ``(config, shard)``: it builds
+   its own engines, runs its own scheduler over its own simulated
+   clock, and returns plain data.
+3. The parent merges shard outputs in shard order — results, metrics
+   registries, trace span lines — never in completion order.
+
+Checkpoint/resume rides the warehouse schedulers' growing-budget
+continuity: stopping a shard after R rounds, snapshotting, and resuming
+toward the full shard budget lands in exactly the state an
+uninterrupted run reaches, so a killed fleet resumes to an identical
+final allocation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import CrawlError
+from repro.fleet.scheduler import (
+    FLEET_SCHEDULERS,
+    FleetClock,
+    make_fleet_scheduler,
+)
+from repro.fleet.sources import SourceSpec, build_fleet, plan_fleet
+from repro.metrics.registry import MetricsRegistry
+from repro.parallel import WorkerSpec, parallel_map
+from repro.runtime.checkpoint import CheckpointError, FleetCheckpoint
+from repro.trace.sink import write_trace
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything that determines a fleet run's outcome.
+
+    Two runs with equal configs produce byte-equal reports at any
+    worker count; every field therefore feeds the checkpoint's
+    config-echo consistency check.
+    """
+
+    n_sources: int = 50
+    budget: int = 200
+    scheduler: str = "greedy"
+    seed: int = 0
+    scale: float = 1.0
+    page_size: int = 10
+    #: Hard per-step round bound (PageCapAbort page cap + no retries);
+    #: makes the shared budget a guarantee, not a target.
+    max_step_rounds: int = 4
+    #: Virtual seconds (= rounds) of per-source cooldown; 0 disables
+    #: politeness.
+    cooldown_rounds: float = 2.0
+    #: Steps a source may take per cooldown window.
+    burst: int = 1
+    #: Starvation bound for the ``fair`` scheduler: every schedulable
+    #: source is stepped at least once per this many budget units.
+    #: ``None`` derives a satisfiable default per shard (sources ×
+    #: max_step_rounds).
+    fairness_every: Optional[int] = None
+    #: Sliding-window length for the marginal-rate estimate.  Short on
+    #: purpose: a drained source must stop looking productive within a
+    #: couple of steps or greedy allocation keeps feeding it.
+    window_size: int = 2
+    #: Exploration-bonus scale (records-per-page units).  A small
+    #: shared constant, NOT per-source page size: a never-stepped
+    #: source already carries full-page optimism in its empty-window
+    #: rate, and a per-k bonus would keep drained big-page sources
+    #: outranking fresh small-page ones.
+    exploration: float = 2.0
+    #: Partition count — part of the plan, NOT the worker count.
+    shards: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in FLEET_SCHEDULERS:
+            raise CrawlError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"expected one of {FLEET_SCHEDULERS}"
+            )
+        if self.budget < 1:
+            raise CrawlError(f"budget must be >= 1, got {self.budget}")
+        if self.shards < 1:
+            raise CrawlError(f"shards must be >= 1, got {self.shards}")
+        if self.max_step_rounds < 1:
+            raise CrawlError(
+                f"max_step_rounds must be >= 1, got {self.max_step_rounds}"
+            )
+
+
+@dataclass
+class FleetPlan:
+    """The deterministic layout a config expands into."""
+
+    specs: Tuple[SourceSpec, ...]
+    shard_specs: List[Tuple[SourceSpec, ...]]
+    shard_budgets: List[int]
+
+
+def plan_shards(config: FleetConfig) -> FleetPlan:
+    """Expand a config into specs, shard assignment, and budget split.
+
+    Sources go to shards round-robin by index (so heavy-tail sizes
+    spread evenly); each shard's budget share is proportional to its
+    source count, floors summed and the remainder granted one round at
+    a time to the lowest-indexed shards — the split is exact
+    (``sum == budget``) and worker-independent.
+    """
+    specs = plan_fleet(
+        config.n_sources,
+        seed=config.seed,
+        scale=config.scale,
+        page_size=config.page_size,
+    )
+    n_shards = min(config.shards, len(specs))
+    shard_specs: List[List[SourceSpec]] = [[] for _ in range(n_shards)]
+    for index, spec in enumerate(specs):
+        shard_specs[index % n_shards].append(spec)
+    budgets = [
+        config.budget * len(shard) // len(specs) for shard in shard_specs
+    ]
+    for index in range(config.budget - sum(budgets)):
+        budgets[index % n_shards] += 1
+    return FleetPlan(
+        specs=specs,
+        shard_specs=[tuple(shard) for shard in shard_specs],
+        shard_budgets=budgets,
+    )
+
+
+def _shard_fairness(config: FleetConfig, n_shard_sources: int) -> Optional[int]:
+    if config.scheduler != "fair":
+        return None
+    if config.fairness_every is not None:
+        return config.fairness_every
+    return max(n_shard_sources * config.max_step_rounds, 1)
+
+
+def _run_shard(payload, shard_index: int) -> dict:
+    """One shard, start to stop — the ``parallel_map`` task function."""
+    config, plan, targets, states, capture_state = payload
+    shard = plan.shard_specs[shard_index]
+    budget = plan.shard_budgets[shard_index]
+    target = targets[shard_index]
+    engines, seeds = build_fleet(
+        shard, max_step_rounds=config.max_step_rounds
+    )
+    metrics = MetricsRegistry()
+    trace_lines: List[str] = []
+    scheduler = make_fleet_scheduler(
+        config.scheduler,
+        engines,
+        seeds,
+        fairness_every=_shard_fairness(config, len(shard)),
+        cooldown_rounds=config.cooldown_rounds,
+        burst=config.burst,
+        clock=FleetClock(),
+        metrics=metrics,
+        trace=trace_lines,
+        max_step_rounds=config.max_step_rounds,
+        window_size=config.window_size,
+        exploration=config.exploration,
+        prepare=states is None,
+    )
+    if states is not None:
+        scheduler.load_state(states[shard_index])
+    result = scheduler.run(target) if target > 0 else None
+    sources = {}
+    if result is not None:
+        for name in sorted(result.results):
+            crawl = result.results[name]
+            sources[name] = {
+                "records": crawl.records_harvested,
+                "rounds": crawl.communication_rounds,
+                "queries": crawl.queries_issued,
+                "coverage": crawl.coverage,
+                "stopped_by": crawl.stopped_by,
+            }
+    else:
+        # A zero-round target (tiny stop_after_rounds, or more shards
+        # than budget): the shard exists in the report, just untouched.
+        for spec in shard:
+            sources[spec.name] = {
+                "records": 0,
+                "rounds": 0,
+                "queries": 0,
+                "coverage": 0.0,
+                "stopped_by": "budget",
+            }
+    out = {
+        "shard": shard_index,
+        "budget": budget,
+        "target": target,
+        "rounds_used": scheduler.rounds_spent,
+        "overshoot": result.overshoot if result is not None else 0,
+        "sources": sources,
+        "truth": sum(
+            len(engine.server.table) for engine in engines.values()
+        ),
+        "clock": scheduler.clock.value,
+        "cooldown_waits": scheduler.clock.waits,
+        "metrics": metrics.state_dict(),
+        "trace": trace_lines,
+    }
+    if capture_state:
+        out["state"] = scheduler.state_dict()
+    return out
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of a fleet run (shard order, fully deterministic)."""
+
+    config: FleetConfig
+    sources: Dict[str, dict]
+    rounds_used: int
+    budget: int
+    overshoot: int
+    total_records: int
+    total_truth: int
+    shard_budgets: List[int]
+    shard_rounds: List[int]
+    cooldown_waits: int
+    completed: bool
+    metrics: MetricsRegistry = field(repr=False, default_factory=MetricsRegistry)
+
+    @property
+    def coverage(self) -> float:
+        if self.total_truth == 0:
+            return 0.0
+        return self.total_records / self.total_truth
+
+    def render(self, top: int = 10) -> str:
+        """Deterministic plain-text report (no wall-clock anywhere)."""
+        lines = [
+            f"fleet: {self.config.n_sources} sources, "
+            f"scheduler={self.config.scheduler}, "
+            f"budget={self.budget} rounds",
+            f"rounds used: {self.rounds_used}  overshoot: {self.overshoot}  "
+            f"{'complete' if self.completed else 'partial (resumable)'}",
+            f"records harvested: {self.total_records} of {self.total_truth} "
+            f"({self.coverage:.1%} fleet coverage)",
+            f"cooldown waits: {self.cooldown_waits}",
+            f"shard budgets: {self.shard_budgets}",
+            f"shard rounds:  {self.shard_rounds}",
+        ]
+        stepped = sum(1 for s in self.sources.values() if s["rounds"] > 0)
+        lines.append(
+            f"sources stepped: {stepped}/{len(self.sources)}"
+        )
+        ranked = sorted(
+            self.sources.items(),
+            key=lambda item: (-item[1]["records"], item[0]),
+        )[:top]
+        if ranked:
+            lines.append(f"top {len(ranked)} sources by records:")
+            for name, info in ranked:
+                lines.append(
+                    f"  {name:24s} {info['records']:6d} records "
+                    f"{info['rounds']:5d} rounds {info['coverage']:6.1%} "
+                    f"{info['stopped_by']}"
+                )
+        return "\n".join(lines)
+
+
+def run_fleet(
+    config: FleetConfig,
+    workers: WorkerSpec = 1,
+    stop_after_rounds: Optional[int] = None,
+    checkpoint_path=None,
+    resume_from=None,
+    trace_path=None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FleetResult:
+    """Run (or continue) a fleet allocation.
+
+    ``stop_after_rounds`` truncates the run at roughly that many global
+    rounds (split proportionally across shards, deterministically) —
+    with ``checkpoint_path`` set, the partial state is saved and a
+    later call with ``resume_from`` continues to the full budget.
+    """
+    plan = plan_shards(config)
+    n_shards = len(plan.shard_specs)
+    states = None
+    if resume_from is not None:
+        checkpoint = FleetCheckpoint.load(resume_from)
+        if checkpoint.config != asdict(config):
+            raise CheckpointError(
+                "fleet checkpoint was planned under a different config; "
+                f"saved {checkpoint.config}, resuming with {asdict(config)}"
+            )
+        if checkpoint.shard_budgets != plan.shard_budgets:
+            raise CheckpointError("fleet checkpoint shard split mismatch")
+        states = checkpoint.shard_states
+    if stop_after_rounds is None:
+        targets = list(plan.shard_budgets)
+    else:
+        if stop_after_rounds < 0:
+            raise CrawlError(
+                f"stop_after_rounds must be >= 0, got {stop_after_rounds}"
+            )
+        fraction = min(stop_after_rounds / config.budget, 1.0)
+        targets = [
+            min(budget, math.floor(budget * fraction))
+            for budget in plan.shard_budgets
+        ]
+    capture_state = checkpoint_path is not None
+    payload = (config, plan, targets, states, capture_state)
+    outs = parallel_map(_run_shard, range(n_shards), payload, workers)
+
+    sources: Dict[str, dict] = {}
+    merged = metrics if metrics is not None else MetricsRegistry()
+    for out in outs:  # fixed shard order
+        sources.update(out["sources"])
+        merged.merge(out["metrics"])
+    sources = {name: sources[name] for name in sorted(sources)}
+    total_records = sum(info["records"] for info in sources.values())
+    total_truth = sum(out["truth"] for out in outs)
+    rounds_used = sum(out["rounds_used"] for out in outs)
+    completed = targets == plan.shard_budgets
+    if total_truth:
+        merged.gauge(
+            "fleet_coverage",
+            "fleet-wide fraction of truth records harvested",
+            labels=("scheduler",),
+        ).set(total_records / total_truth, scheduler=config.scheduler)
+    if rounds_used:
+        merged.gauge(
+            "fleet_harvest_rate",
+            "fleet-wide records per communication round",
+            labels=("scheduler",),
+        ).set(total_records / rounds_used, scheduler=config.scheduler)
+
+    if trace_path is not None:
+        write_trace(
+            trace_path,
+            [
+                (f"fleet-shard-{out['shard']:02d}", out["shard"], out["trace"])
+                for out in outs
+            ],
+        )
+    if checkpoint_path is not None:
+        FleetCheckpoint(
+            config=asdict(config),
+            shard_states=[out["state"] for out in outs],
+            shard_budgets=list(plan.shard_budgets),
+            rounds_done=rounds_used,
+        ).save(checkpoint_path)
+
+    return FleetResult(
+        config=config,
+        sources=sources,
+        rounds_used=rounds_used,
+        budget=config.budget,
+        overshoot=sum(out["overshoot"] for out in outs),
+        total_records=total_records,
+        total_truth=total_truth,
+        shard_budgets=list(plan.shard_budgets),
+        shard_rounds=[out["rounds_used"] for out in outs],
+        cooldown_waits=sum(out["cooldown_waits"] for out in outs),
+        completed=completed,
+        metrics=merged,
+    )
+
+
+def compare_fleet(
+    config: FleetConfig,
+    schedulers: Sequence[str] = FLEET_SCHEDULERS,
+    workers: WorkerSpec = 1,
+) -> Dict[str, FleetResult]:
+    """Run the same fleet plan under several allocation policies."""
+    return {
+        name: run_fleet(replace(config, scheduler=name), workers=workers)
+        for name in schedulers
+    }
+
+
+def fleet_bench_payload(
+    results: Dict[str, FleetResult], scale: float
+) -> dict:
+    """Shape a greedy/rr/fair comparison for the bench regression gate.
+
+    The gated metric is ``speedup`` — a policy's records-at-budget over
+    the round-robin baseline's, a machine-independent ratio exactly
+    like the hot-path benchmark's.  Round-robin itself carries no
+    ``speedup`` key (the gate skips it), only diagnostics.
+    """
+    baseline = results.get("rr")
+    payload = {
+        "benchmark": "fleet",
+        "scale": scale,
+        "sources": next(iter(results.values())).config.n_sources,
+        "budget": next(iter(results.values())).config.budget,
+        "policies": {},
+    }
+    for name in sorted(results):
+        result = results[name]
+        entry = {
+            "records": result.total_records,
+            "coverage": round(result.coverage, 6),
+            "rounds_used": result.rounds_used,
+            "overshoot": result.overshoot,
+            "cooldown_waits": result.cooldown_waits,
+        }
+        if (
+            baseline is not None
+            and name != "rr"
+            and baseline.total_records > 0
+        ):
+            entry["speedup"] = round(
+                result.total_records / baseline.total_records, 4
+            )
+        payload["policies"][f"fleet-{name}"] = entry
+    return payload

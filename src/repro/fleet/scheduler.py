@@ -1,0 +1,282 @@
+"""Polite fleet scheduling: warehouse allocation + per-source cooldowns.
+
+The warehouse schedulers (:mod:`repro.warehouse.scheduler`) decide
+*which* source deserves the next query; real sources also constrain
+*when* they may be asked.  The fleet schedulers graft the server lane's
+:class:`~repro.server.limits.RateLimiter` onto the warehouse loop over
+**deterministic simulated time**: one communication round is one
+virtual second, a shared :class:`FleetClock` advances by each step's
+round charge, and when every schedulable source is cooling down the
+clock jumps straight to the earliest admission instant (no rounds are
+spent waiting — budget counts queries, not patience).  Because the
+clock is pure arithmetic over round charges, a fleet run is exactly
+reproducible: same specs + same budget ⇒ same decision sequence, on
+any machine, at any worker count.
+
+Per decision the scheduler:
+
+1. asks the limiter to :meth:`~RateLimiter.peek` each candidate
+   (side-effect free — only the chosen source spends quota);
+2. lets the warehouse policy (greedy marginal-gain or round-robin,
+   optionally under the ``fairness_every`` starvation guarantee)
+   pick among the admissible ones;
+3. :meth:`~RateLimiter.check`\\ s the winner, steps it, advances the
+   clock by the rounds charged, and records the decision as a
+   ``schedule`` span plus per-source metrics.
+
+Three policy names map onto two classes: ``greedy`` is
+:class:`PoliteGreedyFleet`, ``rr`` is :class:`PoliteRoundRobinFleet`,
+and ``fair`` is the greedy class with a starvation guarantee
+(``fairness_every``) — greedy allocation that is still guaranteed to
+visit every live source.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.core.errors import CrawlError
+from repro.metrics.registry import MetricsRegistry
+from repro.server.limits import RateLimiter
+from repro.warehouse.scheduler import (
+    GreedyScheduler,
+    RoundRobinScheduler,
+    ScheduledSource,
+)
+
+#: CLI/driver names for the fleet scheduling policies.
+FLEET_SCHEDULERS = ("greedy", "rr", "fair")
+
+
+class FleetClock:
+    """Deterministic virtual time: 1 communication round == 1 second.
+
+    Plain arithmetic, no wall clock anywhere — ``now`` is the number of
+    virtual seconds the fleet has consumed (round charges plus cooldown
+    waits), so every limiter decision derives from the crawl itself.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.value = float(start)
+        self.waits = 0
+        self.waited_seconds = 0.0
+
+    def now(self) -> float:
+        return self.value
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise CrawlError(f"clock cannot run backwards ({seconds})")
+        self.value += seconds
+
+    def wait(self, seconds: float) -> None:
+        self.advance(seconds)
+        self.waits += 1
+        self.waited_seconds += seconds
+
+    def state_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "waits": self.waits,
+            "waited_seconds": self.waited_seconds,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.value = state["value"]
+        self.waits = state["waits"]
+        self.waited_seconds = state["waited_seconds"]
+
+
+def _span_line(payload: dict) -> str:
+    return json.dumps(payload, separators=(",", ":"))
+
+
+class _PoliteMixin:
+    """Politeness, metrics, and tracing layered over a warehouse scheduler.
+
+    Keyword-only fleet arguments (all optional — with none of them this
+    is exactly the underlying warehouse scheduler):
+
+    ``cooldown_rounds``
+        A source may be stepped at most ``burst`` times per this many
+        virtual seconds (= rounds).  0 disables politeness.
+    ``burst``
+        Requests allowed per cooldown window (limiter
+        ``max_requests``).
+    ``clock``
+        Shared :class:`FleetClock`; created fresh when omitted.
+    ``metrics``
+        A :class:`MetricsRegistry` to record per-source allocation
+        counters and fleet gauges into.
+    ``trace``
+        A list that collects one ``schedule`` span line (repro-trace/1
+        JSONL) per scheduling decision.
+    """
+
+    def __init__(
+        self,
+        engines,
+        seeds,
+        *,
+        cooldown_rounds: float = 0.0,
+        burst: int = 1,
+        clock: Optional[FleetClock] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[List[str]] = None,
+        **kwargs,
+    ) -> None:
+        if cooldown_rounds < 0:
+            raise CrawlError(
+                f"cooldown_rounds must be >= 0, got {cooldown_rounds}"
+            )
+        self.clock = clock if clock is not None else FleetClock()
+        self.limiter: Optional[RateLimiter] = None
+        if cooldown_rounds > 0:
+            self.limiter = RateLimiter(
+                max_requests=burst,
+                window_seconds=float(cooldown_rounds),
+                clock=self.clock.now,
+            )
+        self._trace = trace
+        self._decisions = 0
+        self._metrics = metrics
+        if metrics is not None:
+            self._steps_counter = metrics.counter(
+                "fleet_steps_total",
+                "engine steps allocated, by source",
+                labels=("source",),
+            )
+            self._rounds_counter = metrics.counter(
+                "fleet_rounds_total",
+                "communication rounds charged, by source",
+                labels=("source",),
+            )
+            self._records_counter = metrics.counter(
+                "fleet_records_total",
+                "new records harvested, by source",
+                labels=("source",),
+            )
+            self._waits_counter = metrics.counter(
+                "fleet_cooldown_waits_total",
+                "times the fleet clock jumped to the next admission",
+            )
+        super().__init__(engines, seeds, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Warehouse politeness hooks
+    # ------------------------------------------------------------------
+    def _admissible(self, source: ScheduledSource) -> bool:
+        if self.limiter is None:
+            return True
+        return self.limiter.peek(source.name).allowed
+
+    def _admit(self, source: ScheduledSource) -> None:
+        if self.limiter is not None:
+            decision = self.limiter.check(source.name)
+            if not decision.allowed:  # peek() said yes moments ago
+                raise CrawlError(
+                    f"limiter refused {source.name} after an allowing peek "
+                    f"(retry_after={decision.retry_after}); the fleet clock "
+                    f"and limiter clock have diverged"
+                )
+        if self._trace is not None:
+            self._trace.append(
+                _span_line(
+                    {
+                        "id": f"d{self._decisions}",
+                        "parent": None,
+                        "name": "schedule",
+                        "step": self._decisions,
+                        "seq": self._decisions,
+                        "attrs": {
+                            "source": source.name,
+                            "spent": self._spent,
+                            "source_steps": source.steps,
+                            "clock": self.clock.value,
+                        },
+                    }
+                )
+            )
+        self._decisions += 1
+
+    def _after_step(self, source: ScheduledSource, charge: int) -> None:
+        self.clock.advance(float(charge))
+        if self._metrics is not None:
+            key = (source.name,)
+            self._steps_counter.inc_key(key)
+            self._rounds_counter.inc_key(key, charge)
+            if source.window:
+                # The step's harvest rate times its pages ~ records it
+                # brought in; exact counts come from the final results.
+                self._records_counter.inc_key(
+                    key, source.window[-1] * charge
+                )
+
+    def _wait_for_admission(self, blocked: List[ScheduledSource]) -> bool:
+        if self.limiter is None:
+            return False
+        delay = min(
+            self.limiter.peek(source.name).retry_after for source in blocked
+        )
+        if delay > 0:
+            self.clock.wait(delay)
+            if self._metrics is not None:
+                self._waits_counter.inc()
+        return True
+
+    # ------------------------------------------------------------------
+    # Checkpoint state: clock + limiter windows ride along
+    # ------------------------------------------------------------------
+    def _extra_state(self) -> dict:
+        state = super()._extra_state()
+        state["clock"] = self.clock.state_dict()
+        state["decisions"] = self._decisions
+        if self.limiter is not None:
+            state["limiter"] = self.limiter.runtime_state()
+        return state
+
+    def _load_extra(self, state: dict) -> None:
+        super()._load_extra(state)
+        if "clock" in state:
+            self.clock.load_state(state["clock"])
+        self._decisions = state.get("decisions", 0)
+        if self.limiter is not None and "limiter" in state:
+            self.limiter.load_runtime_state(state["limiter"])
+
+
+class PoliteGreedyFleet(_PoliteMixin, GreedyScheduler):
+    """Greedy marginal-harvest allocation under per-source cooldowns.
+
+    With ``fairness_every=K`` this is the ``fair`` policy: greedy
+    allocation with the guarantee that no schedulable source goes more
+    than K budget units without a step.
+    """
+
+
+class PoliteRoundRobinFleet(_PoliteMixin, RoundRobinScheduler):
+    """Fair-share baseline under the same politeness regime."""
+
+
+def make_fleet_scheduler(
+    name: str,
+    engines,
+    seeds,
+    *,
+    fairness_every: Optional[int] = None,
+    **kwargs,
+):
+    """Build the named fleet scheduler (``greedy`` | ``rr`` | ``fair``)."""
+    if name == "greedy":
+        return PoliteGreedyFleet(engines, seeds, **kwargs)
+    if name == "rr":
+        return PoliteRoundRobinFleet(engines, seeds, **kwargs)
+    if name == "fair":
+        if fairness_every is None:
+            raise CrawlError("the fair scheduler needs fairness_every")
+        return PoliteGreedyFleet(
+            engines, seeds, fairness_every=fairness_every, **kwargs
+        )
+    raise CrawlError(
+        f"unknown fleet scheduler {name!r}; expected one of {FLEET_SCHEDULERS}"
+    )

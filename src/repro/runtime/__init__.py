@@ -62,6 +62,7 @@ _EXPORTS = {
     # checkpoint
     "CheckpointError": "repro.runtime.checkpoint",
     "CrawlCheckpoint": "repro.runtime.checkpoint",
+    "FleetCheckpoint": "repro.runtime.checkpoint",
     # crawler
     "RuntimeCrawler": "repro.runtime.crawler",
     "rebuild_engine_state": "repro.runtime.crawler",

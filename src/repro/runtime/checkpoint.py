@@ -139,3 +139,62 @@ class CrawlCheckpoint:
     @classmethod
     def load(cls, path: PathLike) -> "CrawlCheckpoint":
         return cls.from_payload(load_checkpoint(path))
+
+
+@dataclass
+class FleetCheckpoint:
+    """A mid-allocation snapshot of a whole fleet run.
+
+    One scheduler ``state_dict`` per shard (shard order is part of the
+    fleet's deterministic plan), plus the fleet configuration used to
+    plan the run.  Resume rebuilds every shard's engines from the specs
+    — fresh, unprepared — loads each shard's state on top, and lets the
+    schedulers continue toward their full shard budgets; the warehouse
+    schedulers' growing-budget continuity guarantees the resumed fleet
+    ends exactly where the uninterrupted one would.
+
+    The config echo is a consistency check, not a recipe override: the
+    resuming caller must pass the same :class:`~repro.fleet.FleetConfig`
+    (the driver raises on mismatch) because the spec plan, shard map,
+    and budget split are all derived from it.
+    """
+
+    config: dict
+    shard_states: list
+    shard_budgets: list
+    rounds_done: int
+
+    def to_payload(self) -> dict:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "kind": "fleet",
+            "config": self.config,
+            "shard_states": self.shard_states,
+            "shard_budgets": self.shard_budgets,
+            "rounds_done": self.rounds_done,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FleetCheckpoint":
+        if payload.get("kind") != "fleet":
+            raise CheckpointError(
+                f"not a fleet checkpoint (kind={payload.get('kind')!r})"
+            )
+        try:
+            return cls(
+                config=payload["config"],
+                shard_states=payload["shard_states"],
+                shard_budgets=payload["shard_budgets"],
+                rounds_done=payload["rounds_done"],
+            )
+        except KeyError as error:
+            raise CheckpointError(
+                f"fleet checkpoint payload missing key {error}"
+            ) from error
+
+    def save(self, path: PathLike) -> None:
+        save_checkpoint(self.to_payload(), path)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FleetCheckpoint":
+        return cls.from_payload(load_checkpoint(path))

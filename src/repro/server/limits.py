@@ -198,6 +198,78 @@ class RateLimiter:
                     )
             return RateLimitDecision(allowed=False, retry_after=retry_after)
 
+    def peek(self, client: str) -> RateLimitDecision:
+        """Answer "would a request from ``client`` be admitted right now?"
+
+        Unlike :meth:`check`, this is side-effect free: no admission
+        timestamp is recorded, no violation counted, no ban escalated,
+        and no denial tallied.  Schedulers use it to *select* among
+        sources without spending quota on sources they then don't step
+        (the fleet scheduler peeks every candidate per decision and
+        checks only the winner).
+        """
+        with self._lock:
+            now = self._clock()
+            banned_until = self._banned_until.get(client)
+            if banned_until is not None and now < banned_until:
+                return RateLimitDecision(
+                    allowed=False,
+                    retry_after=banned_until - now,
+                    banned=True,
+                )
+            window = self._windows.get(client)
+            if window is None:
+                return RateLimitDecision(allowed=True)
+            horizon = now - self.window_seconds
+            live = len(window)
+            oldest = None
+            for stamp in window:
+                if stamp <= horizon:
+                    live -= 1
+                else:
+                    oldest = stamp
+                    break
+            if live < self.max_requests:
+                return RateLimitDecision(allowed=True)
+            return RateLimitDecision(
+                allowed=False,
+                retry_after=oldest + self.window_seconds - now,
+            )
+
+    def runtime_state(self) -> dict:
+        """Checkpointable dynamic state (windows, violations, bans).
+
+        Timestamps are whatever the injected ``clock`` produced, so the
+        state only round-trips meaningfully under a deterministic clock
+        (the fleet's simulated time); under ``time.monotonic`` it is
+        still captured but a restore into a new process is a fresh
+        epoch.  Configuration (``max_requests`` etc.) is rebuilt by the
+        caller, mirroring the engine/scheduler checkpoint convention.
+        """
+        with self._lock:
+            return {
+                "windows": {
+                    client: list(window)
+                    for client, window in sorted(self._windows.items())
+                },
+                "violations": dict(sorted(self._violations.items())),
+                "banned_until": dict(sorted(self._banned_until.items())),
+                "denials": self.denials,
+                "bans_issued": self.bans_issued,
+            }
+
+    def load_runtime_state(self, state: dict) -> None:
+        """Restore a :meth:`runtime_state` snapshot."""
+        with self._lock:
+            self._windows = {
+                client: deque(stamps)
+                for client, stamps in state["windows"].items()
+            }
+            self._violations = dict(state["violations"])
+            self._banned_until = dict(state["banned_until"])
+            self.denials = state["denials"]
+            self.bans_issued = state["bans_issued"]
+
     def reset(self, client: Optional[str] = None) -> None:
         """Forget one client's state (or everyone's, with no argument)."""
         with self._lock:

@@ -39,6 +39,7 @@ SPAN_KEYS = ("id", "parent", "name", "step", "seq", "attrs")
 SPAN_NAMES = frozenset(
     {
         "step",
+        "schedule",
         "select",
         "score",
         "submit",

@@ -14,6 +14,34 @@ Both stop when the shared round budget is exhausted or every source's
 frontier is dry, and both return per-source crawl results plus the
 allocation that emerged.
 
+Budget semantics
+----------------
+One engine step may charge several rounds (a query pages through its
+results; a flaky source charges retries), so a naive "stop once spent
+reaches the budget" loop overruns by the final step's whole charge.
+The scheduler therefore gates admission on a per-source *worst-case
+charge*:
+
+- with ``max_step_rounds`` set (a hard per-step bound the engine
+  configuration guarantees — e.g. a
+  :class:`~repro.crawler.abortion.PageCapAbort` page cap with no
+  retries), a source is only stepped while the remaining budget covers
+  the bound, so ``rounds_used <= total_rounds`` **always** holds;
+- without it, the bound is each source's largest observed single-step
+  charge (optimistic 1 before its first step).  Only a step that
+  charges more than that source ever has can overshoot; the excess is
+  reported, never hidden, as :attr:`ScheduleResult.overshoot`
+  (``rounds_used`` stays the truthful actual spend).
+
+Fairness
+--------
+``fairness_every=K`` adds a starvation guarantee on top of any
+allocation policy: whenever a schedulable source has not been stepped
+within the last ``K`` budget units, the most-starved such source (ties
+toward the smallest name) is stepped before the policy's own pick.
+The guarantee is satisfiable when ``K`` is at least the number of live
+sources times the worst-case step charge.
+
 Schedulers are checkpointable (see :mod:`repro.runtime`): ``state_dict``
 captures every engine's state, every server's runtime state, the
 sliding windows, and the shared-budget position; ``from_checkpoint``
@@ -41,6 +69,19 @@ class ScheduledSource:
     window: Deque[float] = field(default_factory=lambda: deque(maxlen=10))
     steps: int = 0
     exhausted: bool = False
+    #: Scale of the exploration bonus.  ``None`` (the warehouse
+    #: default) uses the source's own page size — full-page optimism.
+    #: Fleets with heterogeneous page sizes set a small shared constant
+    #: instead: per-source optimism would keep a *drained* big-page
+    #: source outranking *fresh* small-page ones long after its window
+    #: has gone to zero.
+    exploration: Optional[float] = None
+    #: Largest single-step round charge this source has ever incurred —
+    #: the admission bound when no hard ``max_step_rounds`` is known.
+    worst_charge: int = 0
+    #: Shared-budget position (``rounds_spent``) at this source's most
+    #: recent step; drives the ``fairness_every`` starvation guarantee.
+    last_step_spent: int = 0
 
     @property
     def recent_rate(self) -> float:
@@ -58,7 +99,12 @@ class ScheduledSource:
         undersampled sources carry a bonus of one page-size's worth of
         records shrinking as evidence accumulates — a lightweight UCB.
         """
-        bonus = self.engine.server.page_size / (1.0 + self.steps)
+        scale = (
+            self.engine.server.page_size
+            if self.exploration is None
+            else self.exploration
+        )
+        bonus = scale / (1.0 + self.steps)
         return self.recent_rate + bonus
 
     def step(self) -> bool:
@@ -79,6 +125,13 @@ class ScheduleResult:
     results: Dict[str, CrawlResult]
     rounds_used: int
     total_records: int
+    #: The budget ``run`` was last called with (None for legacy callers
+    #: that built the result by hand).
+    budget: Optional[int] = None
+    #: Rounds by which the final step exceeded the budget.  Always 0
+    #: when the scheduler runs with ``max_step_rounds``; without it, at
+    #: most one step's unprecedented charge (see module docstring).
+    overshoot: int = 0
 
     def allocation(self) -> Dict[str, int]:
         """Rounds each source actually consumed."""
@@ -89,28 +142,71 @@ class ScheduleResult:
 
 
 class _BaseScheduler:
+    """Shared budget loop: admission, fairness, stepping, checkpoints.
+
+    Subclasses implement :meth:`_pick` (the allocation policy) over the
+    schedulable candidates the loop hands them.  The politeness hooks
+    (:meth:`_admissible`, :meth:`_admit`, :meth:`_after_step`,
+    :meth:`_wait_for_admission`) default to no-ops; the fleet
+    schedulers (:mod:`repro.fleet.scheduler`) override them with
+    rate-limited cooldowns over simulated time.
+    """
+
     def __init__(
         self,
         engines: Dict[str, CrawlerEngine],
         seeds: Dict[str, Sequence],
         allow_empty_seeds: bool = False,
         prepare: bool = True,
+        max_step_rounds: Optional[int] = None,
+        fairness_every: Optional[int] = None,
+        window_size: int = 10,
+        exploration: Optional[float] = None,
     ) -> None:
         if not engines:
             raise CrawlError("need at least one source to schedule")
         if set(engines) != set(seeds):
             raise CrawlError("engines and seeds must cover the same sources")
+        if max_step_rounds is not None and max_step_rounds < 1:
+            raise CrawlError(
+                f"max_step_rounds must be >= 1, got {max_step_rounds}"
+            )
+        if fairness_every is not None and fairness_every < 1:
+            raise CrawlError(
+                f"fairness_every must be >= 1, got {fairness_every}"
+            )
+        if window_size < 1:
+            raise CrawlError(f"window_size must be >= 1, got {window_size}")
+        self.max_step_rounds = max_step_rounds
+        self.fairness_every = fairness_every
         self._sources: List[ScheduledSource] = []
         for name, engine in engines.items():
             if prepare:
                 engine.prepare(seeds[name], allow_empty_seeds=allow_empty_seeds)
-            self._sources.append(ScheduledSource(name=name, engine=engine))
+            # A short window adapts the marginal-rate estimate faster —
+            # at fleet scale a drained source must stop looking
+            # productive within a couple of steps, or greedy allocation
+            # keeps feeding it (the warehouse default of 10 smooths
+            # per-query noise on long two-source crawls instead).
+            self._sources.append(
+                ScheduledSource(
+                    name=name,
+                    engine=engine,
+                    window=deque(maxlen=window_size),
+                    exploration=exploration,
+                )
+            )
         # Shared-budget position, maintained incrementally: one delta
         # per step instead of an O(sources) recomputation per loop
         # iteration (which dominated wall-clock on wide warehouses).
         self._spent = sum(s.engine.server.rounds for s in self._sources)
+        for source in self._sources:
+            source.last_step_spent = self._spent
+        self._overshoot = 0
 
-    def _pick(self) -> Optional[ScheduledSource]:
+    def _pick(
+        self, candidates: List[ScheduledSource]
+    ) -> Optional[ScheduledSource]:
         raise NotImplementedError
 
     @property
@@ -118,22 +214,98 @@ class _BaseScheduler:
         """Rounds consumed across all sources so far."""
         return self._spent
 
+    # ------------------------------------------------------------------
+    # Politeness hooks (no-ops here; see repro.fleet.scheduler)
+    # ------------------------------------------------------------------
+    def _admissible(self, source: ScheduledSource) -> bool:
+        """May this source be stepped right now (cooldowns etc.)?"""
+        return True
+
+    def _admit(self, source: ScheduledSource) -> None:
+        """Record that the source is about to be stepped."""
+
+    def _after_step(self, source: ScheduledSource, charge: int) -> None:
+        """One step just charged ``charge`` rounds against the budget."""
+
+    def _wait_for_admission(self, blocked: List[ScheduledSource]) -> bool:
+        """Every candidate is cooling down; return True once one may run.
+
+        The base scheduler has no notion of time, so it never waits.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    def _charge_bound(self, source: ScheduledSource) -> int:
+        """Worst-case rounds one step of ``source`` may charge."""
+        if self.max_step_rounds is not None:
+            return self.max_step_rounds
+        return max(source.worst_charge, 1)
+
+    def _starved(
+        self, candidates: List[ScheduledSource]
+    ) -> Optional[ScheduledSource]:
+        """The most overdue candidate under the starvation guarantee."""
+        if not self.fairness_every:
+            return None
+        overdue = [
+            s
+            for s in candidates
+            if self._spent - s.last_step_spent >= self.fairness_every
+        ]
+        if not overdue:
+            return None
+        return min(
+            overdue, key=lambda s: (-(self._spent - s.last_step_spent), s.name)
+        )
+
     def run(self, total_rounds: int) -> ScheduleResult:
         """Spend up to ``total_rounds`` across the sources.
 
         Callable repeatedly with growing budgets: the spent counter
         carries over, so ``run(300)`` then ``run(600)`` ends exactly
-        where a single ``run(600)`` would.
+        where a single ``run(600)`` would.  See the module docstring
+        for the exact budget semantics (hard with ``max_step_rounds``,
+        clamp-and-report without).
         """
         if total_rounds < 1:
             raise CrawlError(f"budget must be >= 1, got {total_rounds}")
-        while self._spent < total_rounds:
-            source = self._pick()
+        while True:
+            remaining = total_rounds - self._spent
+            if remaining <= 0:
+                break
+            affordable = [
+                s
+                for s in self._sources
+                if not s.exhausted and self._charge_bound(s) <= remaining
+            ]
+            candidates = [s for s in affordable if self._admissible(s)]
+            if not candidates:
+                blocked = [s for s in affordable if not self._admissible(s)]
+                if blocked and self._wait_for_admission(blocked):
+                    continue
+                break
+            source = self._starved(candidates) or self._pick(candidates)
             if source is None:
                 break
+            self._admit(source)
             before = source.engine.server.rounds
             source.step()
-            self._spent += source.engine.server.rounds - before
+            charge = source.engine.server.rounds - before
+            self._spent += charge
+            if charge > source.worst_charge:
+                source.worst_charge = charge
+            source.last_step_spent = self._spent
+            if (
+                self.max_step_rounds is not None
+                and charge > self.max_step_rounds
+            ):
+                raise CrawlError(
+                    f"source {source.name} charged {charge} rounds in one "
+                    f"step but max_step_rounds={self.max_step_rounds} was "
+                    f"declared; fix the engine's page/retry configuration"
+                )
+            self._after_step(source, charge)
+        self._overshoot = max(self._spent - total_rounds, 0)
         results = {
             source.name: source.engine.result(
                 "frontier-exhausted" if source.exhausted else "budget"
@@ -144,6 +316,8 @@ class _BaseScheduler:
             results=results,
             rounds_used=self._spent,
             total_records=sum(r.records_harvested for r in results.values()),
+            budget=total_rounds,
+            overshoot=self._overshoot,
         )
 
     # ------------------------------------------------------------------
@@ -159,10 +333,13 @@ class _BaseScheduler:
                     "window": list(source.window),
                     "steps": source.steps,
                     "exhausted": source.exhausted,
+                    "worst_charge": source.worst_charge,
+                    "last_step_spent": source.last_step_spent,
                 }
                 for source in sorted(self._sources, key=lambda s: s.name)
             },
             "spent": self._spent,
+            "overshoot": self._overshoot,
             **self._extra_state(),
         }
 
@@ -183,16 +360,25 @@ class _BaseScheduler:
             )
             source.steps = source_state["steps"]
             source.exhausted = source_state["exhausted"]
+            source.worst_charge = source_state.get("worst_charge", 0)
+            source.last_step_spent = source_state.get("last_step_spent", 0)
         self._spent = state["spent"]
+        self._overshoot = state.get("overshoot", 0)
         self._load_extra(state)
 
     @classmethod
     def from_checkpoint(
-        cls, engines: Dict[str, CrawlerEngine], state: dict
+        cls, engines: Dict[str, CrawlerEngine], state: dict, **kwargs
     ) -> "_BaseScheduler":
-        """Rebuild a mid-allocation scheduler from fresh (unprepared) engines."""
+        """Rebuild a mid-allocation scheduler from fresh (unprepared) engines.
+
+        ``kwargs`` carry scheduler *configuration* (``max_step_rounds``,
+        ``fairness_every``, politeness settings on the fleet
+        subclasses) — config is rebuilt by the caller, like engine
+        config; only dynamic state lives in the snapshot.
+        """
         scheduler = cls(
-            engines, {name: () for name in engines}, prepare=False
+            engines, {name: () for name in engines}, prepare=False, **kwargs
         )
         scheduler.load_state(state)
         return scheduler
@@ -205,29 +391,50 @@ class _BaseScheduler:
 
 
 class GreedyScheduler(_BaseScheduler):
-    """Step the source with the highest exploration-adjusted rate."""
+    """Step the source with the highest exploration-adjusted rate.
 
-    def _pick(self) -> Optional[ScheduledSource]:
-        live = [s for s in self._sources if not s.exhausted]
-        if not live:
+    Priority ties break toward the *smallest* source name, so the
+    allocation is independent of dict insertion order and stable under
+    renames that preserve relative order.
+    """
+
+    def _pick(
+        self, candidates: List[ScheduledSource]
+    ) -> Optional[ScheduledSource]:
+        if not candidates:
             return None
-        return max(live, key=lambda s: (s.priority, s.name))
+        return min(candidates, key=lambda s: (-s.priority, s.name))
 
 
 class RoundRobinScheduler(_BaseScheduler):
-    """Fair-share baseline: cycle through live sources in order."""
+    """Fair-share baseline: cycle through the sources in stable order.
+
+    The cursor walks a fixed ring of source names (construction order),
+    skipping names that are currently unschedulable (exhausted, budget
+    bound too high, or cooling down).  Indexing the ring — not the
+    shrinking live list — keeps the interleaving fair across an
+    exhaustion: the sources after a just-exhausted one are neither
+    skipped nor double-stepped mid-cycle.
+    """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        self._ring = [source.name for source in self._sources]
         self._cursor = 0
 
-    def _pick(self) -> Optional[ScheduledSource]:
-        live = [s for s in self._sources if not s.exhausted]
-        if not live:
+    def _pick(
+        self, candidates: List[ScheduledSource]
+    ) -> Optional[ScheduledSource]:
+        if not candidates:
             return None
-        source = live[self._cursor % len(live)]
-        self._cursor += 1
-        return source
+        eligible = {source.name: source for source in candidates}
+        for _ in range(len(self._ring)):
+            name = self._ring[self._cursor % len(self._ring)]
+            self._cursor += 1
+            source = eligible.get(name)
+            if source is not None:
+                return source
+        return None
 
     def _extra_state(self) -> dict:
         return {"cursor": self._cursor}

@@ -1,0 +1,83 @@
+"""CLI surface of the fleet lane: ``repro fleet``."""
+
+import io as stdio
+import json
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = stdio.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+FAST = (
+    "--sources", "12",
+    "--budget", "48",
+    "--scale", "0.25",
+    "--shards", "4",
+    "--seed", "1",
+)
+
+
+class TestFleetCommand:
+    def test_basic_run_renders_report(self):
+        code, text = run_cli("fleet", *FAST)
+        assert code == 0
+        assert "fleet: 12 sources" in text
+        assert "records harvested" in text
+        assert "budget=48 rounds" in text
+
+    def test_workers_flag_does_not_change_output(self):
+        _code, sequential = run_cli("fleet", *FAST, "--workers", "1")
+        _code, parallel = run_cli("fleet", *FAST, "--workers", "4")
+        assert sequential == parallel
+
+    def test_scheduler_choices(self):
+        for name in ("greedy", "rr", "fair"):
+            code, text = run_cli("fleet", *FAST, "--scheduler", name)
+            assert code == 0
+            assert f"scheduler={name}" in text
+
+    def test_compare_emits_bench_payload(self, tmp_path):
+        bench = tmp_path / "BENCH_fleet.json"
+        code, text = run_cli(
+            "fleet", *FAST, "--compare", "--bench-out", str(bench)
+        )
+        assert code == 0
+        assert "vs rr" in text
+        payload = json.loads(bench.read_text())
+        assert payload["benchmark"] == "fleet"
+        assert "fleet-greedy" in payload["policies"]
+
+    def test_checkpoint_and_resume(self, tmp_path):
+        ckpt = tmp_path / "fleet.ckpt"
+        _code, want = run_cli("fleet", *FAST)
+
+        code, partial = run_cli(
+            "fleet", *FAST,
+            "--stop-after-rounds", "20",
+            "--checkpoint", str(ckpt),
+        )
+        assert code == 0
+        assert "partial (resumable)" in partial
+
+        code, resumed = run_cli("fleet", *FAST, "--resume", str(ckpt))
+        assert code == 0
+        assert resumed == want
+
+    def test_trace_and_metrics_outputs_validate(self, tmp_path):
+        trace = tmp_path / "fleet-trace.jsonl"
+        metrics = tmp_path / "fleet-metrics.jsonl"
+        code, _text = run_cli(
+            "fleet", *FAST,
+            "--trace-out", str(trace),
+            "--metrics-out", str(metrics),
+        )
+        assert code == 0
+        from repro.metrics import validate_metrics_jsonl
+        from repro.trace import validate_trace_jsonl
+
+        assert validate_trace_jsonl(trace) > 0
+        assert validate_metrics_jsonl(metrics) > 0

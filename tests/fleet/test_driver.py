@@ -1,0 +1,168 @@
+"""Fleet driver: sharding, determinism, budget guarantee, resume."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import CrawlError
+from repro.fleet import (
+    FLEET_SCHEDULERS,
+    FleetConfig,
+    compare_fleet,
+    fleet_bench_payload,
+    plan_shards,
+    run_fleet,
+)
+from repro.runtime import CheckpointError
+
+SMOKE = FleetConfig(n_sources=24, budget=96, scale=0.25, shards=4, seed=1)
+
+
+class TestConfig:
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(CrawlError):
+            FleetConfig(scheduler="lifo")
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(CrawlError):
+            FleetConfig(budget=0)
+
+
+class TestPlanShards:
+    def test_budget_split_is_exact(self):
+        plan = plan_shards(FleetConfig(n_sources=37, budget=101, shards=8))
+        assert sum(plan.shard_budgets) == 101
+        assert len(plan.shard_specs) == 8
+
+    def test_never_more_shards_than_sources(self):
+        plan = plan_shards(FleetConfig(n_sources=3, budget=30, shards=8))
+        assert len(plan.shard_specs) == 3
+
+    def test_every_source_lands_in_exactly_one_shard(self):
+        plan = plan_shards(SMOKE)
+        names = [s.name for shard in plan.shard_specs for s in shard]
+        assert sorted(names) == sorted(s.name for s in plan.specs)
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_the_answer(self):
+        sequential = run_fleet(SMOKE, workers=1)
+        parallel = run_fleet(SMOKE, workers=4)
+        assert sequential.sources == parallel.sources
+        assert sequential.rounds_used == parallel.rounds_used
+        assert sequential.shard_rounds == parallel.shard_rounds
+        assert sequential.render() == parallel.render()
+        assert (
+            sequential.metrics.state_dict() == parallel.metrics.state_dict()
+        )
+
+    def test_repeat_runs_are_identical(self):
+        assert run_fleet(SMOKE).sources == run_fleet(SMOKE).sources
+
+
+class TestBudgetGuarantee:
+    @pytest.mark.parametrize("scheduler", FLEET_SCHEDULERS)
+    def test_budget_never_exceeded(self, scheduler):
+        config = dataclasses.replace(SMOKE, scheduler=scheduler)
+        result = run_fleet(config)
+        assert result.rounds_used <= config.budget
+        assert result.overshoot == 0
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_budget_holds_across_seeds(self, seed):
+        config = dataclasses.replace(SMOKE, seed=seed)
+        result = run_fleet(config)
+        assert result.rounds_used <= config.budget
+        assert result.overshoot == 0
+
+
+class TestResume:
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        want = run_fleet(SMOKE)
+
+        partial = run_fleet(
+            SMOKE, stop_after_rounds=40, checkpoint_path=path
+        )
+        assert not partial.completed
+        assert partial.rounds_used < want.rounds_used
+
+        resumed = run_fleet(SMOKE, resume_from=path)
+        assert resumed.completed
+        assert resumed.sources == want.sources
+        assert resumed.rounds_used == want.rounds_used
+        assert resumed.shard_rounds == want.shard_rounds
+
+    def test_resume_rejects_config_drift(self, tmp_path):
+        path = tmp_path / "fleet.ckpt"
+        run_fleet(SMOKE, stop_after_rounds=40, checkpoint_path=path)
+        drifted = dataclasses.replace(SMOKE, budget=SMOKE.budget + 1)
+        with pytest.raises(CheckpointError):
+            run_fleet(drifted, resume_from=path)
+
+
+class TestPoliteness:
+    def test_cooldown_engages_when_sources_are_scarce(self):
+        # Two sources per shard with a long cooldown: the clock must
+        # jump forward (waits) rather than hammer one source.
+        config = FleetConfig(
+            n_sources=4,
+            budget=60,
+            scale=0.5,
+            shards=2,
+            cooldown_rounds=50.0,
+            seed=3,
+        )
+        result = run_fleet(config)
+        assert result.cooldown_waits > 0
+        assert result.rounds_used <= config.budget
+
+    def test_politeness_can_be_disabled(self):
+        config = dataclasses.replace(SMOKE, cooldown_rounds=0.0)
+        result = run_fleet(config)
+        assert result.cooldown_waits == 0
+
+
+class TestFairScheduler:
+    def test_fair_steps_every_live_source(self):
+        config = dataclasses.replace(
+            SMOKE, scheduler="fair", budget=SMOKE.budget * 3
+        )
+        result = run_fleet(config)
+        starved = [
+            name
+            for name, info in result.sources.items()
+            if info["rounds"] == 0 and info["stopped_by"] != "frontier-exhausted"
+        ]
+        assert starved == []
+
+
+class TestCompareAndBench:
+    def test_greedy_beats_rr_at_scarce_budget(self):
+        # The regime the paper cares about: budget is scarce relative
+        # to fleet content and sources differ in records-per-round.
+        config = FleetConfig(
+            n_sources=64, budget=64, scale=0.25, shards=8, seed=0
+        )
+        results = compare_fleet(config, schedulers=("greedy", "rr"))
+        assert (
+            results["greedy"].total_records > results["rr"].total_records
+        )
+
+    def test_bench_payload_shape(self):
+        config = dataclasses.replace(SMOKE, n_sources=16, budget=32)
+        results = compare_fleet(config)
+        payload = fleet_bench_payload(results, scale=0.25)
+        assert payload["benchmark"] == "fleet"
+        assert set(payload["policies"]) == {
+            "fleet-greedy",
+            "fleet-rr",
+            "fleet-fair",
+        }
+        assert "speedup" in payload["policies"]["fleet-greedy"]
+        assert "speedup" not in payload["policies"]["fleet-rr"]
+        greedy = payload["policies"]["fleet-greedy"]
+        assert greedy["speedup"] == pytest.approx(
+            greedy["records"] / payload["policies"]["fleet-rr"]["records"],
+            abs=1e-4,
+        )

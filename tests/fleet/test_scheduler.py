@@ -1,0 +1,212 @@
+"""Polite fleet schedulers: clock, cooldowns, spans, starvation bound."""
+
+import json
+
+import pytest
+
+from repro.core import CrawlError
+from repro.fleet import (
+    FleetClock,
+    PoliteGreedyFleet,
+    build_fleet,
+    make_fleet_scheduler,
+    plan_fleet,
+)
+from repro.metrics import MetricsRegistry
+from repro.trace import validate_trace_jsonl, write_trace
+
+
+def small_fleet(n=6, seed=2, max_step_rounds=3):
+    specs = plan_fleet(n, seed=seed, scale=0.25)
+    engines, seeds = build_fleet(specs, max_step_rounds=max_step_rounds)
+    return engines, seeds
+
+
+class TestFleetClock:
+    def test_advances_and_counts_waits(self):
+        clock = FleetClock()
+        clock.advance(3.0)
+        clock.wait(2.0)
+        assert clock.now() == 5.0
+        assert clock.waits == 1
+        assert clock.waited_seconds == 2.0
+
+    def test_cannot_run_backwards(self):
+        with pytest.raises(CrawlError):
+            FleetClock().advance(-1.0)
+
+    def test_state_round_trips(self):
+        clock = FleetClock()
+        clock.advance(7.0)
+        clock.wait(1.5)
+        fresh = FleetClock()
+        fresh.load_state(clock.state_dict())
+        assert fresh.now() == clock.now()
+        assert fresh.waits == clock.waits
+
+
+class TestPoliteness:
+    def test_cooldown_spreads_steps_across_sources(self):
+        # burst=1 with a long window: the same source can never be
+        # stepped twice while another is admissible.
+        engines, seeds = small_fleet(n=4)
+        scheduler = make_fleet_scheduler(
+            "greedy",
+            engines,
+            seeds,
+            cooldown_rounds=30.0,
+            max_step_rounds=3,
+        )
+        scheduler.run(24)
+        stepped = [s for s in scheduler._sources if s.steps > 0]
+        assert len(stepped) > 1
+
+    def test_all_cooling_jumps_the_clock(self):
+        engines, seeds = small_fleet(n=2)
+        clock = FleetClock()
+        scheduler = make_fleet_scheduler(
+            "greedy",
+            engines,
+            seeds,
+            cooldown_rounds=100.0,
+            clock=clock,
+            max_step_rounds=3,
+        )
+        result = scheduler.run(18)
+        assert clock.waits > 0
+        # Waits cost virtual seconds but no budget rounds.
+        assert result.rounds_used <= 18
+
+    def test_no_cooldown_means_plain_warehouse_behaviour(self):
+        engines, seeds = small_fleet(n=4)
+        scheduler = make_fleet_scheduler(
+            "greedy", engines, seeds, max_step_rounds=3
+        )
+        assert scheduler.limiter is None
+        result = scheduler.run(24)
+        assert result.rounds_used <= 24
+        assert scheduler.clock.waits == 0
+
+
+class TestFairPolicy:
+    def test_fair_requires_fairness_every(self):
+        engines, seeds = small_fleet(n=4)
+        with pytest.raises(CrawlError):
+            make_fleet_scheduler("fair", engines, seeds)
+
+    def test_fair_is_greedy_with_a_guarantee(self):
+        engines, seeds = small_fleet(n=4)
+        scheduler = make_fleet_scheduler(
+            "fair", engines, seeds, fairness_every=12, max_step_rounds=3
+        )
+        assert isinstance(scheduler, PoliteGreedyFleet)
+        scheduler.run(48)
+        # Every live source was visited at most fairness_every (+ one
+        # step's charge) budget units ago.
+        for source in scheduler._sources:
+            if source.exhausted:
+                continue
+            gap = scheduler.rounds_spent - source.last_step_spent
+            assert gap <= 12 + 3
+
+    def test_unknown_name_rejected(self):
+        engines, seeds = small_fleet(n=2)
+        with pytest.raises(CrawlError):
+            make_fleet_scheduler("lifo", engines, seeds)
+
+
+class TestScheduleSpans:
+    def test_one_span_per_decision_and_valid_jsonl(self, tmp_path):
+        engines, seeds = small_fleet(n=4)
+        trace = []
+        scheduler = make_fleet_scheduler(
+            "greedy",
+            engines,
+            seeds,
+            cooldown_rounds=2.0,
+            trace=trace,
+            max_step_rounds=3,
+        )
+        scheduler.run(30)
+        steps = sum(s.steps for s in scheduler._sources)
+        assert len(trace) == steps
+        for line in trace:
+            span = json.loads(line)
+            assert span["name"] == "schedule"
+            assert set(span["attrs"]) == {
+                "source",
+                "spent",
+                "source_steps",
+                "clock",
+            }
+        # The lines must pass the repro-trace/1 validator end to end.
+        path = tmp_path / "fleet-trace.jsonl"
+        write_trace(path, [("fleet-shard-00", 0, trace)])
+        assert validate_trace_jsonl(path) > 0
+
+
+class TestMetrics:
+    def test_per_source_counters_recorded(self):
+        engines, seeds = small_fleet(n=4)
+        registry = MetricsRegistry()
+        scheduler = make_fleet_scheduler(
+            "greedy",
+            engines,
+            seeds,
+            metrics=registry,
+            max_step_rounds=3,
+        )
+        scheduler.run(24)
+        state = registry.state_dict()
+        names = {metric["name"] for metric in state["metrics"]}
+        assert {
+            "fleet_steps_total",
+            "fleet_rounds_total",
+            "fleet_records_total",
+        } <= names
+        steps_metric = next(
+            m for m in state["metrics"] if m["name"] == "fleet_steps_total"
+        )
+        total = sum(value for _key, value in steps_metric["state"]["values"])
+        assert total == sum(s.steps for s in scheduler._sources)
+
+
+class TestCheckpoint:
+    def test_polite_state_round_trips(self):
+        engines, seeds = small_fleet(n=4)
+        scheduler = make_fleet_scheduler(
+            "greedy",
+            engines,
+            seeds,
+            cooldown_rounds=2.0,
+            max_step_rounds=3,
+        )
+        scheduler.run(12)
+        state = json.loads(json.dumps(scheduler.state_dict()))
+
+        fresh_engines, fresh_seeds = small_fleet(n=4)
+        restored = make_fleet_scheduler(
+            "greedy",
+            fresh_engines,
+            fresh_seeds,
+            cooldown_rounds=2.0,
+            max_step_rounds=3,
+            prepare=False,
+        )
+        restored.load_state(state)
+        assert restored.clock.value == scheduler.clock.value
+        assert restored._decisions == scheduler._decisions
+
+        # Growing-budget continuity straight through the boundary.
+        want_engines, want_seeds = small_fleet(n=4)
+        want = make_fleet_scheduler(
+            "greedy",
+            want_engines,
+            want_seeds,
+            cooldown_rounds=2.0,
+            max_step_rounds=3,
+        )
+        want_result = want.run(36)
+        got_result = restored.run(36)
+        assert got_result.results == want_result.results
+        assert got_result.rounds_used == want_result.rounds_used

@@ -109,3 +109,81 @@ def test_load_state_rejects_source_mismatch(tables):
 
     with pytest.raises(CrawlError):
         GreedyScheduler.from_checkpoint(wrong, state)
+
+
+def capped_engines(tables, max_pages=4):
+    from repro.crawler.abortion import PageCapAbort
+
+    return {
+        name: CrawlerEngine(
+            SimulatedWebDatabase(table),
+            GreedyLinkSelector(),
+            seed=4,
+            abortion=PageCapAbort(max_pages=max_pages),
+            max_retries=0,
+        )
+        for name, table in tables.items()
+    }
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_resume_preserves_new_config_knobs(kind, tables):
+    """max_step_rounds / fairness_every survive a checkpoint boundary.
+
+    The config knobs are constructor arguments, not snapshot state;
+    ``from_checkpoint`` must accept them again and the resumed run must
+    match an uninterrupted run built with the same knobs.
+    """
+    scheduler_cls = SCHEDULERS[kind]
+    knobs = {"max_step_rounds": 4, "fairness_every": 50, "window_size": 5}
+
+    straight = scheduler_cls(capped_engines(tables), seeds_for(tables), **knobs)
+    want = straight.run(FULL_BUDGET)
+
+    first = scheduler_cls(capped_engines(tables), seeds_for(tables), **knobs)
+    first.run(FIRST_BUDGET)
+    state = json.loads(json.dumps(first.state_dict()))
+
+    restored = scheduler_cls.from_checkpoint(
+        capped_engines(tables), state, **knobs
+    )
+    got = restored.run(FULL_BUDGET)
+
+    assert got.results == want.results
+    assert got.rounds_used == want.rounds_used
+    assert got.allocation() == want.allocation()
+    # The hard per-step bound means the budget is never exceeded.
+    assert got.rounds_used <= FULL_BUDGET
+    assert got.overshoot == 0
+
+
+@pytest.mark.parametrize("kind", sorted(SCHEDULERS))
+def test_mid_allocation_snapshot_restores_worst_charge(kind, tables):
+    """Adaptive budget bookkeeping rides along in the snapshot."""
+    scheduler_cls = SCHEDULERS[kind]
+    first = scheduler_cls(fresh_engines(tables), seeds_for(tables))
+    first.run(FIRST_BUDGET)
+    state = json.loads(json.dumps(first.state_dict()))
+
+    restored = scheduler_cls.from_checkpoint(fresh_engines(tables), state)
+    by_name = {s.name: s for s in restored._sources}
+    for name, entry in state["sources"].items():
+        source = by_name[name]
+        assert source.worst_charge == entry["worst_charge"]
+        assert source.last_step_spent == entry["last_step_spent"]
+
+
+def test_old_checkpoints_without_new_fields_still_load(tables):
+    """Snapshots from before the budget fixes lack the new keys."""
+    scheduler = GreedyScheduler(fresh_engines(tables), seeds_for(tables))
+    scheduler.run(FIRST_BUDGET)
+    state = json.loads(json.dumps(scheduler.state_dict()))
+    state.pop("overshoot", None)
+    for entry in state["sources"].values():
+        entry.pop("worst_charge", None)
+        entry.pop("last_step_spent", None)
+
+    restored = GreedyScheduler.from_checkpoint(fresh_engines(tables), state)
+    # Degrades gracefully: bookkeeping restarts from zero, run proceeds.
+    result = restored.run(FULL_BUDGET)
+    assert result.rounds_used >= 0

@@ -235,3 +235,86 @@ class TestRateLimiterConcurrency:
         assert limiter.check("c").allowed
         limiter.reset()
         assert limiter.check("c").allowed
+
+
+class TestPeek:
+    """peek() answers "would check() admit?" without spending quota."""
+
+    def test_peek_does_not_consume_quota(self):
+        limiter, _state = stepped_limiter(max_requests=2, window_seconds=10.0)
+        for _ in range(50):
+            assert limiter.peek("c").allowed
+        # Fifty peeks later the full quota is still available.
+        assert limiter.check("c").allowed
+        assert limiter.check("c").allowed
+        assert not limiter.check("c").allowed
+
+    def test_peek_agrees_with_check(self):
+        limiter, state = stepped_limiter(max_requests=2, window_seconds=10.0)
+        limiter.check("c")          # t=0
+        state["now"] = 3.0
+        limiter.check("c")          # t=3
+        state["now"] = 4.0
+        seen = limiter.peek("c")
+        assert not seen.allowed
+        assert seen.retry_after == pytest.approx(6.0)
+        # Waiting out the peeked retry_after must make check() admit.
+        state["now"] += seen.retry_after
+        assert limiter.peek("c").allowed
+        assert limiter.check("c").allowed
+
+    def test_peek_does_not_count_as_denial(self):
+        limiter, _state = stepped_limiter(max_requests=1, window_seconds=10.0)
+        limiter.check("c")
+        limiter.peek("c")
+        limiter.peek("c")
+        assert limiter.denials == 0
+
+    def test_peek_sees_bans(self):
+        limiter, state = stepped_limiter(
+            max_requests=1, window_seconds=10.0, ban_after=2, ban_seconds=60.0
+        )
+        limiter.check("c")
+        limiter.check("c")
+        limiter.check("c")  # second violation -> banned
+        state["now"] = 30.0
+        seen = limiter.peek("c")
+        assert not seen.allowed
+        assert seen.retry_after == pytest.approx(30.0)
+
+
+class TestRuntimeState:
+    """runtime_state()/load_runtime_state(): quota survives a restart."""
+
+    def test_round_trips_through_json(self):
+        import json as _json
+
+        limiter, state = stepped_limiter(max_requests=2, window_seconds=10.0)
+        limiter.check("a")
+        limiter.check("a")
+        limiter.check("a")  # denied
+        limiter.check("b")
+        snapshot = _json.loads(_json.dumps(limiter.runtime_state()))
+
+        fresh_state = {"now": state["now"]}
+        fresh = RateLimiter(
+            max_requests=2, window_seconds=10.0,
+            clock=lambda: fresh_state["now"],
+        )
+        fresh.load_runtime_state(snapshot)
+        assert fresh.denials == limiter.denials
+        assert not fresh.peek("a").allowed
+        assert fresh.peek("b").allowed
+
+    def test_restored_windows_still_expire(self):
+        limiter, _state = stepped_limiter(max_requests=1, window_seconds=10.0)
+        limiter.check("c")  # t=0
+        snapshot = limiter.runtime_state()
+
+        fresh_state = {"now": 10.0}
+        fresh = RateLimiter(
+            max_requests=1, window_seconds=10.0,
+            clock=lambda: fresh_state["now"],
+        )
+        fresh.load_runtime_state(snapshot)
+        assert fresh.check("c").allowed

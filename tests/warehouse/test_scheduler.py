@@ -99,3 +99,189 @@ class TestGreedyAllocation:
         result = GreedyScheduler(engines, seeds).run(total_rounds=150)
         allocation = result.allocation()
         assert allocation["dblp"] > allocation["ebay"]
+
+
+def make_twin_engines(n_records=400, names=("alpha", "beta"), seed=0):
+    """Identical sources under different names: priorities always tie."""
+    engines, seeds = {}, {}
+    for name in names:
+        table = generate_ebay(n_records, seed=7)
+        server = SimulatedWebDatabase(table, page_size=10)
+        engines[name] = CrawlerEngine(server, GreedyLinkSelector(), seed=seed)
+        seeds[name] = [
+            next(
+                value
+                for value in table.distinct_values()
+                if value.attribute in table.schema.queriable
+                and table.frequency(value) >= 2
+            )
+        ]
+    return engines, seeds
+
+
+class TestGreedyTieBreak:
+    """Bugfix pin: priority ties resolve toward the smallest name."""
+
+    def test_tie_goes_to_smallest_name(self):
+        engines, seeds = make_twin_engines(names=("zeta", "alpha", "mid"))
+        scheduler = GreedyScheduler(engines, seeds)
+        # All three sources are identical, so every priority ties; the
+        # first step must go to "alpha", regardless of insertion order.
+        scheduler.run(total_rounds=1)
+        stepped = [s.name for s in scheduler._sources if s.steps > 0]
+        assert stepped == ["alpha"]
+
+    def test_pick_is_insertion_order_independent(self):
+        # Same twin fleet declared in both insertion orders: the pick
+        # must land on "a" either way.
+        for names in (("b", "a"), ("a", "b")):
+            engines, seeds = make_twin_engines(names=names)
+            scheduler = GreedyScheduler(engines, seeds)
+            assert scheduler._pick(list(scheduler._sources)).name == "a"
+
+
+class TestBudgetGuarantee:
+    """Bugfix pins: overspend is bounded, reported, or impossible."""
+
+    def test_hard_budget_with_step_cap(self, two_sources):
+        from repro.crawler import PageCapAbort
+
+        engines, seeds = {}, {}
+        for table in two_sources:
+            server = SimulatedWebDatabase(table, page_size=10)
+            engines[table.name] = CrawlerEngine(
+                server,
+                GreedyLinkSelector(),
+                seed=0,
+                abortion=PageCapAbort(max_pages=3),
+            )
+            seeds[table.name] = [
+                next(
+                    value
+                    for value in table.distinct_values()
+                    if value.attribute in table.schema.queriable
+                    and table.frequency(value) >= 2
+                )
+            ]
+        result = GreedyScheduler(
+            engines, seeds, max_step_rounds=3
+        ).run(total_rounds=50)
+        assert result.rounds_used <= 50
+        assert result.overshoot == 0
+        assert result.budget == 50
+
+    def test_overshoot_reported_not_hidden(self, two_sources):
+        engines, seeds = make_engines(two_sources)
+        scheduler = GreedyScheduler(engines, seeds)
+        result = scheduler.run(total_rounds=120)
+        assert result.overshoot == max(result.rounds_used - 120, 0)
+        # Without a declared cap, only a step whose charge exceeds its
+        # source's previous worst can overshoot — never by more than
+        # the largest single-step charge actually observed.
+        worst = max(s.worst_charge for s in scheduler._sources)
+        assert result.rounds_used <= 120 + worst
+
+    def test_declared_cap_violation_raises(self, two_sources):
+        # Engines without a page cap can charge many rounds per step;
+        # declaring max_step_rounds=1 anyway must fail loudly, not
+        # silently overspend.
+        engines, seeds = make_engines(two_sources)
+        scheduler = GreedyScheduler(engines, seeds, max_step_rounds=1)
+        with pytest.raises(CrawlError):
+            scheduler.run(total_rounds=200)
+
+    def test_reserve_check_skips_unaffordable_sources(self, two_sources):
+        from repro.crawler import PageCapAbort
+
+        table = two_sources[0]
+        server = SimulatedWebDatabase(table, page_size=10)
+        engines = {
+            "only": CrawlerEngine(
+                server,
+                GreedyLinkSelector(),
+                seed=0,
+                abortion=PageCapAbort(max_pages=5),
+            )
+        }
+        seeds = {
+            "only": [
+                next(
+                    value
+                    for value in table.distinct_values()
+                    if value.attribute in table.schema.queriable
+                    and table.frequency(value) >= 2
+                )
+            ]
+        }
+        scheduler = GreedyScheduler(engines, seeds, max_step_rounds=5)
+        result = scheduler.run(total_rounds=3)  # below the step bound
+        assert result.rounds_used == 0
+
+
+class TestRoundRobinRing:
+    """Bugfix pin: the cursor cycles stable names, not the live list."""
+
+    def test_fair_interleaving_across_exhaustion(self):
+        # One tiny source exhausts mid-run; the survivors must keep
+        # strictly alternating (no skips, no double steps).
+        tiny = generate_ebay(16, seed=4)
+        engines, seeds = make_engines([tiny])
+        big_engines, big_seeds = make_twin_engines(
+            n_records=600, names=("left", "right")
+        )
+        engines.update(big_engines)
+        seeds.update(big_seeds)
+
+        picks = []
+
+        class Recording(RoundRobinScheduler):
+            def _pick(self, candidates):
+                source = super()._pick(candidates)
+                if source is not None:
+                    picks.append(source.name)
+                return source
+
+        scheduler = Recording(engines, seeds)
+        result = scheduler.run(total_rounds=1200)
+        assert result.results["ebay"].stopped_by == "frontier-exhausted"
+        # The tail after ebay's last pick must be pure left/right
+        # alternation: the skew bug skipped or double-stepped the
+        # source that followed an exhaustion in ring order.
+        last_ebay = len(picks) - 1 - picks[::-1].index("ebay")
+        tail = picks[last_ebay + 1 :]
+        assert len(tail) >= 6
+        for first, second in zip(tail, tail[1:]):
+            assert first != second, f"double-step in {tail}"
+        assert abs(tail.count("left") - tail.count("right")) <= 1
+
+    def test_cursor_state_round_trips(self, two_sources):
+        engines, seeds = make_engines(two_sources)
+        scheduler = RoundRobinScheduler(engines, seeds)
+        scheduler.run(total_rounds=50)
+        state = scheduler.state_dict()
+        assert state["cursor"] == scheduler._cursor
+
+
+class TestFairnessGuarantee:
+    def test_starved_source_is_stepped_within_bound(self):
+        # A drained tiny source scores far below two fresh big ones;
+        # with fairness_every it still gets stepped at least once per
+        # K budget units while it remains live.
+        engines, seeds = make_twin_engines(
+            n_records=900, names=("big-a", "big-b")
+        )
+        tiny = generate_dblp(60, seed=9)
+        tiny_engines, tiny_seeds = make_engines([tiny])
+        engines["tiny-dblp"] = tiny_engines["dblp"]
+        seeds["tiny-dblp"] = tiny_seeds["dblp"]
+        K = 40
+        scheduler = GreedyScheduler(engines, seeds, fairness_every=K)
+        scheduler.run(total_rounds=300)
+        gaps = []
+        for source in scheduler._sources:
+            if source.name == "tiny-dblp" and not source.exhausted:
+                gaps.append(scheduler.rounds_spent - source.last_step_spent)
+        for gap in gaps:
+            # The guarantee is checked *before* each pick, so the gap
+            # can exceed K by at most one step's charge at the end.
+            assert gap <= K + 80
