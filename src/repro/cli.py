@@ -336,6 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--threaded", action="store_true",
                        help="use the http.server threaded fallback instead "
                             "of the asyncio front end")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="event loops serving the port (>1 starts a "
+                            "SourceCluster: SO_REUSEPORT worker processes "
+                            "on shared-memory tables, or a threaded "
+                            "multi-loop fallback)")
+    serve.add_argument("--page-cache", type=int, default=4096,
+                       help="rendered-page LRU entries per worker "
+                            "(0 disables the cache)")
 
     loadtest = commands.add_parser(
         "loadtest", help="drive concurrent sessions against a service"
@@ -1070,12 +1078,6 @@ def _command_serve(args, out) -> int:
         if args.rate_limit
         else None
     )
-    service = SourceService(
-        sources,
-        rate_limiter=limiter,
-        registry=MetricsRegistry(),
-        expose_truth=not args.no_truth,
-    )
 
     def announce(url: str) -> None:
         out.write(f"serving {len(sources)} source(s) at {url}\n")
@@ -1084,6 +1086,51 @@ def _command_serve(args, out) -> int:
         out.write("metrics at /metrics; stop with Ctrl-C\n")
         if hasattr(out, "flush"):
             out.flush()
+
+    if args.workers > 1:
+        import time as _time
+
+        from repro.net.cluster import SourceCluster
+        from repro.server.limits import RateLimiterSpec
+
+        cluster = SourceCluster(
+            sources,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            rate_limiter=(
+                RateLimiterSpec.from_limiter(limiter)
+                if limiter is not None
+                else None
+            ),
+            expose_truth=not args.no_truth,
+            page_cache_size=args.page_cache,
+        )
+        url = cluster.start()
+        out.write(f"cluster: {args.workers} workers ({cluster.mode} mode)\n")
+        announce(url)
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            out.write("shutting down\n")
+        finally:
+            snapshot = cluster.stop()
+            if snapshot is not None:
+                rounds = sum(snapshot.rounds.values())
+                out.write(
+                    f"served {snapshot.requests_served} requests, "
+                    f"{rounds} rounds\n"
+                )
+        return 0
+
+    service = SourceService(
+        sources,
+        rate_limiter=limiter,
+        registry=MetricsRegistry(),
+        expose_truth=not args.no_truth,
+        page_cache_size=args.page_cache,
+    )
 
     if args.threaded:
         server = ThreadedSourceServer(service, host=args.host, port=args.port)

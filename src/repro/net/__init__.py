@@ -22,14 +22,22 @@ network boundary.  Three layers:
   spans, and checkpoints all work unchanged over the network;
 - :mod:`repro.net.loadtest` — an async load-test harness driving
   hundreds-to-thousands of concurrent crawl sessions against one
-  service process, reporting throughput and p50/p95/p99 latency.
+  service process, reporting throughput and p50/p95/p99 latency;
+- :mod:`repro.net.cluster` — :class:`SourceCluster`, the multi-core
+  lane: N ``SO_REUSEPORT`` worker processes (or a threaded multi-loop
+  fallback) serving one port from shared-memory tables, with a control
+  plane that merges per-worker accounting deterministically;
+- :mod:`repro.net.cache` — the rendered-page LRU behind the service's
+  ``ETag``/``If-None-Match`` revalidation.
 
 The in-process path remains the deterministic fast lane; an end-to-end
 test pins that a greedy-link crawl over HTTP discovers the
 byte-identical record set and communication-round count.
 """
 
+from repro.net.cache import PageRenderCache
 from repro.net.client import RemoteSourceError, RemoteWebDatabase
+from repro.net.cluster import ClusterSnapshot, SourceCluster
 from repro.net.loadtest import LoadTestReport, run_loadtest, write_bench
 from repro.net.protocol import (
     SourceDescriptor,
@@ -42,10 +50,13 @@ from repro.net.server import AsyncSourceServer, ServerThread, SourceService
 
 __all__ = [
     "AsyncSourceServer",
+    "ClusterSnapshot",
     "LoadTestReport",
+    "PageRenderCache",
     "RemoteSourceError",
     "RemoteWebDatabase",
     "ServerThread",
+    "SourceCluster",
     "SourceDescriptor",
     "SourceService",
     "decode_query_params",

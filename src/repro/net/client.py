@@ -26,6 +26,13 @@ Design points:
   byte-identical to the in-process lane.  The server's own counter
   does include speculative fetches; the delta is the price of
   pipelining and is observable at ``/metrics``.
+- **Revalidation.**  Every 200 result page carries a strong ``ETag``;
+  the client remembers the last ``etag_cache_size`` (target → etag,
+  body) pairs and revalidates repeats with ``If-None-Match``.  A 304
+  answer reuses the cached body byte-for-byte — and still costs a
+  communication round, exactly like a full response (the round is
+  charged on *consumption* in ``submit()``, which cannot tell a 304
+  from a 200 and must not).
 - **Politeness.**  429/503 responses are honored by sleeping out the
   server's ``Retry-After`` (the JSON body's float, falling back to the
   integer header) before retrying; network failures back off
@@ -44,7 +51,8 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlencode, urlsplit
 
 from repro.core.errors import PaginationError, ReproError, UnsupportedQueryError
@@ -104,7 +112,13 @@ class _Pool:
         if reusable:
             self._free.append(connection)
         else:
-            connection.writer.close()
+            try:
+                connection.writer.close()
+            except RuntimeError:
+                # A prefetch abandoned at shutdown may be collected
+                # after the client loop closed; the socket dies with
+                # the loop, there is nothing left to close.
+                pass
         self._semaphore.release()
 
     async def close(self) -> None:
@@ -144,6 +158,10 @@ class RemoteWebDatabase:
     client_id:
         Value of the ``X-Client-Id`` header, which the service's rate
         limiter keys on; defaults to a per-instance token.
+    etag_cache_size:
+        How many (target → ETag, body) pairs to remember for
+        ``If-None-Match`` revalidation (0 disables conditional
+        requests).
     """
 
     _instances = 0
@@ -162,6 +180,7 @@ class RemoteWebDatabase:
         backoff_cap: float = 2.0,
         registry: Optional[MetricsRegistry] = None,
         client_id: Optional[str] = None,
+        etag_cache_size: int = 256,
     ) -> None:
         if format not in FORMATS:
             raise ValueError(f"format must be one of {FORMATS}, got {format!r}")
@@ -206,9 +225,19 @@ class RemoteWebDatabase:
                 "Pipelined page prefetches, by fate.",
                 labels=("fate",),
             )
+            self._revalidated = registry.counter(
+                "net_client_etag_total",
+                "Conditional page requests, by outcome.",
+                labels=("outcome",),
+            )
         else:
             self._latency = self._responses = None
             self._retries = self._prefetch = None
+            self._revalidated = None
+        #: target → (etag, body); touched only on the client loop
+        #: thread, so no lock is needed.
+        self.etag_cache_size = max(0, etag_cache_size)
+        self._etags: "OrderedDict[str, Tuple[str, bytes]]" = OrderedDict()
         # Private event loop on a daemon thread; all sockets live there.
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -251,17 +280,24 @@ class RemoteWebDatabase:
     # ------------------------------------------------------------------
     # HTTP core (runs on the client loop)
     # ------------------------------------------------------------------
-    async def _exchange(self, target: str) -> Tuple[int, Dict[str, str], bytes]:
+    async def _exchange(
+        self,
+        target: str,
+        extra_headers: Sequence[Tuple[str, str]] = (),
+    ) -> Tuple[int, Dict[str, str], bytes]:
         """One request/response on a pooled connection."""
         connection = await self._pool.acquire()
         fresh = connection.requests == 0
         try:
-            request = (
-                f"GET {target} HTTP/1.1\r\n"
-                f"Host: {self._pool.host}:{self._pool.port}\r\n"
-                f"X-Client-Id: {self.client_id}\r\n"
-                f"Connection: keep-alive\r\n\r\n"
-            )
+            lines = [
+                f"GET {target} HTTP/1.1",
+                f"Host: {self._pool.host}:{self._pool.port}",
+                f"X-Client-Id: {self.client_id}",
+                "Connection: keep-alive",
+            ]
+            for name, value in extra_headers:
+                lines.append(f"{name}: {value}")
+            request = "\r\n".join(lines) + "\r\n\r\n"
             connection.writer.write(request.encode("latin-1"))
             await connection.writer.drain()
             status_line = await connection.reader.readline()
@@ -292,7 +328,12 @@ class RemoteWebDatabase:
             # surface it as retryable.
             raise ConnectionResetError("stale pooled connection") from None
 
-    async def _fetch(self, target: str, route: str) -> Tuple[int, Dict[str, str], bytes]:
+    async def _fetch(
+        self,
+        target: str,
+        route: str,
+        extra_headers: Sequence[Tuple[str, str]] = (),
+    ) -> Tuple[int, Dict[str, str], bytes]:
         """``_exchange`` with retry/backoff and Retry-After politeness."""
         attempts = self.max_retries + 1
         last_error: Optional[BaseException] = None
@@ -300,7 +341,8 @@ class RemoteWebDatabase:
             started = time.perf_counter()
             try:
                 status, headers, body = await asyncio.wait_for(
-                    self._exchange(target), timeout=self.timeout
+                    self._exchange(target, extra_headers),
+                    timeout=self.timeout,
                 )
             except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError, asyncio.IncompleteReadError) as error:
                 last_error = error
@@ -493,7 +535,31 @@ class RemoteWebDatabase:
         target = f"/sources/{self.name}/query?{urlencode(params)}"
 
         async def fetch() -> ResultPage:
-            status, _headers, body = await self._fetch(target, "query")
+            cached = self._etags.get(target) if self.etag_cache_size else None
+            conditional = (
+                [("If-None-Match", cached[0])] if cached is not None else []
+            )
+            status, headers, body = await self._fetch(
+                target, "query", conditional
+            )
+            if status == 304 and cached is not None:
+                # Revalidated: the cached body is byte-identical to
+                # what a 200 would have carried.  submit() charges the
+                # round on consumption either way.
+                self._etags.move_to_end(target)
+                if self._revalidated is not None:
+                    self._revalidated.inc_key(("reused",))
+                body = cached[1]
+                status = 200
+            elif status == 200 and self.etag_cache_size:
+                etag = headers.get("etag")
+                if etag:
+                    self._etags[target] = (etag, body)
+                    self._etags.move_to_end(target)
+                    while len(self._etags) > self.etag_cache_size:
+                        self._etags.popitem(last=False)
+                    if self._revalidated is not None:
+                        self._revalidated.inc_key(("stored",))
             if status == 200:
                 text = body.decode("utf-8")
                 if self.format == "xml":

@@ -1,0 +1,669 @@
+"""Multi-core serving: N workers sharing one port and one set of tables.
+
+The single-process :class:`~repro.net.server.AsyncSourceServer` runs
+one event loop on one core; :class:`SourceCluster` scales the same
+service across cores without changing what the wire says:
+
+- **Process lane** (default where ``SO_REUSEPORT`` exists): each worker
+  process runs its own event loop and service, binds its *own* socket
+  to the shared ``(host, port)`` with ``SO_REUSEPORT``, and the kernel
+  load-balances accepted connections across workers.  Source tables
+  are not copied per worker: the parent publishes each table once
+  through :func:`repro.core.shmtable.share_table` and every worker
+  attaches the read-only :class:`~repro.core.shmtable.FrozenTableView`
+  (falling back to a pickled copy where shared memory is unavailable).
+- **Thread lane** (fallback, or ``mode="thread"``): one process, N
+  event loops on N threads sharing a single
+  :class:`~repro.net.server.SourceService` (its per-source locks make
+  that safe); a tiny acceptor thread takes connections off one
+  listening socket and deals them round-robin to the loops via
+  :meth:`AsyncSourceServer.adopt`.
+
+Either way the control plane is the same: :meth:`SourceCluster.snapshot`
+collects per-worker state **in fixed worker order** and
+:class:`ClusterSnapshot` merges it deterministically — counters and
+histograms add, per-source round totals sum, rate-limiter windows
+concatenate sorted — so :meth:`ClusterSnapshot.accounting` is
+byte-identical for the same workload at any worker count (it reports
+only placement-invariant facts: rounds per source, requests by route
+and status, limiter totals — never per-worker cache hit counts or
+latency buckets, which depend on which worker a connection landed on).
+
+Politeness caveat: in the process lane each worker enforces the rate
+limit independently (limiter state is process-local), so a clustered
+deployment's effective quota is up to ``workers ×`` the configured
+one.  See :class:`~repro.server.limits.RateLimiterSpec`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import pickle
+import signal
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core import shmtable
+from repro.core.shmtable import SharedTableHandle
+from repro.metrics import MetricsRegistry
+from repro.net.server import AsyncSourceServer, SourceService
+from repro.server.limits import (
+    RateLimiter,
+    RateLimiterSpec,
+    merge_runtime_states,
+)
+from repro.server.webdb import SimulatedWebDatabase
+
+#: How long start()/stop()/snapshot() wait on one worker before giving up.
+CONTROL_TIMEOUT = 30.0
+
+
+def reuseport_supported() -> bool:
+    """Whether this platform can share a listening port across sockets."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _reuseport_socket(host: str, port: int) -> socket.socket:
+    """A bound, listening TCP socket with ``SO_REUSEPORT`` set."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+        sock.setblocking(False)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+# ----------------------------------------------------------------------
+# What crosses the process boundary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SourceRecipe:
+    """Everything a worker needs to rebuild one mounted source.
+
+    The table travels as a :class:`SharedTableHandle` (attach-once,
+    zero-copy) when shared memory is available, else as a pickle; the
+    rest of :class:`~repro.server.webdb.SimulatedWebDatabase` is cheap
+    immutable configuration rebuilt per worker.  Per-worker rebuild is
+    what makes the lane correct: the communication log and order cache
+    are mutable and must not be shared across processes.
+    """
+
+    name: str
+    page_size: int
+    limit_policy: object
+    report_total: bool
+    handle: Optional[SharedTableHandle] = None
+    table_payload: Optional[bytes] = None
+
+    @classmethod
+    def from_source(
+        cls, name: str, source, use_shared_memory: bool = True
+    ) -> "SourceRecipe":
+        handle = None
+        payload = None
+        if use_shared_memory and shmtable.supported():
+            try:
+                handle = shmtable.share_table(source.table)
+            except Exception:  # noqa: BLE001 - pickle fallback below
+                handle = None
+        if handle is None:
+            payload = pickle.dumps(source.table)
+        return cls(
+            name=name,
+            page_size=source.page_size,
+            limit_policy=source.limit_policy,
+            report_total=source.report_total,
+            handle=handle,
+            table_payload=payload,
+        )
+
+    def build(self) -> SimulatedWebDatabase:
+        if self.handle is not None:
+            table = self.handle.table()
+        else:
+            table = pickle.loads(self.table_payload)
+        return SimulatedWebDatabase(
+            table,
+            page_size=self.page_size,
+            limit_policy=self.limit_policy,
+            report_total=self.report_total,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Picklable worker configuration (one shared by all workers)."""
+
+    host: str
+    port: int
+    expose_truth: bool = True
+    page_cache_size: int = 4096
+    idle_timeout: float = 30.0
+    limiter_spec: Optional[RateLimiterSpec] = None
+
+
+def _service_snapshot(service: SourceService, requests_served: int) -> dict:
+    """One worker's accounting state, JSON/pickle-safe."""
+    rounds: Dict[str, int] = {}
+    for name in sorted(service.sources):
+        with service._locks[name]:
+            rounds[name] = service.sources[name].rounds
+    limiter = service.rate_limiter
+    cache = service.page_cache
+    return {
+        "registry": service.registry.state_dict(),
+        "rounds": rounds,
+        "limiter": limiter.runtime_state() if limiter is not None else None,
+        "cache": cache.stats() if cache is not None else None,
+        "requests_served": requests_served,
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point (module-level: spawn-compatible)
+# ----------------------------------------------------------------------
+def _worker_main(
+    config: ClusterConfig,
+    recipes: List[SourceRecipe],
+    conn,
+    placeholder_fd: Optional[int] = None,
+) -> None:
+    # Under the fork start method the worker inherits the parent's
+    # port-resolving placeholder socket.  That inherited copy is a
+    # member of the SO_REUSEPORT group with nobody accepting on it —
+    # the kernel would hash a share of incoming connections onto it
+    # and they would hang forever.  Close it first thing.
+    if placeholder_fd is not None:
+        try:
+            os.close(placeholder_fd)
+        except OSError:  # pragma: no cover - already closed
+            pass
+    # The parent coordinates shutdown through the control pipe; a
+    # terminal Ctrl-C hits the whole process group, so workers must not
+    # die to SIGINT mid-handshake.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    sources = {recipe.name: recipe.build() for recipe in recipes}
+    limiter = (
+        config.limiter_spec.build() if config.limiter_spec is not None else None
+    )
+    service = SourceService(
+        sources,
+        rate_limiter=limiter,
+        registry=MetricsRegistry(),
+        expose_truth=config.expose_truth,
+        page_cache_size=config.page_cache_size,
+    )
+    server = AsyncSourceServer(
+        service,
+        host=config.host,
+        port=config.port,
+        idle_timeout=config.idle_timeout,
+    )
+    loop = asyncio.new_event_loop()
+    asyncio.set_event_loop(loop)
+    try:
+        sock = _reuseport_socket(config.host, config.port)
+        loop.run_until_complete(server.start(sock=sock))
+    except BaseException as error:  # noqa: BLE001 - surfaced to the parent
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+        conn.close()
+        loop.close()
+        return
+
+    def control() -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                message = ("stop",)
+            if message[0] == "snapshot":
+                conn.send(
+                    (
+                        "snapshot",
+                        _service_snapshot(service, server.requests_served),
+                    )
+                )
+            elif message[0] == "stop":
+                loop.call_soon_threadsafe(loop.stop)
+                return
+
+    controller = threading.Thread(
+        target=control, name="repro-net-worker-control", daemon=True
+    )
+    controller.start()
+    conn.send(("ready", server.port))
+    try:
+        loop.run_forever()
+    finally:
+        loop.run_until_complete(server.close())
+        loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.close()
+    try:
+        conn.send(
+            ("stopped", _service_snapshot(service, server.requests_served))
+        )
+        conn.close()
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+        pass
+
+
+# ----------------------------------------------------------------------
+# Merged accounting
+# ----------------------------------------------------------------------
+class ClusterSnapshot:
+    """Per-worker accounting payloads, merged in fixed worker order."""
+
+    def __init__(self, payloads: List[dict]) -> None:
+        self.payloads = list(payloads)
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Fold every worker registry (worker order → deterministic)."""
+        merged = MetricsRegistry()
+        for payload in self.payloads:
+            merged.merge(payload["registry"])
+        return merged
+
+    @property
+    def rounds(self) -> Dict[str, int]:
+        """Communication rounds charged, summed per source."""
+        totals: Dict[str, int] = {}
+        for payload in self.payloads:
+            for name, count in payload["rounds"].items():
+                totals[name] = totals.get(name, 0) + count
+        return dict(sorted(totals.items()))
+
+    @property
+    def requests_served(self) -> int:
+        return sum(payload["requests_served"] for payload in self.payloads)
+
+    @property
+    def cache_stats(self) -> Optional[Tuple[int, int, int, int]]:
+        """Summed ``(hits, misses, evictions, entries)`` across workers.
+
+        Informational only — *not* part of :meth:`accounting`, because
+        the split of one workload into hits and misses depends on which
+        worker each connection landed on.
+        """
+        stats = [p["cache"] for p in self.payloads if p["cache"] is not None]
+        if not stats:
+            return None
+        return tuple(sum(column) for column in zip(*stats))  # type: ignore[return-value]
+
+    def limiter_state(self) -> Optional[dict]:
+        """Merged rate-limiter runtime state (see ``merge_runtime_states``)."""
+        states = [
+            payload["limiter"]
+            for payload in self.payloads
+            if payload["limiter"] is not None
+        ]
+        if not states:
+            return None
+        return merge_runtime_states(states)
+
+    def accounting(self) -> dict:
+        """The placement-invariant aggregate report.
+
+        Contains only facts that depend on the workload, never on how
+        connections were balanced across workers: the same crawl
+        against 1 or 4 workers produces the identical dict (tests pin
+        this).  Cache hit/miss splits and latency buckets are excluded
+        by design.
+        """
+        registry = self.merged_registry()
+        requests: Dict[str, float] = {}
+        counter = registry.get("net_server_requests_total")
+        if counter is not None:
+            for key, value in counter.series():
+                requests["|".join(key)] = value
+        limited: Dict[str, float] = {}
+        rate_counter = registry.get("net_server_rate_limited_total")
+        if rate_counter is not None:
+            for key, value in rate_counter.series():
+                limited["|".join(key)] = value
+        limiter = self.limiter_state()
+        return {
+            "rounds": self.rounds,
+            "requests": dict(sorted(requests.items())),
+            "rate_limited": dict(sorted(limited.items())),
+            "denials": limiter["denials"] if limiter else 0,
+            "bans_issued": limiter["bans_issued"] if limiter else 0,
+        }
+
+
+# ----------------------------------------------------------------------
+# The cluster
+# ----------------------------------------------------------------------
+class SourceCluster:
+    """Serve ``sources`` on one port from N workers (see module docs).
+
+    Parameters
+    ----------
+    sources:
+        ``name -> SimulatedWebDatabase``, exactly as for
+        :class:`~repro.net.server.SourceService`.  In the process lane
+        each worker rebuilds its own instances from
+        :class:`SourceRecipe` (tables shared via shm); the caller's
+        instances are left untouched.
+    workers:
+        Event loops to run.  1 is legal (useful for like-for-like
+        comparisons against the single-process lane).
+    mode:
+        ``"auto"`` (processes where ``SO_REUSEPORT`` exists, threads
+        otherwise), ``"process"``, or ``"thread"``.
+    rate_limiter:
+        A spec (not a live limiter — limiters do not cross processes);
+        each worker builds its own.
+    use_shared_memory:
+        Set ``False`` to force the pickled-table fallback (tests).
+    """
+
+    def __init__(
+        self,
+        sources: Mapping[str, SimulatedWebDatabase],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        mode: str = "auto",
+        rate_limiter: Optional[RateLimiterSpec] = None,
+        expose_truth: bool = True,
+        page_cache_size: int = 4096,
+        idle_timeout: float = 30.0,
+        use_shared_memory: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if mode not in ("auto", "process", "thread"):
+            raise ValueError(f"unknown cluster mode {mode!r}")
+        if mode == "process" and not reuseport_supported():
+            raise RuntimeError(
+                "mode='process' needs SO_REUSEPORT, unavailable here"
+            )
+        if isinstance(rate_limiter, RateLimiter):  # be forgiving
+            rate_limiter = RateLimiterSpec.from_limiter(rate_limiter)
+        self.sources = dict(sources)
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.mode = (
+            mode
+            if mode != "auto"
+            else ("process" if reuseport_supported() else "thread")
+        )
+        self.limiter_spec = rate_limiter
+        self.expose_truth = expose_truth
+        self.page_cache_size = page_cache_size
+        self.idle_timeout = idle_timeout
+        self.use_shared_memory = use_shared_memory
+        self._started = False
+        self._stopped = False
+        # Process lane state
+        self._recipes: List[SourceRecipe] = []
+        self._processes: List[multiprocessing.Process] = []
+        self._pipes: List = []
+        self.final_snapshot: Optional[ClusterSnapshot] = None
+        # Thread lane state
+        self._service: Optional[SourceService] = None
+        self._listen_sock: Optional[socket.socket] = None
+        self._loops: List[asyncio.AbstractEventLoop] = []
+        self._servers: List[AsyncSourceServer] = []
+        self._threads: List[threading.Thread] = []
+        self._acceptor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> str:
+        if self._started:
+            raise RuntimeError("cluster already started")
+        self._started = True
+        if self.mode == "process":
+            self._start_processes()
+        else:
+            self._start_threads()
+        return self.url
+
+    def stop(self) -> Optional[ClusterSnapshot]:
+        """Shut everything down; returns the final merged snapshot."""
+        if not self._started or self._stopped:
+            return self.final_snapshot
+        self._stopped = True
+        if self.mode == "process":
+            self._stop_processes()
+        else:
+            self._stop_threads()
+        return self.final_snapshot
+
+    def snapshot(self) -> ClusterSnapshot:
+        """Collect live per-worker accounting, in worker order."""
+        if not self._started or self._stopped:
+            raise RuntimeError("cluster is not running")
+        if self.mode == "process":
+            payloads = []
+            for conn in self._pipes:
+                conn.send(("snapshot",))
+            for index, conn in enumerate(self._pipes):
+                kind, payload = self._recv(conn, index)
+                if kind != "snapshot":
+                    raise RuntimeError(
+                        f"worker {index} answered {kind!r} to snapshot"
+                    )
+                payloads.append(payload)
+            return ClusterSnapshot(payloads)
+        assert self._service is not None
+        served = sum(server.requests_served for server in self._servers)
+        return ClusterSnapshot([_service_snapshot(self._service, served)])
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Process lane
+    # ------------------------------------------------------------------
+    def _start_processes(self) -> None:
+        # Resolve port 0 up front with a placeholder REUSEPORT socket
+        # so every worker binds the same concrete port; the placeholder
+        # stays open (parking the port) until all workers are ready.
+        placeholder = _reuseport_socket(self.host, self.port)
+        self.host, self.port = placeholder.getsockname()[:2]
+        try:
+            self._recipes = [
+                SourceRecipe.from_source(
+                    name, source, use_shared_memory=self.use_shared_memory
+                )
+                for name, source in sorted(self.sources.items())
+            ]
+            config = ClusterConfig(
+                host=self.host,
+                port=self.port,
+                expose_truth=self.expose_truth,
+                page_cache_size=self.page_cache_size,
+                idle_timeout=self.idle_timeout,
+                limiter_spec=self.limiter_spec,
+            )
+            context = multiprocessing.get_context()
+            # fork inherits the placeholder's FD into every worker;
+            # spawn does not (fresh interpreter, CLOEXEC semantics).
+            placeholder_fd = (
+                placeholder.fileno()
+                if context.get_start_method() == "fork"
+                else None
+            )
+            for index in range(self.workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(config, self._recipes, child_conn, placeholder_fd),
+                    name=f"repro-net-worker-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._pipes.append(parent_conn)
+            for index, conn in enumerate(self._pipes):
+                kind, payload = self._recv(conn, index)
+                if kind != "ready":
+                    self._kill_processes()
+                    raise RuntimeError(f"worker {index} failed: {payload}")
+        except BaseException:
+            placeholder.close()
+            self._unlink_tables()
+            raise
+        placeholder.close()
+
+    def _recv(self, conn, index: int):
+        if not conn.poll(CONTROL_TIMEOUT):
+            self._kill_processes()
+            raise RuntimeError(f"worker {index} did not answer in time")
+        try:
+            return conn.recv()
+        except EOFError:
+            self._kill_processes()
+            raise RuntimeError(f"worker {index} died") from None
+
+    def _stop_processes(self) -> None:
+        payloads = []
+        for index, conn in enumerate(self._pipes):
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                continue
+        for index, conn in enumerate(self._pipes):
+            try:
+                if conn.poll(CONTROL_TIMEOUT):
+                    kind, payload = conn.recv()
+                    if kind == "stopped":
+                        payloads.append(payload)
+            except (EOFError, OSError):
+                pass
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=CONTROL_TIMEOUT)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        self._unlink_tables()
+        if payloads:
+            self.final_snapshot = ClusterSnapshot(payloads)
+
+    def _kill_processes(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def _unlink_tables(self) -> None:
+        for recipe in self._recipes:
+            if recipe.handle is not None:
+                try:
+                    recipe.handle.unlink()
+                except Exception:  # noqa: BLE001 - already gone
+                    pass
+
+    # ------------------------------------------------------------------
+    # Thread lane
+    # ------------------------------------------------------------------
+    def _start_threads(self) -> None:
+        limiter = (
+            self.limiter_spec.build() if self.limiter_spec is not None else None
+        )
+        self._service = SourceService(
+            self.sources,
+            rate_limiter=limiter,
+            registry=MetricsRegistry(),
+            expose_truth=self.expose_truth,
+            page_cache_size=self.page_cache_size,
+        )
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.host, self.port))
+        sock.listen(128)
+        self.host, self.port = sock.getsockname()[:2]
+        self._listen_sock = sock
+        ready = threading.Barrier(self.workers + 1)
+        for index in range(self.workers):
+            loop = asyncio.new_event_loop()
+            server = AsyncSourceServer(
+                self._service,
+                host=self.host,
+                port=self.port,
+                idle_timeout=self.idle_timeout,
+            )
+            thread = threading.Thread(
+                target=self._run_loop,
+                args=(loop, ready),
+                name=f"repro-net-loop-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._loops.append(loop)
+            self._servers.append(server)
+            self._threads.append(thread)
+        ready.wait(timeout=CONTROL_TIMEOUT)
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-net-acceptor", daemon=True
+        )
+        self._acceptor.start()
+
+    @staticmethod
+    def _run_loop(loop: asyncio.AbstractEventLoop, ready) -> None:
+        asyncio.set_event_loop(loop)
+        loop.call_soon(ready.wait)
+        loop.run_forever()
+
+    def _accept_loop(self) -> None:
+        index = 0
+        assert self._listen_sock is not None
+        self._listen_sock.setblocking(True)
+        while True:
+            try:
+                client_sock, _addr = self._listen_sock.accept()
+            except OSError:  # listening socket closed: shutting down
+                return
+            client_sock.setblocking(False)
+            loop = self._loops[index % self.workers]
+            server = self._servers[index % self.workers]
+            index += 1
+            asyncio.run_coroutine_threadsafe(server.adopt(client_sock), loop)
+
+    def _stop_threads(self) -> None:
+        assert self._service is not None
+        served = sum(server.requests_served for server in self._servers)
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=CONTROL_TIMEOUT)
+        for server, loop in zip(self._servers, self._loops):
+            try:
+                asyncio.run_coroutine_threadsafe(server.close(), loop).result(
+                    timeout=CONTROL_TIMEOUT
+                )
+            except Exception:  # noqa: BLE001 - close must not raise
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+        for thread in self._threads:
+            thread.join(timeout=CONTROL_TIMEOUT)
+        for loop in self._loops:
+            loop.close()
+        served = max(
+            served, sum(server.requests_served for server in self._servers)
+        )
+        self.final_snapshot = ClusterSnapshot(
+            [_service_snapshot(self._service, served)]
+        )

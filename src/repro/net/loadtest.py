@@ -15,6 +15,15 @@ benchmark's methodology:
    single-client request rate this machine/service pair can sustain;
 2. the **concurrent** leg — ``sessions`` simultaneous sessions.
 
+Every session performs one untimed warmup request (``GET /healthz``)
+before its timed queries, in both legs: connection setup (TCP
+handshake, first-allocation costs on both sides) used to ride on the
+first *timed* request of each session and pollute p95/p99 at high
+session counts.  The concurrent leg's clock starts only after every
+session's warmup has completed.  ``BENCH_net.json`` records
+``warmup: true`` so numbers from before this change are not compared
+like-for-like.
+
 The ratio of concurrent to serial throughput (``concurrency_speedup``)
 is the machine-independent signal committed to ``BENCH_net.json``:
 absolute request rates shift with hardware, but a genuine concurrency
@@ -80,6 +89,9 @@ class LoadTestReport:
     latency_p95: float = 0.0
     latency_p99: float = 0.0
     latency_max: float = 0.0
+    #: Whether sessions ran an untimed warmup request before timing
+    #: (provenance: pre-warmup numbers are not comparable).
+    warmup: bool = True
     #: Raw per-request latencies (seconds); dropped from the JSON report.
     samples: List[float] = field(default_factory=list, repr=False)
 
@@ -207,11 +219,27 @@ async def _get_json(session: _Session, target: str) -> dict:
 # ----------------------------------------------------------------------
 # The harness
 # ----------------------------------------------------------------------
+async def _warmup_session(session: _Session, timeout: float) -> None:
+    """One untimed request to absorb connection-setup latency.
+
+    Failures are ignored: the timed loop has its own error accounting,
+    and a session whose warmup died simply reconnects there.
+    """
+    try:
+        await asyncio.wait_for(session.get("/healthz"), timeout=timeout)
+    except (
+        ConnectionError,
+        OSError,
+        asyncio.TimeoutError,
+        TimeoutError,
+        asyncio.IncompleteReadError,
+    ):
+        session.close()
+
+
 async def _run_session(
-    host: str,
-    port: int,
+    session: _Session,
     source: str,
-    client_id: str,
     values: Sequence[Tuple[str, str]],
     queries: Sequence[int],
     report: LoadTestReport,
@@ -220,7 +248,6 @@ async def _run_session(
     registry: Optional[MetricsRegistry],
 ) -> None:
     """One session: issue each assigned query, page through all pages."""
-    session = _Session(host, port, client_id)
     histogram = (
         registry.histogram(
             "net_loadtest_request_seconds",
@@ -330,17 +357,18 @@ async def _run(
     )
 
     # Leg 1: serial calibration — one session, a small query budget.
+    # Warm the connection first so the timed rate is steady-state.
     serial_samples: List[float] = []
     serial_report = LoadTestReport(
         url=url, source=source, sessions=1, queries_per_session=0
     )
     serial_queries = list(range(min(len(values), max(4, value_pool // 8))))
+    serial_session = _Session(host, port, "loadtest-serial")
+    await _warmup_session(serial_session, timeout)
     serial_start = time.perf_counter()
     await _run_session(
-        host,
-        port,
+        serial_session,
         source,
-        "loadtest-serial",
         values,
         serial_queries,
         serial_report,
@@ -349,26 +377,32 @@ async def _run(
         None,
     )
     serial_wall = time.perf_counter() - serial_start
+    serial_session.close()
     if serial_wall > 0 and serial_report.requests:
         report.serial_requests_per_sec = round(
             serial_report.requests / serial_wall, 1
         )
 
-    # Leg 2: the concurrent fleet.
+    # Leg 2: the concurrent fleet.  All sessions connect and warm up
+    # before the clock starts; the timed window covers queries only.
     samples: List[float] = []
+    fleet = [
+        _Session(host, port, f"session-{index}") for index in range(sessions)
+    ]
+    await asyncio.gather(
+        *(_warmup_session(session, timeout) for session in fleet)
+    )
     tasks = []
     started = time.perf_counter()
-    for index in range(sessions):
+    for index, session in enumerate(fleet):
         assigned = [
             index * queries_per_session + j
             for j in range(queries_per_session)
         ]
         tasks.append(
             _run_session(
-                host,
-                port,
+                session,
                 source,
-                f"session-{index}",
                 values,
                 assigned,
                 report,
@@ -379,6 +413,8 @@ async def _run(
         )
     await asyncio.gather(*tasks)
     report.wall_seconds = round(time.perf_counter() - started, 3)
+    for session in fleet:
+        session.close()
     report.samples = samples
     report.finalize()
     if registry is not None:
@@ -431,7 +467,11 @@ def run_loadtest(
 
 
 def write_bench(
-    report: LoadTestReport, path, *, scale: float = 1.0
+    report: LoadTestReport,
+    path,
+    *,
+    scale: float = 1.0,
+    provenance: Optional[dict] = None,
 ) -> dict:
     """Write ``BENCH_net.json`` in the regression-gate shape.
 
@@ -439,12 +479,17 @@ def write_bench(
     ``policies.<name>.speedup``; the gated ratio here is
     ``concurrency_speedup`` (concurrent over serial throughput), which
     is machine-independent the same way the hot-path speedup is.
+    ``provenance`` records run conditions the gate ignores but a reader
+    needs to compare numbers honestly (server worker count, cache
+    settings, …); the per-session warmup flag is always recorded.
     """
     payload = {
         "benchmark": "net_loadtest",
         "scale": scale,
         "sessions": report.sessions,
         "queries_per_session": report.queries_per_session,
+        "warmup": report.warmup,
+        "provenance": dict(provenance or {}),
         "policies": {
             "loadtest": {
                 "speedup": report.concurrency_speedup,

@@ -7,15 +7,24 @@ Layering:
   triple, charging communication rounds on the mounted
   :class:`~repro.server.webdb.SimulatedWebDatabase` instances, applying
   the per-client :class:`~repro.server.limits.RateLimiter`, and feeding
-  a :class:`~repro.metrics.MetricsRegistry`;
+  a :class:`~repro.metrics.MetricsRegistry`.  Locking is sharded per
+  source (requests to different sources never contend), and rendered
+  result pages are cached (:mod:`repro.net.cache`) so a repeated page
+  request shrinks to a dict lookup plus a round-charge under the
+  source's lock; 200 responses carry strong ``ETag`` validators and
+  ``If-None-Match`` revalidation answers 304 — still charging the
+  communication round exactly like a full response;
 - :class:`AsyncSourceServer` speaks HTTP/1.1 over
   :func:`asyncio.start_server` (stdlib only): keep-alive connections,
   per-connection read timeouts, graceful shutdown that closes every
-  open socket and cancels every handler task;
+  open socket and cancels every handler task.  It can also listen on a
+  caller-provided socket (the ``SO_REUSEPORT`` cluster lane,
+  :mod:`repro.net.cluster`) or adopt already-accepted connections (the
+  cluster's threaded fallback);
 - :class:`ThreadedSourceServer` is the :mod:`http.server` fallback for
   environments where an event loop is unavailable (or already owned by
   someone else) — it shares the exact same :class:`SourceService`
-  handler, whose single lock makes the threaded path safe;
+  handler, whose per-source locks make the threaded path safe;
 - :class:`ServerThread` runs an :class:`AsyncSourceServer` on a
   background thread, which is how tests and the load-test harness get
   a live service inside one process.
@@ -42,6 +51,12 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.core.errors import PaginationError, UnsupportedQueryError
 from repro.metrics import MetricsRegistry, prometheus_text
+from repro.net.cache import (
+    DEFAULT_PAGE_CACHE_SIZE,
+    CachedPage,
+    PageRenderCache,
+    etag_matches,
+)
 from repro.net.protocol import (
     FORMATS,
     ProtocolError,
@@ -72,6 +87,7 @@ LATENCY_BUCKETS = (
 
 _STATUS_REASONS = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -122,6 +138,11 @@ class SourceService:
         Serve the ``truth/*`` ground-truth routes (experiment harnesses
         and the load-test driver need them; a hardened deployment
         seals them).
+    page_cache_size:
+        Bound (entries) of the rendered-page LRU
+        (:class:`~repro.net.cache.PageRenderCache`).  0 disables
+        caching; ``ETag``/``If-None-Match`` handling stays on either
+        way.
     """
 
     def __init__(
@@ -130,6 +151,7 @@ class SourceService:
         rate_limiter: Optional[RateLimiter] = None,
         registry: Optional[MetricsRegistry] = None,
         expose_truth: bool = True,
+        page_cache_size: int = DEFAULT_PAGE_CACHE_SIZE,
     ) -> None:
         if not sources:
             raise ValueError("at least one source must be mounted")
@@ -137,12 +159,21 @@ class SourceService:
         self.rate_limiter = rate_limiter
         self.registry = registry if registry is not None else MetricsRegistry()
         self.expose_truth = expose_truth
-        # One lock serializes source access: SimulatedWebDatabase's
-        # order cache and communication log are not thread-safe, and
-        # the threaded fallback (plus /metrics sampling) may hit them
-        # from many threads at once.  The asyncio server is
-        # single-threaded, where this lock is uncontended.
-        self._lock = threading.RLock()
+        # Locking is sharded per source: SimulatedWebDatabase's order
+        # cache and communication log are not thread-safe, and the
+        # threaded fallback (plus the cluster's multi-loop lane) may
+        # hit them from many threads at once — but requests to
+        # *different* sources share no mutable state, so they never
+        # contend.  The asyncio server is single-threaded, where these
+        # locks are uncontended.
+        self._locks: Dict[str, threading.RLock] = {
+            name: threading.RLock() for name in self.sources
+        }
+        self.page_cache = (
+            PageRenderCache(page_cache_size, registry=self.registry)
+            if page_cache_size
+            else None
+        )
         self._requests = self.registry.counter(
             "net_server_requests_total",
             "HTTP requests served, by route and status.",
@@ -229,7 +260,7 @@ class SourceService:
                     return "truth", Response.error(
                         404, "not-found", "truth routes are sealed"
                     )
-                return "truth", self._truth(source, tail[1:], params)
+                return "truth", self._truth(name, source, tail[1:], params)
         return "other", Response.error(404, "not-found", f"no route for {path}")
 
     # ------------------------------------------------------------------
@@ -249,20 +280,24 @@ class SourceService:
         )
 
     def _source_list(self) -> Response:
-        with self._lock:
-            payload = {
-                "sources": [
-                    SourceDescriptor.for_source(name, source).to_json()
-                    for name, source in sorted(self.sources.items())
-                ]
-            }
+        # Descriptors read only immutable configuration — no lock.
+        payload = {
+            "sources": [
+                SourceDescriptor.for_source(name, source).to_json()
+                for name, source in sorted(self.sources.items())
+            ]
+        }
         return Response.json(payload)
 
     def _metrics(self) -> Response:
-        with self._lock:
-            for name, source in sorted(self.sources.items()):
-                self._rounds.set_key((name,), source.rounds)
-            text = prometheus_text(self.registry)
+        # Snapshot under each source's lock (a couple of int reads),
+        # serialize after — a scrape must never stall query traffic
+        # behind Prometheus text rendering.
+        for name, source in sorted(self.sources.items()):
+            with self._locks[name]:
+                rounds = source.rounds
+            self._rounds.set_key((name,), rounds)
+        text = prometheus_text(self.registry)
         return Response(
             200,
             text.encode("utf-8"),
@@ -314,28 +349,78 @@ class SourceService:
             return Response.error(
                 400, "bad-request", f"format must be one of {FORMATS}"
             )
-        try:
-            with self._lock:
-                page = source.submit(query, page_number)
-        except UnsupportedQueryError as error:
-            return Response.error(400, "unsupported-query", str(error))
-        except PaginationError as error:
-            # The round was charged (the client had to ask to find
-            # out), exactly like the in-process lane.
-            return Response.error(404, "page-out-of-range", str(error))
-        if format == "xml":
+        lock = self._locks[name]
+        cache = self.page_cache
+        cache_key = (name, format, page_number, query)
+        entry = cache.get(cache_key) if cache is not None else None
+        if entry is not None:
+            # Cache hit: the source's submit path is skipped entirely,
+            # but the communication round is charged exactly as it
+            # would have been — same query, same page, same record
+            # count (zero for cached out-of-range answers, matching
+            # the PaginationError path).  The lock hold shrinks to
+            # this one log append.
+            with lock:
+                source.log.record(query, page_number, entry.records)
+        else:
+            try:
+                with lock:
+                    page = source.submit(query, page_number)
+            except UnsupportedQueryError as error:
+                # No round was charged (the form rejected the query
+                # before submission) — never cached, so a hit can
+                # never charge a round the in-process lane would not.
+                return Response.error(400, "unsupported-query", str(error))
+            except PaginationError as error:
+                # The round was charged (the client had to ask to find
+                # out), exactly like the in-process lane.  The answer
+                # is as pure as a result page, so cache it too.
+                response = Response.error(
+                    404, "page-out-of-range", str(error)
+                )
+                entry = CachedPage.build(
+                    404, response.content_type, response.body, records=0
+                )
+                if cache is not None:
+                    cache.put(cache_key, entry)
+            else:
+                # Render outside the lock: serialization is pure.
+                if format == "xml":
+                    body = render_page(page).encode("utf-8")
+                    content_type = "application/xml; charset=utf-8"
+                else:
+                    body = render_page_json(page).encode("utf-8")
+                    content_type = "application/json"
+                entry = CachedPage.build(
+                    200, content_type, body, records=len(page.records)
+                )
+                if cache is not None:
+                    cache.put(cache_key, entry)
+        if entry.status == 200:
+            if etag_matches(headers.get("if-none-match", ""), entry.etag):
+                # Round already charged above — a 304 costs the client
+                # a communication round like any other page request.
+                return Response(
+                    304, b"", entry.content_type,
+                    headers=[("ETag", entry.etag)],
+                )
             return Response(
-                200,
-                render_page(page).encode("utf-8"),
-                content_type="application/xml; charset=utf-8",
+                entry.status,
+                entry.body,
+                entry.content_type,
+                headers=[("ETag", entry.etag)],
             )
-        return Response(200, render_page_json(page).encode("utf-8"))
+        return Response(entry.status, entry.body, entry.content_type)
 
     def _truth(
-        self, source, tail: List[str], params: Mapping[str, List[str]]
+        self,
+        name: str,
+        source,
+        tail: List[str],
+        params: Mapping[str, List[str]],
     ) -> Response:
         if tail == ["size"]:
-            with self._lock:
+            with self._locks[name]:
                 return Response.json({"size": source.truth_size()})
         if tail in (["seeds"], ["sample"]):
             try:
@@ -347,7 +432,7 @@ class SourceService:
                     400, "bad-request", "n/seed/min_frequency must be integers"
                 )
             count = max(1, min(count, 10_000))
-            with self._lock:
+            with self._locks[name]:
                 if tail == ["seeds"]:
                     # Mirrors the in-process lane exactly: CLI crawls
                     # draw seeds with sample_seed_values, so a remote
@@ -412,14 +497,42 @@ class AsyncSourceServer:
         )
         self.requests_served = 0
 
-    async def start(self) -> Tuple[str, int]:
-        """Bind and start accepting; returns the bound (host, port)."""
-        self._server = await asyncio.start_server(
-            self._on_connection, self.host, self.port
-        )
+    async def start(self, sock=None) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port).
+
+        Pass a pre-bound listening ``sock`` to serve on a socket the
+        caller configured (the cluster lane binds its own
+        ``SO_REUSEPORT`` sockets so sibling workers share one port).
+        """
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.host, self.port
+            )
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         return self.host, self.port
+
+    async def adopt(self, sock) -> None:
+        """Serve one already-accepted connection socket.
+
+        The cluster's threaded fallback accepts on a single parent
+        socket and hands connections to worker loops round-robin; this
+        wraps the raw socket in the same stream pair
+        ``asyncio.start_server`` would have produced and runs the
+        normal keep-alive handler on it.
+        """
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(loop=loop)
+        protocol = asyncio.StreamReaderProtocol(reader, loop=loop)
+        transport, _ = await loop.connect_accepted_socket(
+            lambda: protocol, sock
+        )
+        writer = asyncio.StreamWriter(transport, protocol, reader, loop)
+        await self._on_connection(reader, writer)
 
     @property
     def url(self) -> str:

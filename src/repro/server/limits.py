@@ -281,3 +281,77 @@ class RateLimiter:
                 self._windows.pop(client, None)
                 self._violations.pop(client, None)
                 self._banned_until.pop(client, None)
+
+
+@dataclass(frozen=True)
+class RateLimiterSpec:
+    """Picklable :class:`RateLimiter` configuration.
+
+    A :class:`RateLimiter` carries a ``threading.Lock`` and an injected
+    clock, so it cannot cross a process boundary; the cluster ships
+    this spec to each worker instead and every worker builds its own
+    limiter.  (Each worker then enforces the quota independently —
+    connections from one client may land on different workers, so a
+    clustered deployment's effective quota is up to ``workers ×``
+    the single-process quota.  Documented, deliberate: politeness is a
+    per-server-process property in the simulation.)
+    """
+
+    max_requests: int
+    window_seconds: float
+    ban_after: int = 0
+    ban_seconds: float = 0.0
+
+    @classmethod
+    def from_limiter(cls, limiter: RateLimiter) -> "RateLimiterSpec":
+        return cls(
+            max_requests=limiter.max_requests,
+            window_seconds=limiter.window_seconds,
+            ban_after=limiter.ban_after,
+            ban_seconds=limiter.ban_seconds,
+        )
+
+    def build(self, clock=time.monotonic) -> RateLimiter:
+        return RateLimiter(
+            max_requests=self.max_requests,
+            window_seconds=self.window_seconds,
+            ban_after=self.ban_after,
+            ban_seconds=self.ban_seconds,
+            clock=clock,
+        )
+
+
+def merge_runtime_states(states: List[dict]) -> dict:
+    """Fold per-worker :meth:`RateLimiter.runtime_state` snapshots.
+
+    Deterministic given the input order (the cluster control plane
+    collects snapshots in fixed worker order): per-client windows are
+    concatenated and sorted, violations summed, the latest ban wins,
+    and the denial/ban tallies add up.
+    """
+    windows: Dict[str, List[float]] = {}
+    violations: Dict[str, int] = {}
+    banned_until: Dict[str, float] = {}
+    denials = 0
+    bans_issued = 0
+    for state in states:
+        for client, stamps in state["windows"].items():
+            windows.setdefault(client, []).extend(stamps)
+        for client, count in state["violations"].items():
+            violations[client] = violations.get(client, 0) + count
+        for client, until in state["banned_until"].items():
+            banned_until[client] = max(
+                banned_until.get(client, float("-inf")), until
+            )
+        denials += state["denials"]
+        bans_issued += state["bans_issued"]
+    return {
+        "windows": {
+            client: sorted(stamps)
+            for client, stamps in sorted(windows.items())
+        },
+        "violations": dict(sorted(violations.items())),
+        "banned_until": dict(sorted(banned_until.items())),
+        "denials": denials,
+        "bans_issued": bans_issued,
+    }

@@ -1,0 +1,346 @@
+"""The rendered-page cache: byte identity, round accounting, ETag/304.
+
+The cache may only ever change *speed*, never the wire: every test
+here compares a cached service against an uncached one (or a cold
+request against a warm one) and demands byte equality — plus the
+paper's cost-model invariant that a cache hit or a 304 charges the
+source's communication log exactly like a fresh render.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import dataset_names, load_dataset
+from repro.metrics import MetricsRegistry
+from repro.net.cache import (
+    CachedPage,
+    PageRenderCache,
+    etag_matches,
+    make_etag,
+)
+from repro.net.server import SourceService
+from repro.server import SimulatedWebDatabase
+
+
+def _query_target(name, attribute, value, page=1, format="json"):
+    from urllib.parse import urlencode
+
+    params = [("a", attribute), ("v", value), ("page", str(page)),
+              ("format", format)]
+    return f"/sources/{name}/query?{urlencode(params)}"
+
+
+def _probe_value(table):
+    """Any (attribute, value) pair with at least one match."""
+    queriable = set(table.schema.queriable)
+    for pair in table.distinct_values():
+        if pair.attribute in queriable:
+            return pair.attribute, pair.value
+    raise AssertionError("dataset has no queriable values")
+
+
+class TestEtagMatching:
+    def test_strong_match(self):
+        assert etag_matches('"abc"', '"abc"')
+
+    def test_no_match(self):
+        assert not etag_matches('"abc"', '"def"')
+
+    def test_star_matches_anything(self):
+        assert etag_matches("*", '"whatever"')
+
+    def test_list_of_candidates(self):
+        assert etag_matches('"a", "b", "c"', '"b"')
+
+    def test_weak_candidate_matches(self):
+        assert etag_matches('W/"abc"', '"abc"')
+
+    def test_empty_header_never_matches(self):
+        assert not etag_matches("", '"abc"')
+
+    def test_make_etag_is_quoted_and_content_addressed(self):
+        one, two = make_etag(b"body"), make_etag(b"body")
+        assert one == two
+        assert one.startswith('"') and one.endswith('"')
+        assert make_etag(b"other") != one
+
+
+class TestPageRenderCacheLRU:
+    def test_put_get_roundtrip(self):
+        cache = PageRenderCache(4)
+        entry = CachedPage.build(200, "application/json", b"{}", records=0)
+        cache.put(("k",), entry)
+        assert cache.get(("k",)) is entry
+        assert cache.stats() == (1, 0, 0, 1)
+
+    def test_miss_counts(self):
+        cache = PageRenderCache(4)
+        assert cache.get(("absent",)) is None
+        assert cache.stats() == (0, 1, 0, 0)
+
+    def test_eviction_is_lru(self):
+        cache = PageRenderCache(2)
+        entry = CachedPage.build(200, "t", b"x", records=0)
+        cache.put(("a",), entry)
+        cache.put(("b",), entry)
+        cache.get(("a",))          # refresh a → b is now oldest
+        cache.put(("c",), entry)   # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.evictions == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PageRenderCache(0)
+
+    def test_registry_counters(self):
+        registry = MetricsRegistry()
+        cache = PageRenderCache(4, registry=registry)
+        entry = CachedPage.build(200, "t", b"x", records=0)
+        cache.put(("a",), entry)
+        cache.get(("a",))
+        cache.get(("missing",))
+        counter = registry.get("net_server_page_cache_total")
+        assert counter.value(result="hit") == 1
+        assert counter.value(result="miss") == 1
+        assert registry.get("net_server_page_cache_entries").value() == 1
+
+
+class TestCachedBytesIdentical:
+    """Cached vs uncached responses are byte-equal, every dataset."""
+
+    @pytest.mark.parametrize("dataset", sorted(dataset_names()))
+    @pytest.mark.parametrize("format", ["json", "xml"])
+    def test_cached_equals_uncached(self, dataset, format):
+        table = load_dataset(dataset, 300, seed=1)
+        cached = SourceService(
+            {dataset: SimulatedWebDatabase(table, page_size=10)}
+        )
+        uncached = SourceService(
+            {dataset: SimulatedWebDatabase(table, page_size=10)},
+            page_cache_size=0,
+        )
+        assert uncached.page_cache is None
+        attribute, value = _probe_value(table)
+        target = _query_target(dataset, attribute, value, format=format)
+        cold = cached.handle("GET", target, {}, "t")
+        warm = cached.handle("GET", target, {}, "t")
+        plain = uncached.handle("GET", target, {}, "t")
+        assert cold.status == warm.status == plain.status == 200
+        assert cold.body == warm.body == plain.body
+        assert cold.content_type == warm.content_type == plain.content_type
+        # The warm request was a genuine hit, not a re-render.
+        assert cached.page_cache.stats()[0] == 1
+
+    def test_hit_charges_the_round(self, service):
+        source = service.sources["imdb"]
+        attribute, value = _probe_value(source.table)
+        target = _query_target("imdb", attribute, value)
+        before = source.rounds
+        service.handle("GET", target, {}, "t")
+        service.handle("GET", target, {}, "t")
+        assert source.rounds == before + 2
+
+    def test_different_pages_are_different_entries(self, service):
+        source = service.sources["imdb"]
+        attribute, value = _probe_value(source.table)
+        one = service.handle(
+            "GET", _query_target("imdb", attribute, value, page=1), {}, "t"
+        )
+        # Asking for a different page must not hit page 1's entry.
+        other = service.handle(
+            "GET", _query_target("imdb", attribute, value, page=2), {}, "t"
+        )
+        assert service.page_cache.hits == 0
+        assert one.body != other.body
+
+    def test_unsupported_query_not_cached_and_no_round(self, service):
+        source = service.sources["imdb"]
+        target = "/sources/imdb/query?a=no_such_attribute&v=x"
+        before = source.rounds
+        first = service.handle("GET", target, {}, "t")
+        second = service.handle("GET", target, {}, "t")
+        assert first.status == second.status == 400
+        assert source.rounds == before
+        assert len(service.page_cache) == 0
+
+    def test_out_of_range_page_cached_with_zero_record_rounds(self, service):
+        source = service.sources["imdb"]
+        attribute, value = _probe_value(source.table)
+        target = _query_target("imdb", attribute, value, page=99)
+        before = source.rounds
+        first = service.handle("GET", target, {}, "t")
+        second = service.handle("GET", target, {}, "t")
+        assert first.status == second.status == 404
+        assert first.body == second.body
+        # Both asks cost a round, exactly like the in-process lane.
+        assert source.rounds == before + 2
+        assert service.page_cache.hits == 1
+
+
+class TestEtagRoundTrip:
+    def test_200_then_304(self, service):
+        source = service.sources["imdb"]
+        attribute, value = _probe_value(source.table)
+        target = _query_target("imdb", attribute, value)
+        first = service.handle("GET", target, {}, "t")
+        assert first.status == 200
+        etag = dict(first.headers)["ETag"]
+        before = source.rounds
+        revalidated = service.handle(
+            "GET", target, {"if-none-match": etag}, "t"
+        )
+        assert revalidated.status == 304
+        assert revalidated.body == b""
+        assert dict(revalidated.headers)["ETag"] == etag
+        # The 304 still increments the communication log.
+        assert source.rounds == before + 1
+
+    def test_stale_validator_gets_the_full_body(self, service):
+        source = service.sources["imdb"]
+        attribute, value = _probe_value(source.table)
+        target = _query_target("imdb", attribute, value)
+        first = service.handle("GET", target, {}, "t")
+        stale = service.handle(
+            "GET", target, {"if-none-match": '"not-the-etag"'}, "t"
+        )
+        assert stale.status == 200
+        assert stale.body == first.body
+
+    def test_etag_still_served_with_cache_disabled(self, imdb_table):
+        uncached = SourceService(
+            {"imdb": SimulatedWebDatabase(imdb_table, page_size=10)},
+            page_cache_size=0,
+        )
+        attribute, value = _probe_value(imdb_table)
+        target = _query_target("imdb", attribute, value)
+        first = uncached.handle("GET", target, {}, "t")
+        etag = dict(first.headers)["ETag"]
+        revalidated = uncached.handle(
+            "GET", target, {"if-none-match": etag}, "t"
+        )
+        assert revalidated.status == 304
+
+    def test_client_revalidates_transparently(self, served):
+        """RemoteWebDatabase sends If-None-Match and reuses the body."""
+        from repro.core.query import Query
+        from repro.net import RemoteWebDatabase
+
+        url, service = served
+        registry = MetricsRegistry()
+        attribute, value = _probe_value(service.sources["imdb"].table)
+        with RemoteWebDatabase(
+            url, source="imdb", registry=registry, pipeline_depth=0
+        ) as client:
+            query = Query.equality(attribute, value)
+            first = client.submit(query)
+            second = client.submit(query)
+            assert [r.record_id for r in first.records] == [
+                r.record_id for r in second.records
+            ]
+            assert client.rounds == 2
+            responses = registry.get("net_client_responses_total")
+            assert responses.value(status="304") == 1
+            etags = registry.get("net_client_etag_total")
+            assert etags.value(outcome="reused") == 1
+
+    def test_keep_alive_interleaves_cached_and_uncached(self, served):
+        """One raw keep-alive connection, 200s and 304s interleaved.
+
+        Every response — full bodies, cached bodies, empty 304s — must
+        carry a correct ``Content-Length``, or the framing of the next
+        pipelined response on the same connection breaks.
+        """
+        import socket
+
+        url, service = served
+        host, port = url.replace("http://", "").split(":")
+        attribute, value = _probe_value(service.sources["imdb"].table)
+        target = _query_target("imdb", attribute, value)
+
+        def request(sock_file, sock, extra=""):
+            sock.sendall(
+                (
+                    f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+                    f"Connection: keep-alive\r\n{extra}\r\n"
+                ).encode()
+            )
+            status = int(sock_file.readline().split(None, 2)[1])
+            headers = {}
+            while True:
+                line = sock_file.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _sep, val = line.decode().partition(":")
+                headers[name.strip().lower()] = val.strip()
+            length = int(headers["content-length"])
+            body = sock_file.read(length)
+            assert len(body) == length
+            return status, headers, body
+
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock_file = sock.makefile("rb")
+            s1, h1, b1 = request(sock_file, sock)            # miss → 200
+            s2, h2, b2 = request(sock_file, sock)            # hit → 200
+            etag = h1["etag"]
+            s3, h3, b3 = request(
+                sock_file, sock, f"If-None-Match: {etag}\r\n"
+            )                                                # hit → 304
+            s4, _h4, b4 = request(sock_file, sock)           # hit → 200
+            assert (s1, s2, s3, s4) == (200, 200, 304, 200)
+            assert b1 == b2 == b4
+            assert b3 == b"" and h3["content-length"] == "0"
+
+    @pytest.mark.parametrize("depth", [0, 1, 4])
+    def test_pipeline_depths_interleave_cached_and_uncached(
+        self, served, depth
+    ):
+        """Cached repeats and fresh queries interleave on one pool."""
+        from repro.core.query import Query
+        from repro.net import RemoteWebDatabase
+
+        url, service = served
+        table = service.sources["imdb"].table
+        queriable = set(table.schema.queriable)
+        values = [
+            pair for pair in table.distinct_values()
+            if pair.attribute in queriable
+        ][:4]
+        with RemoteWebDatabase(
+            url, source="imdb", pipeline_depth=depth
+        ) as client:
+            first_pass = {}
+            for pair in values:
+                query = Query.equality(pair.attribute, pair.value)
+                page = client.submit(query)
+                first_pass[pair] = [r.record_id for r in page.records]
+            # Second pass interleaves guaranteed cache hits (repeats)
+            # with guaranteed misses (page 2+ via fresh pagination).
+            for pair in values:
+                query = Query.equality(pair.attribute, pair.value)
+                again = client.submit(query)
+                assert [
+                    r.record_id for r in again.records
+                ] == first_pass[pair]
+            assert client.rounds == 2 * len(values)
+
+    def test_client_etag_cache_can_be_disabled(self, served):
+        from repro.core.query import Query
+        from repro.net import RemoteWebDatabase
+
+        url, service = served
+        registry = MetricsRegistry()
+        attribute, value = _probe_value(service.sources["imdb"].table)
+        with RemoteWebDatabase(
+            url,
+            source="imdb",
+            registry=registry,
+            pipeline_depth=0,
+            etag_cache_size=0,
+        ) as client:
+            query = Query.equality(attribute, value)
+            client.submit(query)
+            client.submit(query)
+            responses = registry.get("net_client_responses_total")
+            assert responses.value(status="304") == 0
