@@ -1,0 +1,133 @@
+"""Observability benchmark: trace context + profiler under 5% of the crawl.
+
+Same measurement design as ``test_trace_overhead``: the instrumented
+crawl's exact event stream (phase events included, since
+:class:`~repro.obs.CrawlTraceContext` declares ``wants_phases``) is
+recorded once, then the observability hot path — the context's span-id
+mirroring on every event — is timed directly by replaying that stream
+through ``EventBus.emit``, interleaved with plain-crawl legs.  Both
+sides are CPU-time minima over several legs.
+
+The replay leg runs with the :class:`~repro.obs.SamplingProfiler`
+attached and sampling the replay thread at its default 5 ms interval,
+so the measured cost covers everything ``--sample-profile`` plus
+remote-trace propagation would add to a crawl: event dispatch into the
+context, per-query id assembly, the label reads the profiler performs
+from its sampling thread, and the GIL traffic of ``sys._current_frames``
+snapshots landing on the measured thread.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit, scaled
+
+from repro.crawler import CrawlerEngine
+from repro.datasets import generate_ebay
+from repro.obs import CrawlTraceContext, SamplingProfiler
+from repro.policies import GreedyLinkSelector
+from repro.runtime.events import EventBus, EventSink
+from repro.server import SimulatedWebDatabase
+
+MAX_QUERIES = 2_000
+LEGS = 5  # interleaved (replay, plain-crawl) timing legs
+OVERHEAD_CEILING = 0.05
+
+
+class _RecordingSink(EventSink):
+    """Capture the crawl's event stream — phase events included."""
+
+    wants_phases = True
+
+    def __init__(self) -> None:
+        self.events = []
+
+    def handle(self, event) -> None:
+        self.events.append(event)
+
+
+def build_engine(table, bus=None):
+    return CrawlerEngine(
+        SimulatedWebDatabase(table, page_size=10),
+        GreedyLinkSelector(),
+        seed=5,
+        bus=bus,
+    )
+
+
+def run_comparison(tmp_path):
+    table = generate_ebay(n_records=scaled(32000), seed=1)
+    seeds = [
+        next(
+            value
+            for value in table.distinct_values("seller")
+            if table.frequency(value) >= 3
+        )
+    ]
+
+    # One instrumented crawl: records the full event stream and proves
+    # the observers never steer the crawl.
+    bus = EventBus()
+    recorder = bus.attach(_RecordingSink())
+    bus.attach(CrawlTraceContext(trace_id="bench"))
+    instrumented_result = build_engine(table, bus=bus).crawl(
+        seeds, max_queries=MAX_QUERIES
+    )
+
+    def timed_replay(leg):
+        replay_bus = EventBus()
+        context = replay_bus.attach(CrawlTraceContext(trace_id="bench"))
+        profiler = SamplingProfiler(
+            label_provider=context.current_label
+        ).start()
+        try:
+            start = time.process_time()
+            for event in recorder.events:
+                replay_bus.emit(event)
+            elapsed = time.process_time() - start
+        finally:
+            profiler.stop()
+        if leg != "warm":
+            profiler.write_folded(tmp_path / f"replay-{leg}.folded")
+        return elapsed
+
+    def timed_plain_crawl():
+        engine = build_engine(table)
+        start = time.process_time()
+        result = engine.crawl(seeds, max_queries=MAX_QUERIES)
+        return time.process_time() - start, result
+
+    plain_result = None
+    obs_times, crawl_times = [], []
+    timed_replay("warm")  # warm the replay path once
+    for leg in range(LEGS):
+        obs_times.append(timed_replay(leg))
+        elapsed, plain_result = timed_plain_crawl()
+        crawl_times.append(elapsed)
+    return {
+        "events": len(recorder.events),
+        "obs": min(obs_times),
+        "crawl": min(crawl_times),
+        "overhead": min(obs_times) / min(crawl_times),
+        "plain_result": plain_result,
+        "instrumented_result": instrumented_result,
+    }
+
+
+def test_observability_overhead_stays_under_5_percent(benchmark, tmp_path):
+    timing = benchmark.pedantic(
+        run_comparison, args=(tmp_path,), rounds=1, iterations=1
+    )
+    overhead = timing["overhead"]
+    emit(
+        f"2k-query GL crawl: {timing['crawl']:.3f}s CPU, trace context + "
+        f"sampling profiler over its {timing['events']} events "
+        f"{timing['obs'] * 1000:.1f}ms -> overhead {overhead:+.1%} "
+        f"(ceiling {OVERHEAD_CEILING:.0%})"
+    )
+    # Observation must watch the crawl, never steer it...
+    assert timing["instrumented_result"] == timing["plain_result"]
+    assert timing["plain_result"].queries_issued == MAX_QUERIES
+    # ...and stay close to free.
+    assert overhead < OVERHEAD_CEILING

@@ -1,0 +1,121 @@
+"""Validate a ``repro-trace/1`` span-JSONL file from the command line.
+
+Runs the library validator (:func:`repro.trace.validate_trace_jsonl`)
+over the file — schema header, known span names, per-segment ``seq``
+monotonicity, parents preceding children — and reports the span count.
+
+With ``--stitched`` the file must additionally be a cross-lane trace
+produced by ``repro trace stitch``: the header carries
+``"stitched": true``, every server-side ``request`` span's parent is a
+client ``fetch`` span that appeared earlier in the stream, and every
+server phase span (``parse``/``limiter``/``cache``/``render``/
+``serialize``) hangs off a ``request`` root.  This is the CI check that
+cross-lane propagation actually joined the two files — a server trace
+merely concatenated onto a client one fails it.
+
+Usage::
+
+    python scripts/validate_spans.py trace.jsonl
+    python scripts/validate_spans.py stitched.jsonl --stitched
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.trace import TraceError, validate_trace_jsonl  # noqa: E402
+
+SERVER_ROOT = "request"
+SERVER_PHASES = frozenset({"parse", "limiter", "cache", "render", "serialize"})
+
+
+def check_stitched(path: str) -> dict:
+    """Cross-lane structure checks; returns counters or raises TraceError."""
+    names = {}  # span id -> span name, in stream order
+    requests = fetches = phases = 0
+    header = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if header is None:
+                header = record
+                if not record.get("stitched"):
+                    raise TraceError(
+                        f"{path}: header lacks \"stitched\": true — "
+                        f"not a 'repro trace stitch' output"
+                    )
+                continue
+            if "task" in record:
+                continue
+            name = record.get("name")
+            span_id = record.get("id")
+            parent = record.get("parent")
+            if name == "fetch":
+                fetches += 1
+            elif name == SERVER_ROOT:
+                requests += 1
+                if names.get(parent) != "fetch":
+                    raise TraceError(
+                        f"{path}:{lineno}: request span {span_id!r} parent "
+                        f"{parent!r} is not an earlier client fetch span"
+                    )
+            elif name in SERVER_PHASES:
+                phases += 1
+                if names.get(parent) != SERVER_ROOT:
+                    raise TraceError(
+                        f"{path}:{lineno}: server phase span {span_id!r} "
+                        f"parent {parent!r} is not a request root"
+                    )
+            names[span_id] = name
+    if header is None:
+        raise TraceError(f"{path}: empty file")
+    if requests == 0:
+        raise TraceError(
+            f"{path}: stitched trace contains no server request spans"
+        )
+    return {"requests": requests, "fetches": fetches, "phases": phases}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="span-JSONL file to validate")
+    parser.add_argument(
+        "--stitched",
+        action="store_true",
+        help="additionally require cross-lane stitch structure: every "
+             "server request span parented by an earlier client fetch",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spans = validate_trace_jsonl(args.trace)
+    except (TraceError, OSError, json.JSONDecodeError) as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    if args.stitched:
+        try:
+            counts = check_stitched(args.trace)
+        except (TraceError, json.JSONDecodeError) as exc:
+            print(f"INVALID: {exc}")
+            return 1
+        print(
+            f"OK: {args.trace} — {spans} spans; stitched: "
+            f"{counts['requests']} server requests under "
+            f"{counts['fetches']} client fetches "
+            f"({counts['phases']} phase spans)"
+        )
+        return 0
+    print(f"OK: {args.trace} — {spans} spans")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

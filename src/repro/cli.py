@@ -246,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument("--profile-top", type=int, default=25, metavar="N",
                        help="with --profile: how many functions the printed "
                             "cumulative-time summary lists (default 25)")
+    crawl.add_argument("--sample-profile", default=None, metavar="PATH",
+                       help="run a low-overhead sampling profiler alongside "
+                            "the crawl and write flamegraph folded stacks to "
+                            "PATH; each sample is prefixed with the active "
+                            "span label when tracing is on")
+    crawl.add_argument("--sample-interval", type=float, default=0.005,
+                       metavar="SECONDS",
+                       help="seconds between profiler samples "
+                            "(with --sample-profile; default 0.005)")
     _add_telemetry_flags(crawl)
     _add_trace_flags(crawl)
 
@@ -304,6 +313,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("trace_a", help="baseline span-JSONL trace")
     diff.add_argument("trace_b", help="comparison span-JSONL trace")
+    stitch = trace_commands.add_parser(
+        "stitch",
+        help="join a client trace with the matching server-side span "
+             "file into one end-to-end trace",
+    )
+    stitch.add_argument("client", help="client span-JSONL trace "
+                                       "(crawl --remote --trace-out)")
+    stitch.add_argument("server", help="server span-JSONL trace "
+                                       "(serve --trace-out)")
+    stitch.add_argument("--out", required=True, metavar="PATH",
+                        help="write the stitched trace here")
 
     serve = commands.add_parser(
         "serve", help="serve simulated sources over HTTP"
@@ -344,6 +364,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--page-cache", type=int, default=4096,
                        help="rendered-page LRU entries per worker "
                             "(0 disables the cache)")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record one server-side span group per traced "
+                            "request (clients propagate X-Repro-Trace) and "
+                            "write the span JSONL here at shutdown; join "
+                            "with the client trace via 'repro trace stitch'")
+    serve.add_argument("--trace-canonical", action="store_true",
+                       help="omit wall/CPU timings from the server trace so "
+                            "the file is byte-identical across runs and "
+                            "worker counts")
+
+    top = commands.add_parser(
+        "top", help="live ops console for a running service"
+    )
+    top.add_argument("url", help="service base URL (http://host:port)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no screen clear)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="stop after N frames (default: run until Ctrl-C)")
+    top.add_argument("--metrics-jsonl", default=None, metavar="PATH",
+                     help="also tail crawl-side telemetry from this "
+                          "repro-metrics/1 JSONL file (written by a crawl's "
+                          "--metrics-out)")
 
     loadtest = commands.add_parser(
         "loadtest", help="drive concurrent sessions against a service"
@@ -628,6 +672,37 @@ def _report_trace(out, tracer) -> None:
     )
 
 
+def _start_sample_profiler(args, context=None):
+    """Start the opt-in sampling profiler per ``--sample-profile``.
+
+    Returns the running profiler, or ``None`` when the flag is off.
+    When a :class:`~repro.obs.CrawlTraceContext` is supplied its
+    ``current_label`` prefixes every sample with the active span.
+    """
+    if not getattr(args, "sample_profile", None):
+        return None
+    from repro.obs import SamplingProfiler
+
+    profiler = SamplingProfiler(
+        interval=getattr(args, "sample_interval", 0.005),
+        label_provider=(
+            context.current_label if context is not None else None
+        ),
+    )
+    return profiler.start()
+
+
+def _finish_sample_profiler(args, out, profiler) -> None:
+    if profiler is None:
+        return
+    profiler.stop()
+    stacks = profiler.write_folded(args.sample_profile)
+    out.write(
+        f"profile samples: {args.sample_profile} "
+        f"({profiler.sample_count} samples, {stacks} folded stacks)\n"
+    )
+
+
 def _report_result(table, result, args, out, server=None) -> None:
     if table is not None:
         out.write(f"source: {table.name} ({len(table):,} records)\n")
@@ -700,15 +775,27 @@ def _remote_crawl(args, out) -> int:
         out.write("--remote does not support the practical bundle\n")
         return 2
     telemetry = writer = reporter = bus = tracer = None
-    if _telemetry_requested(args) or args.trace_out:
+    trace_context = None
+    if _telemetry_requested(args) or args.trace_out or args.sample_profile:
         from repro.runtime.events import EventBus
 
         bus = EventBus()
         tracer = _attach_trace(args, bus)
+        if args.trace_out or args.sample_profile:
+            from repro.obs import CrawlTraceContext
+
+            # The context mirrors TraceSink's span-id assignment so the
+            # client can name each fetch's span id before the request
+            # goes on the wire (X-Repro-Trace propagation) and so
+            # profiler samples carry the active span label.
+            trace_context = bus.attach(
+                CrawlTraceContext(trace_id=f"{args.policy}-s{args.seed}")
+            )
     with RemoteWebDatabase(
         args.remote,
         source=args.remote_source,
         pipeline_depth=args.pipeline_depth,
+        trace_context=trace_context,
     ) as server:
         if _telemetry_requested(args):
             telemetry, writer, reporter = _attach_telemetry(
@@ -718,12 +805,16 @@ def _remote_crawl(args, out) -> int:
             server, POLICIES[args.policy](), seed=args.seed, bus=bus
         )
         seeds = server.truth_seeds(1, seed=args.seed, min_frequency=2)
-        result = engine.crawl(
-            seeds,
-            target_coverage=args.target,
-            max_rounds=args.max_rounds,
-            max_queries=args.max_queries,
-        )
+        profiler = _start_sample_profiler(args, trace_context)
+        try:
+            result = engine.crawl(
+                seeds,
+                target_coverage=args.target,
+                max_rounds=args.max_rounds,
+                max_queries=args.max_queries,
+            )
+        finally:
+            _finish_sample_profiler(args, out, profiler)
         out.write(f"seed value: {seeds[0]}\n")
         _report_result(None, result, args, out, server=server)
         _report_trace(out, tracer)
@@ -755,7 +846,8 @@ def _command_crawl(args, out) -> int:
         table, page_size=args.page_size, limit_policy=limit_policy
     )
     telemetry = writer = reporter = bus = tracer = None
-    if _telemetry_requested(args) or args.trace_out:
+    trace_context = None
+    if _telemetry_requested(args) or args.trace_out or args.sample_profile:
         from repro.runtime.events import EventBus
 
         bus = EventBus()
@@ -764,6 +856,12 @@ def _command_crawl(args, out) -> int:
                 args, out, bus, truth_size=len(table)
             )
         tracer = _attach_trace(args, bus)
+        if args.sample_profile:
+            from repro.obs import CrawlTraceContext
+
+            trace_context = bus.attach(
+                CrawlTraceContext(trace_id=f"{args.policy}-s{args.seed}")
+            )
     if args.policy == "practical":
         engine = build_practical_crawler(server, seed=args.seed, bus=bus)
     else:
@@ -773,12 +871,16 @@ def _command_crawl(args, out) -> int:
     seeds = sample_seed_values(
         table, 1, random.Random(args.seed), min_frequency=2
     )
-    result = engine.crawl(
-        seeds,
-        target_coverage=args.target,
-        max_rounds=args.max_rounds,
-        max_queries=args.max_queries,
-    )
+    profiler = _start_sample_profiler(args, trace_context)
+    try:
+        result = engine.crawl(
+            seeds,
+            target_coverage=args.target,
+            max_rounds=args.max_rounds,
+            max_queries=args.max_queries,
+        )
+    finally:
+        _finish_sample_profiler(args, out, profiler)
     out.write(f"seed value: {seeds[0]}\n")
     _report_result(table, result, args, out)
     _report_trace(out, tracer)
@@ -998,6 +1100,22 @@ def _command_trace(args, out) -> int:
                     handle.write(line + "\n")
             out.write(f"folded stacks: {args.folded} ({len(lines)} stacks)\n")
         return 0
+    if args.trace_command == "stitch":
+        from repro.obs import stitch_traces
+
+        stats = stitch_traces(args.client, args.server, args.out)
+        out.write(
+            f"stitched trace: {args.out} ({stats['total_spans']} spans; "
+            f"{stats['stitched_groups']}/{stats['server_groups']} server "
+            f"request groups joined"
+            + (
+                f", {stats['orphan_groups']} orphaned"
+                if stats["orphan_groups"]
+                else ""
+            )
+            + ")\n"
+        )
+        return 0
     # diff
     summary_a = summarize(load_trace(args.trace_a))
     summary_b = summarize(load_trace(args.trace_b))
@@ -1105,6 +1223,9 @@ def _command_serve(args, out) -> int:
             ),
             expose_truth=not args.no_truth,
             page_cache_size=args.page_cache,
+            trace_spans=bool(args.trace_out),
+            trace_timings=not args.trace_canonical,
+            trace_path=args.trace_out,
         )
         url = cluster.start()
         out.write(f"cluster: {args.workers} workers ({cluster.mode} mode)\n")
@@ -1122,6 +1243,11 @@ def _command_serve(args, out) -> int:
                     f"served {snapshot.requests_served} requests, "
                     f"{rounds} rounds\n"
                 )
+            if args.trace_out:
+                out.write(
+                    f"server trace written to {args.trace_out} "
+                    f"({len(cluster.trace_groups)} request groups)\n"
+                )
         return 0
 
     service = SourceService(
@@ -1131,6 +1257,26 @@ def _command_serve(args, out) -> int:
         expose_truth=not args.no_truth,
         page_cache_size=args.page_cache,
     )
+    if args.trace_out:
+        from repro.obs import ServerSpanTracer
+
+        service.tracer = ServerSpanTracer(
+            include_timings=not args.trace_canonical
+        )
+
+    def finish_trace() -> None:
+        if service.tracer is None:
+            return
+        from repro.obs import write_server_trace
+
+        spans = write_server_trace(
+            args.trace_out,
+            service.tracer.payload(),
+            include_timings=not args.trace_canonical,
+        )
+        out.write(
+            f"server trace written to {args.trace_out} ({spans} spans)\n"
+        )
 
     if args.threaded:
         server = ThreadedSourceServer(service, host=args.host, port=args.port)
@@ -1141,6 +1287,7 @@ def _command_serve(args, out) -> int:
             pass
         finally:
             server.shutdown()
+            finish_trace()
         return 0
 
     async def run() -> None:
@@ -1156,7 +1303,32 @@ def _command_serve(args, out) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         out.write("shutting down\n")
+    finally:
+        finish_trace()
     return 0
+
+
+def _command_top(args, out) -> int:
+    """``repro top`` — refresh-loop ops console over ``/debug/status``."""
+    from urllib.parse import urlparse
+
+    from repro.obs import run_top
+
+    url = args.url if "//" in args.url else f"http://{args.url}"
+    parsed = urlparse(url)
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 80
+    iterations = 1 if args.once else args.iterations
+    frames = run_top(
+        host,
+        port,
+        interval=args.interval,
+        iterations=iterations,
+        metrics_jsonl=args.metrics_jsonl,
+        out=out,
+        clear=not args.once,
+    )
+    return 0 if frames else 1
 
 
 def _command_loadtest(args, out) -> int:
@@ -1197,6 +1369,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "profile": _command_profile,
         "serve": _command_serve,
         "loadtest": _command_loadtest,
+        "top": _command_top,
     }[args.command]
     return handler(args, out)
 

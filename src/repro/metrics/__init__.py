@@ -38,6 +38,7 @@ from repro.metrics.exporters import (
     validate_metrics_jsonl,
 )
 from repro.metrics.progress import ProgressReporter
+from repro.metrics.quantiles import nearest_rank, percentiles
 from repro.metrics.registry import (
     Counter,
     Gauge,
@@ -59,6 +60,8 @@ __all__ = [
     "MetricsRegistry",
     "ProgressReporter",
     "TelemetrySink",
+    "nearest_rank",
+    "percentiles",
     "prometheus_text",
     "registry_samples",
     "render_metrics_summary",

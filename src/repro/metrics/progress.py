@@ -24,9 +24,11 @@ post-mortem dump.
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Callable, Optional, TextIO
 
 from repro.metrics.exporters import JsonlMetricsWriter
+from repro.metrics.quantiles import percentiles
 from repro.metrics.telemetry import TelemetrySink
 from repro.runtime.events import CrawlEvent, CrawlStopped, EventSink, RecordsHarvested
 
@@ -78,6 +80,15 @@ class ProgressReporter(EventSink):
         #: time instead of restarting from zero.
         self._elapsed_offset: Optional[float] = None
         self.beats = 0
+        #: Wall seconds between consecutive completed steps, for the
+        #: heartbeat's step-latency percentiles.  Bounded: an
+        #: unbounded list would grow for the crawl's whole life, and a
+        #: rolling window is the more honest signal anyway ("how slow
+        #: are steps *lately*", not since launch).  Shares the
+        #: nearest-rank estimator with the loadtest report
+        #: (:mod:`repro.metrics.quantiles`).
+        self._step_times: deque = deque(maxlen=1024)
+        self._last_step_at: Optional[float] = None
         self._last_step: Optional[int] = None
         self._last_policy: Optional[str] = None
         self._last_snapshot_step: Optional[int] = None
@@ -101,6 +112,10 @@ class ProgressReporter(EventSink):
 
     def handle(self, event: CrawlEvent) -> None:
         if isinstance(event, RecordsHarvested):
+            now = self._clock()
+            if self._last_step_at is not None:
+                self._step_times.append(now - self._last_step_at)
+            self._last_step_at = now
             self._last_step = event.step
             self._last_policy = event.policy
             if self.telemetry is not None:
@@ -148,6 +163,12 @@ class ProgressReporter(EventSink):
                 f"rounds {event.rounds:,}",
             ]
             parts.extend(self._telemetry_text(policy))
+            if self._step_times:
+                pcts = percentiles(self._step_times, (0.50, 0.95))
+                parts.append(
+                    f"step p50 {pcts[0.50] * 1e3:.1f}ms "
+                    f"p95 {pcts[0.95] * 1e3:.1f}ms"
+                )
             parts.append(f"{self.elapsed():.1f}s")
             self.stream.write(" | ".join(parts) + "\n")
         if self.writer is not None and self.telemetry is not None:

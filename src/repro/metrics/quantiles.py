@@ -1,0 +1,42 @@
+"""Nearest-rank quantiles — the one percentile definition in the repo.
+
+Both consumers of percentiles (the load-test harness's latency report
+and :class:`~repro.metrics.progress.ProgressReporter`'s step-latency
+heartbeat) used to carry private copies of the same three lines; they
+now share this module so the two can never drift.
+
+The estimator is the classic *nearest-rank* one: ``p_q`` is the
+``ceil(q·n)``-th order statistic (1-based), clamped into the sample.
+It is exact on the observed sample (no interpolation), monotone in
+``q``, and returns an actually-observed value — the right behavior for
+latency reporting, where an interpolated "latency" nobody experienced
+is a lie.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence, Tuple
+
+__all__ = ["nearest_rank", "percentiles"]
+
+
+def nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """The nearest-rank ``q``-quantile of an *ascending-sorted* sample.
+
+    Returns ``0.0`` for an empty sample (reports print zeros rather
+    than crash when nothing was measured).
+    """
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def percentiles(
+    samples: Iterable[float],
+    qs: Tuple[float, ...] = (0.50, 0.95, 0.99),
+) -> Dict[float, float]:
+    """Sort once, read several quantiles: ``{q: value}``."""
+    ordered = sorted(samples)
+    return {q: nearest_rank(ordered, q) for q in qs}

@@ -162,6 +162,14 @@ class RemoteWebDatabase:
         How many (target → ETag, body) pairs to remember for
         ``If-None-Match`` revalidation (0 disables conditional
         requests).
+    trace_context:
+        Optional :class:`~repro.obs.context.CrawlTraceContext` attached
+        to the crawl's event bus.  When present, every page fetch
+        carries an ``X-Repro-Trace`` header naming the client span the
+        request belongs to (plus the attempt number), so the server can
+        open child spans that ``repro trace stitch`` later joins back
+        under the fetch.  The header is observability-only: responses
+        are byte-identical with and without it.
     """
 
     _instances = 0
@@ -181,6 +189,7 @@ class RemoteWebDatabase:
         registry: Optional[MetricsRegistry] = None,
         client_id: Optional[str] = None,
         etag_cache_size: int = 256,
+        trace_context=None,
     ) -> None:
         if format not in FORMATS:
             raise ValueError(f"format must be one of {FORMATS}, got {format!r}")
@@ -199,6 +208,11 @@ class RemoteWebDatabase:
         self.backoff_cap = backoff_cap
         RemoteWebDatabase._instances += 1
         self.client_id = client_id or f"repro-client-{RemoteWebDatabase._instances}"
+        #: Read only on the crawler thread (at fetch-scheduling time),
+        #: which is the same thread that feeds the event bus — so the
+        #: context's span bookkeeping needs no lock.
+        self._trace_context = trace_context
+        self._trace_id = getattr(trace_context, "trace_id", None)
         self.log = CommunicationLog(
             keep_requests=False, record_wall_times=True
         )
@@ -333,15 +347,26 @@ class RemoteWebDatabase:
         target: str,
         route: str,
         extra_headers: Sequence[Tuple[str, str]] = (),
+        trace_parent: Optional[str] = None,
     ) -> Tuple[int, Dict[str, str], bytes]:
         """``_exchange`` with retry/backoff and Retry-After politeness."""
         attempts = self.max_retries + 1
         last_error: Optional[BaseException] = None
         for attempt in range(attempts):
+            headers_out = list(extra_headers)
+            if trace_parent is not None:
+                # Rebuilt per attempt: the attempt number keeps retried
+                # requests distinct server-side (roots …/srv, …/srv1).
+                headers_out.append(
+                    (
+                        "X-Repro-Trace",
+                        f"{self._trace_id};{trace_parent};{attempt}",
+                    )
+                )
             started = time.perf_counter()
             try:
                 status, headers, body = await asyncio.wait_for(
-                    self._exchange(target, extra_headers),
+                    self._exchange(target, headers_out),
                     timeout=self.timeout,
                 )
             except (ConnectionError, OSError, asyncio.TimeoutError, TimeoutError, asyncio.IncompleteReadError) as error:
@@ -523,11 +548,23 @@ class RemoteWebDatabase:
     # Pipelining internals
     # ------------------------------------------------------------------
     def _schedule_fetch(self, query: AnyQuery, page_number: int):
+        # Runs on the crawler thread, before the coroutine is shipped
+        # to the client loop: the trace context's "current query" is
+        # only coherent here (QueryIssued fires on this thread, before
+        # submit()), so the span id is resolved now and captured.
+        trace_parent = None
+        if self._trace_context is not None:
+            trace_parent = self._trace_context.fetch_parent(page_number)
         return asyncio.run_coroutine_threadsafe(
-            self._fetch_page(query, page_number), self._loop
+            self._fetch_page(query, page_number, trace_parent), self._loop
         )
 
-    def _fetch_page(self, query: AnyQuery, page_number: int):
+    def _fetch_page(
+        self,
+        query: AnyQuery,
+        page_number: int,
+        trace_parent: Optional[str] = None,
+    ):
         params = encode_query_params(query) + [
             ("page", str(page_number)),
             ("format", self.format),
@@ -540,7 +577,7 @@ class RemoteWebDatabase:
                 [("If-None-Match", cached[0])] if cached is not None else []
             )
             status, headers, body = await self._fetch(
-                target, "query", conditional
+                target, "query", conditional, trace_parent=trace_parent
             )
             if status == 304 and cached is not None:
                 # Revalidated: the cached body is byte-identical to

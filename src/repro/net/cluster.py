@@ -44,13 +44,21 @@ import pickle
 import signal
 import socket
 import threading
+import time
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core import shmtable
 from repro.core.shmtable import SharedTableHandle
 from repro.metrics import MetricsRegistry
 from repro.net.server import AsyncSourceServer, SourceService
+from repro.obs.server_trace import (
+    ServerSpanTracer,
+    group_public,
+    merge_groups,
+    write_server_trace,
+)
 from repro.server.limits import (
     RateLimiter,
     RateLimiterSpec,
@@ -60,6 +68,10 @@ from repro.server.webdb import SimulatedWebDatabase
 
 #: How long start()/stop()/snapshot() wait on one worker before giving up.
 CONTROL_TIMEOUT = 30.0
+
+#: How long a worker's debug plane waits for the parent's merged
+#: payload before degrading to its local view.
+DEBUG_TIMEOUT = 10.0
 
 
 def reuseport_supported() -> bool:
@@ -148,6 +160,9 @@ class ClusterConfig:
     page_cache_size: int = 4096
     idle_timeout: float = 30.0
     limiter_spec: Optional[RateLimiterSpec] = None
+    trace_spans: bool = False
+    trace_timings: bool = True
+    workers: int = 1
 
 
 def _service_snapshot(service: SourceService, requests_served: int) -> dict:
@@ -158,12 +173,17 @@ def _service_snapshot(service: SourceService, requests_served: int) -> dict:
             rounds[name] = service.sources[name].rounds
     limiter = service.rate_limiter
     cache = service.page_cache
+    spans = {"tracing": service.tracer is not None}
+    if service.tracer is not None:
+        spans.update(service.tracer.stats())
     return {
         "registry": service.registry.state_dict(),
         "rounds": rounds,
         "limiter": limiter.runtime_state() if limiter is not None else None,
         "cache": cache.stats() if cache is not None else None,
         "requests_served": requests_served,
+        "uptime_s": round(time.time() - service.started_at, 3),
+        "spans": spans,
     }
 
 
@@ -175,6 +195,7 @@ def _worker_main(
     recipes: List[SourceRecipe],
     conn,
     placeholder_fd: Optional[int] = None,
+    uplink=None,
 ) -> None:
     # Under the fork start method the worker inherits the parent's
     # port-resolving placeholder socket.  That inherited copy is a
@@ -204,6 +225,37 @@ def _worker_main(
         expose_truth=config.expose_truth,
         page_cache_size=config.page_cache_size,
     )
+    tracer = (
+        ServerSpanTracer(include_timings=config.trace_timings)
+        if config.trace_spans
+        else None
+    )
+    service.tracer = tracer
+    service.cluster_info = {"mode": "process", "workers": config.workers}
+    if uplink is not None:
+        # The debug plane: /metrics and /debug/* ask the parent for the
+        # *merged* cluster view through this second pipe.  One request
+        # at a time per worker; the parent's broker thread answers.
+        # Blocking the worker's event loop for the round trip is fine —
+        # the worker's own control thread stays free, so the parent can
+        # still snapshot this worker while it waits (no deadlock), and
+        # a dead/slow parent degrades to the local view after
+        # DEBUG_TIMEOUT (pipe closure returns immediately).
+        uplink_lock = threading.Lock()
+
+        def debug_provider(kind: str, arg):
+            with uplink_lock:
+                try:
+                    uplink.send(("merged?", kind, arg))
+                    if uplink.poll(DEBUG_TIMEOUT):
+                        reply_kind, payload = uplink.recv()
+                        if reply_kind == kind:
+                            return payload
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
+                return None
+
+        service.debug_provider = debug_provider
     server = AsyncSourceServer(
         service,
         host=config.host,
@@ -234,6 +286,25 @@ def _worker_main(
                         _service_snapshot(service, server.requests_served),
                     )
                 )
+            elif message[0] == "spans":
+                limit = message[1] if len(message) > 1 else 50
+                conn.send(
+                    (
+                        "spans",
+                        {
+                            "stats": (
+                                tracer.stats()
+                                if tracer is not None
+                                else {"groups": 0, "dropped": 0}
+                            ),
+                            "tail": (
+                                tracer.tail(limit)
+                                if tracer is not None
+                                else []
+                            ),
+                        },
+                    )
+                )
             elif message[0] == "stop":
                 loop.call_soon_threadsafe(loop.stop)
                 return
@@ -250,9 +321,12 @@ def _worker_main(
         loop.run_until_complete(loop.shutdown_asyncgens())
         loop.close()
     try:
-        conn.send(
-            ("stopped", _service_snapshot(service, server.requests_served))
-        )
+        final = _service_snapshot(service, server.requests_served)
+        if tracer is not None:
+            # Span groups ship home with the final snapshot; the parent
+            # merges every worker's groups placement-invariantly.
+            final["trace_groups"] = tracer.payload()
+        conn.send(("stopped", final))
         conn.close()
     except (BrokenPipeError, OSError):  # pragma: no cover - parent died
         pass
@@ -311,6 +385,42 @@ class ClusterSnapshot:
             return None
         return merge_runtime_states(states)
 
+    def merged_status(self, mode: str, workers: int) -> dict:
+        """The merged ``/debug/status`` payload (cluster-wide totals)."""
+        payload = {
+            "ok": True,
+            "mode": mode,
+            "workers": workers,
+            "uptime_s": max(
+                (p.get("uptime_s", 0.0) for p in self.payloads),
+                default=0.0,
+            ),
+            "requests_handled": self.requests_served,
+            "rounds": {
+                "total": sum(self.rounds.values()),
+                "per_source": self.rounds,
+            },
+        }
+        cache = self.cache_stats
+        if cache is not None:
+            payload["cache"] = dict(
+                zip(("hits", "misses", "evictions", "entries"), cache)
+            )
+        limiter = self.limiter_state()
+        if limiter is not None:
+            payload["limiter"] = {
+                "denials": limiter["denials"],
+                "bans_issued": limiter["bans_issued"],
+            }
+        spans = [p.get("spans") for p in self.payloads]
+        spans = [s for s in spans if s]
+        payload["spans"] = {
+            "tracing": any(s.get("tracing") for s in spans),
+            "groups": sum(s.get("groups", 0) for s in spans),
+            "dropped": sum(s.get("dropped", 0) for s in spans),
+        }
+        return payload
+
     def accounting(self) -> dict:
         """The placement-invariant aggregate report.
 
@@ -366,6 +476,16 @@ class SourceCluster:
         each worker builds its own.
     use_shared_memory:
         Set ``False`` to force the pickled-table fallback (tests).
+    trace_spans:
+        Record server-side request spans (see
+        :mod:`repro.obs.server_trace`) on every worker; at ``stop()``
+        the groups are merged placement-invariantly into
+        :attr:`trace_groups` (and written to ``trace_path`` if set).
+    trace_timings:
+        Attach wall/CPU durations to recorded spans.  Turn off for
+        canonical, byte-comparable traces.
+    trace_path:
+        Where to write the merged server-side span JSONL at ``stop()``.
     """
 
     def __init__(
@@ -380,6 +500,9 @@ class SourceCluster:
         page_cache_size: int = 4096,
         idle_timeout: float = 30.0,
         use_shared_memory: bool = True,
+        trace_spans: bool = False,
+        trace_timings: bool = True,
+        trace_path=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -405,12 +528,25 @@ class SourceCluster:
         self.page_cache_size = page_cache_size
         self.idle_timeout = idle_timeout
         self.use_shared_memory = use_shared_memory
+        self.trace_spans = trace_spans
+        self.trace_timings = trace_timings
+        self.trace_path = trace_path
+        #: Merged, placement-invariantly sorted span groups, populated
+        #: at ``stop()`` when ``trace_spans`` is on.
+        self.trace_groups: List[dict] = []
         self._started = False
         self._stopped = False
         # Process lane state
         self._recipes: List[SourceRecipe] = []
         self._processes: List[multiprocessing.Process] = []
         self._pipes: List = []
+        self._uplinks: List = []
+        #: Serializes control-pipe transactions: the public snapshot(),
+        #: the broker's merged-payload queries, and shutdown all
+        #: request/reply on the same pipes.
+        self._control_lock = threading.Lock()
+        self._broker: Optional[threading.Thread] = None
+        self._broker_stop = threading.Event()
         self.final_snapshot: Optional[ClusterSnapshot] = None
         # Thread lane state
         self._service: Optional[SourceService] = None
@@ -451,16 +587,17 @@ class SourceCluster:
         if not self._started or self._stopped:
             raise RuntimeError("cluster is not running")
         if self.mode == "process":
-            payloads = []
-            for conn in self._pipes:
-                conn.send(("snapshot",))
-            for index, conn in enumerate(self._pipes):
-                kind, payload = self._recv(conn, index)
-                if kind != "snapshot":
-                    raise RuntimeError(
-                        f"worker {index} answered {kind!r} to snapshot"
-                    )
-                payloads.append(payload)
+            with self._control_lock:
+                payloads = []
+                for conn in self._pipes:
+                    conn.send(("snapshot",))
+                for index, conn in enumerate(self._pipes):
+                    kind, payload = self._recv(conn, index)
+                    if kind != "snapshot":
+                        raise RuntimeError(
+                            f"worker {index} answered {kind!r} to snapshot"
+                        )
+                    payloads.append(payload)
             return ClusterSnapshot(payloads)
         assert self._service is not None
         served = sum(server.requests_served for server in self._servers)
@@ -495,6 +632,9 @@ class SourceCluster:
                 page_cache_size=self.page_cache_size,
                 idle_timeout=self.idle_timeout,
                 limiter_spec=self.limiter_spec,
+                trace_spans=self.trace_spans,
+                trace_timings=self.trace_timings,
+                workers=self.workers,
             )
             context = multiprocessing.get_context()
             # fork inherits the placeholder's FD into every worker;
@@ -506,16 +646,25 @@ class SourceCluster:
             )
             for index in range(self.workers):
                 parent_conn, child_conn = context.Pipe()
+                parent_uplink, child_uplink = context.Pipe()
                 process = context.Process(
                     target=_worker_main,
-                    args=(config, self._recipes, child_conn, placeholder_fd),
+                    args=(
+                        config,
+                        self._recipes,
+                        child_conn,
+                        placeholder_fd,
+                        child_uplink,
+                    ),
                     name=f"repro-net-worker-{index}",
                     daemon=True,
                 )
                 process.start()
                 child_conn.close()
+                child_uplink.close()
                 self._processes.append(process)
                 self._pipes.append(parent_conn)
+                self._uplinks.append(parent_uplink)
             for index, conn in enumerate(self._pipes):
                 kind, payload = self._recv(conn, index)
                 if kind != "ready":
@@ -526,6 +675,11 @@ class SourceCluster:
             self._unlink_tables()
             raise
         placeholder.close()
+        self._broker_stop.clear()
+        self._broker = threading.Thread(
+            target=self._broker_loop, name="repro-net-broker", daemon=True
+        )
+        self._broker.start()
 
     def _recv(self, conn, index: int):
         if not conn.poll(CONTROL_TIMEOUT):
@@ -537,28 +691,135 @@ class SourceCluster:
             self._kill_processes()
             raise RuntimeError(f"worker {index} died") from None
 
+    # ------------------------------------------------------------------
+    # The debug broker: answers workers' merged-payload queries
+    # ------------------------------------------------------------------
+    def _broker_loop(self) -> None:
+        while not self._broker_stop.is_set():
+            try:
+                ready = _connection_wait(self._uplinks, timeout=0.2)
+            except OSError:  # pipes closing under us: shutting down
+                return
+            for conn in ready:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    continue
+                if not message or message[0] != "merged?":
+                    continue
+                kind, arg = message[1], message[2]
+                try:
+                    payload = self._merged_payload(kind, arg)
+                except Exception:  # noqa: BLE001 - degrade, never die
+                    payload = None
+                try:
+                    conn.send((kind, payload))
+                except (BrokenPipeError, OSError):
+                    pass
+
+    def _control_payloads(self, message: tuple, expect: str) -> List[dict]:
+        """One locked request/reply round over every control pipe."""
+        with self._control_lock:
+            payloads = []
+            for conn in self._pipes:
+                conn.send(message)
+            for index, conn in enumerate(self._pipes):
+                if not conn.poll(CONTROL_TIMEOUT):
+                    raise RuntimeError(
+                        f"worker {index} did not answer {expect}"
+                    )
+                kind, payload = conn.recv()
+                if kind != expect:
+                    raise RuntimeError(
+                        f"worker {index} answered {kind!r} to {expect}"
+                    )
+                payloads.append(payload)
+            return payloads
+
+    def _merged_payload(self, kind: str, arg):
+        """The cluster-wide payload behind one worker's debug request."""
+        if kind == "metrics":
+            snapshot = ClusterSnapshot(
+                self._control_payloads(("snapshot",), "snapshot")
+            )
+            registry = snapshot.merged_registry()
+            # Gauges merge last-write-wins, which is wrong for the
+            # per-source round totals; overwrite them with the true
+            # cross-worker sums.
+            gauge = registry.get("net_server_rounds_total")
+            if gauge is not None:
+                for name, value in snapshot.rounds.items():
+                    gauge.set_key((name,), value)
+            return registry.state_dict()
+        if kind == "status":
+            snapshot = ClusterSnapshot(
+                self._control_payloads(("snapshot",), "snapshot")
+            )
+            return snapshot.merged_status(self.mode, self.workers)
+        if kind == "spans":
+            limit = arg if isinstance(arg, int) else 50
+            replies = self._control_payloads(("spans", limit), "spans")
+            merged = merge_groups([reply["tail"] for reply in replies])
+            return {
+                "tracing": self.trace_spans,
+                "count": sum(r["stats"]["groups"] for r in replies),
+                "dropped": sum(r["stats"]["dropped"] for r in replies),
+                "recent": [
+                    group_public(group) for group in merged[-limit:]
+                ],
+            }
+        return None
+
+    def _finish_trace(self, groups: List[dict]) -> None:
+        self.trace_groups = merge_groups([groups])
+        if self.trace_path is not None:
+            write_server_trace(
+                self.trace_path,
+                self.trace_groups,
+                include_timings=self.trace_timings,
+            )
+
     def _stop_processes(self) -> None:
-        payloads = []
-        for index, conn in enumerate(self._pipes):
+        # Stop the broker before touching the pipes: its wait() loop
+        # and the shutdown handshake must not interleave.
+        self._broker_stop.set()
+        if self._broker is not None:
+            self._broker.join(timeout=5.0)
+            self._broker = None
+        for conn in self._uplinks:
             try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                continue
-        for index, conn in enumerate(self._pipes):
-            try:
-                if conn.poll(CONTROL_TIMEOUT):
-                    kind, payload = conn.recv()
-                    if kind == "stopped":
-                        payloads.append(payload)
-            except (EOFError, OSError):
+                conn.close()
+            except OSError:
                 pass
-            conn.close()
+        self._uplinks = []
+        payloads = []
+        trace_groups: List[dict] = []
+        with self._control_lock:
+            for index, conn in enumerate(self._pipes):
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    continue
+            for index, conn in enumerate(self._pipes):
+                try:
+                    if conn.poll(CONTROL_TIMEOUT):
+                        kind, payload = conn.recv()
+                        if kind == "stopped":
+                            trace_groups.extend(
+                                payload.pop("trace_groups", None) or []
+                            )
+                            payloads.append(payload)
+                except (EOFError, OSError):
+                    pass
+                conn.close()
         for process in self._processes:
             process.join(timeout=CONTROL_TIMEOUT)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=5.0)
         self._unlink_tables()
+        if self.trace_spans:
+            self._finish_trace(trace_groups)
         if payloads:
             self.final_snapshot = ClusterSnapshot(payloads)
 
@@ -590,6 +851,17 @@ class SourceCluster:
             expose_truth=self.expose_truth,
             page_cache_size=self.page_cache_size,
         )
+        if self.trace_spans:
+            # One shared service → its tracer already sees every
+            # request; "merged" and "local" views coincide, so no
+            # debug provider is needed in this lane.
+            self._service.tracer = ServerSpanTracer(
+                include_timings=self.trace_timings
+            )
+        self._service.cluster_info = {
+            "mode": "thread",
+            "workers": self.workers,
+        }
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((self.host, self.port))
@@ -664,6 +936,8 @@ class SourceCluster:
         served = max(
             served, sum(server.requests_served for server in self._servers)
         )
+        if self.trace_spans and self._service.tracer is not None:
+            self._finish_trace(self._service.tracer.payload())
         self.final_snapshot = ClusterSnapshot(
             [_service_snapshot(self._service, served)]
         )

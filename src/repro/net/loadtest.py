@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-import math
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -45,6 +44,7 @@ from urllib.parse import urlencode, urlsplit
 
 from repro.core.errors import ReproError
 from repro.metrics import MetricsRegistry
+from repro.metrics.quantiles import nearest_rank
 
 #: Histogram buckets for load-test latency (seconds).
 _BUCKETS = (
@@ -143,12 +143,11 @@ class LoadTestReport:
         return "\n".join(lines)
 
 
-def _percentile(ordered: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile: the ceil(q*n)-th order statistic."""
-    if not ordered:
-        return 0.0
-    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-    return ordered[index]
+# Nearest-rank percentile, shared with ProgressReporter's heartbeat
+# (repro.metrics.quantiles) so the two definitions can never drift.
+# The local name survives as an alias: tests and downstream callers
+# import it from here.
+_percentile = nearest_rank
 
 
 # ----------------------------------------------------------------------

@@ -196,6 +196,19 @@ class SourceService:
             labels=("source",),
         )
         self.started_at = time.time()
+        #: Optional :class:`~repro.obs.server_trace.ServerSpanTracer`;
+        #: when set, traced query requests are recorded as span groups.
+        self.tracer = None
+        #: Optional ``callable(kind, arg) -> payload | None`` supplying
+        #: *merged* observability payloads on a cluster (kinds:
+        #: ``"metrics"``, ``"status"``, ``"spans"``).  ``None`` return
+        #: degrades to this worker's local view — the debug plane must
+        #: answer even when the control plane is busy.
+        self.debug_provider = None
+        #: ``{"mode": ..., "workers": ...}`` identity for ``/debug/*``;
+        #: ``None`` means a standalone single-process service.
+        self.cluster_info = None
+        self.requests_handled = 0
 
     # ------------------------------------------------------------------
     def handle(
@@ -214,6 +227,7 @@ class SourceService:
             response = Response.error(500, "internal", f"{type(error).__name__}: {error}")
         self._requests.inc_key((route, str(response.status)))
         self._latency.observe_key((route,), time.perf_counter() - started)
+        self.requests_handled += 1
         return response
 
     def _dispatch(
@@ -236,6 +250,12 @@ class SourceService:
             return "healthz", Response.json({"ok": True})
         if path == "/metrics":
             return "metrics", self._metrics()
+        if path == "/debug/health":
+            return "debug", self._debug_health()
+        if path == "/debug/status":
+            return "debug", self._debug_status()
+        if path == "/debug/spans":
+            return "debug", self._debug_spans(params)
         if path == "/sources":
             return "sources", self._source_list()
         parts = [p for p in path.split("/") if p]
@@ -290,19 +310,130 @@ class SourceService:
         return Response.json(payload)
 
     def _metrics(self) -> Response:
-        # Snapshot under each source's lock (a couple of int reads),
-        # serialize after — a scrape must never stall query traffic
-        # behind Prometheus text rendering.
-        for name, source in sorted(self.sources.items()):
-            with self._locks[name]:
-                rounds = source.rounds
-            self._rounds.set_key((name,), rounds)
-        text = prometheus_text(self.registry)
+        # On a cluster, a scrape lands on whichever worker the kernel
+        # hashed the connection to; serving that worker's registry
+        # alone under-reports every counter.  The debug provider asks
+        # the parent for the merged registry; a standalone service (or
+        # a provider timeout) renders the local one.
+        merged_state = None
+        if self.debug_provider is not None:
+            merged_state = self.debug_provider("metrics", None)
+        if merged_state is not None:
+            registry = MetricsRegistry()
+            registry.merge(merged_state)
+            text = prometheus_text(registry)
+        else:
+            # Snapshot under each source's lock (a couple of int
+            # reads), serialize after — a scrape must never stall
+            # query traffic behind Prometheus text rendering.
+            for name, source in sorted(self.sources.items()):
+                with self._locks[name]:
+                    rounds = source.rounds
+                self._rounds.set_key((name,), rounds)
+            text = prometheus_text(self.registry)
         return Response(
             200,
             text.encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
+
+    # ------------------------------------------------------------------
+    # The ops/debug surface (see DESIGN.md §10)
+    # ------------------------------------------------------------------
+    def _debug_health(self) -> Response:
+        # Answered entirely from local state — health must stay cheap
+        # and can never deadlock behind the control plane.
+        info = self.cluster_info or {}
+        return Response.json(
+            {
+                "ok": True,
+                "mode": info.get("mode", "single"),
+                "workers": info.get("workers", 1),
+            }
+        )
+
+    def local_status(self) -> dict:
+        """This worker's status payload (also the cluster merge input)."""
+        per_source: Dict[str, int] = {}
+        for name, source in sorted(self.sources.items()):
+            with self._locks[name]:
+                per_source[name] = source.rounds
+        info = self.cluster_info or {}
+        payload = {
+            "ok": True,
+            "mode": info.get("mode", "single"),
+            "workers": info.get("workers", 1),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "requests_handled": self.requests_handled,
+            "rounds": {
+                "total": sum(per_source.values()),
+                "per_source": per_source,
+            },
+        }
+        if self.page_cache is not None:
+            hits, misses, evictions, entries = self.page_cache.stats()
+            payload["cache"] = {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "entries": entries,
+            }
+        if self.rate_limiter is not None:
+            state = self.rate_limiter.runtime_state()
+            payload["limiter"] = {
+                "denials": state["denials"],
+                "bans_issued": state["bans_issued"],
+            }
+        spans = {"tracing": self.tracer is not None}
+        if self.tracer is not None:
+            spans.update(self.tracer.stats())
+        payload["spans"] = spans
+        return payload
+
+    def _debug_status(self) -> Response:
+        merged = None
+        if self.debug_provider is not None:
+            merged = self.debug_provider("status", None)
+        if merged is not None:
+            payload = dict(merged)
+            payload["merged"] = True
+        else:
+            payload = self.local_status()
+            payload["merged"] = False
+        return Response.json(payload)
+
+    def _debug_spans(self, params: Mapping[str, List[str]]) -> Response:
+        from repro.obs.server_trace import group_public
+
+        try:
+            limit = int(params.get("n", ["50"])[0])
+        except ValueError:
+            limit = 50
+        limit = max(1, min(limit, 500))
+        merged = None
+        if self.debug_provider is not None:
+            merged = self.debug_provider("spans", limit)
+        if merged is not None:
+            payload = dict(merged)
+        elif self.tracer is not None:
+            meta = self.tracer.stats()
+            payload = {
+                "tracing": True,
+                "count": meta["groups"],
+                "dropped": meta["dropped"],
+                "recent": [
+                    group_public(group)
+                    for group in self.tracer.tail(limit)
+                ],
+            }
+        else:
+            payload = {
+                "tracing": False,
+                "count": 0,
+                "dropped": 0,
+                "recent": [],
+            }
+        return Response.json(payload)
 
     def _query(
         self,
@@ -312,9 +443,44 @@ class SourceService:
         headers: Mapping[str, str],
         client: str,
     ) -> Response:
+        rec = (
+            self.tracer.begin(headers.get("x-repro-trace"))
+            if self.tracer is not None
+            else None
+        )
+        response = self._query_inner(name, source, params, headers, client, rec)
+        if rec is not None:
+            rec.source = name
+            self.tracer.commit(rec, response.status)
+        return response
+
+    def _query_inner(
+        self,
+        name: str,
+        source,
+        params: Mapping[str, List[str]],
+        headers: Mapping[str, str],
+        client: str,
+        rec=None,
+    ) -> Response:
+        """The query pipeline, with per-phase span recording.
+
+        Phase spans (limiter → parse → cache → render → serialize) are
+        emitted in execution order; error paths simply stop recording
+        where the pipeline stopped.  Phase *attrs* carry only
+        workload-determined values — notably, the cache phase does NOT
+        say hit/miss, and a hit's ``render`` span reports the cached
+        entry it reused — because hit/miss placement is a worker-local
+        accident and the merged trace must be byte-identical at any
+        worker count.  Hit ratios live in metrics, where they belong.
+        """
         if self.rate_limiter is not None:
+            if rec is not None:
+                rec.start("limiter")
             key = headers.get("x-client-id") or client
             decision = self.rate_limiter.check(f"{name}:{key}")
+            if rec is not None:
+                rec.end()
             if not decision.allowed:
                 self._rate_limited.inc_key((str(decision.banned).lower(),))
                 response = Response.error(
@@ -334,25 +500,37 @@ class SourceService:
                     ("Retry-After", str(max(1, math.ceil(decision.retry_after))))
                 )
                 return response
+        if rec is not None:
+            rec.start("parse")
         try:
-            query = decode_query_params(params)
-        except ProtocolError as error:
-            return Response.error(400, "bad-request", str(error))
-        except (ValueError, KeyError) as error:
-            return Response.error(400, "bad-request", str(error))
-        try:
-            page_number = int(params.get("page", ["1"])[0])
-        except ValueError:
-            return Response.error(400, "bad-request", "page must be an integer")
-        format = params.get("format", ["json"])[0]
-        if format not in FORMATS:
-            return Response.error(
-                400, "bad-request", f"format must be one of {FORMATS}"
-            )
+            try:
+                query = decode_query_params(params)
+            except ProtocolError as error:
+                return Response.error(400, "bad-request", str(error))
+            except (ValueError, KeyError) as error:
+                return Response.error(400, "bad-request", str(error))
+            try:
+                page_number = int(params.get("page", ["1"])[0])
+            except ValueError:
+                return Response.error(
+                    400, "bad-request", "page must be an integer"
+                )
+            format = params.get("format", ["json"])[0]
+            if format not in FORMATS:
+                return Response.error(
+                    400, "bad-request", f"format must be one of {FORMATS}"
+                )
+        finally:
+            if rec is not None:
+                rec.end()
         lock = self._locks[name]
         cache = self.page_cache
         cache_key = (name, format, page_number, query)
+        if rec is not None and cache is not None:
+            rec.start("cache")
         entry = cache.get(cache_key) if cache is not None else None
+        if rec is not None and cache is not None:
+            rec.end()
         if entry is not None:
             # Cache hit: the source's submit path is skipped entirely,
             # but the communication round is charged exactly as it
@@ -362,7 +540,13 @@ class SourceService:
             # this one log append.
             with lock:
                 source.log.record(query, page_number, entry.records)
+            if rec is not None:
+                rec.mark(
+                    "render", records=entry.records, bytes=len(entry.body)
+                )
         else:
+            if rec is not None:
+                rec.start("render")
             try:
                 with lock:
                     page = source.submit(query, page_number)
@@ -383,6 +567,8 @@ class SourceService:
                 )
                 if cache is not None:
                     cache.put(cache_key, entry)
+                if rec is not None:
+                    rec.end(records=0, bytes=len(entry.body))
             else:
                 # Render outside the lock: serialization is pure.
                 if format == "xml":
@@ -396,21 +582,32 @@ class SourceService:
                 )
                 if cache is not None:
                     cache.put(cache_key, entry)
-        if entry.status == 200:
-            if etag_matches(headers.get("if-none-match", ""), entry.etag):
-                # Round already charged above — a 304 costs the client
-                # a communication round like any other page request.
+                if rec is not None:
+                    rec.end(
+                        records=entry.records, bytes=len(entry.body)
+                    )
+        if rec is not None:
+            rec.start("serialize")
+        try:
+            if entry.status == 200:
+                if etag_matches(headers.get("if-none-match", ""), entry.etag):
+                    # Round already charged above — a 304 costs the
+                    # client a communication round like any other page
+                    # request.
+                    return Response(
+                        304, b"", entry.content_type,
+                        headers=[("ETag", entry.etag)],
+                    )
                 return Response(
-                    304, b"", entry.content_type,
+                    entry.status,
+                    entry.body,
+                    entry.content_type,
                     headers=[("ETag", entry.etag)],
                 )
-            return Response(
-                entry.status,
-                entry.body,
-                entry.content_type,
-                headers=[("ETag", entry.etag)],
-            )
-        return Response(entry.status, entry.body, entry.content_type)
+            return Response(entry.status, entry.body, entry.content_type)
+        finally:
+            if rec is not None:
+                rec.end()
 
     def _truth(
         self,

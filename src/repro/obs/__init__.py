@@ -1,0 +1,41 @@
+"""repro.obs — distributed observability for remote crawls.
+
+Stitches the client and server halves of a remote crawl into one
+causal trace (``X-Repro-Trace`` propagation + server-side request
+spans + ``repro trace stitch``), exposes a live ops surface
+(``/debug/*`` endpoints + ``repro top``), and offers an opt-in
+sampling profiler whose samples attach to the active span.  See
+DESIGN.md §10.
+"""
+
+from repro.obs.console import fetch_status, render_frame, run_top, tail_metrics
+from repro.obs.context import HEADER_NAME, CrawlTraceContext
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.server_trace import (
+    SERVER_PHASES,
+    SERVER_SPAN_NAMES,
+    RequestRecorder,
+    ServerSpanTracer,
+    merge_groups,
+    parse_trace_header,
+    write_server_trace,
+)
+from repro.obs.stitch import stitch_traces
+
+__all__ = [
+    "CrawlTraceContext",
+    "HEADER_NAME",
+    "RequestRecorder",
+    "SERVER_PHASES",
+    "SERVER_SPAN_NAMES",
+    "SamplingProfiler",
+    "ServerSpanTracer",
+    "fetch_status",
+    "merge_groups",
+    "parse_trace_header",
+    "render_frame",
+    "run_top",
+    "stitch_traces",
+    "tail_metrics",
+    "write_server_trace",
+]

@@ -1,0 +1,226 @@
+"""``repro top`` — a refresh-loop terminal view of a running service.
+
+The console is a thin client over the ``/debug/status`` endpoint (one
+HTTP GET per refresh; on a cluster the endpoint already returns the
+*merged* snapshot, so the console needs no cluster awareness).  Rates
+are computed client-side from consecutive snapshots — rounds/sec is
+``Δrounds / Δt`` between frames, not a server-side average — so the
+view reacts at refresh granularity.
+
+Crawl-side signals the server can't know (frontier depth, per-source
+fleet allocation) come from tailing the crawler's metrics JSONL file
+when ``--metrics-jsonl`` is given: the last snapshot line is parsed and
+gauges/counters of interest are folded into the frame.
+
+Everything network- and clock-shaped is injectable (``fetch``, ``out``,
+``iterations``) so tests drive the console without sockets or sleeps.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, TextIO, Union
+
+PathLike = Union[str, Path]
+
+#: ANSI "clear screen, home cursor" prefix used between live frames.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_status(
+    host: str, port: int, timeout: float = 5.0
+) -> dict:
+    """GET ``/debug/status`` and return the parsed JSON payload."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", "/debug/status")
+        response = conn.getresponse()
+        body = response.read()
+        if response.status != 200:
+            raise RuntimeError(
+                f"/debug/status returned {response.status}"
+            )
+        return json.loads(body)
+    finally:
+        conn.close()
+
+
+def tail_metrics(path: PathLike) -> Dict[str, float]:
+    """Flatten the last ``repro-metrics/1`` snapshot into name→value.
+
+    Labelled samples render as ``name{k=v,...}``; histograms contribute
+    their count.  Returns ``{}`` when the file is missing or empty —
+    the console degrades, it never crashes on a racing writer.
+    """
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return {}
+    for line in reversed(lines):
+        if not line.strip():
+            continue
+        try:
+            snapshot = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # partially-written trailing line
+        if snapshot.get("schema") != "repro-metrics/1":
+            continue
+        flat: Dict[str, float] = {}
+        for sample in snapshot.get("samples", ()):
+            name = sample.get("name", "?")
+            labels = sample.get("labels") or {}
+            if labels:
+                rendered = ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items())
+                )
+                name = f"{name}{{{rendered}}}"
+            value = sample.get("value")
+            if isinstance(value, dict):  # histogram
+                value = value.get("count", 0)
+            try:
+                flat[name] = float(value)
+            except (TypeError, ValueError):
+                continue
+        return flat
+    return {}
+
+
+def _ratio(hits: float, misses: float) -> Optional[float]:
+    total = hits + misses
+    if total <= 0:
+        return None
+    return hits / total
+
+
+def render_frame(
+    status: dict,
+    prev: Optional[dict] = None,
+    elapsed: Optional[float] = None,
+    metrics: Optional[Dict[str, float]] = None,
+) -> str:
+    """One frame of the console as a multi-line string."""
+    lines = []
+    mode = status.get("mode", "?")
+    workers = status.get("workers", 1)
+    uptime = status.get("uptime_s", 0.0)
+    merged = " merged" if status.get("merged") else ""
+    lines.append(
+        f"repro top — {mode} x{workers}{merged} | "
+        f"up {uptime:,.1f}s | requests {status.get('requests_handled', 0):,}"
+    )
+
+    rounds = status.get("rounds", {})
+    total_rounds = rounds.get("total", 0)
+    rate = ""
+    if prev is not None and elapsed and elapsed > 0:
+        delta = total_rounds - prev.get("rounds", {}).get("total", 0)
+        rate = f" ({delta / elapsed:,.1f}/s)"
+    lines.append(f"rounds   {total_rounds:,}{rate}")
+
+    cache = status.get("cache")
+    if cache:
+        hit_ratio = _ratio(cache.get("hits", 0), cache.get("misses", 0))
+        ratio_text = (
+            "n/a" if hit_ratio is None else f"{hit_ratio * 100:.1f}%"
+        )
+        lines.append(
+            f"cache    hit {ratio_text} | "
+            f"hits {cache.get('hits', 0):,} misses {cache.get('misses', 0):,} "
+            f"evict {cache.get('evictions', 0):,} "
+            f"entries {cache.get('entries', 0):,}"
+        )
+
+    limiter = status.get("limiter")
+    if limiter:
+        lines.append(
+            f"limiter  denials {limiter.get('denials', 0):,} "
+            f"bans {limiter.get('bans_issued', 0):,}"
+        )
+
+    spans = status.get("spans")
+    if spans and spans.get("tracing"):
+        lines.append(
+            f"spans    {spans.get('groups', 0):,} recorded "
+            f"({spans.get('dropped', 0):,} dropped)"
+        )
+
+    per_source = rounds.get("per_source") or {}
+    if per_source:
+        top = sorted(
+            per_source.items(), key=lambda item: (-item[1], item[0])
+        )[:8]
+        lines.append("source rounds:")
+        for name, count in top:
+            lines.append(f"  {name:<24} {count:,}")
+
+    if metrics:
+        frontier = metrics.get("frontier_pending")
+        if frontier is not None:
+            lines.append(f"frontier {int(frontier):,} pending")
+        fleet = {
+            name: value
+            for name, value in sorted(metrics.items())
+            if name.startswith("fleet_")
+        }
+        if fleet:
+            lines.append("fleet:")
+            for name, value in list(fleet.items())[:8]:
+                lines.append(f"  {name:<32} {value:,.0f}")
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    metrics_jsonl: Optional[PathLike] = None,
+    fetch: Optional[Callable[[], dict]] = None,
+    out: Optional[TextIO] = None,
+    clear: bool = True,
+) -> int:
+    """Refresh loop; returns the number of frames rendered.
+
+    ``iterations=None`` runs until interrupted (the CLI's live mode);
+    tests pass a small count plus injected ``fetch``/``out``.
+    """
+    fetch = fetch or (lambda: fetch_status(host, port))
+    out = out or sys.stdout
+    prev: Optional[dict] = None
+    prev_at: Optional[float] = None
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            try:
+                status = fetch()
+            except Exception as exc:
+                out.write(f"repro top: fetch failed: {exc}\n")
+                out.flush()
+                if iterations is not None:
+                    frames += 1
+                    if frames >= iterations:
+                        break
+                time.sleep(interval)
+                continue
+            now = time.monotonic()
+            elapsed = None if prev_at is None else now - prev_at
+            metrics = (
+                tail_metrics(metrics_jsonl) if metrics_jsonl else None
+            )
+            frame = render_frame(status, prev, elapsed, metrics)
+            if clear and frames:
+                out.write(CLEAR)
+            out.write(frame + "\n")
+            out.flush()
+            prev, prev_at = status, now
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return frames

@@ -1,0 +1,146 @@
+"""Opt-in sampling profiler whose samples attach to the active span.
+
+A background daemon thread wakes every ``interval`` seconds, grabs the
+target thread's current stack via :func:`sys._current_frames` (a
+C-level snapshot — the target is never interrupted, no signals, no
+tracing hooks), and counts the collapsed stack.  The cost to the
+profiled thread is therefore near zero regardless of what it is doing;
+the profiler thread itself does O(stack depth) work per sample, which
+at the default 5 ms interval is well under the 5% overhead budget the
+benchmarks pin.
+
+Each sample is prefixed with the label of the *active span* — supplied
+by :meth:`repro.obs.context.CrawlTraceContext.current_label` (the query
+currently being probed, else the step) — so the folded output answers
+"where did query s3/q7 spend its time", not just "where did Python
+spend its time".
+
+Output is the flamegraph *folded* format the trace analyzer already
+emits (``frame;frame;frame count``), so the same downstream tooling
+renders both.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections import Counter
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Frames deeper than this are summarized as a ``...`` sentinel; keeps
+#: pathological recursion from bloating sample keys.
+MAX_DEPTH = 64
+
+
+class SamplingProfiler:
+    """Sample one thread's stacks into span-labelled folded counts.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples.  5 ms default ≈ 200 Hz, plenty for
+        crawl-scale attribution while staying far under budget.
+    label_provider:
+        Zero-arg callable naming the active span (``None``/raising →
+        the sample files under ``idle``).  Pass a
+        ``CrawlTraceContext.current_label`` bound method to attach
+        samples to the crawl's spans.
+    target_thread:
+        Thread to sample; defaults to the *constructing* thread, which
+        is the crawl thread in the CLI wiring.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        label_provider: Optional[Callable[[], Optional[str]]] = None,
+        target_thread: Optional[threading.Thread] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._label_provider = label_provider
+        self._target = target_thread or threading.current_thread()
+        self._samples: Counter = Counter()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.sample_count = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        ident = self._target.ident
+        while not self._stop.wait(self.interval):
+            if ident is None:
+                ident = self._target.ident
+                continue
+            frame = sys._current_frames().get(ident)
+            if frame is None:
+                continue
+            self._record(frame)
+
+    def _record(self, frame) -> None:
+        stack: List[str] = []
+        depth = 0
+        while frame is not None:
+            if depth >= MAX_DEPTH:
+                stack.append("...")
+                break
+            code = frame.f_code
+            stack.append(
+                f"{os.path.basename(code.co_filename)}:{code.co_name}"
+            )
+            frame = frame.f_back
+            depth += 1
+        stack.reverse()
+        label = None
+        if self._label_provider is not None:
+            try:
+                label = self._label_provider()
+            except Exception:
+                label = None
+        key = ";".join([label or "idle", *stack])
+        self._samples[key] += 1
+        self.sample_count += 1
+
+    # ------------------------------------------------------------------
+    def folded(self) -> List[str]:
+        """Folded-format lines, sorted for determinism."""
+        return [
+            f"{key} {count}"
+            for key, count in sorted(self._samples.items())
+        ]
+
+    def write_folded(self, path: PathLike) -> int:
+        lines = self.folded()
+        Path(path).write_text(
+            "".join(line + "\n" for line in lines), encoding="utf-8"
+        )
+        return len(lines)

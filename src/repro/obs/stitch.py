@@ -1,0 +1,152 @@
+"""Stitch client and server span files into one causal trace.
+
+``repro trace stitch`` joins the two halves of a remote crawl on span
+ids: every server group's context (``s3/q0/p2``) *is* the id of the
+client fetch span that caused it, so stitching is purely structural —
+insert each server group's spans immediately after the matching client
+fetch span, rewrite the server root's ``parent`` from ``null`` to the
+fetch id, and renumber ``seq`` over the combined stream.
+
+Two properties fall out of doing the join textually (lines are edited
+with targeted substitutions, never round-tripped through ``json``):
+
+* **Byte determinism** — both inputs are deterministic (client spans by
+  construction, server spans by the placement-invariant merge), and the
+  stitch adds nothing non-deterministic, so the stitched file is
+  byte-identical for the same crawl at any worker count.  Timed
+  (``"t"``) fields pass through bit-exactly rather than surviving a
+  float parse/re-print.
+* **Safety** — a malformed pairing can't silently corrupt: server
+  groups with no client parent (e.g. prefetches the crawler never
+  consumed, which still completed server-side) are dropped and counted,
+  and the output still validates as ``repro-trace/1``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.server_trace import SRV_ROOT_RE
+from repro.trace.spans import TRACE_SCHEMA
+
+PathLike = Union[str, Path]
+
+_SEQ_RE = re.compile(r'"seq":\d+')
+_PARENT_NULL_RE = re.compile(r'"parent":null')
+
+
+def _read_trace_lines(path: PathLike) -> Tuple[dict, List[str]]:
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    if header.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {TRACE_SCHEMA!r}, "
+            f"got {header.get('schema')!r}"
+        )
+    return header, [line for line in lines[1:] if line]
+
+
+def _renumber(line: str, seq: int) -> str:
+    return _SEQ_RE.sub(f'"seq":{seq}', line, count=1)
+
+
+def _collect_server_groups(
+    span_lines: List[str],
+) -> Tuple[Dict[str, List[List[str]]], int]:
+    """Group server lines by context id, preserving file order.
+
+    Returns ``{ctx: [group_lines, ...]}`` (several groups per ctx when
+    retries hit the server more than once) and the total group count.
+    """
+    groups: Dict[str, List[List[str]]] = {}
+    current: Optional[List[str]] = None
+    total = 0
+    for line in span_lines:
+        record = json.loads(line)
+        if "id" not in record:
+            # Task marker: multi-trace server files aren't stitchable
+            # against a single client trace.
+            raise ValueError(
+                "server trace contains multiple task segments; stitch "
+                "expects the server file for exactly one crawl"
+            )
+        match = SRV_ROOT_RE.match(record["id"])
+        if match is not None and record.get("name") == "request":
+            ctx = match.group(1)
+            current = [line]
+            groups.setdefault(ctx, []).append(current)
+            total += 1
+        elif current is not None:
+            current.append(line)
+        else:
+            raise ValueError(
+                f"server trace span {record['id']!r} precedes any "
+                "request root"
+            )
+    return groups, total
+
+
+def stitch_traces(
+    client_path: PathLike,
+    server_path: PathLike,
+    out_path: PathLike,
+) -> dict:
+    """Join ``client_path`` + ``server_path`` → ``out_path``; stats.
+
+    Returns ``{"client_spans", "server_groups", "stitched_groups",
+    "orphan_groups", "total_spans"}``.
+    """
+    client_header, client_lines = _read_trace_lines(client_path)
+    server_header, server_lines = _read_trace_lines(server_path)
+    if server_header.get("side") != "server":
+        raise ValueError(
+            f"{server_path}: not a server-side trace "
+            "(missing \"side\":\"server\" header)"
+        )
+    if any("task" in json.loads(line) and "id" not in json.loads(line)
+           for line in client_lines):
+        raise ValueError(
+            "client trace contains task segments; stitch one task's "
+            "trace at a time"
+        )
+
+    groups, group_total = _collect_server_groups(server_lines)
+
+    header = dict(client_header)
+    header["stitched"] = True
+    if "trace" in server_header:
+        header.setdefault("trace", server_header["trace"])
+
+    out = [json.dumps(header, separators=(",", ":"))]
+    seq = 0
+    stitched = 0
+    for line in client_lines:
+        record = json.loads(line)
+        out.append(_renumber(line, seq))
+        seq += 1
+        for group_lines in groups.pop(record["id"], []):
+            stitched += 1
+            root, *children = group_lines
+            root = _PARENT_NULL_RE.sub(
+                f'"parent":"{record["id"]}"', root, count=1
+            )
+            out.append(_renumber(root, seq))
+            seq += 1
+            for child in children:
+                out.append(_renumber(child, seq))
+                seq += 1
+
+    orphans = sum(len(rest) for rest in groups.values())
+    Path(out_path).write_text("\n".join(out) + "\n", encoding="utf-8")
+    return {
+        "client_spans": len(client_lines),
+        "server_groups": group_total,
+        "stitched_groups": stitched,
+        "orphan_groups": orphans,
+        "total_spans": seq,
+    }

@@ -31,6 +31,7 @@ from repro.trace.analyze import (
     critical_paths,
     diff_summaries,
     folded_stacks,
+    lane_breakdown,
     render_diff,
     render_summary,
     summarize,
@@ -51,6 +52,7 @@ __all__ = [
     "critical_paths",
     "diff_summaries",
     "folded_stacks",
+    "lane_breakdown",
     "load_trace",
     "render_diff",
     "render_summary",

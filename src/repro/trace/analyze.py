@@ -72,6 +72,56 @@ def subtree_weight(
 
 
 # ----------------------------------------------------------------------
+# Lane attribution (stitched traces)
+# ----------------------------------------------------------------------
+def lane_breakdown(trace: Trace) -> Optional[dict]:
+    """Wall-time split across the three lanes of a remote crawl.
+
+    Only meaningful for *stitched* traces (client + server halves in
+    one file); returns ``None`` when no server ``request`` spans are
+    present.  Attribution:
+
+    - ``server_s`` — Σ wall of ``request`` spans (each covers its
+      phase children, so children are not double-counted);
+    - ``client_s`` — Σ wall of the top-level client compute phases
+      (``select``/``extract``/``decompose``; their nested children —
+      ``score``, ``frontier-refresh`` — are covered by the parents);
+    - ``wire_s`` — the residual ``total − server − client``: transport,
+      client-side request bookkeeping, and scheduling gaps.  Clamped
+      at zero (timing noise can make tiny subtractions go negative).
+
+    On a canonical (untimed) stitched trace every figure is zero but
+    the request/fetch counts still report coverage.
+    """
+    total = server = client = 0.0
+    requests = fetches = 0
+    has_request = False
+    for task in trace.tasks:
+        for span in task.spans:
+            name = span["name"]
+            if name == "request":
+                has_request = True
+                requests += 1
+                server += span_wall(span) or 0.0
+            elif name == "fetch":
+                fetches += 1
+            elif name == "step":
+                total += span_wall(span) or 0.0
+            elif name in ("select", "extract", "decompose"):
+                client += span_wall(span) or 0.0
+    if not has_request:
+        return None
+    return {
+        "total_s": round(total, 6),
+        "server_s": round(server, 6),
+        "client_s": round(client, 6),
+        "wire_s": round(max(total - server - client, 0.0), 6),
+        "requests": requests,
+        "fetches": fetches,
+    }
+
+
+# ----------------------------------------------------------------------
 # Summaries
 # ----------------------------------------------------------------------
 def summarize(trace: Trace, top: int = 10) -> dict:
@@ -126,7 +176,7 @@ def summarize(trace: Trace, top: int = 10) -> dict:
         entry["wall_s"] = round(entry["wall_s"], 6)
         entry["cpu_s"] = round(entry["cpu_s"], 6)
     pages = totals["pages"]
-    return {
+    summary = {
         "schema": trace.header.get("schema"),
         "tasks": len(trace.tasks),
         "steps": steps,
@@ -138,6 +188,10 @@ def summarize(trace: Trace, top: int = 10) -> dict:
         "phases": {name: phases[name] for name in sorted(phases)},
         "top_queries": expensive[:top],
     }
+    lanes = lane_breakdown(trace)
+    if lanes is not None:
+        summary["lanes"] = lanes
+    return summary
 
 
 def render_summary(summary: dict) -> str:
@@ -172,6 +226,18 @@ def render_summary(summary: dict) -> str:
         if summary["timed"]:
             row += f"{entry['wall_s']:>12.4f}{entry['cpu_s']:>12.4f}"
         lines.append(row)
+    lanes = summary.get("lanes")
+    if lanes is not None:
+        lines.append("")
+        lines.append(
+            "lane breakdown (stitched): "
+            f"server {lanes['server_s']:.4f} s | "
+            f"client {lanes['client_s']:.4f} s | "
+            f"wire+sched {lanes['wire_s']:.4f} s "
+            f"of {lanes['total_s']:.4f} s "
+            f"({lanes['requests']} server-traced requests, "
+            f"{lanes['fetches']} fetches)"
+        )
     if summary["top_queries"]:
         lines.append("")
         lines.append("most expensive queries (by rounds):")

@@ -35,7 +35,10 @@ TRACE_SCHEMA = "repro-trace/1"
 #: Required keys of a span line (``t`` is optional).
 SPAN_KEYS = ("id", "parent", "name", "step", "seq", "attrs")
 
-#: Span names the tracer emits (validators accept no others).
+#: Span names the tracer emits (validators accept no others).  The
+#: last six are server-side request phases (:mod:`repro.obs`): they
+#: appear in server span files and in stitched traces, where each
+#: ``request`` hangs under the client ``fetch`` that caused it.
 SPAN_NAMES = frozenset(
     {
         "step",
@@ -51,6 +54,12 @@ SPAN_NAMES = frozenset(
         "extract",
         "decompose",
         "frontier-refresh",
+        "request",
+        "parse",
+        "limiter",
+        "cache",
+        "render",
+        "serialize",
     }
 )
 

@@ -1,0 +1,122 @@
+"""The ``repro top`` console: frames, metric tailing, refresh loop."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs import render_frame, run_top, tail_metrics
+from repro.obs.console import CLEAR
+
+STATUS = {
+    "ok": True,
+    "mode": "process",
+    "workers": 4,
+    "uptime_s": 12.5,
+    "requests_handled": 120,
+    "rounds": {"total": 100, "per_source": {"imdb": 70, "books": 30}},
+    "cache": {"hits": 30, "misses": 10, "evictions": 1, "entries": 9},
+    "limiter": {"denials": 3, "bans_issued": 1},
+    "spans": {"tracing": True, "groups": 42, "dropped": 0},
+    "merged": True,
+}
+
+
+class TestRenderFrame:
+    def test_static_frame(self):
+        frame = render_frame(STATUS)
+        assert "process x4 merged" in frame
+        assert "requests 120" in frame
+        assert "rounds   100" in frame
+        assert "hit 75.0%" in frame
+        assert "denials 3" in frame
+        assert "42 recorded" in frame
+        assert "imdb" in frame and "books" in frame
+
+    def test_rate_from_consecutive_snapshots(self):
+        prev = dict(STATUS, rounds={"total": 80, "per_source": {}})
+        frame = render_frame(STATUS, prev=prev, elapsed=2.0)
+        assert "(10.0/s)" in frame
+
+    def test_minimal_status_renders(self):
+        frame = render_frame({"mode": "single", "workers": 1})
+        assert "single x1" in frame
+        assert "cache" not in frame
+        assert "limiter" not in frame
+
+    def test_crawl_metrics_folded_in(self):
+        metrics = {
+            "frontier_pending": 17.0,
+            "fleet_sources_active": 5.0,
+        }
+        frame = render_frame(STATUS, metrics=metrics)
+        assert "frontier 17 pending" in frame
+        assert "fleet_sources_active" in frame
+
+
+class TestTailMetrics:
+    def test_reads_last_valid_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        lines = [
+            json.dumps({
+                "schema": "repro-metrics/1", "step": 1, "label": "a",
+                "samples": [{"name": "frontier_pending", "kind": "gauge",
+                             "labels": {}, "value": 4}],
+            }),
+            json.dumps({
+                "schema": "repro-metrics/1", "step": 2, "label": "a",
+                "samples": [
+                    {"name": "frontier_pending", "kind": "gauge",
+                     "labels": {}, "value": 9},
+                    {"name": "rounds", "kind": "counter",
+                     "labels": {"policy": "gl"}, "value": 3},
+                    {"name": "latency", "kind": "histogram", "labels": {},
+                     "value": {"buckets": [], "sum": 1.0, "count": 7}},
+                ],
+            }),
+            '{"partial":',  # racing writer mid-line
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        flat = tail_metrics(path)
+        assert flat["frontier_pending"] == 9.0
+        assert flat["rounds{policy=gl}"] == 3.0
+        assert flat["latency"] == 7.0  # histograms contribute their count
+
+    def test_missing_file_degrades_to_empty(self, tmp_path):
+        assert tail_metrics(tmp_path / "nope.jsonl") == {}
+
+    def test_garbage_file_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        assert tail_metrics(path) == {}
+
+
+class TestRunTop:
+    def test_fixed_iterations_with_injected_fetch(self):
+        statuses = iter([STATUS, dict(STATUS, requests_handled=150)])
+        out = io.StringIO()
+        frames = run_top(
+            "h", 1, interval=0.0, iterations=2,
+            fetch=lambda: next(statuses), out=out, clear=False,
+        )
+        assert frames == 2
+        text = out.getvalue()
+        assert text.count("repro top") == 2
+        assert CLEAR not in text
+        assert "requests 150" in text
+
+    def test_clear_between_live_frames(self):
+        out = io.StringIO()
+        run_top("h", 1, interval=0.0, iterations=2,
+                fetch=lambda: STATUS, out=out, clear=True)
+        assert out.getvalue().count(CLEAR) == 1  # not before the first
+
+    def test_fetch_failure_reported_not_raised(self):
+        def fetch():
+            raise ConnectionRefusedError("no server")
+
+        out = io.StringIO()
+        frames = run_top("h", 1, interval=0.0, iterations=1,
+                         fetch=fetch, out=out, clear=False)
+        assert frames == 1
+        assert "fetch failed" in out.getvalue()

@@ -1,0 +1,66 @@
+"""CrawlTraceContext: span-id mirroring and header construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import HEADER_NAME, CrawlTraceContext
+from repro.runtime.events import QueryIssued, StepStarted
+
+
+class TestTraceIdValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CrawlTraceContext(trace_id="")
+
+    def test_semicolon_rejected(self):
+        with pytest.raises(ValueError):
+            CrawlTraceContext(trace_id="a;b")
+
+
+class TestIdMirroring:
+    def test_mirrors_trace_sink_assignment(self):
+        ctx = CrawlTraceContext(trace_id="greedy-link-s0")
+        assert ctx.fetch_parent(1) is None
+        ctx.handle(StepStarted(step=1))
+        assert ctx.fetch_parent(1) is None  # no query issued yet
+        assert ctx.current_label() == "s1"
+        ctx.handle(QueryIssued(query=None))
+        assert ctx.fetch_parent(1) == "s1/q0/p1"
+        assert ctx.current_label() == "s1/q0"
+        ctx.handle(QueryIssued(query=None))
+        assert ctx.fetch_parent(3) == "s1/q1/p3"
+
+    def test_step_resets_query_counter(self):
+        ctx = CrawlTraceContext()
+        ctx.handle(StepStarted(step=1))
+        ctx.handle(QueryIssued(query=None))
+        ctx.handle(QueryIssued(query=None))
+        ctx.handle(StepStarted(step=2))
+        assert ctx.fetch_parent(1) is None
+        ctx.handle(QueryIssued(query=None))
+        assert ctx.fetch_parent(2) == "s2/q0/p2"
+
+    def test_query_before_any_step_is_ignored(self):
+        ctx = CrawlTraceContext()
+        ctx.handle(QueryIssued(query=None))
+        assert ctx.fetch_parent(1) is None
+        assert ctx.current_label() is None
+
+    def test_wants_phase_events(self):
+        # StepStarted is only emitted when a phase-interested sink is
+        # attached; the context must declare that interest itself.
+        assert CrawlTraceContext.wants_phases is True
+
+
+class TestWireHeader:
+    def test_header_pair(self):
+        ctx = CrawlTraceContext(trace_id="bfs-s3")
+        assert ctx.wire_header(1) is None
+        ctx.handle(StepStarted(step=4))
+        ctx.handle(QueryIssued(query=None))
+        assert ctx.wire_header(2) == (HEADER_NAME, "bfs-s3;s4/q0/p2;0")
+        assert ctx.wire_header(2, attempt=2) == (
+            HEADER_NAME,
+            "bfs-s3;s4/q0/p2;2",
+        )

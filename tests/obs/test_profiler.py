@@ -1,0 +1,124 @@
+"""SamplingProfiler: span-labelled folded stacks off a live thread."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler
+
+
+def spin_until(stop):
+    while not stop.is_set():
+        sum(range(200))
+
+
+def wait_for_samples(profiler, count=5, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while profiler.sample_count < count and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return profiler.sample_count
+
+
+class TestSampling:
+    def test_samples_target_thread_with_label(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin_until, args=(stop,))
+        worker.start()
+        profiler = SamplingProfiler(
+            interval=0.001,
+            label_provider=lambda: "s1/q0",
+            target_thread=worker,
+        )
+        try:
+            profiler.start()
+            assert wait_for_samples(profiler) >= 5
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        folded = profiler.folded()
+        assert folded
+        assert all(line.startswith("s1/q0;") for line in folded)
+        # Frames are basename:function; the spin loop must show up.
+        assert any("test_profiler.py:spin_until" in line for line in folded)
+        # Folded format: "frame;frame;... count".
+        for line in folded:
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert ";" in stack
+
+    def test_missing_label_files_under_idle(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin_until, args=(stop,))
+        worker.start()
+        profiler = SamplingProfiler(interval=0.001, target_thread=worker)
+        try:
+            profiler.start()
+            wait_for_samples(profiler)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        assert profiler.folded()
+        assert all(line.startswith("idle;") for line in profiler.folded())
+
+    def test_raising_label_provider_degrades_to_idle(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin_until, args=(stop,))
+        worker.start()
+
+        def boom():
+            raise RuntimeError("label unavailable")
+
+        profiler = SamplingProfiler(
+            interval=0.001, label_provider=boom, target_thread=worker
+        )
+        try:
+            profiler.start()
+            wait_for_samples(profiler)
+        finally:
+            profiler.stop()
+            stop.set()
+            worker.join()
+        assert all(line.startswith("idle;") for line in profiler.folded())
+
+    def test_write_folded(self, tmp_path):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin_until, args=(stop,))
+        worker.start()
+        profiler = SamplingProfiler(interval=0.001, target_thread=worker)
+        try:
+            with profiler:
+                wait_for_samples(profiler)
+        finally:
+            stop.set()
+            worker.join()
+        path = tmp_path / "profile.folded"
+        written = profiler.write_folded(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == written
+        assert lines == sorted(lines)  # deterministic ordering
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(interval=0.05)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(interval=0.05)
+        profiler.start()
+        profiler.stop()
+        profiler.stop()

@@ -1,0 +1,135 @@
+"""Stitching client + server traces: structure, bytes, and safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ServerSpanTracer, stitch_traces, write_server_trace
+from repro.trace import load_trace, validate_trace_jsonl
+
+CLIENT_LINES = [
+    '{"schema":"repro-trace/1","policy":"greedy-link"}',
+    '{"id":"s1","parent":null,"name":"step","step":1,"seq":0,"attrs":{}}',
+    '{"id":"s1/q0","parent":"s1","name":"submit","step":1,"seq":1,'
+    '"attrs":{}}',
+    '{"id":"s1/q0/p1","parent":"s1/q0","name":"fetch","step":1,"seq":2,'
+    '"attrs":{"page":1},"t":{"ws":1500e-9,"cs":1000e-9}}',
+    '{"id":"s1/q0/p2","parent":"s1/q0","name":"fetch","step":1,"seq":3,'
+    '"attrs":{"page":2}}',
+]
+
+
+def write_client(tmp_path, lines=CLIENT_LINES):
+    path = tmp_path / "client.jsonl"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def write_server(tmp_path, contexts, trace="t", name="server.jsonl"):
+    tracer = ServerSpanTracer(include_timings=False)
+    for ctx in contexts:
+        rec = tracer.begin(f"{trace};{ctx};0")
+        rec.source = "imdb"
+        rec.start("parse")
+        rec.end()
+        rec.start("render")
+        rec.end(records=2, bytes=64)
+        tracer.commit(rec, 200)
+    path = tmp_path / name
+    write_server_trace(path, tracer.payload(), include_timings=False)
+    return path
+
+
+class TestStitch:
+    def test_joins_groups_under_fetch_spans(self, tmp_path):
+        client = write_client(tmp_path)
+        server = write_server(tmp_path, ["s1/q0/p1", "s1/q0/p2"])
+        out = tmp_path / "stitched.jsonl"
+        stats = stitch_traces(client, server, out)
+        assert stats == {
+            "client_spans": 4,
+            "server_groups": 2,
+            "stitched_groups": 2,
+            "orphan_groups": 0,
+            "total_spans": 10,
+        }
+        assert validate_trace_jsonl(out) == 10
+        trace = load_trace(out)
+        assert trace.header["stitched"] is True
+        spans = trace.spans
+        by_id = {span["id"]: span for span in spans}
+        # Server roots re-parented onto the client fetch spans.
+        assert by_id["s1/q0/p1/srv"]["parent"] == "s1/q0/p1"
+        assert by_id["s1/q0/p2/srv"]["parent"] == "s1/q0/p2"
+        # Each group's spans sit immediately after its fetch span.
+        ids = [span["id"] for span in spans]
+        assert ids.index("s1/q0/p1/srv") == ids.index("s1/q0/p1") + 1
+        # seq renumbered over the combined stream.
+        assert [span["seq"] for span in spans] == list(range(10))
+
+    def test_timed_fields_pass_through_bit_exact(self, tmp_path):
+        client = write_client(tmp_path)
+        server = write_server(tmp_path, ["s1/q0/p1"])
+        out = tmp_path / "stitched.jsonl"
+        stitch_traces(client, server, out)
+        # The client fetch span's int-ns "t" literal must survive
+        # unmodified — the stitcher may never round-trip it as float.
+        assert '"t":{"ws":1500e-9,"cs":1000e-9}' in out.read_text(
+            encoding="utf-8"
+        )
+
+    def test_orphan_groups_dropped_and_counted(self, tmp_path):
+        client = write_client(tmp_path)
+        server = write_server(
+            tmp_path, ["s1/q0/p1", "s1/q0/p2", "s1/q0/p3"]
+        )
+        out = tmp_path / "stitched.jsonl"
+        stats = stitch_traces(client, server, out)
+        assert stats["stitched_groups"] == 2
+        assert stats["orphan_groups"] == 1
+        assert validate_trace_jsonl(out) > 0
+        assert "s1/q0/p3/srv" not in out.read_text(encoding="utf-8")
+
+    def test_idempotent_bytes(self, tmp_path):
+        client = write_client(tmp_path)
+        server = write_server(tmp_path, ["s1/q0/p1", "s1/q0/p2"])
+        out_a = tmp_path / "a.jsonl"
+        out_b = tmp_path / "b.jsonl"
+        stitch_traces(client, server, out_a)
+        stitch_traces(client, server, out_b)
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+
+class TestStitchErrors:
+    def test_server_file_must_be_server_side(self, tmp_path):
+        client = write_client(tmp_path)
+        with pytest.raises(ValueError, match="server-side"):
+            stitch_traces(client, client, tmp_path / "out.jsonl")
+
+    def test_client_task_segments_rejected(self, tmp_path):
+        lines = [CLIENT_LINES[0], '{"task":"gl","seed_index":0}',
+                 *CLIENT_LINES[1:]]
+        client = write_client(tmp_path, lines)
+        server = write_server(tmp_path, ["s1/q0/p1"])
+        with pytest.raises(ValueError, match="task segments"):
+            stitch_traces(client, server, tmp_path / "out.jsonl")
+
+    def test_multi_trace_server_file_rejected(self, tmp_path):
+        client = write_client(tmp_path)
+        tracer = ServerSpanTracer(include_timings=False)
+        for trace_id in ("a", "b"):
+            rec = tracer.begin(f"{trace_id};s1/q0/p1;0")
+            rec.source = "imdb"
+            rec.mark("render", records=0, bytes=0)
+            tracer.commit(rec, 200)
+        server = tmp_path / "multi.jsonl"
+        write_server_trace(server, tracer.payload(), include_timings=False)
+        with pytest.raises(ValueError, match="task segments"):
+            stitch_traces(client, server, tmp_path / "out.jsonl")
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema":"nope"}\n', encoding="utf-8")
+        server = write_server(tmp_path, ["s1/q0/p1"])
+        with pytest.raises(ValueError, match="schema"):
+            stitch_traces(bad, server, tmp_path / "out.jsonl")

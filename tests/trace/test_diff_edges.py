@@ -1,0 +1,84 @@
+"""``repro trace diff`` edge cases: empty, divergent, canonical-vs-timed."""
+
+from __future__ import annotations
+
+from repro.trace import (
+    diff_summaries,
+    load_trace,
+    render_diff,
+    summarize,
+)
+
+HEADER = '{"schema":"repro-trace/1"}'
+
+
+def step_line(step, seq, rounds=2, new=3, timed=False, query="genre=a"):
+    timing = ',"t":{"ws":2500e-9,"cs":2000e-9}' if timed else ""
+    return (
+        f'{{"id":"s{step}","parent":null,"name":"step","step":{step},'
+        f'"seq":{seq},"attrs":{{"query":"{query}","rounds":{rounds},'
+        f'"pages":{rounds},"records":{new},"new":{new},"dup":0,'
+        f'"harvest_rate":1.0}}{timing}}}'
+    )
+
+
+def write_trace(tmp_path, name, lines):
+    path = tmp_path / name
+    path.write_text("\n".join([HEADER, *lines]) + "\n", encoding="utf-8")
+    return path
+
+
+class TestDiffEdgeCases:
+    def test_empty_vs_non_empty(self, tmp_path):
+        empty = write_trace(tmp_path, "empty.jsonl", [])
+        full = write_trace(
+            tmp_path, "full.jsonl", [step_line(1, 0), step_line(2, 1)]
+        )
+        summary_empty = summarize(load_trace(empty))
+        summary_full = summarize(load_trace(full))
+        assert summary_empty["steps"] == 0
+        diff = diff_summaries(summary_empty, summary_full)
+        assert diff["steps"] == (0, 2)
+        assert diff["totals"]["rounds"] == (0, 4)
+        assert diff["phases"]["step"]["count"] == (0, 2)
+        # Both orders render without crashing on the empty side.
+        assert "steps" in render_diff(diff)
+        assert "step" in render_diff(
+            diff_summaries(summary_full, summary_empty)
+        )
+
+    def test_identical_ids_divergent_payloads(self, tmp_path):
+        a = write_trace(
+            tmp_path, "a.jsonl", [step_line(1, 0, rounds=5, new=8)]
+        )
+        b = write_trace(
+            tmp_path, "b.jsonl", [step_line(1, 0, rounds=2, new=3)]
+        )
+        diff = diff_summaries(
+            summarize(load_trace(a)), summarize(load_trace(b))
+        )
+        # Same span ids and counts — only the payloads diverge.
+        assert diff["steps"] == (1, 1)
+        assert diff["phases"]["step"]["count"] == (1, 1)
+        assert diff["totals"]["rounds"] == (5, 2)
+        assert diff["totals"]["new"] == (8, 3)
+        assert "-3" in render_diff(diff)
+
+    def test_canonical_vs_timed(self, tmp_path):
+        canonical = write_trace(
+            tmp_path, "canonical.jsonl", [step_line(1, 0, timed=False)]
+        )
+        timed = write_trace(
+            tmp_path, "timed.jsonl", [step_line(1, 0, timed=True)]
+        )
+        summary_canonical = summarize(load_trace(canonical))
+        summary_timed = summarize(load_trace(timed))
+        assert summary_canonical["timed"] is False
+        assert summary_timed["timed"] is True
+        diff = diff_summaries(summary_canonical, summary_timed)
+        # Structure matches; only the timing lane differs.
+        assert diff["steps"] == (1, 1)
+        walls = diff["phases"]["step"]["wall_s"]
+        assert walls[0] == 0.0
+        assert walls[1] > 0.0
+        assert render_diff(diff, label_a="canonical", label_b="timed")
